@@ -1,0 +1,158 @@
+/// P1–P4 — performance microbenchmarks (google-benchmark): the hot paths a
+/// deployment of the library exercises. Not tied to a paper table; included
+/// so regressions in the samplers/estimators are visible.
+
+#include <cstddef>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+#include "core/gibbs_estimator.h"
+#include "core/learning_channel.h"
+#include "infotheory/mutual_information.h"
+#include "learning/generators.h"
+#include "learning/risk.h"
+#include "mechanisms/laplace.h"
+#include "mechanisms/sensitivity.h"
+#include "sampling/alias_sampler.h"
+#include "sampling/distributions.h"
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace {
+
+void BM_RngNextDouble(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextDouble());
+  }
+}
+BENCHMARK(BM_RngNextDouble);
+
+void BM_SampleLaplace(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleLaplace(&rng, 0.0, 1.0).value());
+  }
+}
+BENCHMARK(BM_SampleLaplace);
+
+void BM_SampleStandardNormal(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleStandardNormal(&rng));
+  }
+}
+BENCHMARK(BM_SampleStandardNormal);
+
+void BM_GumbelMaxSample(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::vector<double> log_w(m);
+  for (std::size_t i = 0; i < m; ++i) log_w[i] = -static_cast<double>(i) * 0.01;
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleFromLogWeights(&rng, log_w).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m));
+}
+BENCHMARK(BM_GumbelMaxSample)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AliasSample(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::vector<double> p(m, 1.0 / static_cast<double>(m));
+  auto sampler = AliasSampler::Create(p).value();
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GibbsPosterior(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, m).value();
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, 10.0).value();
+  auto task = BernoulliMeanTask::Create(0.4).value();
+  Rng rng(6);
+  Dataset data = task.Sample(n, &rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gibbs.Posterior(data).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m * n));
+}
+BENCHMARK(BM_GibbsPosterior)->Args({21, 100})->Args({101, 100})->Args({101, 1000});
+
+void BM_LaplaceRelease(benchmark::State& state) {
+  const std::size_t n = 1000;
+  auto query = BoundedMeanQuery(0.0, 1.0, n).value();
+  auto mechanism = LaplaceMechanism::Create(query, 1.0).value();
+  auto task = BernoulliMeanTask::Create(0.4).value();
+  Rng rng(7);
+  Dataset data = task.Sample(n, &rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.Release(data, &rng).value());
+  }
+}
+BENCHMARK(BM_LaplaceRelease);
+
+void BM_ChannelConstruction(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto task = BernoulliMeanTask::Create(0.4).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 21).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildBernoulliGibbsChannel(task, n, loss, hclass, hclass.UniformPrior(), 5.0)
+            .value());
+  }
+}
+BENCHMARK(BM_ChannelConstruction)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_ChannelMutualInformation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto task = BernoulliMeanTask::Create(0.4).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 21).value();
+  auto channel =
+      BuildBernoulliGibbsChannel(task, n, loss, hclass, hclass.UniformPrior(), 5.0).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ChannelMutualInformation(channel).value());
+  }
+}
+BENCHMARK(BM_ChannelMutualInformation)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_KsgMi(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<double> xs(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = SampleStandardNormal(&rng);
+    ys[i] = 0.7 * xs[i] + SampleStandardNormal(&rng);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KsgMi(xs, ys, 4).value());
+  }
+}
+BENCHMARK(BM_KsgMi)->Arg(200)->Arg(500);
+
+void BM_EmpiricalRiskProfile(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, m).value();
+  auto task = BernoulliMeanTask::Create(0.4).value();
+  Rng rng(9);
+  Dataset data = task.Sample(500, &rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmpiricalRiskProfile(loss, hclass.thetas(), data).value());
+  }
+}
+BENCHMARK(BM_EmpiricalRiskProfile)->Arg(21)->Arg(201);
+
+}  // namespace
+}  // namespace dplearn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+/// E10 (paper §5 future work) — differentially-private density estimation
+/// via PAC-Bayesian bounds.
+///
+/// Workload: 4-category distribution (0.45, 0.30, 0.15, 0.10); estimators
+/// release an ε-DP density. We compare the Gibbs/exponential-mechanism
+/// estimator over the quantized simplex against Laplace- and
+/// geometric-histogram baselines and the non-private empirical histogram,
+/// measuring expected KL(true || released) and total variation over
+/// repeated trials. Expected shape: all private estimators converge to the
+/// empirical floor as ε or n grows. On this low-dimensional task the
+/// histogram baselines win on raw error (per-bin noise is cheap at 4 bins);
+/// the Gibbs estimator pays the PAC-Bayes price ln|Θ|/λ plus quantization
+/// but is the one that generalizes to structured candidate families and
+/// ships a risk certificate.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/experiment_util.h"
+#include "core/private_density.h"
+#include "infotheory/entropy.h"
+#include "learning/dataset.h"
+#include "sampling/distributions.h"
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace {
+
+const std::vector<double> kTrueDensity = {0.45, 0.30, 0.15, 0.10};
+
+StatusOr<Dataset> SampleCategorical(std::size_t n, Rng* rng) {
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    DPLEARN_ASSIGN_OR_RETURN(std::size_t bin, SampleDiscrete(rng, kTrueDensity));
+    d.Add(Example{Vector{1.0}, static_cast<double>(bin)});
+  }
+  return d;
+}
+
+double TotalVariation(const std::vector<double>& p, const std::vector<double>& q) {
+  double tv = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) tv += 0.5 * std::fabs(p[i] - q[i]);
+  return tv;
+}
+
+/// KL(true || estimate) with the estimate floored to keep it finite.
+double KlToTruth(const std::vector<double>& estimate) {
+  double kl = 0.0;
+  for (std::size_t i = 0; i < kTrueDensity.size(); ++i) {
+    kl += kTrueDensity[i] * std::log(kTrueDensity[i] / std::max(estimate[i], 1e-4));
+  }
+  return std::max(0.0, kl);
+}
+
+void Run() {
+  bench::PrintHeader("E10 (§5 future work)",
+                     "DP density estimation via PAC-Bayes vs histogram baselines");
+
+  const std::size_t trials = 400;
+  Rng rng(909);
+  std::printf("true density: (0.45, 0.30, 0.15, 0.10); metric: mean TV (mean KL)\n");
+  std::printf("\n%6s %6s %20s %20s %20s %20s\n", "n", "eps", "gibbs", "laplace-hist",
+              "geometric-hist", "empirical");
+
+  for (std::size_t n : {50u, 200u, 800u}) {
+    for (double eps : {0.2, 1.0, 5.0}) {
+      double tv_gibbs = 0.0;
+      double kl_gibbs = 0.0;
+      double tv_laplace = 0.0;
+      double kl_laplace = 0.0;
+      double tv_geometric = 0.0;
+      double kl_geometric = 0.0;
+      double tv_empirical = 0.0;
+      double kl_empirical = 0.0;
+      for (std::size_t t = 0; t < trials; ++t) {
+        Dataset data = bench::Unwrap(SampleCategorical(n, &rng), "sample");
+
+        GibbsDensityOptions gibbs_options;
+        gibbs_options.epsilon = eps;
+        gibbs_options.resolution = 10;
+        auto gibbs =
+            bench::Unwrap(GibbsDensityEstimate(data, 4, gibbs_options, &rng), "gibbs");
+        tv_gibbs += TotalVariation(kTrueDensity, gibbs.density);
+        kl_gibbs += KlToTruth(gibbs.density);
+
+        auto laplace =
+            bench::Unwrap(LaplaceHistogramEstimate(data, 4, eps, &rng), "laplace");
+        tv_laplace += TotalVariation(kTrueDensity, laplace.density);
+        kl_laplace += KlToTruth(laplace.density);
+
+        auto geometric =
+            bench::Unwrap(GeometricHistogramEstimate(data, 4, eps, &rng), "geometric");
+        tv_geometric += TotalVariation(kTrueDensity, geometric.density);
+        kl_geometric += KlToTruth(geometric.density);
+
+        auto empirical = bench::Unwrap(EmpiricalHistogram(data, 4), "empirical");
+        tv_empirical += TotalVariation(kTrueDensity, empirical);
+        kl_empirical += KlToTruth(empirical);
+      }
+      const double scale = static_cast<double>(trials);
+      std::printf("%6zu %6.1f %10.4f (%6.4f) %10.4f (%6.4f) %10.4f (%6.4f) %10.4f (%6.4f)\n",
+                  n, eps, tv_gibbs / scale, kl_gibbs / scale, tv_laplace / scale,
+                  kl_laplace / scale, tv_geometric / scale, kl_geometric / scale,
+                  tv_empirical / scale, kl_empirical / scale);
+    }
+  }
+
+  std::printf(
+      "\nexpected shape: every private estimator approaches the empirical floor as eps\n"
+      "or n grows; the Gibbs estimator's error is governed by the PAC-Bayes objective\n"
+      "(quantization + (ln |Theta|)/lambda), the histograms' by per-bin noise ~ 1/(n*eps).\n");
+}
+
+}  // namespace
+}  // namespace dplearn
+
+int main() {
+  dplearn::Run();
+  return 0;
+}

@@ -1,0 +1,115 @@
+/// E3 — Lemma 3.2: the Gibbs posterior minimizes the PAC-Bayes objective
+/// F(ρ) = E_ρ[R̂] + KL(ρ‖π)/λ.
+///
+/// Workload: Bernoulli mean estimation, n = 120, Θ = 41-point grid on
+/// [0,1], squared loss. For a fixed sample we tabulate F at the Gibbs
+/// posterior and at a panel of natural competitors; the Gibbs value must
+/// equal the closed-form minimum -(1/λ) ln E_π[e^{-λR̂}] and undercut every
+/// competitor.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/experiment_util.h"
+#include "core/gibbs_estimator.h"
+#include "core/pac_bayes.h"
+#include "learning/generators.h"
+#include "learning/risk.h"
+#include "sampling/rng.h"
+#include "util/math_util.h"
+
+namespace dplearn {
+namespace {
+
+struct Competitor {
+  std::string name;
+  std::vector<double> posterior;
+};
+
+void Run() {
+  bench::PrintHeader("E3 (Lemma 3.2)", "Gibbs posterior minimizes E[risk] + KL/lambda");
+
+  const std::size_t n = 120;
+  const double lambda = 25.0;
+  auto task = bench::Unwrap(BernoulliMeanTask::Create(0.35), "task");
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = bench::Unwrap(FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 41), "grid");
+  const std::vector<double> prior = hclass.UniformPrior();
+
+  Rng rng(303);
+  Dataset data = bench::Unwrap(task.Sample(n, &rng), "sample");
+  auto risks = bench::Unwrap(EmpiricalRiskProfile(loss, hclass.thetas(), data), "risks");
+
+  auto gibbs = bench::Unwrap(GibbsPosteriorFromRisks(risks, prior, lambda), "gibbs");
+  const double at_gibbs = bench::Unwrap(PacBayesObjective(gibbs, risks, prior, lambda),
+                                        "objective(gibbs)");
+  const double closed_form =
+      bench::Unwrap(PacBayesObjectiveMinimum(risks, prior, lambda), "closed form");
+
+  std::vector<Competitor> competitors;
+  competitors.push_back({"gibbs (lambda)", gibbs});
+  competitors.push_back({"prior (uniform)", prior});
+  // Point mass on the ERM hypothesis.
+  std::vector<double> erm_point(hclass.size(), 0.0);
+  std::size_t argmin = bench::Unwrap(hclass.ArgMin(risks), "argmin");
+  erm_point[argmin] = 1.0;
+  competitors.push_back({"ERM point mass", erm_point});
+  // Tempered variants.
+  competitors.push_back(
+      {"gibbs (lambda/4)",
+       bench::Unwrap(GibbsPosteriorFromRisks(risks, prior, lambda / 4.0), "tempered")});
+  competitors.push_back(
+      {"gibbs (4*lambda)",
+       bench::Unwrap(GibbsPosteriorFromRisks(risks, prior, 4.0 * lambda), "tempered")});
+  // Mixture toward uniform.
+  std::vector<double> mixed(hclass.size());
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    mixed[i] = 0.5 * gibbs[i] + 0.5 * prior[i];
+  }
+  competitors.push_back({"0.5*gibbs + 0.5*uniform", mixed});
+  // Shifted Gibbs (posterior computed from perturbed risks).
+  std::vector<double> shifted_risks = risks;
+  for (std::size_t i = 0; i < shifted_risks.size(); ++i) {
+    shifted_risks[i] += 0.05 * std::sin(static_cast<double>(i));
+  }
+  competitors.push_back(
+      {"gibbs on perturbed risks",
+       bench::Unwrap(GibbsPosteriorFromRisks(shifted_risks, prior, lambda), "shifted")});
+
+  std::printf("n=%zu, |Theta|=%zu, lambda=%.1f, closed-form minimum F*=%.6f\n", n,
+              hclass.size(), lambda, closed_form);
+  std::printf("\n%-28s %12s %12s %12s %12s\n", "posterior", "E[risk]", "KL/lambda",
+              "objective F", "gap to F*");
+
+  bool gibbs_is_min = true;
+  for (const Competitor& c : competitors) {
+    double expected_risk = 0.0;
+    double kl = 0.0;
+    for (std::size_t i = 0; i < c.posterior.size(); ++i) {
+      expected_risk += c.posterior[i] * risks[i];
+      kl += XLogXOverY(c.posterior[i], prior[i]);
+    }
+    const double objective =
+        bench::Unwrap(PacBayesObjective(c.posterior, risks, prior, lambda), "objective");
+    std::printf("%-28s %12.6f %12.6f %12.6f %12.6f\n", c.name.c_str(), expected_risk,
+                kl / lambda, objective, objective - closed_form);
+    if (c.name != "gibbs (lambda)" && objective < at_gibbs - 1e-12) {
+      gibbs_is_min = false;
+    }
+  }
+
+  bench::PrintSection("verdicts");
+  bench::Verdict(std::fabs(at_gibbs - closed_form) < 1e-9,
+                 "F(gibbs) equals the closed-form minimum -(1/l) ln E_pi[e^{-l R}]");
+  bench::Verdict(gibbs_is_min, "no competitor posterior undercuts the Gibbs posterior");
+}
+
+}  // namespace
+}  // namespace dplearn
+
+int main() {
+  dplearn::Run();
+  return 0;
+}

@@ -1,0 +1,100 @@
+/// E14 (extension/ablation) — end-to-end budgeted model selection.
+///
+/// Real pipelines tune λ; tuning on the data leaks. This ablation compares
+/// three selection strategies at equal TOTAL privacy budget:
+///   * "fixed": skip selection, spend everything on one Gibbs release at a
+///     pre-registered λ (the heuristic SuggestLambda);
+///   * "private-select": exponential-mechanism selection over a λ grid +
+///     final release (core/lambda_selection — budget split & accounted);
+///   * "oracle (leaks!)": non-private validation argmax — NOT private,
+///     shown as the ceiling selection could reach if it were free.
+/// Metric: expected TRUE risk of the released predictor on the Bernoulli
+/// task (closed form). Expected shape: private-select approaches the
+/// oracle as the budget grows and never beats it; at tiny budgets the
+/// fixed pre-registered λ wins (selection noise isn't worth paying for).
+
+#include <cstdio>
+
+#include "bench/experiment_util.h"
+#include "core/gibbs_estimator.h"
+#include "core/lambda_selection.h"
+#include "core/pac_bayes.h"
+#include "learning/generators.h"
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace {
+
+void Run() {
+  bench::PrintHeader("E14 (ablation)",
+                     "budgeted lambda selection: fixed vs private-select vs oracle");
+
+  auto task = bench::Unwrap(BernoulliMeanTask::Create(0.3), "task");
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = bench::Unwrap(FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 21), "grid");
+  const std::size_t n = 300;
+  const std::size_t trials = 300;
+
+  std::printf("task: Bernoulli(0.3), n=%zu, Bayes risk=%.4f, %zu trials per cell\n",
+              n, task.BayesRisk(), trials);
+  std::printf("\n%12s %14s %18s %18s\n", "total eps", "fixed", "private-select",
+              "oracle (leaks)");
+
+  Rng rng(1414);
+  for (double total_eps : {0.2, 1.0, 5.0}) {
+    double fixed_risk = 0.0;
+    double select_risk = 0.0;
+    double oracle_risk = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Dataset data = bench::Unwrap(task.Sample(n, &rng), "sample");
+
+      // Fixed: all budget on one release, lambda = eps*n/2.
+      {
+        const double lambda = total_eps * static_cast<double>(n) / 2.0;
+        auto gibbs =
+            bench::Unwrap(GibbsEstimator::CreateUniform(&loss, hclass, lambda), "gibbs");
+        Vector theta = bench::Unwrap(gibbs.SampleTheta(data, &rng), "theta");
+        fixed_risk += task.TrueRisk(theta[0]);
+      }
+
+      // Private selection: split the budget — half to selection, half
+      // across the candidate+final draws (approximately; the routine
+      // reports the exact spend).
+      {
+        LambdaSelectionOptions options;
+        options.lambda_grid = {2.0, 8.0, 32.0, 128.0};
+        options.selection_epsilon = total_eps / 2.0;
+        options.training_epsilon = total_eps / 2.0;
+        auto result = bench::Unwrap(
+            SelectLambdaAndTrain(loss, hclass, data, options, &rng), "select");
+        select_risk += task.TrueRisk(result.theta[0]);
+      }
+
+      // Oracle: same grid, non-private argmax (reported for scale only).
+      {
+        LambdaSelectionOptions options;
+        options.lambda_grid = {2.0, 8.0, 32.0, 128.0};
+        auto result = bench::Unwrap(
+            SelectLambdaNonPrivate(loss, hclass, data, options, &rng), "oracle");
+        oracle_risk += task.TrueRisk(result.theta[0]);
+      }
+    }
+    const double scale = static_cast<double>(trials);
+    std::printf("%12.1f %14.4f %18.4f %18.4f\n", total_eps, fixed_risk / scale,
+                select_risk / scale, oracle_risk / scale);
+  }
+
+  std::printf(
+      "\nexpected shape: the oracle is the floor; private selection closes the gap as\n"
+      "the budget grows; the pre-registered fixed lambda is the right call at strict\n"
+      "budgets (selection has overhead: candidate draws + selection noise). The\n"
+      "private column is the only one with a valid end-to-end guarantee.\n");
+}
+
+}  // namespace
+}  // namespace dplearn
+
+int main() {
+  dplearn::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// E13 (extension) — membership inference against the Gibbs estimator:
+/// the channel view made adversarial.
+///
+/// The paper argues the predictor is a channel output carrying I(Ẑ;θ)
+/// about the sample. This experiment converts that leakage into the
+/// operational quantity a deployment cares about: the advantage of a
+/// Bayes-optimal membership adversary, measured in closed form from the
+/// exact posteriors and compared against the DP cap tanh(ε/2). Expected
+/// shape: advantage grows with λ, stays under the cap at every λ, and
+/// tracks the cap's shape (the bound is meaningful, not vacuous).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/experiment_util.h"
+#include "core/gibbs_estimator.h"
+#include "core/learning_channel.h"
+#include "core/membership_attack.h"
+#include "learning/generators.h"
+#include "learning/risk.h"
+
+namespace dplearn {
+namespace {
+
+void Run() {
+  bench::PrintHeader("E13 (extension)",
+                     "membership inference vs the tanh(eps/2) DP advantage cap");
+
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = bench::Unwrap(FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 21), "grid");
+  auto task = bench::Unwrap(BernoulliMeanTask::Create(0.5), "task");
+  const std::size_t n = 20;
+
+  Rng rng(1313);
+  Dataset base = bench::Unwrap(task.Sample(n, &rng), "sample");
+  // Attack the first record by flipping its bit.
+  const Example replacement{Vector{1.0}, base.at(0).label == 1.0 ? 0.0 : 1.0};
+
+  std::printf("game: flip record 0 of n=%zu; Bayes adversary sees one Gibbs draw\n\n", n);
+  std::printf("%8s %12s %14s %14s %14s %12s\n", "lambda", "eps (4.1)", "attack acc.",
+              "advantage", "cap tanh(e/2)", "cap used%");
+
+  bool within = true;
+  double previous = -1.0;
+  for (double lambda : {0.5, 2.0, 8.0, 32.0, 128.0, 512.0}) {
+    auto gibbs =
+        bench::Unwrap(GibbsEstimator::CreateUniform(&loss, hclass, lambda), "gibbs");
+    const double sensitivity =
+        bench::Unwrap(EmpiricalRiskSensitivityBound(loss, n), "sensitivity");
+    const double eps = bench::Unwrap(gibbs.PrivacyGuaranteeEpsilon(sensitivity), "eps");
+    AttackTargetMechanism mechanism = [&gibbs](const Dataset& d) {
+      return gibbs.Posterior(d);
+    };
+    auto result = bench::Unwrap(
+        BayesMembershipAttack(mechanism, base, 0, replacement, eps), "attack");
+    within = within && result.advantage <= result.dp_advantage_bound + 1e-12;
+    const bool monotone = result.advantage >= previous - 1e-12;
+    within = within && monotone;
+    previous = result.advantage;
+    std::printf("%8.1f %12.4f %14.4f %14.4f %14.4f %11.1f%%\n", lambda, eps,
+                result.accuracy, result.advantage, result.dp_advantage_bound,
+                100.0 * result.advantage / std::max(result.dp_advantage_bound, 1e-300));
+  }
+
+  bench::PrintSection("verdicts");
+  bench::Verdict(within,
+                 "Bayes adversary advantage <= tanh(eps/2) at every lambda, monotone");
+  std::printf(
+      "note: even the BEST possible adversary (full knowledge of both posteriors)\n"
+      "      cannot beat the cap — the operational content of Theorem 4.1. At small\n"
+      "      lambda the released predictor is near-useless to the attacker AND to the\n"
+      "      analyst: the two sides of Theorem 4.2's trade-off.\n");
+}
+
+}  // namespace
+}  // namespace dplearn
+
+int main() {
+  dplearn::Run();
+  return 0;
+}

@@ -1,0 +1,136 @@
+/// E6 — Figure 1 / Section 4.1: differentially-private learning as an
+/// information channel Ẑ -> θ, with I(Ẑ;θ) governed by the privacy level.
+///
+/// The exact Gibbs channel is built for the Bernoulli task (input alphabet
+/// = the sufficient statistic k, marginal Binomial(n,p)). For a λ sweep the
+/// table reports: measured privacy ε*, exact I(Ẑ;θ), the channel capacity,
+/// the input entropy H(Ẑ) (both upper bounds), and a sampled plug-in MI
+/// estimate validating the estimator stack against the exact value.
+/// Expected shape: I grows monotonically with ε* and is crushed to 0 at
+/// high privacy — the paper's trade-off made quantitative.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/experiment_util.h"
+#include "core/finite_domain_channel.h"
+#include "core/gibbs_estimator.h"
+#include "core/learning_channel.h"
+#include "infotheory/entropy.h"
+#include "infotheory/mutual_information.h"
+#include "learning/generators.h"
+#include "sampling/distributions.h"
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace {
+
+void Run() {
+  bench::PrintHeader("E6 (Figure 1 / Thm 4.2)",
+                     "the DP-learning channel: I(Z;theta) vs privacy level");
+
+  const std::size_t n = 12;
+  const double p = 0.4;
+  auto task = bench::Unwrap(BernoulliMeanTask::Create(p), "task");
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = bench::Unwrap(FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 13), "grid");
+
+  const std::size_t mi_samples = 200000;
+  Rng rng(606);
+
+  std::printf("channel: Z=(k ones of %zu) ~ Binomial(%zu, %.1f) -> theta (|Theta|=%zu)\n",
+              n, n, p, hclass.size());
+
+  double input_entropy = 0.0;
+  std::printf("\n%8s %14s %12s %12s %12s %14s\n", "lambda", "measured eps*",
+              "I(Z;theta)", "capacity", "H(Z)", "sampled MI");
+
+  bool monotone = true;
+  bool bounded = true;
+  double previous_mi = -1.0;
+  for (double lambda : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    auto channel = bench::Unwrap(
+        BuildBernoulliGibbsChannel(task, n, loss, hclass, hclass.UniformPrior(), lambda),
+        "channel");
+    input_entropy = bench::Unwrap(Entropy(channel.input_marginal), "H(Z)");
+    const double eps = ChannelPrivacyLevel(channel);
+    const double mi = bench::Unwrap(ChannelMutualInformation(channel), "MI");
+    const double capacity = bench::Unwrap(channel.channel.Capacity(1e-8), "capacity");
+
+    // Validate the estimator stack: draw (k, theta) pairs through the
+    // actual estimator and compare plug-in MI to the exact channel MI.
+    std::vector<std::size_t> ks(mi_samples);
+    std::vector<std::size_t> thetas(mi_samples);
+    auto gibbs =
+        bench::Unwrap(GibbsEstimator::CreateUniform(&loss, hclass, lambda), "gibbs");
+    // Pre-build one representative dataset per k; sampling theta given k
+    // only needs the sufficient statistic.
+    std::vector<Dataset> representatives;
+    for (std::size_t k = 0; k <= n; ++k) {
+      Dataset d;
+      for (std::size_t i = 0; i < n; ++i) d.Add(Example{Vector{1.0}, i < k ? 1.0 : 0.0});
+      representatives.push_back(d);
+    }
+    for (std::size_t s = 0; s < mi_samples; ++s) {
+      std::size_t k = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        k += static_cast<std::size_t>(bench::Unwrap(SampleBernoulli(&rng, p), "bit"));
+      }
+      ks[s] = k;
+      thetas[s] = bench::Unwrap(gibbs.Sample(representatives[k], &rng), "theta");
+    }
+    double sampled_mi = bench::Unwrap(PluginMiFromSamples(ks, thetas), "plug-in MI");
+    sampled_mi -= MillerMadowCorrection(n + 1, hclass.size(), (n + 1) * hclass.size(),
+                                        mi_samples);
+
+    monotone = monotone && mi >= previous_mi - 1e-9;
+    bounded = bounded && mi <= capacity + 1e-9 && mi <= input_entropy + 1e-9;
+    previous_mi = mi;
+
+    std::printf("%8.1f %14.6f %12.6f %12.6f %12.6f %14.6f\n", lambda, eps, mi, capacity,
+                input_entropy, std::max(0.0, sampled_mi));
+  }
+
+  // Beyond-Bernoulli: the same channel construction on a TERNARY example
+  // domain (ratings {0, 1/2, 1}), exact via the multinomial sufficient
+  // statistic — Figure 1 is not a binary-data artifact.
+  bench::PrintSection("generalized channel: ternary domain {0, 0.5, 1}, n = 8");
+  std::vector<Example> ternary = {Example{Vector{1.0}, 0.0}, Example{Vector{1.0}, 0.5},
+                                  Example{Vector{1.0}, 1.0}};
+  std::vector<double> ternary_probs = {0.5, 0.3, 0.2};
+  std::printf("%8s %14s %12s %12s\n", "lambda", "measured eps*", "I(Z;theta)",
+              "inputs |Z|");
+  bool ternary_monotone = true;
+  double ternary_previous = -1.0;
+  for (double lambda : {0.5, 2.0, 8.0, 32.0}) {
+    auto tchannel = bench::Unwrap(
+        BuildFiniteDomainGibbsChannel(ternary, ternary_probs, 8, loss, hclass,
+                                      hclass.UniformPrior(), lambda),
+        "ternary channel");
+    const double tmi =
+        bench::Unwrap(FiniteDomainChannelMutualInformation(tchannel), "ternary MI");
+    ternary_monotone = ternary_monotone && tmi >= ternary_previous - 1e-9;
+    ternary_previous = tmi;
+    std::printf("%8.1f %14.6f %12.6f %12zu\n", lambda,
+                FiniteDomainChannelPrivacyLevel(tchannel), tmi,
+                tchannel.channel.num_inputs());
+  }
+
+  bench::PrintSection("verdicts");
+  bench::Verdict(monotone, "I(Z;theta) is monotone in lambda (less privacy => more MI)");
+  bench::Verdict(bounded, "I(Z;theta) <= min(channel capacity, H(Z)) at every lambda");
+  bench::Verdict(ternary_monotone,
+                 "the same monotone trade-off holds on the generalized ternary channel");
+  std::printf(
+      "note: at lambda=0 the channel releases nothing (I=0, eps*=0); as lambda grows the\n"
+      "      predictor reveals more about the sample — Figure 1's channel, quantified.\n");
+}
+
+}  // namespace
+}  // namespace dplearn
+
+int main() {
+  dplearn::Run();
+  return 0;
+}

@@ -1,0 +1,111 @@
+/// E8 — Theorem 4.2: minimizing expected empirical risk plus the
+/// (1/λ)-regularized mutual information yields the Gibbs estimator.
+///
+/// Workload: the exact Bernoulli learning channel (all quantities closed
+/// form). For each λ we minimize G(W) = E[R̂] + (1/λ) I(Ẑ;θ) over ALL
+/// channels by alternating minimization, then tabulate G at: the optimum,
+/// the uniform-prior Gibbs channel, the deterministic ERM channel, the
+/// constant (maximally private) channel, and tempered Gibbs channels.
+/// Expected shape: the optimizer's value is attained by a Gibbs channel
+/// (fixed point), the uniform-prior Gibbs channel is within its
+/// prior-mismatch KL gap, and every non-Gibbs competitor is strictly worse.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/experiment_util.h"
+#include "core/gibbs_estimator.h"
+#include "core/learning_channel.h"
+#include "core/regularized_objective.h"
+#include "learning/generators.h"
+
+namespace dplearn {
+namespace {
+
+void Run() {
+  bench::PrintHeader("E8 (Theorem 4.2)",
+                     "min E[risk] + (1/lambda) I(Z;theta) == the Gibbs estimator");
+
+  const std::size_t n = 10;
+  auto task = bench::Unwrap(BernoulliMeanTask::Create(0.4), "task");
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = bench::Unwrap(FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 11), "grid");
+
+  std::printf("channel: k ~ Binomial(%zu, 0.4) -> theta (|Theta|=%zu); all values exact\n",
+              n, hclass.size());
+  std::printf("\n%8s %12s %14s %12s %12s %14s %14s\n", "lambda", "optimum G*",
+              "gibbs(unif)", "ERM det.", "constant", "gibbs(l/4)", "gibbs(4l)");
+
+  bool gibbs_wins = true;
+  for (double lambda : {0.5, 2.0, 8.0, 32.0}) {
+    auto reference = bench::Unwrap(
+        BuildBernoulliGibbsChannel(task, n, loss, hclass, hclass.UniformPrior(), lambda),
+        "reference channel");
+    const auto& marginal = reference.input_marginal;
+    const auto& risks = reference.risk_matrix;
+
+    auto optimum =
+        bench::Unwrap(MinimizeRegularizedObjective(marginal, risks, lambda), "optimum");
+
+    auto value_of = [&](const std::vector<std::vector<double>>& rows) {
+      return bench::Unwrap(RegularizedObjective(rows, marginal, risks, lambda), "G");
+    };
+
+    const double gibbs_uniform = value_of(reference.channel.transition());
+
+    // Deterministic ERM channel.
+    std::vector<std::vector<double>> erm_rows(
+        n + 1, std::vector<double>(hclass.size(), 0.0));
+    for (std::size_t k = 0; k <= n; ++k) {
+      std::size_t argmin = 0;
+      for (std::size_t i = 1; i < hclass.size(); ++i) {
+        if (risks[k][i] < risks[k][argmin]) argmin = i;
+      }
+      erm_rows[k][argmin] = 1.0;
+    }
+    const double erm_value = value_of(erm_rows);
+
+    // Constant channel (data-independent: perfect privacy, zero MI).
+    std::vector<std::vector<double>> constant_rows(
+        n + 1, std::vector<double>(hclass.size(), 1.0 / static_cast<double>(hclass.size())));
+    const double constant_value = value_of(constant_rows);
+
+    // Tempered Gibbs channels (wrong temperature, uniform prior).
+    auto tempered = [&](double temp) {
+      std::vector<std::vector<double>> rows(n + 1);
+      for (std::size_t k = 0; k <= n; ++k) {
+        rows[k] = bench::Unwrap(
+            GibbsPosteriorFromRisks(risks[k], hclass.UniformPrior(), temp), "tempered");
+      }
+      return value_of(rows);
+    };
+    const double cold = tempered(lambda / 4.0);
+    const double hot = tempered(4.0 * lambda);
+
+    gibbs_wins = gibbs_wins && optimum.objective <= gibbs_uniform + 1e-9 &&
+                 optimum.objective <= erm_value + 1e-9 &&
+                 optimum.objective <= constant_value + 1e-9 &&
+                 optimum.objective <= cold + 1e-9 && optimum.objective <= hot + 1e-9;
+
+    std::printf("%8.1f %12.6f %14.6f %12.6f %12.6f %14.6f %14.6f\n", lambda,
+                optimum.objective, gibbs_uniform, erm_value, constant_value, cold, hot);
+  }
+
+  bench::PrintSection("verdicts");
+  bench::Verdict(gibbs_wins,
+                 "the Gibbs-channel optimum undercuts every competitor at every lambda");
+  std::printf(
+      "note: the alternating minimizer's fixed point has Gibbs rows with prior\n"
+      "      pi_OPT = E_Z[posterior] — exactly Catoni's bound-optimal prior, and the\n"
+      "      differentially-private estimator of Theorem 4.2.\n");
+}
+
+}  // namespace
+}  // namespace dplearn
+
+int main() {
+  dplearn::Run();
+  return 0;
+}

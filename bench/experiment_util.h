@@ -1,0 +1,55 @@
+#ifndef DPLEARN_BENCH_EXPERIMENT_UTIL_H_
+#define DPLEARN_BENCH_EXPERIMENT_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/status.h"
+
+namespace dplearn {
+namespace bench {
+
+/// Shared console helpers for the experiment binaries. Each binary prints
+/// one or more paper-style tables; EXPERIMENTS.md records the expected
+/// shapes.
+
+inline void PrintHeader(const std::string& experiment_id, const std::string& claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), claim.c_str());
+  std::printf("==============================================================================\n");
+}
+
+inline void PrintSection(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Unwraps a StatusOr in experiment code, aborting with a message on error.
+/// Experiments are straight-line programs; an error here is a bug.
+template <typename T>
+T Unwrap(StatusOr<T> value, const char* what) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "FATAL in %s: %s\n", what, value.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(value).value();
+}
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL in %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Prints PASS/FAIL with a claim description; experiments end with a
+/// summary of these verdicts.
+inline bool Verdict(bool ok, const std::string& claim) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  return ok;
+}
+
+}  // namespace bench
+}  // namespace dplearn
+
+#endif  // DPLEARN_BENCH_EXPERIMENT_UTIL_H_

@@ -1,0 +1,53 @@
+/// Scenario: audit an existing learner as an information channel
+/// (Figure 1 of the paper). Given a learning mechanism, construct the
+/// channel Z -> theta, then answer the questions a privacy officer asks:
+/// how much information does the released predictor carry about the
+/// sample (I(Z;theta))? what is the worst-case privacy loss (eps*)? and
+/// how do both respond to the temperature knob?
+
+#include <cstdio>
+
+#include "core/learning_channel.h"
+#include "core/regularized_objective.h"
+#include "infotheory/entropy.h"
+#include "learning/generators.h"
+
+int main() {
+  using namespace dplearn;
+
+  auto task = BernoulliMeanTask::Create(0.25).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 17).value();
+  const std::size_t n = 16;
+
+  std::printf("auditing the Gibbs learner as a channel: Z (n=%zu draws) -> theta\n\n", n);
+  std::printf("%8s %12s %14s %12s %16s\n", "lambda", "eps*", "I(Z;theta)", "capacity",
+              "G = risk + I/l");
+
+  for (double lambda : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    auto channel =
+        BuildBernoulliGibbsChannel(task, n, loss, hclass, hclass.UniformPrior(), lambda)
+            .value();
+    const double eps = ChannelPrivacyLevel(channel);
+    const double mi = ChannelMutualInformation(channel).value();
+    const double capacity = channel.channel.Capacity(1e-8).value();
+    const double g = RegularizedObjective(channel.channel.transition(),
+                                          channel.input_marginal, channel.risk_matrix,
+                                          lambda)
+                         .value();
+    std::printf("%8.1f %12.4f %14.4f %12.4f %16.4f\n", lambda, eps, mi, capacity, g);
+  }
+
+  const double h_input = Entropy(BuildBernoulliGibbsChannel(task, n, loss, hclass,
+                                                            hclass.UniformPrior(), 1.0)
+                                     .value()
+                                     .input_marginal)
+                             .value();
+  std::printf("\nH(Z) = %.4f nats — no channel can leak more than this about the sample.\n",
+              h_input);
+  std::printf(
+      "Reading the table: lambda tilts the balance of Theorem 4.2 — small lambda\n"
+      "(strong privacy) crushes I(Z;theta) toward 0; large lambda buys empirical-risk\n"
+      "fit with the sample's information. eps* tracks 2*lambda/n throughout.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+/// A guided tour of the paper, section by section, with every claim
+/// executed live. Run it to watch the paper's argument unfold numerically:
+///
+///   §2.1  differential privacy + the Laplace & exponential mechanisms
+///   §2.2  the learning setting and the neighbor relation on samples
+///   §3    Catoni's PAC-Bayes bound and the Gibbs posterior (Lemma 3.2)
+///   §4    Theorem 4.1 (Gibbs == exponential mechanism, hence DP) and
+///         Theorem 4.2 (DP learning == regularized MI minimization)
+///   §4.1  Figure 1: the information channel, measured.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/dp_verifier.h"
+#include "core/gibbs_estimator.h"
+#include "core/learning_channel.h"
+#include "core/pac_bayes.h"
+#include "core/regularized_objective.h"
+#include "learning/generators.h"
+#include "learning/risk.h"
+#include "mechanisms/laplace.h"
+#include "mechanisms/sensitivity.h"
+#include "sampling/rng.h"
+
+namespace {
+
+void Banner(const char* section, const char* title) {
+  std::printf("\n============================ %s ============================\n%s\n\n",
+              section, title);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dplearn;
+  Rng rng(1729);
+
+  // ------------------------------------------------------------------
+  Banner("Section 2.1", "Differential privacy and the Laplace mechanism (Thm 2.1)");
+  auto task = BernoulliMeanTask::Create(0.35).value();
+  const std::size_t n = 40;
+  Dataset data = task.Sample(n, &rng).value();
+
+  auto query = BoundedMeanQuery(0.0, 1.0, n).value();
+  auto laplace = LaplaceMechanism::Create(query, /*eps=*/1.0).value();
+  std::printf("true mean of the sample:  %.4f\n", query.query(data));
+  std::printf("one eps=1 Laplace release: %.4f (noise scale %.4f)\n",
+              laplace.Release(data, &rng).value(), laplace.noise_scale());
+  // Verify Definition 2.1 empirically on this data's neighbors.
+  ScalarDensityFn density = [&laplace](const Dataset& d, double out) {
+    return laplace.OutputDensity(d, out);
+  };
+  std::vector<double> probes;
+  for (double x = -2.0; x <= 3.0; x += 0.05) probes.push_back(x);
+  auto lap_audit =
+      AuditScalarDensityMechanism(density, {data}, BernoulliMeanTask::Domain(), probes)
+          .value();
+  std::printf("Definition 2.1 audited:   max ln-ratio %.4f <= eps 1.0  %s\n",
+              lap_audit.max_log_ratio, lap_audit.max_log_ratio <= 1.0 + 1e-9 ? "OK" : "!!");
+
+  // ------------------------------------------------------------------
+  Banner("Section 2.2", "The learning problem: samples, losses, empirical risk");
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 21).value();
+  auto risks = EmpiricalRiskProfile(loss, hclass.thetas(), data).value();
+  const std::size_t erm = hclass.ArgMin(risks).value();
+  std::printf("hypothesis grid:  |Theta| = %zu over [0,1]\n", hclass.size());
+  std::printf("ERM predictor:    theta = %.2f with empirical risk %.4f\n",
+              hclass.at(erm)[0], risks[erm]);
+  std::printf("true risk of ERM: %.4f (closed form; Bayes risk %.4f)\n",
+              task.TrueRisk(hclass.at(erm)[0]), task.BayesRisk());
+
+  // ------------------------------------------------------------------
+  Banner("Section 3", "PAC-Bayes: Catoni's bound and the Gibbs posterior (Lemma 3.2)");
+  const double lambda = 12.0;
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, lambda).value();
+  const double emp = gibbs.ExpectedEmpiricalRisk(data).value();
+  const double kl = gibbs.KlToPrior(data).value();
+  const double bound = CatoniHighProbabilityBound(emp, kl, lambda, n, 0.05).value();
+  std::printf("Gibbs posterior at lambda=%.0f: E[R-hat]=%.4f, KL to prior=%.4f\n", lambda,
+              emp, kl);
+  std::printf("Catoni bound (Thm 3.1):  true risk <= %.4f w.p. 0.95\n", bound);
+  const double objective_at_gibbs =
+      PacBayesObjective(gibbs.Posterior(data).value(), risks, hclass.UniformPrior(),
+                        lambda)
+          .value();
+  const double objective_minimum =
+      PacBayesObjectiveMinimum(risks, hclass.UniformPrior(), lambda).value();
+  std::printf("Lemma 3.2: F(gibbs)=%.6f vs closed-form min %.6f  (diff %.1e)\n",
+              objective_at_gibbs, objective_minimum,
+              std::fabs(objective_at_gibbs - objective_minimum));
+
+  // ------------------------------------------------------------------
+  Banner("Section 4", "Theorem 4.1: the Gibbs estimator IS the exponential mechanism");
+  const double sensitivity = EmpiricalRiskSensitivityBound(loss, n).value();
+  auto as_exp_mech = gibbs.AsExponentialMechanism(sensitivity).value();
+  auto p_gibbs = gibbs.Posterior(data).value();
+  auto p_mech = as_exp_mech.OutputDistribution(data).value();
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < p_gibbs.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(p_gibbs[i] - p_mech[i]));
+  }
+  std::printf("pointwise |gibbs - exp.mechanism| = %.2e (identical objects)\n", max_diff);
+  const double guarantee = gibbs.PrivacyGuaranteeEpsilon(sensitivity).value();
+  FiniteOutputMechanism mech = [&gibbs](const Dataset& d) { return gibbs.Posterior(d); };
+  auto gibbs_audit =
+      AuditFiniteMechanism(mech, {data}, BernoulliMeanTask::Domain()).value();
+  std::printf("Thm 4.1 guarantee 2*lambda*D(R) = %.4f; audited eps* = %.4f  %s\n",
+              guarantee, gibbs_audit.max_log_ratio,
+              gibbs_audit.max_log_ratio <= guarantee + 1e-9 ? "OK" : "!!");
+
+  // ------------------------------------------------------------------
+  Banner("Section 4 / 4.1", "Theorem 4.2 and Figure 1: the information channel");
+  const std::size_t channel_n = 10;
+  auto channel = BuildBernoulliGibbsChannel(task, channel_n, loss, hclass,
+                                            hclass.UniformPrior(), lambda)
+                     .value();
+  const double mi = ChannelMutualInformation(channel).value();
+  const double eps_star = ChannelPrivacyLevel(channel);
+  std::printf("channel Z -> theta at n=%zu: I(Z;theta) = %.4f nats, eps* = %.4f\n",
+              channel_n, mi, eps_star);
+  auto optimum = MinimizeRegularizedObjective(channel.input_marginal, channel.risk_matrix,
+                                              lambda)
+                     .value();
+  const double gibbs_value =
+      RegularizedObjective(channel.channel.transition(), channel.input_marginal,
+                           channel.risk_matrix, lambda)
+          .value();
+  std::printf("min over ALL channels of E[R-hat] + I/lambda = %.6f (Thm 4.2)\n",
+              optimum.objective);
+  std::printf("value at the Gibbs channel                  = %.6f\n", gibbs_value);
+  std::printf("gap = prior mismatch KL / lambda            = %.6f\n",
+              gibbs_value - optimum.objective);
+  std::printf(
+      "\nThe paper, executed: the bound-minimizing posterior is the exponential\n"
+      "mechanism; its privacy parameter is the price of mutual information.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// Scenario: release the median salary band of a small company without
+/// exposing any single employee — the exponential mechanism (Theorem 2.2)
+/// on a non-numeric-sensitivity statistic where Laplace noise would be
+/// inappropriate (the median's global sensitivity is huge; its RANK-based
+/// quality function's sensitivity is 1).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "learning/dataset.h"
+#include "mechanisms/exponential.h"
+#include "sampling/rng.h"
+
+int main() {
+  using namespace dplearn;
+
+  // Salary bands 0..15 (say, $30k steps); 37 employees, skewed upward.
+  const std::size_t kBands = 16;
+  Dataset salaries;
+  const int counts_per_band[kBands] = {0, 1, 2, 4, 6, 7, 5, 4, 3, 2, 1, 1, 0, 0, 0, 1};
+  for (std::size_t band = 0; band < kBands; ++band) {
+    for (int c = 0; c < counts_per_band[band]; ++c) {
+      salaries.Add(Example{Vector{1.0}, static_cast<double>(band)});
+    }
+  }
+  std::printf("dataset: %zu employees across %zu salary bands\n", salaries.size(), kBands);
+
+  // Quality of candidate band u: negative rank imbalance. Replacing one
+  // employee moves each count by at most 1 => sensitivity 1.
+  QualityFn quality = [](const Dataset& data, std::size_t u) {
+    double below = 0.0;
+    double above = 0.0;
+    for (const Example& z : data.examples()) {
+      if (z.label < static_cast<double>(u)) below += 1.0;
+      if (z.label > static_cast<double>(u)) above += 1.0;
+    }
+    return -std::fabs(below - above);
+  };
+
+  Rng rng(7);
+  std::printf("\n%8s %14s | output distribution over bands (peak marked)\n", "eps",
+              "released band");
+  for (double target_eps : {0.1, 0.5, 2.0}) {
+    auto mechanism = ExponentialMechanism::CreateWithTargetPrivacy(
+                         quality, kBands, std::vector<double>(kBands, 1.0 / kBands),
+                         target_eps, /*quality_sensitivity=*/1.0)
+                         .value();
+    const std::size_t released = mechanism.Sample(salaries, &rng).value();
+    auto dist = mechanism.OutputDistribution(salaries).value();
+    std::size_t peak = 0;
+    for (std::size_t u = 1; u < kBands; ++u) {
+      if (dist[u] > dist[peak]) peak = u;
+    }
+    std::printf("%8.1f %14zu | ", target_eps, released);
+    for (std::size_t u = 0; u < kBands; ++u) {
+      const int bars = static_cast<int>(dist[u] * 40.0 + 0.5);
+      std::printf("%c", bars > 8 ? '#' : (bars > 2 ? '+' : (bars > 0 ? '.' : ' ')));
+    }
+    std::printf("  (peak=band %zu)\n", peak);
+  }
+  std::printf(
+      "\nAt low eps the distribution is nearly flat (strong privacy, noisy median);\n"
+      "at eps=2 it concentrates on the true median band. Privacy guarantee per\n"
+      "release: the stated eps, by Theorem 2.2.\n");
+  return 0;
+}

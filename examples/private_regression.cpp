@@ -1,0 +1,82 @@
+/// Scenario: differentially-private regression / classification — the
+/// paper's motivating example ("consider a linear regression problem ...
+/// immediately, privacy concerns arise"). Three private learners on the
+/// same data, with the privacy-utility ledger printed side by side:
+///
+///   * the Gibbs estimator over a hypothesis grid (the paper's learner),
+///   * output perturbation  (Chaudhuri-Monteleoni),
+///   * objective perturbation (Chaudhuri-Monteleoni-Sarwate),
+/// against the non-private ERM floor.
+
+#include <cstdio>
+
+#include "core/gibbs_estimator.h"
+#include "core/private_erm.h"
+#include "learning/erm.h"
+#include "learning/generators.h"
+#include "learning/risk.h"
+#include "sampling/rng.h"
+
+int main() {
+  using namespace dplearn;
+
+  // Medical-style data: two features, two classes (condition present or
+  // not), overlapping Gaussians.
+  auto task = GaussianMixtureTask::Create({0.6, 0.3}, 0.7).value();
+  const std::size_t n = 500;
+  Rng rng(2024);
+  Dataset data = task.Sample(n, &rng).value();
+  std::printf("task: 2-feature classification, n=%zu, Bayes risk=%.3f\n\n", n,
+              task.BayesRisk());
+
+  LogisticLoss logistic(50.0);
+  ZeroOneLoss zero_one;
+
+  // Hypothesis grid for the Gibbs learner.
+  std::vector<Vector> thetas;
+  for (double a = -2.0; a <= 2.01; a += 0.2) {
+    for (double b = -2.0; b <= 2.01; b += 0.2) {
+      if (a != 0.0 || b != 0.0) thetas.push_back(Vector{a, b});
+    }
+  }
+  auto hclass = FiniteHypothesisClass::Create(thetas).value();
+
+  // Non-private floor.
+  GradientErmOptions solver;
+  solver.l2_lambda = 0.05;
+  solver.learning_rate = 0.5;
+  solver.max_iters = 3000;
+  auto non_private = GradientDescentErm(logistic, data, solver, Vector(2, 0.0)).value();
+  std::printf("non-private ERM:      theta=(%+.2f, %+.2f)  true 0-1 risk=%.3f\n",
+              non_private.theta[0], non_private.theta[1],
+              task.TrueZeroOneRisk(non_private.theta));
+
+  std::printf("\n%8s %26s %26s %26s\n", "eps", "gibbs (paper)", "output-pert (CM08)",
+              "objective-pert (CMS11)");
+  for (double eps : {0.2, 1.0, 5.0}) {
+    // Gibbs: 0-1 loss quality, lambda = eps*n/2 so Theorem 4.1 gives eps.
+    const double lambda = eps * static_cast<double>(n) / 2.0;
+    auto gibbs = GibbsEstimator::CreateUniform(&zero_one, hclass, lambda).value();
+    Vector theta_g = gibbs.SampleTheta(data, &rng).value();
+
+    PrivateErmOptions opts;
+    opts.epsilon = eps;
+    opts.l2_lambda = 0.05;
+    opts.lipschitz = 1.0;
+    opts.smoothness = 0.25;
+    opts.solver = solver;
+    auto out = OutputPerturbationErm(logistic, data, opts, &rng).value();
+    auto obj = ObjectivePerturbationErm(logistic, data, opts, &rng).value();
+
+    std::printf("%8.1f    (%+.2f,%+.2f) risk=%.3f    (%+.2f,%+.2f) risk=%.3f    "
+                "(%+.2f,%+.2f) risk=%.3f\n",
+                eps, theta_g[0], theta_g[1], task.TrueZeroOneRisk(theta_g), out.theta[0],
+                out.theta[1], task.TrueZeroOneRisk(out.theta), obj.theta[0], obj.theta[1],
+                task.TrueZeroOneRisk(obj.theta));
+  }
+  std::printf(
+      "\nEach released theta is eps-DP; risk approaches the non-private floor as eps\n"
+      "grows. All three learners trade the SAME currency — Theorem 4.2's regularized\n"
+      "mutual information — at different exchange rates.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "core/dp_sgd.h"
+
+#include <cmath>
+#include <vector>
+
+#include "infotheory/renyi.h"
+#include "mechanisms/subsample.h"
+#include "sampling/distributions.h"
+
+namespace dplearn {
+namespace {
+
+Status ValidateOptions(const DpSgdOptions& options) {
+  if (!(options.noise_multiplier > 0.0)) {
+    return InvalidArgumentError("DpSgd: noise_multiplier must be positive");
+  }
+  if (!(options.clip_norm > 0.0)) {
+    return InvalidArgumentError("DpSgd: clip_norm must be positive");
+  }
+  if (!(options.sampling_rate > 0.0) || options.sampling_rate > 1.0) {
+    return InvalidArgumentError("DpSgd: sampling_rate must be in (0,1]");
+  }
+  if (options.steps == 0) return InvalidArgumentError("DpSgd: steps must be positive");
+  if (!(options.learning_rate > 0.0)) {
+    return InvalidArgumentError("DpSgd: learning_rate must be positive");
+  }
+  if (options.l2_lambda < 0.0) {
+    return InvalidArgumentError("DpSgd: l2_lambda must be non-negative");
+  }
+  if (!(options.delta > 0.0) || options.delta >= 1.0) {
+    return InvalidArgumentError("DpSgd: delta must be in (0,1)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<PrivacyBudget> DpSgdPrivacy(const DpSgdOptions& options) {
+  DPLEARN_RETURN_IF_ERROR(ValidateOptions(options));
+  // Per-step un-amplified RDP of the Gaussian mechanism with sensitivity
+  // clip and stddev sigma*clip: eps(alpha) = alpha / (2 sigma^2).
+  // Leading-order Poisson amplification multiplies by q^2 (the standard
+  // small-q regime of the subsampled-Gaussian accountant; documented as a
+  // heuristic in the header).
+  const double q = options.sampling_rate;
+  const double sigma = options.noise_multiplier;
+  const double amplification = q * q;
+  double best = std::numeric_limits<double>::infinity();
+  for (double alpha : {1.5, 2.0, 3.0, 5.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
+    const double per_step = amplification * alpha / (2.0 * sigma * sigma);
+    const double composed = per_step * static_cast<double>(options.steps);
+    DPLEARN_ASSIGN_OR_RETURN(
+        double eps, RdpToApproximateDpEpsilon({alpha, composed}, options.delta));
+    best = std::min(best, eps);
+  }
+  return PrivacyBudget{best, options.delta};
+}
+
+StatusOr<double> NoiseMultiplierForTarget(double target_epsilon, double sampling_rate,
+                                          std::size_t steps, double delta) {
+  if (!(target_epsilon > 0.0)) {
+    return InvalidArgumentError("NoiseMultiplierForTarget: target must be positive");
+  }
+  DpSgdOptions probe;
+  probe.sampling_rate = sampling_rate;
+  probe.steps = steps;
+  probe.delta = delta;
+  // Binary search sigma in [1e-2, 1e4]; epsilon is decreasing in sigma.
+  double lo = 1e-2;
+  double hi = 1e4;
+  probe.noise_multiplier = hi;
+  DPLEARN_ASSIGN_OR_RETURN(PrivacyBudget at_hi, DpSgdPrivacy(probe));
+  if (at_hi.epsilon > target_epsilon) {
+    return InvalidArgumentError("NoiseMultiplierForTarget: target unreachable");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    probe.noise_multiplier = mid;
+    DPLEARN_ASSIGN_OR_RETURN(PrivacyBudget at_mid, DpSgdPrivacy(probe));
+    if (at_mid.epsilon <= target_epsilon) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+StatusOr<DpSgdResult> DpSgd(const LossFunction& loss, const Dataset& data,
+                            const DpSgdOptions& options, Rng* rng) {
+  DPLEARN_RETURN_IF_ERROR(ValidateOptions(options));
+  if (data.empty()) return InvalidArgumentError("DpSgd: empty dataset");
+  if (!loss.HasGradient()) {
+    return InvalidArgumentError("DpSgd: loss '" + loss.Name() + "' has no gradient");
+  }
+  const std::size_t d = data.FeatureDim();
+  const double n = static_cast<double>(data.size());
+
+  Vector theta(d, 0.0);
+  double clipped_norm_total = 0.0;
+  std::size_t clipped_norm_count = 0;
+
+  for (std::size_t step = 0; step < options.steps; ++step) {
+    DPLEARN_ASSIGN_OR_RETURN(Dataset batch,
+                             PoissonSubsample(data, options.sampling_rate, rng));
+    // Sum of per-example gradients, each clipped to L2 norm <= C.
+    Vector grad_sum(d, 0.0);
+    for (const Example& z : batch.examples()) {
+      Vector g = loss.Gradient(theta, z);
+      const double norm = Norm2(g);
+      const double scale = norm > options.clip_norm ? options.clip_norm / norm : 1.0;
+      AxpyInPlace(&grad_sum, scale, g);
+      clipped_norm_total += std::min(norm, options.clip_norm);
+      ++clipped_norm_count;
+    }
+    // Gaussian noise calibrated to the clip (the summed gradient's
+    // sensitivity under one record's presence).
+    const double stddev = options.noise_multiplier * options.clip_norm;
+    for (double& coord : grad_sum) {
+      DPLEARN_ASSIGN_OR_RETURN(double noise, SampleNormal(rng, 0.0, stddev));
+      coord += noise;
+    }
+    // Average over the EXPECTED batch size (standard DP-SGD normalization;
+    // using the realized size would leak it).
+    const double expected_batch = options.sampling_rate * n;
+    AxpyInPlace(&theta, -options.learning_rate / expected_batch, grad_sum);
+    // L2 regularization applied on the full (public-knowledge) objective.
+    AxpyInPlace(&theta, -options.learning_rate * options.l2_lambda, theta);
+  }
+
+  DpSgdResult result;
+  result.theta = std::move(theta);
+  DPLEARN_ASSIGN_OR_RETURN(result.budget, DpSgdPrivacy(options));
+  result.steps = options.steps;
+  result.mean_clipped_gradient_norm =
+      clipped_norm_count == 0
+          ? 0.0
+          : clipped_norm_total / static_cast<double>(clipped_norm_count);
+  return result;
+}
+
+}  // namespace dplearn

@@ -1,0 +1,83 @@
+#ifndef DPLEARN_CORE_DP_VERIFIER_H_
+#define DPLEARN_CORE_DP_VERIFIER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "learning/dataset.h"
+#include "sampling/rng.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// Empirical differential-privacy auditing.
+///
+/// Definition 2.1 requires Pr[M(D) ∈ S] <= e^ε Pr[M(D') ∈ S] for all
+/// neighbors D ~ D' and all output sets S. On finite output spaces with an
+/// exactly computable output distribution (the exponential mechanism / Gibbs
+/// estimator), the tight ε is
+///     ε* = max_{D~D', u} ln( P(u|D) / P(u|D') ),
+/// which these auditors measure by exhaustive neighbor sweeps. A mechanism
+/// satisfies its claimed ε iff ε* <= ε; the experiments report both sides.
+
+/// A mechanism exposed through its exact finite output distribution.
+using FiniteOutputMechanism =
+    std::function<StatusOr<std::vector<double>>(const Dataset&)>;
+
+/// A mechanism exposed through its exact scalar output density.
+using ScalarDensityFn = std::function<double(const Dataset&, double output)>;
+
+/// Where the worst-case privacy loss was observed.
+struct DpAuditResult {
+  /// The measured ε* (max log output ratio over all audited pairs).
+  double max_log_ratio = 0.0;
+  /// True if a neighbor pair gave some output positive probability under
+  /// one dataset and zero under the other (ε* = +infinity).
+  bool unbounded = false;
+  /// Index (into `bases`) of the dataset achieving the max.
+  std::size_t worst_base = 0;
+  /// Index (into the neighbor enumeration of worst_base) of the neighbor.
+  std::size_t worst_neighbor = 0;
+  /// The output index / grid point achieving the max.
+  std::size_t worst_output = 0;
+};
+
+/// Exact audit of a finite-output mechanism: for every base dataset in
+/// `bases` and every replace-one neighbor with replacements from `domain`,
+/// compares output distributions pointwise in both directions. Errors on
+/// empty inputs or mechanism failure.
+StatusOr<DpAuditResult> AuditFiniteMechanism(const FiniteOutputMechanism& mechanism,
+                                             const std::vector<Dataset>& bases,
+                                             const std::vector<Example>& domain);
+
+/// Exact audit of a scalar-density mechanism (e.g. Laplace) at the grid of
+/// `probe_outputs`: density ratios at points lower-bound the sup over sets.
+/// For Laplace the sup is attained in the far tails, so probe grids should
+/// extend several noise scales beyond the reachable query values. Errors on
+/// empty inputs.
+StatusOr<DpAuditResult> AuditScalarDensityMechanism(const ScalarDensityFn& density,
+                                                    const std::vector<Dataset>& bases,
+                                                    const std::vector<Example>& domain,
+                                                    const std::vector<double>& probe_outputs);
+
+/// A sampling-only mechanism (no tractable density): draws one finite
+/// output index per call.
+using SamplingMechanism = std::function<StatusOr<std::size_t>(const Dataset&, Rng*)>;
+
+/// Monte-Carlo audit between one specific neighbor pair: draws
+/// `num_samples` outputs from each dataset, forms empirical frequencies
+/// over `num_outputs` cells, and returns the max log frequency ratio over
+/// cells where both frequencies are positive (a statistically consistent
+/// lower bound on ε*). Cells observed under only one dataset are ignored
+/// below `min_count` occurrences (they are indistinguishable from sampling
+/// noise) and reported as unbounded at or above it. Errors on invalid
+/// arguments or mechanism failure.
+StatusOr<DpAuditResult> SampledAuditPair(const SamplingMechanism& mechanism,
+                                         const Dataset& data_a, const Dataset& data_b,
+                                         std::size_t num_outputs, std::size_t num_samples,
+                                         std::size_t min_count, Rng* rng);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_CORE_DP_VERIFIER_H_

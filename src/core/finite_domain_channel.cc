@@ -1,0 +1,157 @@
+#include "core/finite_domain_channel.h"
+
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "core/gibbs_estimator.h"
+#include "learning/risk.h"
+#include "util/math_util.h"
+
+namespace dplearn {
+namespace {
+
+/// Enumerates all compositions of n into m cells.
+std::vector<std::vector<std::size_t>> EnumerateCompositions(std::size_t n, std::size_t m) {
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> current(m, 0);
+  std::function<void(std::size_t, std::size_t)> recurse = [&](std::size_t cell,
+                                                              std::size_t remaining) {
+    if (cell == m - 1) {
+      current[cell] = remaining;
+      out.push_back(current);
+      return;
+    }
+    for (std::size_t take = 0; take <= remaining; ++take) {
+      current[cell] = take;
+      recurse(cell + 1, remaining - take);
+    }
+  };
+  recurse(0, n);
+  return out;
+}
+
+/// log multinomial coefficient n! / prod(counts_j!).
+double LogMultinomialCoefficient(std::size_t n, const std::vector<std::size_t>& counts) {
+  double log_coeff = std::lgamma(static_cast<double>(n) + 1.0);
+  for (std::size_t c : counts) log_coeff -= std::lgamma(static_cast<double>(c) + 1.0);
+  return log_coeff;
+}
+
+}  // namespace
+
+StatusOr<FiniteDomainGibbsChannel> BuildFiniteDomainGibbsChannel(
+    const std::vector<Example>& domain, const std::vector<double>& domain_probs,
+    std::size_t n, const LossFunction& loss, const FiniteHypothesisClass& hclass,
+    const std::vector<double>& prior, double lambda, std::size_t max_inputs) {
+  if (domain.size() < 2) {
+    return InvalidArgumentError("FiniteDomainGibbsChannel: domain needs >= 2 elements");
+  }
+  if (domain_probs.size() != domain.size()) {
+    return InvalidArgumentError("FiniteDomainGibbsChannel: domain_probs size mismatch");
+  }
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(domain_probs, 1e-6));
+  if (n == 0) return InvalidArgumentError("FiniteDomainGibbsChannel: n must be positive");
+  if (prior.size() != hclass.size()) {
+    return InvalidArgumentError("FiniteDomainGibbsChannel: prior size mismatch");
+  }
+
+  const std::size_t m = domain.size();
+  std::vector<std::vector<std::size_t>> compositions = EnumerateCompositions(n, m);
+  if (compositions.size() > max_inputs) {
+    return InvalidArgumentError("FiniteDomainGibbsChannel: " +
+                                std::to_string(compositions.size()) +
+                                " compositions exceed max_inputs");
+  }
+
+  // Per-example losses for every hypothesis (computed once).
+  std::vector<std::vector<double>> example_loss(m, std::vector<double>(hclass.size()));
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < hclass.size(); ++i) {
+      example_loss[j][i] = loss.Loss(hclass.at(i), domain[j]);
+    }
+  }
+
+  std::vector<DomainComposition> inputs;
+  std::vector<double> input_marginal;
+  std::vector<std::vector<double>> risk_matrix;
+  std::vector<std::vector<double>> transition;
+  inputs.reserve(compositions.size());
+  input_marginal.reserve(compositions.size());
+  risk_matrix.reserve(compositions.size());
+  transition.reserve(compositions.size());
+
+  for (const auto& counts : compositions) {
+    DomainComposition input;
+    input.counts = counts;
+    // Multinomial probability.
+    double log_prob = LogMultinomialCoefficient(n, counts);
+    bool impossible = false;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (counts[j] == 0) continue;
+      if (domain_probs[j] == 0.0) {
+        impossible = true;
+        break;
+      }
+      log_prob += static_cast<double>(counts[j]) * std::log(domain_probs[j]);
+    }
+    input.probability = impossible ? 0.0 : std::exp(log_prob);
+
+    // Risk vector: R̂(theta_i) = (1/n) sum_j counts[j] * l(theta_i, z_j).
+    std::vector<double> risks(hclass.size(), 0.0);
+    for (std::size_t i = 0; i < hclass.size(); ++i) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        sum += static_cast<double>(counts[j]) * example_loss[j][i];
+      }
+      risks[i] = sum / static_cast<double>(n);
+    }
+    DPLEARN_ASSIGN_OR_RETURN(std::vector<double> row,
+                             GibbsPosteriorFromRisks(risks, prior, lambda));
+
+    input_marginal.push_back(input.probability);
+    risk_matrix.push_back(std::move(risks));
+    inputs.push_back(std::move(input));
+    transition.push_back(std::move(row));
+  }
+
+  // Normalize away any floating-point drift in the multinomial masses.
+  double total = 0.0;
+  for (double p : input_marginal) total += p;
+  if (total <= 0.0) {
+    return InvalidArgumentError("FiniteDomainGibbsChannel: degenerate domain probabilities");
+  }
+  for (double& p : input_marginal) p /= total;
+
+  // Neighbor relation: compositions at L1 distance exactly 2 (one unit
+  // moved between two cells).
+  std::vector<std::pair<std::size_t, std::size_t>> neighbor_pairs;
+  for (std::size_t a = 0; a < compositions.size(); ++a) {
+    for (std::size_t b = a + 1; b < compositions.size(); ++b) {
+      std::size_t l1 = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::size_t ca = compositions[a][j];
+        const std::size_t cb = compositions[b][j];
+        l1 += ca > cb ? ca - cb : cb - ca;
+      }
+      if (l1 == 2) neighbor_pairs.emplace_back(a, b);
+    }
+  }
+
+  DPLEARN_ASSIGN_OR_RETURN(DiscreteChannel channel,
+                           DiscreteChannel::Create(std::move(transition)));
+  return FiniteDomainGibbsChannel{std::move(channel), std::move(inputs),
+                                  std::move(input_marginal), std::move(risk_matrix),
+                                  std::move(neighbor_pairs)};
+}
+
+StatusOr<double> FiniteDomainChannelMutualInformation(
+    const FiniteDomainGibbsChannel& channel) {
+  return channel.channel.MutualInformation(channel.input_marginal);
+}
+
+double FiniteDomainChannelPrivacyLevel(const FiniteDomainGibbsChannel& channel) {
+  return channel.channel.MaxLogRatio(channel.neighbor_pairs);
+}
+
+}  // namespace dplearn

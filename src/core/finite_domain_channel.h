@@ -1,0 +1,61 @@
+#ifndef DPLEARN_CORE_FINITE_DOMAIN_CHANNEL_H_
+#define DPLEARN_CORE_FINITE_DOMAIN_CHANNEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/learning_channel.h"
+#include "learning/dataset.h"
+#include "learning/hypothesis.h"
+#include "learning/loss.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// The Figure-1 learning channel for an ARBITRARY finite example domain —
+/// the generalization of BuildBernoulliGibbsChannel beyond two-valued
+/// records. Because the empirical risk of every hypothesis depends on Ẑ
+/// only through the multiset of examples, the channel input alphabet is
+/// the set of compositions (c_1,...,c_m) of n over the m domain elements,
+/// with multinomial marginal; two compositions are neighbors iff one unit
+/// moves between two cells (the replace-one relation on multisets).
+///
+/// Input count is C(n+m-1, m-1): keep n and m modest (n=10, m=3 -> 66
+/// inputs; n=20, m=4 -> 1771).
+
+/// One input symbol: a composition and its probability.
+struct DomainComposition {
+  /// counts[j] = number of records equal to domain[j]; sums to n.
+  std::vector<std::size_t> counts;
+  /// Multinomial probability of observing this composition.
+  double probability = 0.0;
+};
+
+/// The generalized exact channel.
+struct FiniteDomainGibbsChannel {
+  DiscreteChannel channel;
+  std::vector<DomainComposition> inputs;
+  std::vector<double> input_marginal;
+  std::vector<std::vector<double>> risk_matrix;
+  std::vector<std::pair<std::size_t, std::size_t>> neighbor_pairs;
+};
+
+/// Builds the exact Gibbs channel over all datasets of size n drawn from
+/// `domain` with element probabilities `domain_probs`. Errors on invalid
+/// arguments or if the composition count would exceed `max_inputs`
+/// (default 20000).
+StatusOr<FiniteDomainGibbsChannel> BuildFiniteDomainGibbsChannel(
+    const std::vector<Example>& domain, const std::vector<double>& domain_probs,
+    std::size_t n, const LossFunction& loss, const FiniteHypothesisClass& hclass,
+    const std::vector<double>& prior, double lambda, std::size_t max_inputs = 20000);
+
+/// I(Ẑ;θ) of the generalized channel.
+StatusOr<double> FiniteDomainChannelMutualInformation(
+    const FiniteDomainGibbsChannel& channel);
+
+/// Tight privacy level over the multiset neighbor relation.
+double FiniteDomainChannelPrivacyLevel(const FiniteDomainGibbsChannel& channel);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_CORE_FINITE_DOMAIN_CHANNEL_H_

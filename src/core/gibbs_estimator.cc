@@ -1,0 +1,144 @@
+#include "core/gibbs_estimator.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "learning/risk.h"
+#include "sampling/distributions.h"
+#include "util/math_util.h"
+
+namespace dplearn {
+
+StatusOr<GibbsEstimator> GibbsEstimator::Create(const LossFunction* loss,
+                                                FiniteHypothesisClass hclass,
+                                                std::vector<double> prior, double lambda) {
+  if (loss == nullptr) return InvalidArgumentError("GibbsEstimator: loss must be set");
+  if (prior.size() != hclass.size()) {
+    return InvalidArgumentError("GibbsEstimator: prior size mismatch");
+  }
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(prior, 1e-6));
+  if (!(lambda >= 0.0)) {
+    return InvalidArgumentError("GibbsEstimator: lambda must be non-negative");
+  }
+  return GibbsEstimator(loss, std::move(hclass), std::move(prior), lambda);
+}
+
+StatusOr<GibbsEstimator> GibbsEstimator::CreateUniform(const LossFunction* loss,
+                                                       FiniteHypothesisClass hclass,
+                                                       double lambda) {
+  std::vector<double> prior = hclass.UniformPrior();
+  return Create(loss, std::move(hclass), std::move(prior), lambda);
+}
+
+StatusOr<std::vector<double>> GibbsEstimator::Posterior(const Dataset& data) const {
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
+                           EmpiricalRiskProfile(*loss_, hclass_.thetas(), data));
+  return GibbsPosteriorFromRisks(risks, prior_, lambda_);
+}
+
+StatusOr<std::size_t> GibbsEstimator::Sample(const Dataset& data, Rng* rng) const {
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
+                           EmpiricalRiskProfile(*loss_, hclass_.thetas(), data));
+  std::vector<double> log_w(risks.size());
+  for (std::size_t i = 0; i < risks.size(); ++i) {
+    const double log_prior = prior_[i] > 0.0 ? std::log(prior_[i])
+                                             : -std::numeric_limits<double>::infinity();
+    log_w[i] = -lambda_ * risks[i] + log_prior;
+  }
+  return SampleFromLogWeights(rng, log_w);
+}
+
+StatusOr<Vector> GibbsEstimator::SampleTheta(const Dataset& data, Rng* rng) const {
+  DPLEARN_ASSIGN_OR_RETURN(std::size_t index, Sample(data, rng));
+  return hclass_.at(index);
+}
+
+StatusOr<double> GibbsEstimator::ExpectedEmpiricalRisk(const Dataset& data) const {
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
+                           EmpiricalRiskProfile(*loss_, hclass_.thetas(), data));
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> posterior,
+                           GibbsPosteriorFromRisks(risks, prior_, lambda_));
+  double expected = 0.0;
+  for (std::size_t i = 0; i < risks.size(); ++i) expected += posterior[i] * risks[i];
+  return expected;
+}
+
+StatusOr<double> GibbsEstimator::KlToPrior(const Dataset& data) const {
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> posterior, Posterior(data));
+  double kl = 0.0;
+  for (std::size_t i = 0; i < posterior.size(); ++i) {
+    const double term = XLogXOverY(posterior[i], prior_[i]);
+    if (std::isinf(term)) return std::numeric_limits<double>::infinity();
+    kl += term;
+  }
+  return std::max(0.0, kl);
+}
+
+StatusOr<double> GibbsEstimator::PrivacyGuaranteeEpsilon(double sensitivity) const {
+  if (!(sensitivity > 0.0)) {
+    return InvalidArgumentError("PrivacyGuaranteeEpsilon: sensitivity must be positive");
+  }
+  return 2.0 * lambda_ * sensitivity;
+}
+
+StatusOr<ExponentialMechanism> GibbsEstimator::AsExponentialMechanism(
+    double sensitivity) const {
+  if (!(sensitivity > 0.0)) {
+    return InvalidArgumentError("AsExponentialMechanism: sensitivity must be positive");
+  }
+  const LossFunction* loss = loss_;
+  // Capture hypotheses by value so the mechanism is self-contained.
+  std::vector<Vector> thetas = hclass_.thetas();
+  QualityFn quality = [loss, thetas](const Dataset& data, std::size_t u) {
+    // q(Ẑ, θ_u) = -R̂_Ẑ(θ_u). EmpiricalRisk only fails on an empty dataset,
+    // which OutputDistribution/Sample reject upstream.
+    auto risk = EmpiricalRisk(*loss, thetas[u], data);
+    return risk.ok() ? -risk.value() : 0.0;
+  };
+  return ExponentialMechanism::Create(std::move(quality), hclass_.size(), prior_, lambda_,
+                                      sensitivity);
+}
+
+StatusOr<std::vector<double>> GibbsPosteriorFromRisks(const std::vector<double>& risks,
+                                                      const std::vector<double>& prior,
+                                                      double lambda) {
+  if (risks.empty() || risks.size() != prior.size()) {
+    return InvalidArgumentError("GibbsPosteriorFromRisks: empty or mismatched input");
+  }
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(prior, 1e-6));
+  if (!(lambda >= 0.0)) {
+    return InvalidArgumentError("GibbsPosteriorFromRisks: lambda must be non-negative");
+  }
+  std::vector<double> log_w(risks.size());
+  for (std::size_t i = 0; i < risks.size(); ++i) {
+    const double log_prior = prior[i] > 0.0 ? std::log(prior[i])
+                                            : -std::numeric_limits<double>::infinity();
+    log_w[i] = -lambda * risks[i] + log_prior;
+  }
+  return SoftmaxFromLog(log_w);
+}
+
+StatusOr<MetropolisResult> SampleGibbsContinuous(const LossFunction& loss,
+                                                 const Dataset& data,
+                                                 const LogDensityFn& log_prior, double lambda,
+                                                 const Vector& initial_theta,
+                                                 std::size_t num_samples,
+                                                 const MetropolisOptions& options, Rng* rng) {
+  if (data.empty()) return InvalidArgumentError("SampleGibbsContinuous: empty dataset");
+  if (!(lambda >= 0.0)) {
+    return InvalidArgumentError("SampleGibbsContinuous: lambda must be non-negative");
+  }
+  if (!log_prior) {
+    return InvalidArgumentError("SampleGibbsContinuous: log_prior must be set");
+  }
+  LogDensityFn target = [&loss, &data, &log_prior, lambda](const Vector& theta) {
+    const double lp = log_prior(theta);
+    if (!std::isfinite(lp)) return lp;
+    auto risk = EmpiricalRisk(loss, theta, data);
+    return -lambda * risk.value() + lp;
+  };
+  return RunMetropolis(target, initial_theta, num_samples, options, rng);
+}
+
+}  // namespace dplearn

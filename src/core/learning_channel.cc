@@ -1,0 +1,76 @@
+#include "core/learning_channel.h"
+
+#include <utility>
+
+#include "core/gibbs_estimator.h"
+#include "learning/dataset.h"
+#include "learning/risk.h"
+
+namespace dplearn {
+
+StatusOr<GibbsLearningChannel> BuildBernoulliGibbsChannel(const BernoulliMeanTask& task,
+                                                          std::size_t n,
+                                                          const LossFunction& loss,
+                                                          const FiniteHypothesisClass& hclass,
+                                                          const std::vector<double>& prior,
+                                                          double lambda) {
+  if (n == 0) return InvalidArgumentError("BuildBernoulliGibbsChannel: n must be positive");
+  if (prior.size() != hclass.size()) {
+    return InvalidArgumentError("BuildBernoulliGibbsChannel: prior size mismatch");
+  }
+
+  std::vector<std::vector<double>> risk_matrix(n + 1);
+  std::vector<std::vector<double>> transition(n + 1);
+  std::vector<double> input_marginal(n + 1);
+
+  for (std::size_t k = 0; k <= n; ++k) {
+    // A representative dataset with exactly k ones; the empirical risk of
+    // every hypothesis depends on Ẑ only through k.
+    Dataset representative;
+    for (std::size_t i = 0; i < n; ++i) {
+      representative.Add(Example{Vector{1.0}, i < k ? 1.0 : 0.0});
+    }
+    DPLEARN_ASSIGN_OR_RETURN(risk_matrix[k],
+                             EmpiricalRiskProfile(loss, hclass.thetas(), representative));
+    DPLEARN_ASSIGN_OR_RETURN(transition[k],
+                             GibbsPosteriorFromRisks(risk_matrix[k], prior, lambda));
+    DPLEARN_ASSIGN_OR_RETURN(input_marginal[k], task.DatasetProbability(n, k));
+  }
+
+  DPLEARN_ASSIGN_OR_RETURN(DiscreteChannel channel,
+                           DiscreteChannel::Create(std::move(transition)));
+
+  std::vector<std::pair<std::size_t, std::size_t>> neighbor_pairs;
+  neighbor_pairs.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) neighbor_pairs.emplace_back(k, k + 1);
+
+  return GibbsLearningChannel{std::move(channel), std::move(input_marginal),
+                              std::move(risk_matrix), std::move(neighbor_pairs)};
+}
+
+StatusOr<double> ChannelMutualInformation(const GibbsLearningChannel& channel) {
+  return channel.channel.MutualInformation(channel.input_marginal);
+}
+
+StatusOr<double> ChannelExpectedEmpiricalRisk(const GibbsLearningChannel& channel) {
+  const std::size_t num_inputs = channel.channel.num_inputs();
+  if (channel.input_marginal.size() != num_inputs ||
+      channel.risk_matrix.size() != num_inputs) {
+    return InvalidArgumentError("ChannelExpectedEmpiricalRisk: inconsistent channel");
+  }
+  double expected = 0.0;
+  for (std::size_t k = 0; k < num_inputs; ++k) {
+    double row = 0.0;
+    for (std::size_t i = 0; i < channel.channel.num_outputs(); ++i) {
+      row += channel.channel.TransitionProbability(k, i) * channel.risk_matrix[k][i];
+    }
+    expected += channel.input_marginal[k] * row;
+  }
+  return expected;
+}
+
+double ChannelPrivacyLevel(const GibbsLearningChannel& channel) {
+  return channel.channel.MaxLogRatio(channel.neighbor_pairs);
+}
+
+}  // namespace dplearn

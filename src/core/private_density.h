@@ -1,0 +1,85 @@
+#ifndef DPLEARN_CORE_PRIVATE_DENSITY_H_
+#define DPLEARN_CORE_PRIVATE_DENSITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "learning/dataset.h"
+#include "sampling/rng.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// Differentially-private density estimation via PAC-Bayes — the paper's
+/// stated future work ("we are currently investigating differentially-
+/// private regression and density estimation using PAC-Bayesian bounds").
+///
+/// Setting: records are categories in {0..bins-1}; the goal is an ε-DP
+/// estimate of the underlying probability vector. The Gibbs route: a
+/// DATA-INDEPENDENT candidate family Θ (all histograms with masses
+/// quantized to multiples of 1/resolution), a clipped log-loss bounded in
+/// [0,1], and the Gibbs posterior over Θ — which by Theorem 4.1 is
+/// 2λΔ(R̂)-DP. The Laplace-histogram baseline is provided for comparison.
+
+/// Enumerates all probability vectors over `bins` cells with masses that
+/// are multiples of 1/resolution (compositions of `resolution` into
+/// `bins` parts). Size C(resolution+bins-1, bins-1): keep bins*resolution
+/// modest. Errors if bins == 0 or resolution == 0.
+StatusOr<std::vector<std::vector<double>>> QuantizedSimplex(std::size_t bins,
+                                                            std::size_t resolution);
+
+/// The clipped log-loss of candidate density `density` on category `bin`:
+///   l = min( -ln(max(density[bin], floor)), clip ) / clip  in [0, 1].
+/// `floor` keeps the loss finite on zero-mass candidates. Errors on
+/// invalid arguments.
+StatusOr<double> ClippedLogLoss(const std::vector<double>& density, std::size_t bin,
+                                double clip, double floor);
+
+/// Result of a private density estimation run.
+struct PrivateDensityResult {
+  /// The released density (ε-DP).
+  std::vector<double> density;
+  /// The privacy level actually guaranteed.
+  double epsilon = 0.0;
+};
+
+/// Configuration for the Gibbs density estimator.
+struct GibbsDensityOptions {
+  /// Target privacy ε (Theorem 4.1 calibration: λ = ε n clip / (2·clip) —
+  /// the loss is bounded by 1 after scaling, so Δ(R̂) = 1/n and λ = εn/2).
+  double epsilon = 1.0;
+  /// Histogram quantization (candidates = multiples of 1/resolution).
+  std::size_t resolution = 8;
+  /// Log-loss clip (pre-scaling), in nats.
+  double clip = 6.0;
+  /// Zero-mass floor inside the log.
+  double floor = 1e-4;
+};
+
+/// Gibbs/exponential-mechanism density estimation: samples a candidate
+/// density from the Gibbs posterior over the quantized simplex with
+/// clipped log-loss. ε-DP by Theorem 4.1. `data` labels must be integer
+/// categories in [0, bins). Errors on invalid arguments or empty data.
+StatusOr<PrivateDensityResult> GibbsDensityEstimate(const Dataset& data, std::size_t bins,
+                                                    const GibbsDensityOptions& options,
+                                                    Rng* rng);
+
+/// Laplace-histogram baseline: perturb each count with Lap(2/ε) (replace-
+/// one changes two counts by 1 => L1 sensitivity 2), clamp at zero,
+/// renormalize. ε-DP. Errors on invalid arguments or empty data.
+StatusOr<PrivateDensityResult> LaplaceHistogramEstimate(const Dataset& data,
+                                                        std::size_t bins, double epsilon,
+                                                        Rng* rng);
+
+/// Geometric-mechanism histogram baseline: integer noise on counts
+/// (exactly auditable), clamp, renormalize. ε-DP. Same contract.
+StatusOr<PrivateDensityResult> GeometricHistogramEstimate(const Dataset& data,
+                                                          std::size_t bins, double epsilon,
+                                                          Rng* rng);
+
+/// The non-private empirical histogram (baseline floor).
+StatusOr<std::vector<double>> EmpiricalHistogram(const Dataset& data, std::size_t bins);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_CORE_PRIVATE_DENSITY_H_

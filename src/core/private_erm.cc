@@ -1,0 +1,100 @@
+#include "core/private_erm.h"
+
+#include <cmath>
+
+#include "sampling/distributions.h"
+
+namespace dplearn {
+namespace {
+
+Status ValidateOptions(const LossFunction& loss, const Dataset& data,
+                       const PrivateErmOptions& options) {
+  if (data.empty()) return InvalidArgumentError("PrivateErm: empty dataset");
+  if (!loss.HasGradient()) {
+    return InvalidArgumentError("PrivateErm: loss '" + loss.Name() + "' has no gradient");
+  }
+  if (!(options.epsilon > 0.0)) {
+    return InvalidArgumentError("PrivateErm: epsilon must be positive");
+  }
+  if (!(options.l2_lambda > 0.0)) {
+    return InvalidArgumentError("PrivateErm: l2_lambda must be positive (strong convexity)");
+  }
+  if (!(options.lipschitz > 0.0)) {
+    return InvalidArgumentError("PrivateErm: lipschitz must be positive");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<PrivateErmResult> OutputPerturbationErm(const LossFunction& loss,
+                                                 const Dataset& data,
+                                                 const PrivateErmOptions& options, Rng* rng) {
+  DPLEARN_RETURN_IF_ERROR(ValidateOptions(loss, data, options));
+  const std::size_t d = data.FeatureDim();
+  const double n = static_cast<double>(data.size());
+
+  GradientErmOptions solver = options.solver;
+  solver.l2_lambda = options.l2_lambda;
+  solver.linear_perturbation.clear();
+  DPLEARN_ASSIGN_OR_RETURN(GradientErmResult erm,
+                           GradientDescentErm(loss, data, solver, Vector(d, 0.0)));
+
+  // L2 sensitivity of the lambda-strongly-convex minimizer under a
+  // replace-one change: beta = 2L/(n*lambda). Noise density
+  // prop. to exp(-eps ||b|| / beta) gives eps-DP.
+  const double beta = 2.0 * options.lipschitz / (n * options.l2_lambda);
+  DPLEARN_ASSIGN_OR_RETURN(Vector noise,
+                           SampleGammaNormVector(rng, d, options.epsilon / beta));
+
+  PrivateErmResult result;
+  result.theta = Add(erm.theta, noise);
+  result.epsilon_spent = options.epsilon;
+  result.solver_result = std::move(erm);
+  return result;
+}
+
+StatusOr<PrivateErmResult> ObjectivePerturbationErm(const LossFunction& loss,
+                                                    const Dataset& data,
+                                                    const PrivateErmOptions& options,
+                                                    Rng* rng) {
+  DPLEARN_RETURN_IF_ERROR(ValidateOptions(loss, data, options));
+  if (!(options.smoothness > 0.0)) {
+    return InvalidArgumentError("ObjectivePerturbationErm: smoothness must be positive");
+  }
+  const std::size_t d = data.FeatureDim();
+  const double n = static_cast<double>(data.size());
+
+  // CMS'11 Algorithm 2: eps' = eps - 2 ln(1 + c/(n*lambda)); if that is not
+  // positive, raise the regularizer so half the budget pays for smoothness.
+  double lambda = options.l2_lambda;
+  double eps_prime =
+      options.epsilon - 2.0 * std::log1p(options.smoothness / (n * lambda));
+  if (eps_prime <= 0.0) {
+    const double extra =
+        options.smoothness / (n * (std::exp(options.epsilon / 4.0) - 1.0)) - lambda;
+    lambda += std::max(0.0, extra);
+    eps_prime = options.epsilon / 2.0;
+  }
+
+  // Noise direction uniform, norm ~ Gamma(d, 2/eps'): density
+  // prop. to exp(-eps' ||b|| / 2).
+  DPLEARN_ASSIGN_OR_RETURN(Vector noise, SampleGammaNormVector(rng, d, eps_prime / 2.0));
+  // The CMS objective uses per-example Lipschitz constant L; scale the
+  // noise accordingly so the guarantee holds for L != 1.
+  for (double& v : noise) v *= options.lipschitz;
+
+  GradientErmOptions solver = options.solver;
+  solver.l2_lambda = lambda;
+  solver.linear_perturbation = noise;
+  DPLEARN_ASSIGN_OR_RETURN(GradientErmResult erm,
+                           GradientDescentErm(loss, data, solver, Vector(d, 0.0)));
+
+  PrivateErmResult result;
+  result.theta = erm.theta;
+  result.epsilon_spent = options.epsilon;
+  result.solver_result = std::move(erm);
+  return result;
+}
+
+}  // namespace dplearn

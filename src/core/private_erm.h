@@ -1,0 +1,77 @@
+#ifndef DPLEARN_CORE_PRIVATE_ERM_H_
+#define DPLEARN_CORE_PRIVATE_ERM_H_
+
+#include <cstddef>
+
+#include "learning/dataset.h"
+#include "learning/erm.h"
+#include "learning/loss.h"
+#include "sampling/rng.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// The differentially-private ERM algorithms of Chaudhuri–Monteleoni (NIPS
+/// 2008) and Chaudhuri–Monteleoni–Sarwate (JMLR 2011), which the paper cites
+/// as the prior methodology ("use generalization bounds to compute a
+/// differentially-private predictor"). They are the baselines the Gibbs /
+/// exponential-mechanism learner is compared against in the privacy–utility
+/// experiment (E7).
+///
+/// Both require an L2-regularized convex objective
+///   J(θ) = (1/n) Σ l(θ, z_i) + (λ/2)||θ||²
+/// with an L-Lipschitz, differentiable loss (per example, in θ, for
+/// ||x|| <= 1-normalized features).
+
+/// Configuration shared by both perturbation schemes.
+struct PrivateErmOptions {
+  /// Privacy parameter ε of the output (pure ε-DP).
+  double epsilon = 1.0;
+  /// L2 regularization strength λ (must be > 0: the sensitivity analysis
+  /// relies on strong convexity).
+  double l2_lambda = 0.1;
+  /// Lipschitz constant L of the per-example loss gradient bound
+  /// (|l'| <= L; logistic loss with ||x||<=1 has L = 1).
+  double lipschitz = 1.0;
+  /// Smoothness constant c: upper bound on the per-example loss's second
+  /// derivative (logistic with ||x||<=1 has c = 1/4). Objective
+  /// perturbation only.
+  double smoothness = 0.25;
+  /// Inner solver configuration.
+  GradientErmOptions solver;
+};
+
+/// Result of a private ERM run.
+struct PrivateErmResult {
+  Vector theta;
+  /// The ε actually guaranteed (== options.epsilon for output perturbation;
+  /// objective perturbation may spend part of ε on a λ adjustment).
+  double epsilon_spent = 0.0;
+  /// Diagnostics from the inner solver.
+  GradientErmResult solver_result;
+};
+
+/// Output perturbation ("sensitivity method"): solve the non-private ERM,
+/// then add noise b with density ∝ exp(-ε ||b|| / β), β = 2L/(nλ), the L2
+/// sensitivity of the regularized minimizer. ε-DP by the Laplace-mechanism
+/// argument in L2 norm. Errors on invalid options or solver failure.
+StatusOr<PrivateErmResult> OutputPerturbationErm(const LossFunction& loss,
+                                                 const Dataset& data,
+                                                 const PrivateErmOptions& options, Rng* rng);
+
+/// Objective perturbation: add a random linear term (b·θ)/n to the
+/// objective before solving, with ||b|| ~ Gamma(d, 2/ε') and uniform
+/// direction. Requires ε' = ε - 2 ln(1 + c/(nλ)) > 0; if not, the
+/// regularizer is raised to Δ = c/(n(e^{ε/4}-1)) - λ and ε' = ε/2
+/// (the CMS'11 Algorithm 2 adjustment). Generally more accurate than
+/// output perturbation at the same ε. Errors on invalid options or solver
+/// failure.
+StatusOr<PrivateErmResult> ObjectivePerturbationErm(const LossFunction& loss,
+                                                    const Dataset& data,
+                                                    const PrivateErmOptions& options,
+                                                    Rng* rng);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_CORE_PRIVATE_ERM_H_

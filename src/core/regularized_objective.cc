@@ -1,0 +1,116 @@
+#include "core/regularized_objective.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/gibbs_estimator.h"
+#include "infotheory/mutual_information.h"
+#include "util/math_util.h"
+
+namespace dplearn {
+namespace {
+
+Status ValidateShapes(const std::vector<double>& input_marginal,
+                      const std::vector<std::vector<double>>& risk_matrix, double lambda) {
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(input_marginal, 1e-6));
+  if (risk_matrix.size() != input_marginal.size()) {
+    return InvalidArgumentError("RegularizedObjective: risk matrix row count mismatch");
+  }
+  if (risk_matrix.empty() || risk_matrix[0].empty()) {
+    return InvalidArgumentError("RegularizedObjective: empty risk matrix");
+  }
+  const std::size_t num_outputs = risk_matrix[0].size();
+  for (const auto& row : risk_matrix) {
+    if (row.size() != num_outputs) {
+      return InvalidArgumentError("RegularizedObjective: ragged risk matrix");
+    }
+  }
+  if (!(lambda > 0.0)) {
+    return InvalidArgumentError("RegularizedObjective: lambda must be positive");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<double> RegularizedObjective(const std::vector<std::vector<double>>& transition,
+                                      const std::vector<double>& input_marginal,
+                                      const std::vector<std::vector<double>>& risk_matrix,
+                                      double lambda) {
+  DPLEARN_RETURN_IF_ERROR(ValidateShapes(input_marginal, risk_matrix, lambda));
+  if (transition.size() != input_marginal.size()) {
+    return InvalidArgumentError("RegularizedObjective: transition row count mismatch");
+  }
+  const std::size_t num_outputs = risk_matrix[0].size();
+  for (const auto& row : transition) {
+    if (row.size() != num_outputs) {
+      return InvalidArgumentError("RegularizedObjective: ragged transition matrix");
+    }
+  }
+
+  double expected_risk = 0.0;
+  for (std::size_t k = 0; k < transition.size(); ++k) {
+    if (input_marginal[k] == 0.0) continue;
+    DPLEARN_RETURN_IF_ERROR(ValidateDistribution(transition[k], 1e-6));
+    double row = 0.0;
+    for (std::size_t i = 0; i < num_outputs; ++i) row += transition[k][i] * risk_matrix[k][i];
+    expected_risk += input_marginal[k] * row;
+  }
+
+  DPLEARN_ASSIGN_OR_RETURN(
+      JointDistribution joint,
+      JointDistribution::FromMarginalAndConditional(input_marginal, transition));
+  return expected_risk + joint.MutualInformation() / lambda;
+}
+
+StatusOr<RegularizedObjectiveMinimum> MinimizeRegularizedObjective(
+    const std::vector<double>& input_marginal,
+    const std::vector<std::vector<double>>& risk_matrix, double lambda, double tol,
+    std::size_t max_iters) {
+  DPLEARN_RETURN_IF_ERROR(ValidateShapes(input_marginal, risk_matrix, lambda));
+  if (!(tol > 0.0)) {
+    return InvalidArgumentError("MinimizeRegularizedObjective: tol must be positive");
+  }
+  if (max_iters == 0) {
+    return InvalidArgumentError("MinimizeRegularizedObjective: max_iters must be positive");
+  }
+
+  const std::size_t num_inputs = input_marginal.size();
+  const std::size_t num_outputs = risk_matrix[0].size();
+
+  RegularizedObjectiveMinimum result;
+  result.prior.assign(num_outputs, 1.0 / static_cast<double>(num_outputs));
+  result.transition.assign(num_inputs, std::vector<double>(num_outputs, 0.0));
+
+  double previous_objective = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    // Step 1: optimal rows for the current prior are Gibbs posteriors.
+    for (std::size_t k = 0; k < num_inputs; ++k) {
+      DPLEARN_ASSIGN_OR_RETURN(result.transition[k],
+                               GibbsPosteriorFromRisks(risk_matrix[k], result.prior, lambda));
+    }
+    // Step 2: optimal prior for the current rows is the output marginal
+    // q = sum_k P(k) W(.|k) — Catoni's pi_OPT = E_Z[posterior].
+    std::vector<double> new_prior(num_outputs, 0.0);
+    for (std::size_t k = 0; k < num_inputs; ++k) {
+      for (std::size_t i = 0; i < num_outputs; ++i) {
+        new_prior[i] += input_marginal[k] * result.transition[k][i];
+      }
+    }
+    result.prior = std::move(new_prior);
+
+    DPLEARN_ASSIGN_OR_RETURN(
+        result.objective,
+        RegularizedObjective(result.transition, input_marginal, risk_matrix, lambda));
+    result.iterations = iter + 1;
+    if (previous_objective - result.objective < tol) {
+      result.converged = true;
+      break;
+    }
+    previous_objective = result.objective;
+  }
+  return result;
+}
+
+}  // namespace dplearn

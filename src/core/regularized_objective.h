@@ -1,0 +1,61 @@
+#ifndef DPLEARN_CORE_REGULARIZED_OBJECTIVE_H_
+#define DPLEARN_CORE_REGULARIZED_OBJECTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dplearn {
+
+/// Theorem 4.2 of the paper, made computable.
+///
+/// With the bound-optimal prior π = E_Ẑ[π̂], minimizing the PAC-Bayes bound
+/// over channels Ẑ -> θ is minimizing
+///
+///   G(W) = E_Ẑ E_{θ~W(·|Ẑ)}[ R̂_Ẑ(θ) ]  +  (1/λ) · I(Ẑ; θ)
+///
+/// — expected empirical risk plus privacy-regularized mutual information —
+/// and the minimizer is the Gibbs channel. These routines evaluate G for an
+/// arbitrary channel and find its global minimizer by alternating
+/// minimization (exactly the Blahut–Arimoto structure):
+///   * fixing the prior q, the optimal rows are Gibbs posteriors
+///     W(θ|k) ∝ q(θ) exp(-λ R̂_k(θ))  (Donsker–Varadhan), and
+///   * fixing the rows, the optimal prior is the output marginal
+///     q = Σ_k P(k) W(·|k)  (Catoni's π_OPT = E_Ẑ[π̂]).
+/// G is convex in each argument, so the iteration converges to the global
+/// minimum; the fixed point IS the paper's differentially-private Gibbs
+/// estimator.
+
+/// Evaluates G(W) for channel rows `transition` (one distribution over
+/// outputs per input), input marginal P(k), risk matrix R̂_k(θ), and λ > 0.
+/// Errors on inconsistent shapes or invalid distributions.
+StatusOr<double> RegularizedObjective(const std::vector<std::vector<double>>& transition,
+                                      const std::vector<double>& input_marginal,
+                                      const std::vector<std::vector<double>>& risk_matrix,
+                                      double lambda);
+
+/// Result of the alternating minimization.
+struct RegularizedObjectiveMinimum {
+  /// The optimal channel rows (Gibbs posteriors at the fixed-point prior).
+  std::vector<std::vector<double>> transition;
+  /// The fixed-point prior q* = E_Ẑ[π̂] (also the output marginal).
+  std::vector<double> prior;
+  /// G at the minimizer.
+  double objective = 0.0;
+  /// Iterations used.
+  std::size_t iterations = 0;
+  /// True if the objective decrease fell below tol before max_iters.
+  bool converged = false;
+};
+
+/// Minimizes G over all channels by alternating minimization. `tol` is the
+/// absolute objective-decrease threshold. Errors on invalid input.
+StatusOr<RegularizedObjectiveMinimum> MinimizeRegularizedObjective(
+    const std::vector<double>& input_marginal,
+    const std::vector<std::vector<double>>& risk_matrix, double lambda, double tol = 1e-12,
+    std::size_t max_iters = 10000);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_CORE_REGULARIZED_OBJECTIVE_H_

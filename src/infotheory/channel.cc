@@ -1,0 +1,121 @@
+#include "infotheory/channel.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/math_util.h"
+
+namespace dplearn {
+
+StatusOr<DiscreteChannel> DiscreteChannel::Create(
+    std::vector<std::vector<double>> transition) {
+  if (transition.empty() || transition[0].empty()) {
+    return InvalidArgumentError("DiscreteChannel: transition matrix must be non-empty");
+  }
+  const std::size_t num_outputs = transition[0].size();
+  for (const auto& row : transition) {
+    if (row.size() != num_outputs) {
+      return InvalidArgumentError("DiscreteChannel: ragged transition matrix");
+    }
+    DPLEARN_RETURN_IF_ERROR(ValidateDistribution(row, 1e-6));
+  }
+  return DiscreteChannel(std::move(transition));
+}
+
+StatusOr<std::vector<double>> DiscreteChannel::OutputDistribution(
+    const std::vector<double>& px) const {
+  if (px.size() != num_inputs()) {
+    return InvalidArgumentError("OutputDistribution: input distribution size mismatch");
+  }
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(px, 1e-6));
+  std::vector<double> py(num_outputs(), 0.0);
+  for (std::size_t x = 0; x < num_inputs(); ++x) {
+    for (std::size_t y = 0; y < num_outputs(); ++y) {
+      py[y] += px[x] * transition_[x][y];
+    }
+  }
+  return py;
+}
+
+StatusOr<JointDistribution> DiscreteChannel::Joint(const std::vector<double>& px) const {
+  return JointDistribution::FromMarginalAndConditional(px, transition_);
+}
+
+StatusOr<double> DiscreteChannel::MutualInformation(const std::vector<double>& px) const {
+  DPLEARN_ASSIGN_OR_RETURN(JointDistribution joint, Joint(px));
+  return joint.MutualInformation();
+}
+
+double DiscreteChannel::MaxLogRatio(
+    const std::vector<std::pair<std::size_t, std::size_t>>& neighbors) const {
+  double max_ratio = 0.0;
+  auto consider = [&](std::size_t a, std::size_t b) {
+    for (std::size_t y = 0; y < num_outputs(); ++y) {
+      const double pa = transition_[a][y];
+      const double pb = transition_[b][y];
+      if (pa == 0.0) continue;
+      if (pb == 0.0) {
+        max_ratio = std::numeric_limits<double>::infinity();
+        return;
+      }
+      max_ratio = std::max(max_ratio, std::log(pa / pb));
+    }
+  };
+  if (neighbors.empty()) {
+    for (std::size_t a = 0; a < num_inputs(); ++a) {
+      for (std::size_t b = 0; b < num_inputs(); ++b) {
+        if (a != b) consider(a, b);
+      }
+    }
+  } else {
+    for (const auto& [a, b] : neighbors) {
+      consider(a, b);
+      consider(b, a);
+    }
+  }
+  return max_ratio;
+}
+
+StatusOr<double> DiscreteChannel::Capacity(double tol, std::size_t max_iters) const {
+  if (tol <= 0.0) return InvalidArgumentError("Capacity: tol must be positive");
+  if (max_iters == 0) return InvalidArgumentError("Capacity: max_iters must be positive");
+
+  const std::size_t nx = num_inputs();
+  const std::size_t ny = num_outputs();
+  std::vector<double> px(nx, 1.0 / static_cast<double>(nx));
+
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    // q[y] = sum_x px[x] W[x][y]
+    std::vector<double> q(ny, 0.0);
+    for (std::size_t x = 0; x < nx; ++x) {
+      for (std::size_t y = 0; y < ny; ++y) q[y] += px[x] * transition_[x][y];
+    }
+    // D[x] = sum_y W[x][y] log(W[x][y]/q[y])
+    std::vector<double> d(nx, 0.0);
+    for (std::size_t x = 0; x < nx; ++x) {
+      for (std::size_t y = 0; y < ny; ++y) {
+        const double w = transition_[x][y];
+        if (w > 0.0) d[x] += w * std::log(w / q[y]);
+      }
+    }
+    // Capacity sandwich: max_x D[x] >= C >= sum_x px[x] D[x].
+    double upper = -std::numeric_limits<double>::infinity();
+    double lower = 0.0;
+    for (std::size_t x = 0; x < nx; ++x) {
+      upper = std::max(upper, d[x]);
+      lower += px[x] * d[x];
+    }
+    if (upper - lower < tol) return std::max(0.0, lower);
+    // Blahut–Arimoto update: px[x] <- px[x] exp(D[x]) / normalizer.
+    std::vector<double> log_unnorm(nx);
+    for (std::size_t x = 0; x < nx; ++x) {
+      log_unnorm[x] = (px[x] > 0.0 ? std::log(px[x]) : -std::numeric_limits<double>::infinity()) +
+                      d[x];
+    }
+    DPLEARN_ASSIGN_OR_RETURN(px, SoftmaxFromLog(log_unnorm));
+  }
+  return InternalError("Capacity: Blahut-Arimoto did not converge");
+}
+
+}  // namespace dplearn

@@ -1,0 +1,79 @@
+#include "infotheory/entropy.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/math_util.h"
+
+namespace dplearn {
+
+double NatsToBits(double nats) { return nats / kLn2; }
+
+StatusOr<double> Entropy(const std::vector<double>& p) {
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(p, 1e-6));
+  double h = 0.0;
+  for (double v : p) h -= XLogX(v);
+  return h;
+}
+
+StatusOr<double> CrossEntropy(const std::vector<double>& p, const std::vector<double>& q) {
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(p, 1e-6));
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(q, 1e-6));
+  if (p.size() != q.size()) {
+    return InvalidArgumentError("CrossEntropy: size mismatch");
+  }
+  double h = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == 0.0) continue;
+    if (q[i] == 0.0) return std::numeric_limits<double>::infinity();
+    h -= p[i] * std::log(q[i]);
+  }
+  return h;
+}
+
+StatusOr<double> KlDivergence(const std::vector<double>& p, const std::vector<double>& q) {
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(p, 1e-6));
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(q, 1e-6));
+  if (p.size() != q.size()) {
+    return InvalidArgumentError("KlDivergence: size mismatch");
+  }
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double term = XLogXOverY(p[i], q[i]);
+    if (std::isinf(term)) return std::numeric_limits<double>::infinity();
+    d += term;
+  }
+  // Tiny negative values can arise from rounding when p ~= q.
+  return std::max(0.0, d);
+}
+
+StatusOr<double> JensenShannonDivergence(const std::vector<double>& p,
+                                         const std::vector<double>& q) {
+  if (p.size() != q.size()) {
+    return InvalidArgumentError("JensenShannonDivergence: size mismatch");
+  }
+  std::vector<double> m(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  DPLEARN_ASSIGN_OR_RETURN(double dpm, KlDivergence(p, m));
+  DPLEARN_ASSIGN_OR_RETURN(double dqm, KlDivergence(q, m));
+  return 0.5 * dpm + 0.5 * dqm;
+}
+
+StatusOr<double> BinaryEntropy(double p) {
+  if (p < 0.0 || p > 1.0) return InvalidArgumentError("BinaryEntropy: p must be in [0,1]");
+  return -XLogX(p) - XLogX(1.0 - p);
+}
+
+StatusOr<double> BernoulliKl(double p, double q) {
+  if (p < 0.0 || p > 1.0 || q < 0.0 || q > 1.0) {
+    return InvalidArgumentError("BernoulliKl: arguments must be in [0,1]");
+  }
+  const double term1 = XLogXOverY(p, q);
+  const double term2 = XLogXOverY(1.0 - p, 1.0 - q);
+  if (std::isinf(term1) || std::isinf(term2)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::max(0.0, term1 + term2);
+}
+
+}  // namespace dplearn

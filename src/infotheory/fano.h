@@ -1,0 +1,45 @@
+#ifndef DPLEARN_INFOTHEORY_FANO_H_
+#define DPLEARN_INFOTHEORY_FANO_H_
+
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace dplearn {
+
+/// Fano- and Le Cam-style LOWER bounds: the converse direction of the
+/// paper's information-theoretic program (and of Zhang 2006, its reference
+/// [12]). The forward direction says privacy throttles I(Ẑ;θ); these
+/// results say a throttled channel cannot identify the truth — turning the
+/// measured MI of the learning channel into a floor on achievable risk.
+
+/// Fano's inequality: for a uniform M-ary hypothesis test (M >= 2) over a
+/// channel carrying `mutual_information` nats,
+///   P(error) >= 1 - (I + ln 2) / ln M.
+/// Returns the bound clamped into [0, 1]. Errors if M < 2 or I < 0.
+StatusOr<double> FanoErrorLowerBound(double mutual_information, std::size_t num_hypotheses);
+
+/// Le Cam two-point bound: for any estimator distinguishing two hypotheses
+/// whose output-distribution total variation is `tv`,
+///   P(error) >= (1 - tv) / 2.
+/// Errors if tv outside [0, 1].
+StatusOr<double> LeCamErrorLowerBound(double total_variation);
+
+/// Pinsker's inequality: TV <= sqrt(KL/2) — converts a KL (or an ε-DP
+/// max-divergence, since KL <= max-div) budget into the TV that feeds
+/// Le Cam. Errors if kl < 0.
+StatusOr<double> PinskerTvUpperBound(double kl);
+
+/// DP-specific packing floor, by the group-privacy argument: for an ε-DP
+/// mechanism and M >= 2 candidate datasets pairwise within Hamming distance
+/// `hamming_radius`, every output event has probability within a factor
+/// e^{ε·radius} across the M datasets, so any decoder's success probability
+/// is at most e^{ε·radius} / M, giving
+///   P(error) >= 1 - e^{ε·radius} / M   (clamped to [0,1]).
+/// Errors on invalid arguments.
+StatusOr<double> DpPackingErrorLowerBound(double epsilon, std::size_t hamming_radius,
+                                          std::size_t num_hypotheses);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_INFOTHEORY_FANO_H_

@@ -1,0 +1,144 @@
+#include "infotheory/leakage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "infotheory/entropy.h"
+#include "util/math_util.h"
+
+namespace dplearn {
+
+StatusOr<double> MinEntropyLeakage(const DiscreteChannel& channel,
+                                   const std::vector<double>& px) {
+  if (px.size() != channel.num_inputs()) {
+    return InvalidArgumentError("MinEntropyLeakage: prior size mismatch");
+  }
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(px, 1e-6));
+  double posterior_vulnerability = 0.0;
+  for (std::size_t y = 0; y < channel.num_outputs(); ++y) {
+    double best = 0.0;
+    for (std::size_t x = 0; x < channel.num_inputs(); ++x) {
+      best = std::max(best, px[x] * channel.TransitionProbability(x, y));
+    }
+    posterior_vulnerability += best;
+  }
+  const double prior_vulnerability = *std::max_element(px.begin(), px.end());
+  if (prior_vulnerability <= 0.0 || posterior_vulnerability <= 0.0) {
+    return InvalidArgumentError("MinEntropyLeakage: degenerate prior");
+  }
+  return std::max(0.0, std::log(posterior_vulnerability / prior_vulnerability));
+}
+
+StatusOr<double> MinCapacity(const DiscreteChannel& channel) {
+  double sum = 0.0;
+  for (std::size_t y = 0; y < channel.num_outputs(); ++y) {
+    double best = 0.0;
+    for (std::size_t x = 0; x < channel.num_inputs(); ++x) {
+      best = std::max(best, channel.TransitionProbability(x, y));
+    }
+    sum += best;
+  }
+  return std::max(0.0, std::log(sum));
+}
+
+StatusOr<std::size_t> NeighborGraphDiameter(const NeighborGraph& graph,
+                                            std::size_t num_nodes) {
+  if (num_nodes == 0) {
+    return InvalidArgumentError("NeighborGraphDiameter: no nodes");
+  }
+  if (num_nodes == 1) return std::size_t{0};
+  std::vector<std::vector<std::size_t>> adjacency(num_nodes);
+  for (const auto& [a, b] : graph) {
+    if (a >= num_nodes || b >= num_nodes) {
+      return InvalidArgumentError("NeighborGraphDiameter: edge endpoint out of range");
+    }
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  std::size_t diameter = 0;
+  std::vector<std::size_t> dist(num_nodes);
+  for (std::size_t start = 0; start < num_nodes; ++start) {
+    std::fill(dist.begin(), dist.end(), std::numeric_limits<std::size_t>::max());
+    dist[start] = 0;
+    std::deque<std::size_t> queue = {start};
+    while (!queue.empty()) {
+      const std::size_t node = queue.front();
+      queue.pop_front();
+      for (std::size_t next : adjacency[node]) {
+        if (dist[next] == std::numeric_limits<std::size_t>::max()) {
+          dist[next] = dist[node] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+    for (std::size_t node = 0; node < num_nodes; ++node) {
+      if (dist[node] == std::numeric_limits<std::size_t>::max()) {
+        return InvalidArgumentError("NeighborGraphDiameter: graph is disconnected");
+      }
+      diameter = std::max(diameter, dist[node]);
+    }
+  }
+  return diameter;
+}
+
+StatusOr<DpMiBounds> ComputeDpMiBounds(const DiscreteChannel& channel,
+                                       const std::vector<double>& px,
+                                       const NeighborGraph& neighbors) {
+  DpMiBounds bounds;
+  DPLEARN_ASSIGN_OR_RETURN(bounds.input_entropy, Entropy(px));
+  DPLEARN_ASSIGN_OR_RETURN(bounds.shannon_capacity, channel.Capacity(1e-9));
+  DPLEARN_ASSIGN_OR_RETURN(bounds.min_capacity, MinCapacity(channel));
+  bounds.eps = channel.MaxLogRatio(neighbors);
+  DPLEARN_ASSIGN_OR_RETURN(bounds.diameter,
+                           NeighborGraphDiameter(neighbors, channel.num_inputs()));
+  bounds.diameter_eps = static_cast<double>(bounds.diameter) * bounds.eps;
+
+  // Max pairwise KL between channel rows (all ordered pairs).
+  double max_kl = 0.0;
+  for (std::size_t a = 0; a < channel.num_inputs(); ++a) {
+    for (std::size_t b = 0; b < channel.num_inputs(); ++b) {
+      if (a == b) continue;
+      double kl = 0.0;
+      bool infinite = false;
+      for (std::size_t y = 0; y < channel.num_outputs(); ++y) {
+        const double pa = channel.TransitionProbability(a, y);
+        const double pb = channel.TransitionProbability(b, y);
+        const double term = XLogXOverY(pa, pb);
+        if (std::isinf(term)) {
+          infinite = true;
+          break;
+        }
+        kl += term;
+      }
+      if (infinite) {
+        max_kl = std::numeric_limits<double>::infinity();
+      } else {
+        max_kl = std::max(max_kl, kl);
+      }
+    }
+  }
+  bounds.max_pairwise_kl = max_kl;
+  return bounds;
+}
+
+StatusOr<double> TwoPointMiLowerBound(const DiscreteChannel& channel) {
+  if (channel.num_inputs() < 2) {
+    return InvalidArgumentError("TwoPointMiLowerBound: need at least two inputs");
+  }
+  double best = 0.0;
+  for (std::size_t a = 0; a < channel.num_inputs(); ++a) {
+    for (std::size_t b = a + 1; b < channel.num_inputs(); ++b) {
+      // MI of the two-row channel under a uniform prior: the Jensen-Shannon
+      // divergence of the rows.
+      DPLEARN_ASSIGN_OR_RETURN(
+          double js, JensenShannonDivergence(channel.transition()[a],
+                                             channel.transition()[b]));
+      best = std::max(best, js);
+    }
+  }
+  return best;
+}
+
+}  // namespace dplearn

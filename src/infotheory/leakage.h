@@ -1,0 +1,85 @@
+#ifndef DPLEARN_INFOTHEORY_LEAKAGE_H_
+#define DPLEARN_INFOTHEORY_LEAKAGE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "infotheory/channel.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// Quantitative-information-flow measures and the DP leakage bounds of
+/// Alvim, Andrés, Chatzikokolakis & Palamidessi (refs [1,2] of the paper).
+/// The paper's stated future work is to "examine the use of upper and
+/// lower bounds on the mutual information between the sample and the
+/// predictor ... similar to Alvim et al., and compare these bounds" — this
+/// module implements that comparison (experiment `exp_mi_bounds`).
+
+/// Min-entropy leakage of a channel under input prior `px` (nats):
+///   L = H_inf(X) - H_inf(X|Y)
+///     = ln( sum_y max_x px[x] W[x][y] ) - ln( max_x px[x] ).
+/// Alvim et al.'s information measure for one-try attacks. Errors on
+/// invalid input.
+StatusOr<double> MinEntropyLeakage(const DiscreteChannel& channel,
+                                   const std::vector<double>& px);
+
+/// Min-capacity: min-entropy leakage maximized over priors, which equals
+/// ln( sum_y max_x W[x][y] ) (Braun–Chatzikokolakis–Palamidessi). Upper
+/// bounds Shannon capacity as well.
+StatusOr<double> MinCapacity(const DiscreteChannel& channel);
+
+/// The neighbor graph on channel inputs: pairs (i, j) declared adjacent
+/// (e.g. dataset compositions k and k+1). Used to turn a *local* DP level
+/// into *global* bounds via graph distance.
+using NeighborGraph = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// Breadth-first diameter of the neighbor graph over `num_nodes` inputs
+/// (the maximum over pairs of the shortest neighbor-path length).
+/// Returns an error if the graph is disconnected (some pair unreachable).
+StatusOr<std::size_t> NeighborGraphDiameter(const NeighborGraph& graph,
+                                            std::size_t num_nodes);
+
+/// Upper bounds on I(X;Y) for a channel whose max log-ratio over declared
+/// neighbors is eps (i.e. an eps-DP channel), collected for the
+/// bound-comparison experiment. All in nats.
+struct DpMiBounds {
+  /// I <= H(X): trivial information-theoretic ceiling.
+  double input_entropy = 0.0;
+  /// I <= C (Shannon capacity, Blahut–Arimoto).
+  double shannon_capacity = 0.0;
+  /// I <= min-capacity (min-entropy leakage ceiling; also >= C).
+  double min_capacity = 0.0;
+  /// Group-privacy/pairwise-KL bound:
+  ///   I <= max_{x,x'} D( W_x || W_x' ) <= d*eps * (e^{d*eps} - 1) ... we
+  /// report the computable middle term max-pairwise-KL directly.
+  double max_pairwise_kl = 0.0;
+  /// Closed-form eps-based ceiling: group privacy over the graph diameter d
+  /// gives every pairwise log-ratio <= d*eps, hence
+  /// I <= max_pairwise_KL <= d*eps*(e^{d*eps}-1)/(e^{d*eps}+1) ... the
+  /// simple and standard bound reported here is I <= d*eps (from
+  /// D(W_x||W_x') <= d*eps when log ratios are bounded by d*eps).
+  double diameter_eps = 0.0;
+  /// The measured eps (max log ratio over declared neighbors).
+  double eps = 0.0;
+  /// Graph diameter d.
+  std::size_t diameter = 0;
+};
+
+/// Computes all of the above for `channel` with input prior `px` and the
+/// declared `neighbors`. Errors on invalid input or disconnected graphs.
+StatusOr<DpMiBounds> ComputeDpMiBounds(const DiscreteChannel& channel,
+                                       const std::vector<double>& px,
+                                       const NeighborGraph& neighbors);
+
+/// A computable LOWER bound on I(X;Y): the MI of the channel restricted to
+/// the best pair of inputs under a uniform two-point prior, maximized over
+/// all input pairs. (Any restriction of the input alphabet lower-bounds
+/// capacity-achieving MI; against the actual prior it is a heuristic
+/// witness that information genuinely flows.) Errors on invalid input.
+StatusOr<double> TwoPointMiLowerBound(const DiscreteChannel& channel);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_INFOTHEORY_LEAKAGE_H_

@@ -1,0 +1,77 @@
+#ifndef DPLEARN_LEARNING_DATASET_H_
+#define DPLEARN_LEARNING_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sampling/rng.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// One record Z = (X, Y) of the statistical-prediction framework of
+/// Section 2.2: a feature vector and a real-valued label. Classification
+/// tasks encode labels in {-1, +1}; the Bernoulli-mean task uses {0, 1} with
+/// an empty feature convention (single constant feature).
+struct Example {
+  Vector features;
+  double label = 0.0;
+
+  friend bool operator==(const Example& a, const Example& b) {
+    return a.features == b.features && a.label == b.label;
+  }
+};
+
+/// A sample Ẑ = {Z_1, ..., Z_n}. The *neighbor relation* of
+/// differentially-private learning (Section 2.2 of the paper) is defined
+/// here: two datasets are neighbors iff they have the same size and differ
+/// in exactly one example.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Example> examples) : examples_(std::move(examples)) {}
+
+  std::size_t size() const { return examples_.size(); }
+  bool empty() const { return examples_.empty(); }
+  const Example& at(std::size_t i) const { return examples_[i]; }
+  const std::vector<Example>& examples() const { return examples_; }
+
+  /// Appends an example.
+  void Add(Example example) { examples_.push_back(std::move(example)); }
+
+  /// Returns a neighbor: this dataset with example `index` replaced by
+  /// `replacement`. Error if index is out of range.
+  StatusOr<Dataset> ReplaceExample(std::size_t index, Example replacement) const;
+
+  /// Returns true iff `other` is a neighbor of this dataset (same size,
+  /// exactly one differing example).
+  bool IsNeighborOf(const Dataset& other) const;
+
+  /// Dimensionality of the feature vectors (0 for an empty dataset).
+  /// All examples are expected to share it.
+  std::size_t FeatureDim() const { return empty() ? 0 : examples_[0].features.size(); }
+
+  /// Splits into (train, test) with `train_fraction` of examples (rounded
+  /// down) going to train, after a Fisher–Yates shuffle driven by `rng`.
+  /// Error if the dataset is empty or the fraction is outside (0, 1).
+  StatusOr<std::pair<Dataset, Dataset>> Split(double train_fraction, Rng* rng) const;
+
+  friend bool operator==(const Dataset& a, const Dataset& b) {
+    return a.examples_ == b.examples_;
+  }
+
+ private:
+  std::vector<Example> examples_;
+};
+
+/// Enumerates all neighbors of `dataset` obtainable by replacing one example
+/// with one element of `replacement_pool`. Skips no-op replacements. This is
+/// the exhaustive neighbor sweep used by the empirical DP verifier on small
+/// discrete domains.
+std::vector<Dataset> EnumerateNeighbors(const Dataset& dataset,
+                                        const std::vector<Example>& replacement_pool);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_LEARNING_DATASET_H_

@@ -1,0 +1,92 @@
+#include "learning/erm.h"
+
+#include <cmath>
+
+#include "learning/risk.h"
+
+namespace dplearn {
+
+StatusOr<std::size_t> GridErm(const LossFunction& loss, const FiniteHypothesisClass& hclass,
+                              const Dataset& data) {
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
+                           EmpiricalRiskProfile(loss, hclass.thetas(), data));
+  return hclass.ArgMin(risks);
+}
+
+StatusOr<GradientErmResult> GradientDescentErm(const LossFunction& loss, const Dataset& data,
+                                               const GradientErmOptions& options,
+                                               const Vector& initial_theta) {
+  if (data.empty()) return InvalidArgumentError("GradientDescentErm: empty dataset");
+  if (!loss.HasGradient()) {
+    return InvalidArgumentError("GradientDescentErm: loss '" + loss.Name() +
+                                "' has no gradient");
+  }
+  if (options.learning_rate <= 0.0) {
+    return InvalidArgumentError("GradientDescentErm: learning_rate must be positive");
+  }
+  if (options.l2_lambda < 0.0) {
+    return InvalidArgumentError("GradientDescentErm: l2_lambda must be non-negative");
+  }
+  if (initial_theta.size() != data.FeatureDim()) {
+    return InvalidArgumentError("GradientDescentErm: initial theta dimension mismatch");
+  }
+  if (!options.linear_perturbation.empty() &&
+      options.linear_perturbation.size() != initial_theta.size()) {
+    return InvalidArgumentError("GradientDescentErm: perturbation dimension mismatch");
+  }
+
+  const double n = static_cast<double>(data.size());
+  Vector theta = initial_theta;
+  GradientErmResult result;
+
+  for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
+    // grad = (1/n) sum_i dl/dtheta + lambda*theta + b/n.
+    Vector grad(theta.size(), 0.0);
+    for (const Example& z : data.examples()) {
+      AxpyInPlace(&grad, 1.0 / n, loss.Gradient(theta, z));
+    }
+    AxpyInPlace(&grad, options.l2_lambda, theta);
+    if (!options.linear_perturbation.empty()) {
+      AxpyInPlace(&grad, 1.0 / n, options.linear_perturbation);
+    }
+    result.iterations = iter + 1;
+    if (NormInf(grad) < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+    AxpyInPlace(&theta, -options.learning_rate, grad);
+  }
+
+  result.theta = theta;
+  DPLEARN_ASSIGN_OR_RETURN(double risk, EmpiricalRisk(loss, theta, data));
+  result.objective = risk + 0.5 * options.l2_lambda * Dot(theta, theta);
+  if (!options.linear_perturbation.empty()) {
+    result.objective += Dot(options.linear_perturbation, theta) / n;
+  }
+  return result;
+}
+
+StatusOr<Vector> RidgeRegression(const Dataset& data, double l2_lambda) {
+  if (data.empty()) return InvalidArgumentError("RidgeRegression: empty dataset");
+  if (l2_lambda < 0.0) {
+    return InvalidArgumentError("RidgeRegression: l2_lambda must be non-negative");
+  }
+  const std::size_t d = data.FeatureDim();
+  const std::size_t n = data.size();
+  Matrix x(n, d);
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Example& z = data.at(i);
+    if (z.features.size() != d) {
+      return InvalidArgumentError("RidgeRegression: inconsistent feature dimensions");
+    }
+    for (std::size_t j = 0; j < d; ++j) x.At(i, j) = z.features[j];
+    y[i] = z.label;
+  }
+  Matrix gram = x.Gram();
+  DPLEARN_RETURN_IF_ERROR(gram.AddDiagonal(l2_lambda * static_cast<double>(n)));
+  DPLEARN_ASSIGN_OR_RETURN(Vector xty, x.TransposeMatVec(y));
+  return gram.CholeskySolve(xty);
+}
+
+}  // namespace dplearn

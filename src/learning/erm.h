@@ -1,0 +1,63 @@
+#ifndef DPLEARN_LEARNING_ERM_H_
+#define DPLEARN_LEARNING_ERM_H_
+
+#include <cstddef>
+
+#include "learning/dataset.h"
+#include "learning/hypothesis.h"
+#include "learning/loss.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// Non-private empirical risk minimization. These are (a) the baselines
+/// the private learners are measured against and (b) the inner solver that
+/// objective perturbation wraps.
+
+/// ERM over a finite hypothesis class: returns the index of the hypothesis
+/// with the smallest empirical risk (ties -> lowest index). Error if the
+/// class or the dataset is empty.
+StatusOr<std::size_t> GridErm(const LossFunction& loss, const FiniteHypothesisClass& hclass,
+                              const Dataset& data);
+
+/// Configuration for gradient-descent ERM.
+struct GradientErmOptions {
+  /// L2 regularization strength lambda in R̂(theta) + (lambda/2)||theta||^2.
+  double l2_lambda = 0.0;
+  /// Fixed step size.
+  double learning_rate = 0.1;
+  /// Maximum full-gradient iterations.
+  std::size_t max_iters = 2000;
+  /// Stop when the gradient infinity-norm falls below this.
+  double gradient_tolerance = 1e-8;
+  /// Optional extra linear term b . theta / n added to the objective —
+  /// this is the hook objective perturbation uses to inject its noise
+  /// vector. Empty means no extra term.
+  Vector linear_perturbation;
+};
+
+/// Result of a gradient-descent ERM run.
+struct GradientErmResult {
+  Vector theta;
+  double objective = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Full-batch gradient descent on
+///   J(theta) = R̂_Ẑ(theta) + (lambda/2)||theta||^2 + (b . theta)/n.
+/// Requires loss.HasGradient(). Error on empty data, dimension mismatch, or
+/// invalid options. Convex for the logistic/Huber losses with lambda > 0,
+/// where this converges to the unique minimizer.
+StatusOr<GradientErmResult> GradientDescentErm(const LossFunction& loss, const Dataset& data,
+                                               const GradientErmOptions& options,
+                                               const Vector& initial_theta);
+
+/// Exact ridge regression: solves (X^T X + n*lambda I) w = X^T y.
+/// Error on empty data or non-PD system (lambda == 0 with rank-deficient X).
+StatusOr<Vector> RidgeRegression(const Dataset& data, double l2_lambda);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_LEARNING_ERM_H_

@@ -1,0 +1,48 @@
+#ifndef DPLEARN_LEARNING_HYPOTHESIS_H_
+#define DPLEARN_LEARNING_HYPOTHESIS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// A finite predictor space Θ = {theta_1, ..., theta_m}. Finite Θ is the
+/// setting where every object of the paper — Gibbs posterior, KL terms,
+/// I(Ẑ;θ) — is *exactly* computable, making theorem checks sharp. Continuous
+/// Θ is handled by gridding (this class, via ScalarGrid) or MCMC
+/// (core/gibbs_estimator.h).
+class FiniteHypothesisClass {
+ public:
+  /// Wraps an explicit list of parameter vectors. Error if empty or if the
+  /// vectors do not all share one dimension.
+  static StatusOr<FiniteHypothesisClass> Create(std::vector<Vector> thetas);
+
+  /// A 1-D grid of `count` scalar hypotheses evenly spaced on [lo, hi];
+  /// each hypothesis is the 1-vector {theta}. Error via Linspace on bad
+  /// arguments.
+  static StatusOr<FiniteHypothesisClass> ScalarGrid(double lo, double hi, std::size_t count);
+
+  std::size_t size() const { return thetas_.size(); }
+  const Vector& at(std::size_t i) const { return thetas_[i]; }
+  const std::vector<Vector>& thetas() const { return thetas_; }
+
+  /// The uniform prior over this class — the default base measure π of the
+  /// exponential mechanism when no domain knowledge is supplied.
+  std::vector<double> UniformPrior() const;
+
+  /// Index of the hypothesis minimizing `scores` (ties -> lowest index).
+  /// Error if scores.size() != size().
+  StatusOr<std::size_t> ArgMin(const std::vector<double>& scores) const;
+
+ private:
+  explicit FiniteHypothesisClass(std::vector<Vector> thetas) : thetas_(std::move(thetas)) {}
+
+  std::vector<Vector> thetas_;
+};
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_LEARNING_HYPOTHESIS_H_

@@ -1,0 +1,64 @@
+#include "learning/kfold.h"
+
+#include <algorithm>
+
+#include "learning/risk.h"
+
+namespace dplearn {
+
+StatusOr<std::vector<Fold>> MakeFolds(const Dataset& data, std::size_t k, Rng* rng) {
+  if (k < 2) return InvalidArgumentError("MakeFolds: k must be >= 2");
+  if (data.size() < k) return InvalidArgumentError("MakeFolds: fewer examples than folds");
+
+  std::vector<Example> shuffled = data.examples();
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng->NextBounded(i));
+    std::swap(shuffled[i - 1], shuffled[j]);
+  }
+
+  // Block boundaries: fold i owns [i*n/k, (i+1)*n/k).
+  const std::size_t n = shuffled.size();
+  std::vector<Fold> folds;
+  folds.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t begin = i * n / k;
+    const std::size_t end = (i + 1) * n / k;
+    Fold fold;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j >= begin && j < end) {
+        fold.validation.Add(shuffled[j]);
+      } else {
+        fold.train.Add(shuffled[j]);
+      }
+    }
+    folds.push_back(std::move(fold));
+  }
+  return folds;
+}
+
+StatusOr<std::vector<double>> CrossValidatedRisks(const LossFunction& loss,
+                                                  const FiniteHypothesisClass& hclass,
+                                                  const Dataset& data, std::size_t k,
+                                                  Rng* rng) {
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<Fold> folds, MakeFolds(data, k, rng));
+  std::vector<double> mean_risks(hclass.size(), 0.0);
+  for (const Fold& fold : folds) {
+    DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
+                             EmpiricalRiskProfile(loss, hclass.thetas(), fold.validation));
+    for (std::size_t i = 0; i < risks.size(); ++i) {
+      mean_risks[i] += risks[i] / static_cast<double>(folds.size());
+    }
+  }
+  return mean_risks;
+}
+
+StatusOr<std::size_t> CrossValidatedSelection(const LossFunction& loss,
+                                              const FiniteHypothesisClass& hclass,
+                                              const Dataset& data, std::size_t k,
+                                              Rng* rng) {
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
+                           CrossValidatedRisks(loss, hclass, data, k, rng));
+  return hclass.ArgMin(risks);
+}
+
+}  // namespace dplearn

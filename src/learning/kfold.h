@@ -1,0 +1,47 @@
+#ifndef DPLEARN_LEARNING_KFOLD_H_
+#define DPLEARN_LEARNING_KFOLD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "learning/dataset.h"
+#include "learning/hypothesis.h"
+#include "learning/loss.h"
+#include "sampling/rng.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// K-fold cross-validation over finite hypothesis classes. Non-private:
+/// CV reuses the data K times and its output leaks; this utility exists as
+/// (a) the non-private model-selection baseline the private selection
+/// (core/lambda_selection.h) is measured against and (b) the standard tool
+/// for picking PUBLIC parameters on public/synthetic data.
+
+/// One train/validation partition.
+struct Fold {
+  Dataset train;
+  Dataset validation;
+};
+
+/// Splits `data` into k folds after a seeded shuffle; fold i's validation
+/// set is the i-th block, its training set the rest. Errors if k < 2 or
+/// data.size() < k.
+StatusOr<std::vector<Fold>> MakeFolds(const Dataset& data, std::size_t k, Rng* rng);
+
+/// Mean validation risk of each hypothesis across folds (for grid-style
+/// model selection). Errors propagate from fold construction / risk
+/// evaluation.
+StatusOr<std::vector<double>> CrossValidatedRisks(const LossFunction& loss,
+                                                  const FiniteHypothesisClass& hclass,
+                                                  const Dataset& data, std::size_t k,
+                                                  Rng* rng);
+
+/// Index of the hypothesis with the smallest cross-validated risk.
+StatusOr<std::size_t> CrossValidatedSelection(const LossFunction& loss,
+                                              const FiniteHypothesisClass& hclass,
+                                              const Dataset& data, std::size_t k, Rng* rng);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_LEARNING_KFOLD_H_

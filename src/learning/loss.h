@@ -1,0 +1,128 @@
+#ifndef DPLEARN_LEARNING_LOSS_H_
+#define DPLEARN_LEARNING_LOSS_H_
+
+#include <memory>
+#include <string>
+
+#include "learning/dataset.h"
+#include "util/matrix.h"
+
+namespace dplearn {
+
+/// A loss l_theta(Z) of the statistical-prediction framework (Section 2.2).
+///
+/// Every loss declares an upper bound B such that l lies in [0, B] for all
+/// (theta, Z) the caller will supply; this bound drives two quantities at
+/// the heart of the paper:
+///   * the global sensitivity of the empirical risk, Δ(R̂) <= B/n, which
+///     calibrates the Gibbs estimator's privacy level (Theorem 4.1), and
+///   * the [0,1]-scaling required by Catoni's PAC-Bayes bound (Theorem 3.1).
+/// Losses that are naturally unbounded (squared, absolute) are provided in
+/// clipped form.
+class LossFunction {
+ public:
+  virtual ~LossFunction() = default;
+
+  /// The loss of predictor `theta` on example `z`. Implementations must be
+  /// deterministic and must honor the declared bound for valid inputs.
+  virtual double Loss(const Vector& theta, const Example& z) const = 0;
+
+  /// B with l in [0, B].
+  virtual double UpperBound() const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string Name() const = 0;
+
+  /// True if Gradient() is implemented (needed by gradient-descent ERM and
+  /// objective perturbation).
+  virtual bool HasGradient() const { return false; }
+
+  /// d/d(theta) of the loss; only valid when HasGradient(). Default aborts.
+  virtual Vector Gradient(const Vector& theta, const Example& z) const;
+};
+
+/// 0-1 classification loss: 1 if sign(theta . x) != label, else 0.
+/// Labels must be in {-1, +1}; a zero margin counts as an error.
+class ZeroOneLoss final : public LossFunction {
+ public:
+  double Loss(const Vector& theta, const Example& z) const override;
+  double UpperBound() const override { return 1.0; }
+  std::string Name() const override { return "zero_one"; }
+};
+
+/// Squared loss (theta . x - label)^2 clipped to [0, clip]. The clip keeps
+/// the loss bounded as Catoni's bound and risk sensitivity require.
+class ClippedSquaredLoss final : public LossFunction {
+ public:
+  /// `clip` must be positive (checked at construction; aborts otherwise).
+  explicit ClippedSquaredLoss(double clip);
+  double Loss(const Vector& theta, const Example& z) const override;
+  double UpperBound() const override { return clip_; }
+  std::string Name() const override { return "clipped_squared"; }
+
+ private:
+  double clip_;
+};
+
+/// Absolute loss |theta . x - label| clipped to [0, clip].
+class ClippedAbsoluteLoss final : public LossFunction {
+ public:
+  explicit ClippedAbsoluteLoss(double clip);
+  double Loss(const Vector& theta, const Example& z) const override;
+  double UpperBound() const override { return clip_; }
+  std::string Name() const override { return "clipped_absolute"; }
+
+ private:
+  double clip_;
+};
+
+/// Logistic loss log(1 + exp(-label * theta . x)) clipped to [0, clip];
+/// labels in {-1, +1}. Differentiable: the loss used by the private
+/// logistic-regression baselines (Chaudhuri–Monteleoni). The gradient is of
+/// the *unclipped* loss; callers keep theta in a region where the clip is
+/// inactive (|theta.x| bounded), as the baselines do via L2 regularization.
+class LogisticLoss final : public LossFunction {
+ public:
+  explicit LogisticLoss(double clip);
+  double Loss(const Vector& theta, const Example& z) const override;
+  double UpperBound() const override { return clip_; }
+  std::string Name() const override { return "logistic"; }
+  bool HasGradient() const override { return true; }
+  Vector Gradient(const Vector& theta, const Example& z) const override;
+
+ private:
+  double clip_;
+};
+
+/// Hinge loss max(0, 1 - label * theta . x) clipped to [0, clip]; labels in
+/// {-1, +1} (the SVM loss of the Chaudhuri et al. setting).
+class HingeLoss final : public LossFunction {
+ public:
+  explicit HingeLoss(double clip);
+  double Loss(const Vector& theta, const Example& z) const override;
+  double UpperBound() const override { return clip_; }
+  std::string Name() const override { return "hinge"; }
+
+ private:
+  double clip_;
+};
+
+/// Huber loss: quadratic within `delta` of the residual, linear beyond,
+/// clipped to [0, clip]. Differentiable everywhere.
+class HuberLoss final : public LossFunction {
+ public:
+  HuberLoss(double delta, double clip);
+  double Loss(const Vector& theta, const Example& z) const override;
+  double UpperBound() const override { return clip_; }
+  std::string Name() const override { return "huber"; }
+  bool HasGradient() const override { return true; }
+  Vector Gradient(const Vector& theta, const Example& z) const override;
+
+ private:
+  double delta_;
+  double clip_;
+};
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_LEARNING_LOSS_H_

@@ -1,0 +1,46 @@
+#ifndef DPLEARN_LEARNING_PREPROCESS_H_
+#define DPLEARN_LEARNING_PREPROCESS_H_
+
+#include <cstddef>
+
+#include "learning/dataset.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// Data preprocessing that privacy analyses assume but papers rarely
+/// spell out. The Chaudhuri et al. sensitivity calculations require
+/// ||x|| <= 1; clipped losses require labels in a known range. These
+/// transforms make those preconditions true BY CONSTRUCTION (per-record,
+/// data-independent parameters), so they compose with any DP mechanism
+/// without spending budget.
+
+/// Scales every feature vector with norm > max_norm down onto the sphere
+/// of radius max_norm (per-record clipping: data-independent, free of
+/// privacy cost). Error if max_norm <= 0.
+StatusOr<Dataset> ClipFeatureNorm(const Dataset& data, double max_norm);
+
+/// Clamps labels into [lo, hi] per record. Error if lo >= hi.
+StatusOr<Dataset> ClipLabels(const Dataset& data, double lo, double hi);
+
+/// Appends a constant-1 bias feature to every record (dimension grows by
+/// one). Error if the dataset is ragged.
+StatusOr<Dataset> AppendBiasFeature(const Dataset& data);
+
+/// Summary of feature geometry, for choosing clip thresholds.
+struct FeatureStats {
+  std::size_t dimension = 0;
+  double max_norm = 0.0;
+  double mean_norm = 0.0;
+  double min_label = 0.0;
+  double max_label = 0.0;
+};
+
+/// Computes the (NON-private — do not release) feature statistics.
+/// Error if the dataset is empty or ragged.
+StatusOr<FeatureStats> ComputeFeatureStats(const Dataset& data);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_LEARNING_PREPROCESS_H_

@@ -1,0 +1,58 @@
+#include "learning/risk.h"
+
+#include <cmath>
+
+namespace dplearn {
+
+StatusOr<double> EmpiricalRisk(const LossFunction& loss, const Vector& theta,
+                               const Dataset& data) {
+  if (data.empty()) return InvalidArgumentError("EmpiricalRisk: empty dataset");
+  double sum = 0.0;
+  for (const Example& z : data.examples()) sum += loss.Loss(theta, z);
+  return sum / static_cast<double>(data.size());
+}
+
+StatusOr<std::vector<double>> EmpiricalRiskProfile(const LossFunction& loss,
+                                                   const std::vector<Vector>& thetas,
+                                                   const Dataset& data) {
+  if (thetas.empty()) return InvalidArgumentError("EmpiricalRiskProfile: empty hypothesis list");
+  if (data.empty()) return InvalidArgumentError("EmpiricalRiskProfile: empty dataset");
+  std::vector<double> risks(thetas.size());
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    DPLEARN_ASSIGN_OR_RETURN(risks[i], EmpiricalRisk(loss, thetas[i], data));
+  }
+  return risks;
+}
+
+StatusOr<double> MonteCarloTrueRisk(const LossFunction& loss, const Vector& theta,
+                                    const Dataset& fresh_sample) {
+  return EmpiricalRisk(loss, theta, fresh_sample);
+}
+
+StatusOr<double> EmpiricalRiskSensitivityBound(const LossFunction& loss, std::size_t n) {
+  if (n == 0) return InvalidArgumentError("EmpiricalRiskSensitivityBound: n must be positive");
+  return loss.UpperBound() / static_cast<double>(n);
+}
+
+StatusOr<double> ExactRiskSensitivity(const LossFunction& loss,
+                                      const std::vector<Vector>& thetas,
+                                      const std::vector<Example>& domain, std::size_t n) {
+  if (thetas.empty() || domain.empty()) {
+    return InvalidArgumentError("ExactRiskSensitivity: empty hypothesis list or domain");
+  }
+  if (n == 0) return InvalidArgumentError("ExactRiskSensitivity: n must be positive");
+  double max_spread = 0.0;
+  for (const Vector& theta : thetas) {
+    double lo = loss.Loss(theta, domain[0]);
+    double hi = lo;
+    for (const Example& z : domain) {
+      const double l = loss.Loss(theta, z);
+      lo = std::min(lo, l);
+      hi = std::max(hi, l);
+    }
+    max_spread = std::max(max_spread, hi - lo);
+  }
+  return max_spread / static_cast<double>(n);
+}
+
+}  // namespace dplearn

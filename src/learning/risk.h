@@ -1,0 +1,47 @@
+#ifndef DPLEARN_LEARNING_RISK_H_
+#define DPLEARN_LEARNING_RISK_H_
+
+#include <vector>
+
+#include "learning/dataset.h"
+#include "learning/loss.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// Empirical risk R̂_Ẑ(theta) = (1/n) sum_i l_theta(Z_i) (Section 2.2).
+/// Error if the dataset is empty.
+StatusOr<double> EmpiricalRisk(const LossFunction& loss, const Vector& theta,
+                               const Dataset& data);
+
+/// Empirical risk of every hypothesis in `thetas` on `data` — the risk
+/// vector that parameterizes a finite-Θ Gibbs posterior. Error if the
+/// dataset or hypothesis list is empty.
+StatusOr<std::vector<double>> EmpiricalRiskProfile(const LossFunction& loss,
+                                                   const std::vector<Vector>& thetas,
+                                                   const Dataset& data);
+
+/// Monte-Carlo estimate of the true risk R(theta) = E_Z[l_theta(Z)] from a
+/// large held-out sample drawn from Q. (Tasks in generators.h also expose
+/// closed-form true risk where available.)
+StatusOr<double> MonteCarloTrueRisk(const LossFunction& loss, const Vector& theta,
+                                    const Dataset& fresh_sample);
+
+/// The a-priori upper bound on the global sensitivity of empirical risk:
+/// replacing one example moves R̂ by at most B/n for a loss in [0, B].
+/// Error if n == 0.
+StatusOr<double> EmpiricalRiskSensitivityBound(const LossFunction& loss, std::size_t n);
+
+/// The *exact* sensitivity of the empirical-risk profile over a finite
+/// hypothesis class and a finite example domain:
+///   Δ = max_theta max_{z, z'} |l_theta(z) - l_theta(z')| / n.
+/// Tighter than B/n whenever the loss does not span its full range on the
+/// domain; used to sharpen the privacy accounting in the experiments.
+/// Error if any list is empty or n == 0.
+StatusOr<double> ExactRiskSensitivity(const LossFunction& loss,
+                                      const std::vector<Vector>& thetas,
+                                      const std::vector<Example>& domain, std::size_t n);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_LEARNING_RISK_H_

@@ -1,0 +1,114 @@
+#include "mechanisms/exponential.h"
+
+#include <cmath>
+#include <limits>
+
+#include "sampling/distributions.h"
+#include "util/math_util.h"
+
+namespace dplearn {
+
+StatusOr<ExponentialMechanism> ExponentialMechanism::Create(QualityFn quality,
+                                                            std::size_t num_candidates,
+                                                            std::vector<double> prior,
+                                                            double epsilon,
+                                                            double quality_sensitivity) {
+  if (!quality) return InvalidArgumentError("ExponentialMechanism: quality must be set");
+  if (num_candidates == 0) {
+    return InvalidArgumentError("ExponentialMechanism: need at least one candidate");
+  }
+  if (prior.size() != num_candidates) {
+    return InvalidArgumentError("ExponentialMechanism: prior size mismatch");
+  }
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(prior, 1e-6));
+  if (!(epsilon > 0.0)) {
+    return InvalidArgumentError("ExponentialMechanism: epsilon must be positive");
+  }
+  if (!(quality_sensitivity > 0.0)) {
+    return InvalidArgumentError("ExponentialMechanism: quality_sensitivity must be positive");
+  }
+  return ExponentialMechanism(std::move(quality), std::move(prior), epsilon,
+                              quality_sensitivity);
+}
+
+StatusOr<ExponentialMechanism> ExponentialMechanism::CreateUniform(
+    QualityFn quality, std::size_t num_candidates, double epsilon,
+    double quality_sensitivity) {
+  if (num_candidates == 0) {
+    return InvalidArgumentError("ExponentialMechanism: need at least one candidate");
+  }
+  std::vector<double> uniform(num_candidates, 1.0 / static_cast<double>(num_candidates));
+  return Create(std::move(quality), num_candidates, std::move(uniform), epsilon,
+                quality_sensitivity);
+}
+
+StatusOr<ExponentialMechanism> ExponentialMechanism::CreateWithTargetPrivacy(
+    QualityFn quality, std::size_t num_candidates, std::vector<double> prior,
+    double target_epsilon, double quality_sensitivity) {
+  if (!(target_epsilon > 0.0)) {
+    return InvalidArgumentError("ExponentialMechanism: target_epsilon must be positive");
+  }
+  if (!(quality_sensitivity > 0.0)) {
+    return InvalidArgumentError("ExponentialMechanism: quality_sensitivity must be positive");
+  }
+  return Create(std::move(quality), num_candidates, std::move(prior),
+                target_epsilon / (2.0 * quality_sensitivity), quality_sensitivity);
+}
+
+std::vector<double> ExponentialMechanism::LogWeights(const Dataset& data) const {
+  std::vector<double> log_w(prior_.size());
+  for (std::size_t u = 0; u < prior_.size(); ++u) {
+    const double log_prior = prior_[u] > 0.0 ? std::log(prior_[u])
+                                             : -std::numeric_limits<double>::infinity();
+    log_w[u] = epsilon_ * quality_(data, u) + log_prior;
+  }
+  return log_w;
+}
+
+StatusOr<std::vector<double>> ExponentialMechanism::OutputDistribution(
+    const Dataset& data) const {
+  return SoftmaxFromLog(LogWeights(data));
+}
+
+StatusOr<std::size_t> ExponentialMechanism::Sample(const Dataset& data, Rng* rng) const {
+  return SampleFromLogWeights(rng, LogWeights(data));
+}
+
+StatusOr<double> ExponentialMechanism::UtilityGapBound(double delta) const {
+  if (!(delta > 0.0) || delta >= 1.0) {
+    return InvalidArgumentError("UtilityGapBound: delta must be in (0,1)");
+  }
+  return std::log(static_cast<double>(num_candidates()) / delta) / epsilon_;
+}
+
+StatusOr<ReportNoisyMax> ReportNoisyMax::Create(QualityFn quality, std::size_t num_candidates,
+                                                double epsilon, double quality_sensitivity) {
+  if (!quality) return InvalidArgumentError("ReportNoisyMax: quality must be set");
+  if (num_candidates == 0) {
+    return InvalidArgumentError("ReportNoisyMax: need at least one candidate");
+  }
+  if (!(epsilon > 0.0)) {
+    return InvalidArgumentError("ReportNoisyMax: epsilon must be positive");
+  }
+  if (!(quality_sensitivity > 0.0)) {
+    return InvalidArgumentError("ReportNoisyMax: quality_sensitivity must be positive");
+  }
+  return ReportNoisyMax(std::move(quality), num_candidates, epsilon, quality_sensitivity);
+}
+
+StatusOr<std::size_t> ReportNoisyMax::Sample(const Dataset& data, Rng* rng) const {
+  std::size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t u = 0; u < num_candidates_; ++u) {
+    DPLEARN_ASSIGN_OR_RETURN(
+        double noise, SampleLaplace(rng, 0.0, quality_sensitivity_ / epsilon_));
+    const double score = quality_(data, u) + noise;
+    if (score > best_score) {
+      best_score = score;
+      best = u;
+    }
+  }
+  return best;
+}
+
+}  // namespace dplearn

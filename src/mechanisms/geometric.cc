@@ -1,0 +1,68 @@
+#include "mechanisms/geometric.h"
+
+#include <cmath>
+
+namespace dplearn {
+
+StatusOr<std::int64_t> SampleTwoSidedGeometric(Rng* rng, double alpha) {
+  if (!(alpha > 0.0) || alpha >= 1.0) {
+    return InvalidArgumentError("SampleTwoSidedGeometric: alpha must be in (0,1)");
+  }
+  // Inverse CDF: mass (1-a)/(1+a) at 0, then symmetric geometric tails.
+  const double u = rng->NextDoubleOpen();
+  const double p_zero = (1.0 - alpha) / (1.0 + alpha);
+  if (u < p_zero) return std::int64_t{0};
+  // Map the remainder to a sign and a Geometric(1-alpha) magnitude >= 1.
+  const double v = (u - p_zero) / (1.0 - p_zero);  // Uniform(0,1)
+  const double sign = v < 0.5 ? -1.0 : 1.0;
+  const double w = rng->NextDoubleOpen();
+  // magnitude m >= 1 with P(m) prop. to alpha^m: m = 1 + floor(log(w)/log(alpha)).
+  const std::int64_t magnitude =
+      1 + static_cast<std::int64_t>(std::floor(std::log(w) / std::log(alpha)));
+  return static_cast<std::int64_t>(sign) * magnitude;
+}
+
+StatusOr<GeometricMechanism> GeometricMechanism::Create(SensitiveQuery query,
+                                                        double epsilon) {
+  if (!query.query) return InvalidArgumentError("GeometricMechanism: query must be set");
+  if (!(query.sensitivity >= 1.0)) {
+    return InvalidArgumentError(
+        "GeometricMechanism: integer query sensitivity must be >= 1");
+  }
+  if (std::floor(query.sensitivity) != query.sensitivity) {
+    return InvalidArgumentError("GeometricMechanism: sensitivity must be an integer");
+  }
+  if (!(epsilon > 0.0)) {
+    return InvalidArgumentError("GeometricMechanism: epsilon must be positive");
+  }
+  const double alpha = std::exp(-epsilon / query.sensitivity);
+  return GeometricMechanism(std::move(query), epsilon, alpha);
+}
+
+StatusOr<std::int64_t> GeometricMechanism::Release(const Dataset& data, Rng* rng) const {
+  const double true_value = query_.query(data);
+  if (std::floor(true_value) != true_value) {
+    return FailedPreconditionError("GeometricMechanism: query returned a non-integer");
+  }
+  DPLEARN_ASSIGN_OR_RETURN(std::int64_t noise, SampleTwoSidedGeometric(rng, alpha_));
+  return static_cast<std::int64_t>(true_value) + noise;
+}
+
+StatusOr<double> GeometricMechanism::OutputProbability(const Dataset& data,
+                                                       std::int64_t output) const {
+  const double true_value = query_.query(data);
+  if (std::floor(true_value) != true_value) {
+    return FailedPreconditionError("GeometricMechanism: query returned a non-integer");
+  }
+  const std::int64_t diff = output - static_cast<std::int64_t>(true_value);
+  const double magnitude = static_cast<double>(diff < 0 ? -diff : diff);
+  return (1.0 - alpha_) / (1.0 + alpha_) * std::pow(alpha_, magnitude);
+}
+
+StatusOr<double> GeometricMechanism::NoiseTailProbability(std::int64_t t) const {
+  if (t < 0) return InvalidArgumentError("NoiseTailProbability: t must be >= 0");
+  if (t == 0) return 1.0;
+  return 2.0 * std::pow(alpha_, static_cast<double>(t)) / (1.0 + alpha_);
+}
+
+}  // namespace dplearn

@@ -1,0 +1,57 @@
+#ifndef DPLEARN_MECHANISMS_GEOMETRIC_H_
+#define DPLEARN_MECHANISMS_GEOMETRIC_H_
+
+#include <cstdint>
+
+#include "learning/dataset.h"
+#include "mechanisms/privacy_budget.h"
+#include "mechanisms/sensitivity.h"
+#include "sampling/rng.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// The geometric mechanism (Ghosh–Roughgarden–Sundararajan 2009): for an
+/// integer-valued query with integer sensitivity Δ, releases
+/// f(D) + Z where Z is two-sided geometric with parameter α = e^{-ε/Δ}:
+///   P(Z = z) = (1-α)/(1+α) · α^{|z|}.
+/// ε-DP, and universally utility-optimal for count queries. Its discrete
+/// output makes the DP audit EXACT (probability masses, not densities) —
+/// which is why the experiment suite prefers it for count releases.
+class GeometricMechanism {
+ public:
+  /// `query` must be integer-valued on all inputs the caller will supply
+  /// (checked at Release time) with sensitivity >= 1 (integers). Errors on
+  /// invalid epsilon or sensitivity.
+  static StatusOr<GeometricMechanism> Create(SensitiveQuery query, double epsilon);
+
+  /// Releases one ε-DP noisy count.
+  StatusOr<std::int64_t> Release(const Dataset& data, Rng* rng) const;
+
+  /// Exact probability the mechanism outputs `output` on `data`.
+  StatusOr<double> OutputProbability(const Dataset& data, std::int64_t output) const;
+
+  /// P(|noise| >= t) = 2 α^t / (1+α) for t >= 1 — the tail the accuracy
+  /// guarantee is read from. Error if t < 0.
+  StatusOr<double> NoiseTailProbability(std::int64_t t) const;
+
+  PrivacyBudget Guarantee() const { return PrivacyBudget{epsilon_, 0.0}; }
+  double alpha() const { return alpha_; }
+
+ private:
+  GeometricMechanism(SensitiveQuery query, double epsilon, double alpha)
+      : query_(std::move(query)), epsilon_(epsilon), alpha_(alpha) {}
+
+  SensitiveQuery query_;
+  double epsilon_;
+  double alpha_;
+};
+
+/// Samples the two-sided geometric distribution with parameter alpha in
+/// (0,1): P(z) = (1-alpha)/(1+alpha) * alpha^{|z|}. Exposed for tests and
+/// for composing custom integer mechanisms. Error if alpha outside (0,1).
+StatusOr<std::int64_t> SampleTwoSidedGeometric(Rng* rng, double alpha);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_MECHANISMS_GEOMETRIC_H_

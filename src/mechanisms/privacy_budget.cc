@@ -1,0 +1,91 @@
+#include "mechanisms/privacy_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dplearn {
+
+Status ValidateBudget(const PrivacyBudget& budget) {
+  if (!(budget.epsilon > 0.0)) {
+    return InvalidArgumentError("PrivacyBudget: epsilon must be positive");
+  }
+  if (budget.delta < 0.0 || budget.delta >= 1.0) {
+    return InvalidArgumentError("PrivacyBudget: delta must be in [0,1)");
+  }
+  return Status::Ok();
+}
+
+StatusOr<PrivacyBudget> SequentialComposition(const std::vector<PrivacyBudget>& budgets) {
+  if (budgets.empty()) {
+    return InvalidArgumentError("SequentialComposition: empty budget list");
+  }
+  PrivacyBudget total{0.0, 0.0};
+  for (const PrivacyBudget& b : budgets) {
+    DPLEARN_RETURN_IF_ERROR(ValidateBudget(b));
+    total.epsilon += b.epsilon;
+    total.delta += b.delta;
+  }
+  return total;
+}
+
+StatusOr<PrivacyBudget> ParallelComposition(const std::vector<PrivacyBudget>& budgets) {
+  if (budgets.empty()) {
+    return InvalidArgumentError("ParallelComposition: empty budget list");
+  }
+  PrivacyBudget total{0.0, 0.0};
+  for (const PrivacyBudget& b : budgets) {
+    DPLEARN_RETURN_IF_ERROR(ValidateBudget(b));
+    total.epsilon = std::max(total.epsilon, b.epsilon);
+    total.delta = std::max(total.delta, b.delta);
+  }
+  return total;
+}
+
+StatusOr<PrivacyBudget> AdvancedComposition(const PrivacyBudget& per_mechanism,
+                                            std::size_t k, double delta_prime) {
+  DPLEARN_RETURN_IF_ERROR(ValidateBudget(per_mechanism));
+  if (k == 0) return InvalidArgumentError("AdvancedComposition: k must be positive");
+  if (!(delta_prime > 0.0) || delta_prime >= 1.0) {
+    return InvalidArgumentError("AdvancedComposition: delta_prime must be in (0,1)");
+  }
+  const double eps = per_mechanism.epsilon;
+  const double kd = static_cast<double>(k);
+  PrivacyBudget total;
+  total.epsilon = eps * std::sqrt(2.0 * kd * std::log(1.0 / delta_prime)) +
+                  kd * eps * std::expm1(eps);
+  total.delta = kd * per_mechanism.delta + delta_prime;
+  return total;
+}
+
+StatusOr<double> GroupPrivacyEpsilon(double epsilon, std::size_t group_size) {
+  if (!(epsilon > 0.0)) {
+    return InvalidArgumentError("GroupPrivacyEpsilon: epsilon must be positive");
+  }
+  if (group_size == 0) {
+    return InvalidArgumentError("GroupPrivacyEpsilon: group size must be positive");
+  }
+  return epsilon * static_cast<double>(group_size);
+}
+
+StatusOr<PrivacyAccountant> PrivacyAccountant::Create(PrivacyBudget total) {
+  DPLEARN_RETURN_IF_ERROR(ValidateBudget(total));
+  return PrivacyAccountant(total);
+}
+
+Status PrivacyAccountant::Spend(const PrivacyBudget& cost) {
+  DPLEARN_RETURN_IF_ERROR(ValidateBudget(cost));
+  if (spent_.epsilon + cost.epsilon > total_.epsilon ||
+      spent_.delta + cost.delta > total_.delta + 1e-15) {
+    return FailedPreconditionError("PrivacyAccountant: spend would exceed total budget");
+  }
+  spent_.epsilon += cost.epsilon;
+  spent_.delta += cost.delta;
+  return Status::Ok();
+}
+
+PrivacyBudget PrivacyAccountant::Remaining() const {
+  return PrivacyBudget{std::max(0.0, total_.epsilon - spent_.epsilon),
+                       std::max(0.0, total_.delta - spent_.delta)};
+}
+
+}  // namespace dplearn

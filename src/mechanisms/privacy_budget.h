@@ -1,0 +1,74 @@
+#ifndef DPLEARN_MECHANISMS_PRIVACY_BUDGET_H_
+#define DPLEARN_MECHANISMS_PRIVACY_BUDGET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dplearn {
+
+/// An (epsilon, delta) differential-privacy guarantee. delta == 0 is pure
+/// epsilon-DP (Definition 2.1 of the paper); the Gaussian mechanism needs
+/// delta > 0.
+struct PrivacyBudget {
+  double epsilon = 0.0;
+  double delta = 0.0;
+
+  friend bool operator==(const PrivacyBudget& a, const PrivacyBudget& b) {
+    return a.epsilon == b.epsilon && a.delta == b.delta;
+  }
+};
+
+/// Validates epsilon > 0 and delta in [0, 1).
+Status ValidateBudget(const PrivacyBudget& budget);
+
+/// Basic sequential composition: running mechanisms M_1...M_k on the SAME
+/// data yields (sum eps_i, sum delta_i)-DP. Error if the list is empty or
+/// any budget is invalid.
+StatusOr<PrivacyBudget> SequentialComposition(const std::vector<PrivacyBudget>& budgets);
+
+/// Parallel composition: running mechanisms on DISJOINT partitions of the
+/// data yields (max eps_i, max delta_i)-DP. Error as above.
+StatusOr<PrivacyBudget> ParallelComposition(const std::vector<PrivacyBudget>& budgets);
+
+/// Advanced composition (Dwork–Rothblum–Vadhan): k runs of an
+/// (eps, delta)-DP mechanism are, for any delta_prime > 0,
+///   ( eps*sqrt(2k ln(1/delta')) + k*eps*(e^eps - 1),  k*delta + delta' )-DP
+/// — asymptotically sqrt(k) rather than k. Error on invalid arguments.
+StatusOr<PrivacyBudget> AdvancedComposition(const PrivacyBudget& per_mechanism,
+                                            std::size_t k, double delta_prime);
+
+/// Group privacy: an eps-DP mechanism is (k*eps)-DP for groups of k
+/// simultaneously changed records. Error if eps <= 0 or k == 0.
+StatusOr<double> GroupPrivacyEpsilon(double epsilon, std::size_t group_size);
+
+/// A mutable privacy accountant: tracks cumulative (eps, delta) spent under
+/// basic sequential composition against a fixed total budget, refusing
+/// spends that would exceed it. This is the object a deployment wraps
+/// around a stream of queries.
+class PrivacyAccountant {
+ public:
+  /// Error if `total` is invalid.
+  static StatusOr<PrivacyAccountant> Create(PrivacyBudget total);
+
+  /// Records a spend of `cost`. Error (and no state change) if the spend is
+  /// invalid or would exceed the total budget.
+  Status Spend(const PrivacyBudget& cost);
+
+  PrivacyBudget spent() const { return spent_; }
+  PrivacyBudget total() const { return total_; }
+
+  /// Remaining budget (total - spent), clamped at zero.
+  PrivacyBudget Remaining() const;
+
+ private:
+  explicit PrivacyAccountant(PrivacyBudget total) : total_(total) {}
+
+  PrivacyBudget total_;
+  PrivacyBudget spent_{0.0, 0.0};
+};
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_MECHANISMS_PRIVACY_BUDGET_H_

@@ -1,0 +1,64 @@
+#include "mechanisms/sensitivity.h"
+
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace dplearn {
+
+SensitiveQuery CountQuery(std::function<bool(const Example&)> predicate) {
+  SensitiveQuery q;
+  q.query = [predicate = std::move(predicate)](const Dataset& data) {
+    double count = 0.0;
+    for (const Example& z : data.examples()) {
+      if (predicate(z)) count += 1.0;
+    }
+    return count;
+  };
+  q.sensitivity = 1.0;
+  return q;
+}
+
+StatusOr<SensitiveQuery> BoundedMeanQuery(double label_lo, double label_hi, std::size_t n) {
+  if (!(label_lo < label_hi)) {
+    return InvalidArgumentError("BoundedMeanQuery: empty label range");
+  }
+  if (n == 0) return InvalidArgumentError("BoundedMeanQuery: n must be positive");
+  SensitiveQuery q;
+  q.query = [label_lo, label_hi](const Dataset& data) {
+    if (data.empty()) return 0.5 * (label_lo + label_hi);
+    double sum = 0.0;
+    for (const Example& z : data.examples()) sum += Clamp(z.label, label_lo, label_hi);
+    return sum / static_cast<double>(data.size());
+  };
+  q.sensitivity = (label_hi - label_lo) / static_cast<double>(n);
+  return q;
+}
+
+StatusOr<SensitiveQuery> BoundedSumQuery(double label_lo, double label_hi) {
+  if (!(label_lo < label_hi)) {
+    return InvalidArgumentError("BoundedSumQuery: empty label range");
+  }
+  SensitiveQuery q;
+  q.query = [label_lo, label_hi](const Dataset& data) {
+    double sum = 0.0;
+    for (const Example& z : data.examples()) sum += Clamp(z.label, label_lo, label_hi);
+    return sum;
+  };
+  q.sensitivity = label_hi - label_lo;
+  return q;
+}
+
+StatusOr<double> MeasuredSensitivity(const ScalarQuery& query, const Dataset& base,
+                                     const std::vector<Example>& domain) {
+  if (base.empty()) return InvalidArgumentError("MeasuredSensitivity: empty base dataset");
+  if (domain.empty()) return InvalidArgumentError("MeasuredSensitivity: empty domain");
+  const double base_value = query(base);
+  double max_diff = 0.0;
+  for (const Dataset& neighbor : EnumerateNeighbors(base, domain)) {
+    max_diff = std::max(max_diff, std::fabs(query(neighbor) - base_value));
+  }
+  return max_diff;
+}
+
+}  // namespace dplearn

@@ -1,0 +1,51 @@
+#ifndef DPLEARN_MECHANISMS_SENSITIVITY_H_
+#define DPLEARN_MECHANISMS_SENSITIVITY_H_
+
+#include <functional>
+#include <vector>
+
+#include "learning/dataset.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// A deterministic real-valued query f : datasets -> R (Definition 2.2's
+/// f : D -> R). Implementations must be pure functions of the dataset.
+using ScalarQuery = std::function<double(const Dataset&)>;
+
+/// A query bundled with its global sensitivity
+///   Δf = max_{D ~ D'} |f(D) - f(D')|
+/// over the replace-one-example neighbor relation. The sensitivity is the
+/// caller's *claim*; the Laplace mechanism's guarantee is only as good as
+/// this claim, so prefer the audited constructors below and verify claims
+/// on finite domains with MeasuredSensitivity.
+struct SensitiveQuery {
+  ScalarQuery query;
+  double sensitivity = 0.0;
+};
+
+/// Count query: number of examples whose label satisfies `predicate` —
+/// sensitivity 1 (replacing one example changes the count by at most 1).
+SensitiveQuery CountQuery(std::function<bool(const Example&)> predicate);
+
+/// Mean of labels known to lie in [label_lo, label_hi]; labels are clamped
+/// to that range before averaging (which is what makes the sensitivity
+/// claim (hi-lo)/n sound even on wild inputs). `n` is the fixed dataset
+/// size the query will be asked on. Error if the range is empty or n == 0.
+StatusOr<SensitiveQuery> BoundedMeanQuery(double label_lo, double label_hi, std::size_t n);
+
+/// Sum of labels clamped to [label_lo, label_hi]; sensitivity (hi - lo)
+/// under the replace-one neighbor relation.
+StatusOr<SensitiveQuery> BoundedSumQuery(double label_lo, double label_hi);
+
+/// Exhaustively measures max |f(D) - f(D')| over all replace-one neighbors
+/// of `base` with replacements drawn from `domain`. On a finite example
+/// domain this is the exact local sensitivity at `base`; maximized over a
+/// set of bases it converges to the global sensitivity. Used in tests to
+/// audit claimed sensitivities. Error if base is empty or domain is empty.
+StatusOr<double> MeasuredSensitivity(const ScalarQuery& query, const Dataset& base,
+                                     const std::vector<Example>& domain);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_MECHANISMS_SENSITIVITY_H_

@@ -1,0 +1,50 @@
+#include "mechanisms/sparse_vector.h"
+
+#include "sampling/distributions.h"
+
+namespace dplearn {
+
+StatusOr<SparseVectorMechanism> SparseVectorMechanism::Create(double epsilon,
+                                                              double threshold,
+                                                              std::size_t max_above,
+                                                              double query_sensitivity) {
+  if (!(epsilon > 0.0)) {
+    return InvalidArgumentError("SparseVectorMechanism: epsilon must be positive");
+  }
+  if (max_above == 0) {
+    return InvalidArgumentError("SparseVectorMechanism: max_above must be positive");
+  }
+  if (!(query_sensitivity > 0.0)) {
+    return InvalidArgumentError("SparseVectorMechanism: sensitivity must be positive");
+  }
+  return SparseVectorMechanism(epsilon, threshold, max_above, query_sensitivity);
+}
+
+void SparseVectorMechanism::RefreshThreshold(Rng* rng) {
+  // Half the budget guards the threshold, half the answers (Dwork-Roth
+  // calibration: threshold noise 2Δc/ε, answer noise 4Δc/ε).
+  const double scale = 2.0 * query_sensitivity_ * static_cast<double>(max_above_) / epsilon_;
+  noisy_threshold_ = threshold_ + SampleLaplace(rng, 0.0, scale).value();
+  threshold_ready_ = true;
+}
+
+StatusOr<SparseVectorMechanism::Answer> SparseVectorMechanism::Probe(
+    const ScalarQuery& query, const Dataset& data, Rng* rng) {
+  if (!query) return InvalidArgumentError("SparseVectorMechanism::Probe: query unset");
+  if (halted()) return Answer::kHalted;
+  if (!threshold_ready_) RefreshThreshold(rng);
+
+  const double scale =
+      4.0 * query_sensitivity_ * static_cast<double>(max_above_) / epsilon_;
+  DPLEARN_ASSIGN_OR_RETURN(double noise, SampleLaplace(rng, 0.0, scale));
+  const double noisy_answer = query(data) + noise;
+  if (noisy_answer >= noisy_threshold_) {
+    ++above_count_;
+    // A fresh noisy threshold is drawn for the next epoch.
+    threshold_ready_ = false;
+    return Answer::kAbove;
+  }
+  return Answer::kBelow;
+}
+
+}  // namespace dplearn

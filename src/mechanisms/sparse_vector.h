@@ -1,0 +1,74 @@
+#ifndef DPLEARN_MECHANISMS_SPARSE_VECTOR_H_
+#define DPLEARN_MECHANISMS_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "learning/dataset.h"
+#include "mechanisms/privacy_budget.h"
+#include "mechanisms/sensitivity.h"
+#include "sampling/rng.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// The sparse vector technique / AboveThreshold (Dwork–Roth, Alg. 1 of
+/// §3.6): answers a STREAM of queries with "below threshold" for free and
+/// pays privacy budget only for the (at most c) queries reported above.
+/// The canonical example of adaptive composition on top of the Laplace
+/// primitive — included because a learning deployment typically screens
+/// many candidate statistics before committing its budget to one.
+class SparseVectorMechanism {
+ public:
+  /// `threshold`: the public cutoff. `max_above`: c, the number of
+  /// above-threshold reports allowed before the mechanism halts.
+  /// `query_sensitivity`: common sensitivity bound for all queries that
+  /// will be asked. The whole run is ε-DP. Errors on invalid arguments.
+  static StatusOr<SparseVectorMechanism> Create(double epsilon, double threshold,
+                                                std::size_t max_above,
+                                                double query_sensitivity);
+
+  /// Result of one query probe.
+  enum class Answer {
+    kBelow,   // reported below threshold (costs nothing extra)
+    kAbove,   // reported above threshold (one of the c paid answers)
+    kHalted,  // budget for above-threshold answers exhausted
+  };
+
+  /// Probes one query against the noisy threshold. The mechanism is
+  /// stateful: after `max_above` kAbove answers every further probe
+  /// returns kHalted. Errors if the query is unset.
+  StatusOr<Answer> Probe(const ScalarQuery& query, const Dataset& data, Rng* rng);
+
+  /// Number of above-threshold answers issued so far.
+  std::size_t above_count() const { return above_count_; }
+
+  /// True once the mechanism stops answering.
+  bool halted() const { return above_count_ >= max_above_; }
+
+  /// The guarantee for the whole interaction (any number of probes).
+  PrivacyBudget Guarantee() const { return PrivacyBudget{epsilon_, 0.0}; }
+
+ private:
+  SparseVectorMechanism(double epsilon, double threshold, std::size_t max_above,
+                        double query_sensitivity)
+      : epsilon_(epsilon),
+        threshold_(threshold),
+        max_above_(max_above),
+        query_sensitivity_(query_sensitivity) {}
+
+  /// Draws a fresh noisy threshold (once per above-threshold epoch).
+  void RefreshThreshold(Rng* rng);
+
+  double epsilon_;
+  double threshold_;
+  std::size_t max_above_;
+  double query_sensitivity_;
+  std::size_t above_count_ = 0;
+  bool threshold_ready_ = false;
+  double noisy_threshold_ = 0.0;
+};
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_MECHANISMS_SPARSE_VECTOR_H_

@@ -1,0 +1,81 @@
+#include "mechanisms/subsample.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sampling/distributions.h"
+
+namespace dplearn {
+
+StatusOr<Dataset> PoissonSubsample(const Dataset& data, double q, Rng* rng) {
+  if (!(q > 0.0) || q > 1.0) {
+    return InvalidArgumentError("PoissonSubsample: q must be in (0,1]");
+  }
+  Dataset out;
+  for (const Example& z : data.examples()) {
+    DPLEARN_ASSIGN_OR_RETURN(int keep, SampleBernoulli(rng, q));
+    if (keep == 1) out.Add(z);
+  }
+  return out;
+}
+
+StatusOr<Dataset> UniformSubsample(const Dataset& data, std::size_t m, Rng* rng) {
+  if (m == 0) return InvalidArgumentError("UniformSubsample: m must be positive");
+  if (m > data.size()) {
+    return InvalidArgumentError("UniformSubsample: m exceeds dataset size");
+  }
+  // Partial Fisher-Yates over an index array.
+  std::vector<std::size_t> indices(data.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng->NextBounded(indices.size() - i));
+    std::swap(indices[i], indices[j]);
+  }
+  Dataset out;
+  for (std::size_t i = 0; i < m; ++i) out.Add(data.at(indices[i]));
+  return out;
+}
+
+StatusOr<double> AmplifiedEpsilonPoisson(double epsilon, double q) {
+  if (!(epsilon > 0.0)) {
+    return InvalidArgumentError("AmplifiedEpsilonPoisson: epsilon must be positive");
+  }
+  if (!(q > 0.0) || q > 1.0) {
+    return InvalidArgumentError("AmplifiedEpsilonPoisson: q must be in (0,1]");
+  }
+  return std::log1p(q * std::expm1(epsilon));
+}
+
+StatusOr<double> AmplifiedEpsilonUniform(double epsilon, std::size_t m, std::size_t n) {
+  if (m == 0 || n == 0 || m > n) {
+    return InvalidArgumentError("AmplifiedEpsilonUniform: need 0 < m <= n");
+  }
+  return AmplifiedEpsilonPoisson(epsilon,
+                                 static_cast<double>(m) / static_cast<double>(n));
+}
+
+StatusOr<double> AmplifiedEpsilonPoissonReplace(double epsilon, double q) {
+  if (!(epsilon > 0.0)) {
+    return InvalidArgumentError("AmplifiedEpsilonPoissonReplace: epsilon must be positive");
+  }
+  if (!(q > 0.0) || q > 1.0) {
+    return InvalidArgumentError("AmplifiedEpsilonPoissonReplace: q must be in (0,1]");
+  }
+  const double numerator = (1.0 - q) + q * std::exp(2.0 * epsilon);
+  const double denominator = (1.0 - q) + q * std::exp(epsilon);
+  return std::log(numerator / denominator);
+}
+
+StatusOr<double> BaseEpsilonForAmplifiedTarget(double target_epsilon, double q) {
+  if (!(target_epsilon > 0.0)) {
+    return InvalidArgumentError("BaseEpsilonForAmplifiedTarget: target must be positive");
+  }
+  if (!(q > 0.0) || q > 1.0) {
+    return InvalidArgumentError("BaseEpsilonForAmplifiedTarget: q must be in (0,1]");
+  }
+  return std::log1p(std::expm1(target_epsilon) / q);
+}
+
+}  // namespace dplearn

@@ -1,0 +1,51 @@
+#include "sampling/alias_sampler.h"
+
+#include <vector>
+
+#include "util/math_util.h"
+
+namespace dplearn {
+
+StatusOr<AliasSampler> AliasSampler::Create(const std::vector<double>& p) {
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(p, 1e-6));
+  const std::size_t n = p.size();
+  AliasSampler s;
+  s.original_ = p;
+  s.prob_.assign(n, 0.0);
+  s.alias_.assign(n, 0);
+
+  // Scale so the average bucket mass is 1, then pair under-full buckets with
+  // over-full ones (Vose's stable variant).
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = p[i] * static_cast<double>(n);
+
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s_idx = small.back();
+    small.pop_back();
+    const std::size_t l_idx = large.back();
+    large.pop_back();
+    s.prob_[s_idx] = scaled[s_idx];
+    s.alias_[s_idx] = l_idx;
+    scaled[l_idx] = (scaled[l_idx] + scaled[s_idx]) - 1.0;
+    (scaled[l_idx] < 1.0 ? small : large).push_back(l_idx);
+  }
+  // Remaining buckets have mass 1 up to rounding.
+  for (std::size_t i : large) s.prob_[i] = 1.0;
+  for (std::size_t i : small) s.prob_[i] = 1.0;
+  return s;
+}
+
+std::size_t AliasSampler::Sample(Rng* rng) const {
+  const std::size_t bucket = static_cast<std::size_t>(rng->NextBounded(prob_.size()));
+  return rng->NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace dplearn

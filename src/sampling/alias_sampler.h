@@ -1,0 +1,40 @@
+#ifndef DPLEARN_SAMPLING_ALIAS_SAMPLER_H_
+#define DPLEARN_SAMPLING_ALIAS_SAMPLER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sampling/rng.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// Walker's alias method: O(n) preprocessing, O(1) per draw from a fixed
+/// discrete distribution. Used wherever a Gibbs posterior / exponential
+/// mechanism over a finite range is sampled many times (e.g. the empirical
+/// DP verifier draws millions of outputs per neighboring-dataset pair).
+class AliasSampler {
+ public:
+  /// Builds the alias table for probability vector `p` (validated).
+  static StatusOr<AliasSampler> Create(const std::vector<double>& p);
+
+  /// Draws an index distributed according to the construction distribution.
+  std::size_t Sample(Rng* rng) const;
+
+  /// Number of outcomes.
+  std::size_t size() const { return prob_.size(); }
+
+  /// The probability vector the table was built from.
+  const std::vector<double>& probabilities() const { return original_; }
+
+ private:
+  AliasSampler() = default;
+
+  std::vector<double> original_;
+  std::vector<double> prob_;        // acceptance probability per bucket
+  std::vector<std::size_t> alias_;  // fallback outcome per bucket
+};
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_SAMPLING_ALIAS_SAMPLER_H_

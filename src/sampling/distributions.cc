@@ -1,0 +1,163 @@
+#include "sampling/distributions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/math_util.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+namespace {
+constexpr double kSqrt2Pi = 2.5066282746310002;
+}  // namespace
+
+StatusOr<double> SampleUniform(Rng* rng, double lo, double hi) {
+  if (!(lo < hi)) return InvalidArgumentError("SampleUniform: lo must be < hi");
+  return lo + (hi - lo) * rng->NextDouble();
+}
+
+double SampleStandardNormal(Rng* rng) {
+  // Marsaglia polar method; rejection loop accepts ~78.5% of candidates.
+  for (;;) {
+    const double u = 2.0 * rng->NextDouble() - 1.0;
+    const double v = 2.0 * rng->NextDouble() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+StatusOr<double> SampleNormal(Rng* rng, double mean, double stddev) {
+  if (stddev <= 0.0) return InvalidArgumentError("SampleNormal: stddev must be positive");
+  return mean + stddev * SampleStandardNormal(rng);
+}
+
+double NormalLogPdf(double x, double mean, double stddev) {
+  const double z = (x - mean) / stddev;
+  return -0.5 * z * z - std::log(stddev * kSqrt2Pi);
+}
+
+double NormalCdf(double x, double mean, double stddev) {
+  return 0.5 * std::erfc(-(x - mean) / (stddev * 1.4142135623730951));
+}
+
+StatusOr<double> SampleLaplace(Rng* rng, double mean, double scale) {
+  if (scale <= 0.0) return InvalidArgumentError("SampleLaplace: scale must be positive");
+  // Inverse CDF on u ~ Uniform(-1/2, 1/2): x = mean - scale*sgn(u)*log(1-2|u|).
+  const double u = rng->NextDoubleOpen() - 0.5;
+  const double sgn = (u < 0.0) ? -1.0 : 1.0;
+  return mean - scale * sgn * std::log1p(-2.0 * std::fabs(u));
+}
+
+double LaplacePdf(double x, double mean, double scale) {
+  return std::exp(-std::fabs(x - mean) / scale) / (2.0 * scale);
+}
+
+double LaplaceLogPdf(double x, double mean, double scale) {
+  return -std::fabs(x - mean) / scale - std::log(2.0 * scale);
+}
+
+double LaplaceCdf(double x, double mean, double scale) {
+  const double z = (x - mean) / scale;
+  if (z < 0.0) return 0.5 * std::exp(z);
+  return 1.0 - 0.5 * std::exp(-z);
+}
+
+StatusOr<double> SampleExponential(Rng* rng, double rate) {
+  if (rate <= 0.0) return InvalidArgumentError("SampleExponential: rate must be positive");
+  return -std::log(rng->NextDoubleOpen()) / rate;
+}
+
+StatusOr<double> SampleGamma(Rng* rng, double shape, double scale) {
+  if (shape <= 0.0 || scale <= 0.0) {
+    return InvalidArgumentError("SampleGamma: shape and scale must be positive");
+  }
+  // Marsaglia–Tsang squeeze method; for shape < 1 boost with U^{1/shape}.
+  if (shape < 1.0) {
+    DPLEARN_ASSIGN_OR_RETURN(double g, SampleGamma(rng, shape + 1.0, scale));
+    const double u = rng->NextDoubleOpen();
+    return g * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = SampleStandardNormal(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng->NextDoubleOpen();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v * scale;
+  }
+}
+
+StatusOr<int> SampleBernoulli(Rng* rng, double p) {
+  if (p < 0.0 || p > 1.0) return InvalidArgumentError("SampleBernoulli: p must be in [0,1]");
+  return rng->NextDouble() < p ? 1 : 0;
+}
+
+StatusOr<std::size_t> SampleDiscrete(Rng* rng, const std::vector<double>& p) {
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(p, 1e-6));
+  const double u = rng->NextDouble();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += p[i];
+    if (u < acc) return i;
+  }
+  return p.size() - 1;  // u landed in the rounding slack at the top
+}
+
+StatusOr<std::size_t> SampleFromLogWeights(Rng* rng, const std::vector<double>& log_weights) {
+  if (log_weights.empty()) {
+    return InvalidArgumentError("SampleFromLogWeights: empty input");
+  }
+  // Gumbel-max: argmax_i (log w_i + G_i), G_i ~ Gumbel(0,1).
+  std::size_t best = 0;
+  double best_val = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < log_weights.size(); ++i) {
+    const double gumbel = -std::log(-std::log(rng->NextDoubleOpen()));
+    const double val = log_weights[i] + gumbel;
+    if (val > best_val) {
+      best_val = val;
+      best = i;
+    }
+  }
+  if (best_val == -std::numeric_limits<double>::infinity()) {
+    return InvalidArgumentError("SampleFromLogWeights: all weights are zero");
+  }
+  return best;
+}
+
+StatusOr<std::vector<double>> SampleUnitSphere(Rng* rng, std::size_t d) {
+  if (d == 0) return InvalidArgumentError("SampleUnitSphere: dimension must be positive");
+  std::vector<double> v(d);
+  double norm_sq = 0.0;
+  do {
+    norm_sq = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      v[i] = SampleStandardNormal(rng);
+      norm_sq += v[i] * v[i];
+    }
+  } while (norm_sq == 0.0);
+  const double inv = 1.0 / std::sqrt(norm_sq);
+  for (double& x : v) x *= inv;
+  return v;
+}
+
+StatusOr<std::vector<double>> SampleGammaNormVector(Rng* rng, std::size_t d, double rate) {
+  if (rate <= 0.0) {
+    return InvalidArgumentError("SampleGammaNormVector: rate must be positive");
+  }
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> dir, SampleUnitSphere(rng, d));
+  // ||b|| has density prop. to r^{d-1} exp(-rate*r), i.e. Gamma(d, 1/rate).
+  DPLEARN_ASSIGN_OR_RETURN(double norm, SampleGamma(rng, static_cast<double>(d), 1.0 / rate));
+  for (double& x : dir) x *= norm;
+  return dir;
+}
+
+}  // namespace dplearn

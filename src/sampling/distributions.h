@@ -1,0 +1,80 @@
+#ifndef DPLEARN_SAMPLING_DISTRIBUTIONS_H_
+#define DPLEARN_SAMPLING_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sampling/rng.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// Samplers and densities for the distributions the library needs. All
+/// samplers are pure functions of the Rng stream (no hidden state), and each
+/// sampler has a matching density/log-density so that the empirical DP
+/// verifier can compare measured frequencies against exact densities.
+
+/// Draws Uniform(lo, hi). Error if lo >= hi.
+StatusOr<double> SampleUniform(Rng* rng, double lo, double hi);
+
+/// Draws a standard normal via the Marsaglia polar method.
+double SampleStandardNormal(Rng* rng);
+
+/// Draws Normal(mean, stddev). Error if stddev <= 0.
+StatusOr<double> SampleNormal(Rng* rng, double mean, double stddev);
+
+/// Log-density of Normal(mean, stddev) at x.
+double NormalLogPdf(double x, double mean, double stddev);
+
+/// CDF of Normal(mean, stddev) at x.
+double NormalCdf(double x, double mean, double stddev);
+
+/// Draws Laplace(mean, scale) by inverse CDF. Error if scale <= 0.
+/// This is the noise distribution of the Laplace mechanism (Theorem 2.1).
+StatusOr<double> SampleLaplace(Rng* rng, double mean, double scale);
+
+/// Density of Laplace(mean, scale) at x: exp(-|x-mean|/scale) / (2*scale).
+double LaplacePdf(double x, double mean, double scale);
+
+/// Log-density of Laplace(mean, scale) at x.
+double LaplaceLogPdf(double x, double mean, double scale);
+
+/// CDF of Laplace(mean, scale) at x.
+double LaplaceCdf(double x, double mean, double scale);
+
+/// Draws Exponential(rate). Error if rate <= 0.
+StatusOr<double> SampleExponential(Rng* rng, double rate);
+
+/// Draws Gamma(shape, scale) via Marsaglia–Tsang. Error if shape <= 0 or
+/// scale <= 0. Used to sample the norm of the noise vector in
+/// Chaudhuri-style output/objective perturbation (the noise direction is
+/// uniform on the sphere and the norm is Gamma(d, 2/(n*lambda*eps))-like).
+StatusOr<double> SampleGamma(Rng* rng, double shape, double scale);
+
+/// Draws Bernoulli(p) in {0,1}. Error if p outside [0,1].
+StatusOr<int> SampleBernoulli(Rng* rng, double p);
+
+/// Draws an index from the distribution `p` by inverse CDF; `p` must be a
+/// valid probability vector. For repeated draws from a fixed distribution
+/// prefer AliasSampler.
+StatusOr<std::size_t> SampleDiscrete(Rng* rng, const std::vector<double>& p);
+
+/// Draws an index proportionally to exp(log_weights[i]) without forming the
+/// normalized distribution (Gumbel-max trick): stable when weights span many
+/// orders of magnitude, which they do for exponential-mechanism scores at
+/// large epsilon. Error if empty.
+StatusOr<std::size_t> SampleFromLogWeights(Rng* rng, const std::vector<double>& log_weights);
+
+/// Draws a point uniformly from the surface of the unit sphere in d
+/// dimensions. Error if d == 0.
+StatusOr<std::vector<double>> SampleUnitSphere(Rng* rng, std::size_t d);
+
+/// Draws a noise vector with density proportional to exp(-rate * ||b||_2)
+/// in d dimensions (the "Gamma-norm + uniform direction" construction used
+/// by Chaudhuri–Monteleoni–Sarwate for private ERM). Error if rate <= 0 or
+/// d == 0.
+StatusOr<std::vector<double>> SampleGammaNormVector(Rng* rng, std::size_t d, double rate);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_SAMPLING_DISTRIBUTIONS_H_

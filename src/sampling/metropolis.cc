@@ -1,0 +1,63 @@
+#include "sampling/metropolis.h"
+
+#include <cmath>
+#include <limits>
+
+#include "sampling/distributions.h"
+
+namespace dplearn {
+
+StatusOr<MetropolisResult> RunMetropolis(const LogDensityFn& log_density,
+                                         const std::vector<double>& initial_point,
+                                         std::size_t num_samples,
+                                         const MetropolisOptions& options, Rng* rng) {
+  if (initial_point.empty()) {
+    return InvalidArgumentError("RunMetropolis: initial point must be non-empty");
+  }
+  if (num_samples == 0) {
+    return InvalidArgumentError("RunMetropolis: num_samples must be positive");
+  }
+  if (options.proposal_stddev <= 0.0) {
+    return InvalidArgumentError("RunMetropolis: proposal_stddev must be positive");
+  }
+  if (options.thinning == 0) {
+    return InvalidArgumentError("RunMetropolis: thinning must be positive");
+  }
+
+  std::vector<double> current = initial_point;
+  double current_log_density = log_density(current);
+  if (!std::isfinite(current_log_density)) {
+    return InvalidArgumentError("RunMetropolis: initial point has zero density");
+  }
+
+  MetropolisResult result;
+  result.samples.reserve(num_samples);
+
+  const std::size_t total_steps = options.burn_in + num_samples * options.thinning;
+  std::size_t accepted = 0;
+  std::vector<double> proposal(current.size());
+
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      proposal[i] = current[i] + options.proposal_stddev * SampleStandardNormal(rng);
+    }
+    const double proposal_log_density = log_density(proposal);
+    const double log_ratio = proposal_log_density - current_log_density;
+    if (log_ratio >= 0.0 || std::log(rng->NextDoubleOpen()) < log_ratio) {
+      current = proposal;
+      current_log_density = proposal_log_density;
+      ++accepted;
+    }
+    if (step >= options.burn_in && (step - options.burn_in + 1) % options.thinning == 0) {
+      result.samples.push_back(current);
+    }
+  }
+  // Thinning arithmetic above retains exactly num_samples points.
+  while (result.samples.size() < num_samples) result.samples.push_back(current);
+
+  result.acceptance_rate =
+      static_cast<double>(accepted) / static_cast<double>(total_steps);
+  return result;
+}
+
+}  // namespace dplearn

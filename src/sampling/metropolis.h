@@ -1,0 +1,53 @@
+#ifndef DPLEARN_SAMPLING_METROPOLIS_H_
+#define DPLEARN_SAMPLING_METROPOLIS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "sampling/rng.h"
+#include "util/status.h"
+
+namespace dplearn {
+
+/// Unnormalized log-density over R^d. Implementations must be deterministic
+/// functions of their argument; returning -infinity marks a point as outside
+/// the support.
+using LogDensityFn = std::function<double(const std::vector<double>&)>;
+
+/// Configuration for the random-walk Metropolis sampler.
+struct MetropolisOptions {
+  /// Gaussian proposal standard deviation (isotropic).
+  double proposal_stddev = 0.25;
+  /// Iterations discarded before samples are collected.
+  std::size_t burn_in = 1000;
+  /// Chain steps between retained samples (reduces autocorrelation).
+  std::size_t thinning = 10;
+};
+
+/// Result of a Metropolis run: retained samples plus chain diagnostics.
+struct MetropolisResult {
+  std::vector<std::vector<double>> samples;
+  /// Fraction of proposals accepted over the whole run (including burn-in).
+  double acceptance_rate = 0.0;
+};
+
+/// Random-walk Metropolis–Hastings over an unnormalized log-density.
+///
+/// This is the continuous-Θ path for the exponential mechanism / Gibbs
+/// posterior (the paper's Section 2.1 mechanism "dπ*(u) ∝ exp(εq(x,u))dπ(u)"
+/// over an arbitrary range): for continuous parameter spaces the posterior
+/// cannot be enumerated, so we sample it by MCMC. Exactness then holds only
+/// asymptotically; the experiment harness uses grid-enumerable spaces when a
+/// sharp theorem check is required and MCMC when realism is required.
+///
+/// Errors: invalid options (non-positive stddev, zero thinning), empty
+/// initial point, initial point with zero density, or num_samples == 0.
+StatusOr<MetropolisResult> RunMetropolis(const LogDensityFn& log_density,
+                                         const std::vector<double>& initial_point,
+                                         std::size_t num_samples,
+                                         const MetropolisOptions& options, Rng* rng);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_SAMPLING_METROPOLIS_H_

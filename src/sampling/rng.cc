@@ -1,0 +1,64 @@
+#include "sampling/rng.h"
+
+#include "util/logging.h"
+
+namespace dplearn {
+namespace {
+
+/// splitmix64 step: used to expand a single seed into xoshiro state and to
+/// derive child seeds. Reference: Steele, Lea & Flood, "Fast Splittable
+/// Pseudorandom Number Generators" (OOPSLA 2014).
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // xoshiro state must not be all-zero; splitmix64 of any seed cannot produce
+  // four zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // Top 53 bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDoubleOpen() {
+  // (u + 0.5) / 2^53 lies in (0, 1) strictly.
+  return (static_cast<double>(NextUint64() >> 11) + 0.5) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  DPLEARN_CHECK_GT(bound, 0u);
+  // Rejection sampling on the top of the range to avoid modulo bias.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+}  // namespace dplearn

@@ -1,0 +1,52 @@
+#ifndef DPLEARN_UTIL_LOGGING_H_
+#define DPLEARN_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dplearn {
+namespace internal_logging {
+
+/// Accumulates a fatal-error message and aborts the process on destruction.
+/// Used by the DPLEARN_CHECK* macros; not part of the public API.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "[FATAL " << file << ":" << line << "] Check failed: " << condition << " ";
+  }
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace dplearn
+
+/// Aborts with a diagnostic if `condition` is false. Active in all build
+/// modes: these guard internal invariants whose violation would make
+/// privacy accounting meaningless, so they must not compile away.
+#define DPLEARN_CHECK(condition)                                              \
+  if (!(condition))                                                           \
+  ::dplearn::internal_logging::FatalMessage(__FILE__, __LINE__, #condition).stream()
+
+#define DPLEARN_CHECK_OK(expr)                                    \
+  if (::dplearn::Status _s = (expr); !_s.ok())                    \
+  ::dplearn::internal_logging::FatalMessage(__FILE__, __LINE__, #expr).stream() \
+      << _s.ToString()
+
+#define DPLEARN_CHECK_EQ(a, b) DPLEARN_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DPLEARN_CHECK_NE(a, b) DPLEARN_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DPLEARN_CHECK_LT(a, b) DPLEARN_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DPLEARN_CHECK_LE(a, b) DPLEARN_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DPLEARN_CHECK_GT(a, b) DPLEARN_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define DPLEARN_CHECK_GE(a, b) DPLEARN_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // DPLEARN_UTIL_LOGGING_H_

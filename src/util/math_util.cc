@@ -1,0 +1,139 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+
+namespace dplearn {
+
+double LogSumExp(const std::vector<double>& x) {
+  if (x.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(x.begin(), x.end());
+  if (!std::isfinite(m)) return m;  // all -inf, or contains +inf/NaN
+  double sum = 0.0;
+  for (double v : x) sum += std::exp(v - m);
+  return m + std::log(sum);
+}
+
+double LogAddExp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double m = std::max(a, b);
+  return m + std::log1p(std::exp(std::min(a, b) - m));
+}
+
+StatusOr<std::vector<double>> SoftmaxFromLog(const std::vector<double>& log_weights) {
+  if (log_weights.empty()) {
+    return InvalidArgumentError("SoftmaxFromLog: empty input");
+  }
+  const double lse = LogSumExp(log_weights);
+  if (!std::isfinite(lse)) {
+    return InvalidArgumentError("SoftmaxFromLog: weights sum to zero or are non-finite");
+  }
+  std::vector<double> p(log_weights.size());
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = std::exp(log_weights[i] - lse);
+  return p;
+}
+
+double XLogX(double x) {
+  if (x == 0.0) return 0.0;
+  return x * std::log(x);
+}
+
+double XLogXOverY(double x, double y) {
+  if (x == 0.0) return 0.0;
+  if (y == 0.0) return std::numeric_limits<double>::infinity();
+  return x * std::log(x / y);
+}
+
+double Clamp(double x, double lo, double hi) { return std::min(hi, std::max(lo, x)); }
+
+bool ApproxEqual(double a, double b, double abs_tol, double rel_tol) {
+  const double diff = std::fabs(a - b);
+  return diff <= abs_tol + rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+StatusOr<double> Mean(const std::vector<double>& x) {
+  if (x.empty()) return InvalidArgumentError("Mean: empty input");
+  return std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(x.size());
+}
+
+StatusOr<double> SampleVariance(const std::vector<double>& x) {
+  if (x.size() < 2) return InvalidArgumentError("SampleVariance: need at least 2 samples");
+  const double m = std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(x.size());
+  double ss = 0.0;
+  for (double v : x) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(x.size() - 1);
+}
+
+StatusOr<double> Quantile(std::vector<double> x, double q) {
+  if (x.empty()) return InvalidArgumentError("Quantile: empty input");
+  if (q < 0.0 || q > 1.0) return InvalidArgumentError("Quantile: q must be in [0,1]");
+  std::sort(x.begin(), x.end());
+  const double pos = q * static_cast<double>(x.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, x.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return x[lo] * (1.0 - frac) + x[hi] * frac;
+}
+
+Status ValidateDistribution(const std::vector<double>& p, double tol) {
+  if (p.empty()) return InvalidArgumentError("ValidateDistribution: empty distribution");
+  double sum = 0.0;
+  for (double v : p) {
+    if (!(v >= 0.0)) {
+      return InvalidArgumentError("ValidateDistribution: negative or NaN probability " +
+                                  std::to_string(v));
+    }
+    sum += v;
+  }
+  if (std::fabs(sum - 1.0) > tol) {
+    return InvalidArgumentError("ValidateDistribution: probabilities sum to " +
+                                std::to_string(sum) + ", expected 1");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> Normalize(const std::vector<double>& w) {
+  if (w.empty()) return InvalidArgumentError("Normalize: empty weights");
+  double sum = 0.0;
+  for (double v : w) {
+    if (!(v >= 0.0) || !std::isfinite(v)) {
+      return InvalidArgumentError("Normalize: weights must be finite and non-negative");
+    }
+    sum += v;
+  }
+  if (sum <= 0.0) return InvalidArgumentError("Normalize: weights sum to zero");
+  std::vector<double> p(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) p[i] = w[i] / sum;
+  return p;
+}
+
+StatusOr<std::vector<double>> Linspace(double lo, double hi, std::size_t count) {
+  if (count < 2) return InvalidArgumentError("Linspace: count must be >= 2");
+  if (!(lo < hi)) return InvalidArgumentError("Linspace: lo must be < hi");
+  std::vector<double> grid(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) grid[i] = lo + step * static_cast<double>(i);
+  grid.back() = hi;  // avoid accumulated rounding at the endpoint
+  return grid;
+}
+
+StatusOr<double> CatoniPhi(double gamma, double r) {
+  if (gamma <= 0.0) return InvalidArgumentError("CatoniPhi: gamma must be positive");
+  const double scale = -std::expm1(-gamma);  // 1 - exp(-gamma), stable for small gamma
+  const double arg = 1.0 - scale * r;
+  if (arg <= 0.0) {
+    return OutOfRangeError("CatoniPhi: argument outside domain (bound is vacuous)");
+  }
+  return -std::log(arg) / gamma;
+}
+
+double CatoniContractionFactor(double lambda, double n) {
+  const double gamma = lambda / n;
+  return -std::expm1(-gamma) / gamma;
+}
+
+}  // namespace dplearn

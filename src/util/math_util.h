@@ -1,0 +1,76 @@
+#ifndef DPLEARN_UTIL_MATH_UTIL_H_
+#define DPLEARN_UTIL_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dplearn {
+
+/// Numerically-stable scalar and vector helpers shared by the sampling,
+/// information-theory, and PAC-Bayes modules. All log arguments are natural
+/// logs unless a function name says otherwise.
+
+/// Natural log of 2; entropy functions convert nats->bits with this.
+inline constexpr double kLn2 = 0.6931471805599453;
+
+/// Returns log(sum_i exp(x[i])) computed stably (shift by max). Returns
+/// -infinity for an empty input.
+double LogSumExp(const std::vector<double>& x);
+
+/// Returns log(exp(a) + exp(b)) computed stably.
+double LogAddExp(double a, double b);
+
+/// Exponentiates and normalizes `log_weights` into a probability vector.
+/// Stable for widely-spread magnitudes. Error if empty or all -inf.
+StatusOr<std::vector<double>> SoftmaxFromLog(const std::vector<double>& log_weights);
+
+/// Returns x*log(x) with the continuity convention 0*log(0) = 0.
+/// Error semantics: callers must pass x >= 0.
+double XLogX(double x);
+
+/// Returns x*log(x/y) with conventions 0*log(0/y)=0; +inf when x>0 and y==0.
+double XLogXOverY(double x, double y);
+
+/// Clamps `x` to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// Returns true iff |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
+bool ApproxEqual(double a, double b, double abs_tol = 1e-9, double rel_tol = 1e-9);
+
+/// Returns the mean of `x`. Error if empty.
+StatusOr<double> Mean(const std::vector<double>& x);
+
+/// Returns the unbiased sample variance of `x`. Error if size < 2.
+StatusOr<double> SampleVariance(const std::vector<double>& x);
+
+/// Returns the q-quantile (0<=q<=1) of `x` by linear interpolation on the
+/// sorted sample. Error if empty or q outside [0,1].
+StatusOr<double> Quantile(std::vector<double> x, double q);
+
+/// Validates that `p` is a probability vector: non-negative entries summing
+/// to 1 within `tol`. Returns OK or InvalidArgument with a description.
+Status ValidateDistribution(const std::vector<double>& p, double tol = 1e-9);
+
+/// Normalizes `w` (non-negative weights, not all zero) into a distribution.
+StatusOr<std::vector<double>> Normalize(const std::vector<double>& w);
+
+/// Returns an evenly spaced grid of `count` points from `lo` to `hi`
+/// inclusive. Error if count < 2 or lo >= hi.
+StatusOr<std::vector<double>> Linspace(double lo, double hi, std::size_t count);
+
+/// Catoni's Phi transform (Theorem 3.1 of the paper):
+///   Phi_{gamma}(r) = -(1/gamma) * log(1 - (1 - exp(-gamma)) * r)
+/// with gamma = lambda/n. Maps an exponential-moment risk bound back to the
+/// risk scale; the inverse of r -> (1 - exp(-gamma r))/(1 - exp(-gamma)).
+/// Domain: r < 1/(1 - exp(-gamma)). Error outside the domain.
+StatusOr<double> CatoniPhi(double gamma, double r);
+
+/// The factor n/lambda * (1 - exp(-lambda/n)) that Catoni notes is within
+/// [1 - lambda/(2n), 1]; used to sanity-check bound implementations.
+double CatoniContractionFactor(double lambda, double n);
+
+}  // namespace dplearn
+
+#endif  // DPLEARN_UTIL_MATH_UTIL_H_

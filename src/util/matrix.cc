@@ -1,0 +1,169 @@
+#include "util/matrix.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+
+namespace dplearn {
+
+double Dot(const Vector& a, const Vector& b) {
+  DPLEARN_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  DPLEARN_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Sub(const Vector& a, const Vector& b) {
+  DPLEARN_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Scale(const Vector& a, double s) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void AxpyInPlace(Vector* a, double s, const Vector& b) {
+  DPLEARN_CHECK_EQ(a->size(), b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) (*a)[i] += s * b[i];
+}
+
+double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+double Norm1(const Vector& a) {
+  double s = 0.0;
+  for (double v : a) s += std::fabs(v);
+  return s;
+}
+
+double NormInf(const Vector& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  DPLEARN_CHECK_GT(rows, 0u);
+  DPLEARN_CHECK_GT(cols, 0u);
+}
+
+StatusOr<Matrix> Matrix::FromRowMajor(std::size_t rows, std::size_t cols,
+                                      std::vector<double> data) {
+  if (rows == 0 || cols == 0) {
+    return InvalidArgumentError("Matrix::FromRowMajor: dimensions must be positive");
+  }
+  if (data.size() != rows * cols) {
+    return InvalidArgumentError("Matrix::FromRowMajor: data size " +
+                                std::to_string(data.size()) + " != rows*cols " +
+                                std::to_string(rows * cols));
+  }
+  Matrix m(rows, cols);
+  m.data_ = std::move(data);
+  return m;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+StatusOr<Vector> Matrix::MatVec(const Vector& x) const {
+  if (x.size() != cols_) {
+    return InvalidArgumentError("Matrix::MatVec: size mismatch");
+  }
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += At(r, c) * x[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+StatusOr<Vector> Matrix::TransposeMatVec(const Vector& x) const {
+  if (x.size() != rows_) {
+    return InvalidArgumentError("Matrix::TransposeMatVec: size mismatch");
+  }
+  Vector out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += At(r, c) * x[r];
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = i; j < cols_; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) s += At(r, i) * At(r, j);
+      g.At(i, j) = s;
+      g.At(j, i) = s;
+    }
+  }
+  return g;
+}
+
+Status Matrix::AddDiagonal(double lambda) {
+  if (rows_ != cols_) {
+    return InvalidArgumentError("Matrix::AddDiagonal: matrix must be square");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) At(i, i) += lambda;
+  return Status::Ok();
+}
+
+StatusOr<Vector> Matrix::CholeskySolve(const Vector& b) const {
+  if (rows_ != cols_) {
+    return InvalidArgumentError("CholeskySolve: matrix must be square");
+  }
+  if (b.size() != rows_) {
+    return InvalidArgumentError("CholeskySolve: rhs size mismatch");
+  }
+  const std::size_t n = rows_;
+  // Lower-triangular factor L with this = L * L^T.
+  std::vector<double> l(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = At(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l[i * n + k] * l[j * n + k];
+      if (i == j) {
+        if (s <= 0.0) {
+          return FailedPreconditionError("CholeskySolve: matrix not positive definite");
+        }
+        l[i * n + j] = std::sqrt(s);
+      } else {
+        l[i * n + j] = s / l[j * n + j];
+      }
+    }
+  }
+  // Forward substitution: L y = b.
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l[i * n + k] * y[k];
+    y[i] = s / l[i * n + i];
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l[k * n + ii] * x[k];
+    x[ii] = s / l[ii * n + ii];
+  }
+  return x;
+}
+
+}  // namespace dplearn

@@ -1,0 +1,171 @@
+/// Failure-injection suite: deliberately broken mechanisms must be CAUGHT
+/// by the empirical DP auditors. A verifier that only ever passes correct
+/// code is untested itself; each case here injects one classic privacy bug
+/// and asserts the measured ε* exceeds the claimed guarantee (or is
+/// flagged unbounded).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "core/dp_verifier.h"
+#include "core/gibbs_estimator.h"
+#include "learning/generators.h"
+#include "learning/risk.h"
+#include "mechanisms/laplace.h"
+#include "mechanisms/sensitivity.h"
+#include "sampling/distributions.h"
+
+namespace dplearn {
+namespace {
+
+Dataset BitData(std::initializer_list<double> bits) {
+  Dataset d;
+  for (double b : bits) d.Add(Example{Vector{1.0}, b});
+  return d;
+}
+
+TEST(FailureInjectionTest, UnderclaimedSensitivityIsCaught) {
+  // Bug: the analyst claims sensitivity 1/n for a SUM query (true
+  // sensitivity 1). The Laplace noise is then ~n times too small and the
+  // density audit must measure eps* >> eps.
+  const double eps = 1.0;
+  const std::size_t n = 4;
+  SensitiveQuery bugged;
+  bugged.query = [](const Dataset& data) {
+    double sum = 0.0;
+    for (const Example& z : data.examples()) sum += z.label;
+    return sum;  // SUM, not mean
+  };
+  bugged.sensitivity = 1.0 / static_cast<double>(n);  // WRONG: should be 1
+  auto mechanism = LaplaceMechanism::Create(bugged, eps).value();
+  ScalarDensityFn density = [&mechanism](const Dataset& d, double out) {
+    return mechanism.OutputDensity(d, out);
+  };
+  std::vector<double> probes;
+  for (double x = -10.0; x <= 14.0; x += 0.1) probes.push_back(x);
+  auto audit = AuditScalarDensityMechanism(density, {BitData({1.0, 0.0, 1.0, 0.0})},
+                                           BernoulliMeanTask::Domain(), probes)
+                   .value();
+  EXPECT_GT(audit.max_log_ratio, eps * 2.0);  // blown guarantee, loudly
+}
+
+TEST(FailureInjectionTest, MissingNoiseIsUnbounded) {
+  // Bug: the mechanism forgets to add noise — deterministic output.
+  FiniteOutputMechanism noiseless = [](const Dataset& d) -> StatusOr<std::vector<double>> {
+    double ones = 0.0;
+    for (const Example& z : d.examples()) ones += z.label;
+    std::vector<double> dist(5, 0.0);
+    dist[static_cast<std::size_t>(ones)] = 1.0;
+    return dist;
+  };
+  auto audit = AuditFiniteMechanism(noiseless, {BitData({1.0, 0.0, 1.0, 0.0})},
+                                    BernoulliMeanTask::Domain())
+                   .value();
+  EXPECT_TRUE(audit.unbounded);
+}
+
+TEST(FailureInjectionTest, DataDependentPriorBreaksGibbsPrivacy) {
+  // Bug: the "prior" is fitted to the data (peaked at the empirical mean)
+  // before running the Gibbs posterior — a classic leak. The audited eps*
+  // must exceed the 2*lambda*D(R) guarantee computed as if the prior were
+  // data-independent.
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 11).value();
+  const std::size_t n = 6;
+  const double lambda = 2.0;
+  const double claimed =
+      2.0 * lambda * EmpiricalRiskSensitivityBound(loss, n).value();
+
+  FiniteOutputMechanism bugged = [&](const Dataset& d) -> StatusOr<std::vector<double>> {
+    // "Prior" concentrated on the empirical mean's grid cell: data leakage
+    // through the base measure.
+    double mean = 0.0;
+    for (const Example& z : d.examples()) mean += z.label;
+    mean /= static_cast<double>(d.size());
+    std::vector<double> prior(hclass.size(), 0.01 / static_cast<double>(hclass.size() - 1));
+    const std::size_t peak = static_cast<std::size_t>(mean * 10.0 + 0.5);
+    prior[peak] = 0.99;
+    double total = 0.0;
+    for (double p : prior) total += p;
+    for (double& p : prior) p /= total;
+    DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
+                             EmpiricalRiskProfile(loss, hclass.thetas(), d));
+    return GibbsPosteriorFromRisks(risks, prior, lambda);
+  };
+  auto audit = AuditFiniteMechanism(bugged, {BitData({1.0, 0.0, 1.0, 0.0, 1.0, 0.0})},
+                                    BernoulliMeanTask::Domain())
+                   .value();
+  EXPECT_GT(audit.max_log_ratio, claimed);
+}
+
+TEST(FailureInjectionTest, WrongTemperatureCalibrationIsCaught) {
+  // Bug: the deployment targets eps but forgets the factor 2 in
+  // Theorem 4.1 and runs lambda = eps*n (twice too hot). The audit of the
+  // true channel must exceed the TARGET eps (though it stays within the
+  // correctly computed guarantee for the hotter lambda).
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 11).value();
+  const std::size_t n = 4;
+  const double target_eps = 1.0;
+  const double bugged_lambda = target_eps * static_cast<double>(n);  // no /2
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, bugged_lambda).value();
+  FiniteOutputMechanism mechanism = [&gibbs](const Dataset& d) {
+    return gibbs.Posterior(d);
+  };
+  auto audit = AuditFiniteMechanism(mechanism, {BitData({1.0, 1.0, 0.0, 0.0})},
+                                    BernoulliMeanTask::Domain())
+                   .value();
+  EXPECT_GT(audit.max_log_ratio, target_eps);
+}
+
+TEST(FailureInjectionTest, SampledAuditCatchesSkewedSampler) {
+  // Bug: a sampler that short-circuits to the ERM hypothesis 20% of the
+  // time (e.g. a caching layer returning a stale deterministic answer).
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 5).value();
+  const double lambda = 2.0;
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, lambda).value();
+  Dataset a = BitData({1.0, 1.0, 0.0});
+  Dataset b = BitData({0.0, 1.0, 0.0});
+
+  SamplingMechanism clean = [&](const Dataset& d, Rng* rng) { return gibbs.Sample(d, rng); };
+  SamplingMechanism bugged = [&](const Dataset& d, Rng* rng) -> StatusOr<std::size_t> {
+    if (rng->NextDouble() < 0.2) {
+      DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
+                               EmpiricalRiskProfile(loss, hclass.thetas(), d));
+      return hclass.ArgMin(risks);  // deterministic leak
+    }
+    return gibbs.Sample(d, rng);
+  };
+  // Detection logic: the bugged sampler's measured privacy loss must
+  // clearly exceed the clean sampler's on the same neighbor pair.
+  Rng rng(7);
+  auto clean_audit =
+      SampledAuditPair(clean, a, b, hclass.size(), 400000, 20, &rng).value();
+  auto bugged_audit =
+      SampledAuditPair(bugged, a, b, hclass.size(), 400000, 20, &rng).value();
+  EXPECT_GT(bugged_audit.max_log_ratio, clean_audit.max_log_ratio + 0.1);
+}
+
+TEST(FailureInjectionTest, CorrectMechanismsStillPassEverything) {
+  // Control: the same auditors on correct mechanisms stay within bounds —
+  // the failure cases above are not auditor false-positives.
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 11).value();
+  const std::size_t n = 6;
+  const double lambda = 2.0;
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, lambda).value();
+  const double guarantee =
+      2.0 * lambda * EmpiricalRiskSensitivityBound(loss, n).value();
+  FiniteOutputMechanism mechanism = [&gibbs](const Dataset& d) {
+    return gibbs.Posterior(d);
+  };
+  auto audit = AuditFiniteMechanism(mechanism, {BitData({1.0, 0.0, 1.0, 0.0, 1.0, 0.0})},
+                                    BernoulliMeanTask::Domain())
+                   .value();
+  EXPECT_FALSE(audit.unbounded);
+  EXPECT_LE(audit.max_log_ratio, guarantee + 1e-12);
+}
+
+}  // namespace
+}  // namespace dplearn

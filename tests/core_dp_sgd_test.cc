@@ -1,0 +1,140 @@
+#include "core/dp_sgd.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+#include "learning/generators.h"
+#include "learning/preprocess.h"
+
+namespace dplearn {
+namespace {
+
+class DpSgdTest : public ::testing::Test {
+ protected:
+  DpSgdTest()
+      : loss_(50.0), task_(GaussianMixtureTask::Create({0.6, 0.3}, 0.6).value()) {
+    Rng rng(21);
+    data_ = ClipFeatureNorm(task_.Sample(500, &rng).value(), 1.0).value();
+  }
+
+  LogisticLoss loss_;
+  GaussianMixtureTask task_;
+  Dataset data_;
+};
+
+TEST_F(DpSgdTest, LearnsAtGenerousBudget) {
+  DpSgdOptions options;
+  options.noise_multiplier = 0.6;
+  options.sampling_rate = 0.2;
+  options.steps = 300;
+  options.learning_rate = 0.5;
+  Rng rng(1);
+  auto result = DpSgd(loss_, data_, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->steps, 300u);
+  // The learned direction should classify far better than chance.
+  EXPECT_LT(task_.TrueZeroOneRisk(result->theta), 0.30);
+  EXPECT_GT(result->mean_clipped_gradient_norm, 0.0);
+  EXPECT_LE(result->mean_clipped_gradient_norm, options.clip_norm + 1e-12);
+}
+
+TEST_F(DpSgdTest, MoreNoiseMeansWorseUtility) {
+  auto risk_at = [&](double sigma) {
+    DpSgdOptions options;
+    options.noise_multiplier = sigma;
+    options.sampling_rate = 0.2;
+    options.steps = 200;
+    options.learning_rate = 0.5;
+    double total = 0.0;
+    const int trials = 5;
+    for (int t = 0; t < trials; ++t) {
+      Rng rng(100 + static_cast<std::uint64_t>(t));
+      total += task_.TrueZeroOneRisk(DpSgd(loss_, data_, options, &rng)->theta);
+    }
+    return total / trials;
+  };
+  EXPECT_LT(risk_at(0.5), risk_at(30.0));
+}
+
+TEST_F(DpSgdTest, PrivacyAccountingMatchesClosedForm) {
+  DpSgdOptions options;
+  options.noise_multiplier = 2.0;
+  options.sampling_rate = 0.1;
+  options.steps = 100;
+  options.delta = 1e-5;
+  auto budget = DpSgdPrivacy(options).value();
+  // Manual: per-step RDP = q^2 * alpha/(2 sigma^2); composed T; best alpha.
+  double best = std::numeric_limits<double>::infinity();
+  for (double alpha : {1.5, 2.0, 3.0, 5.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
+    const double composed = 0.01 * alpha / 8.0 * 100.0;
+    best = std::min(best, composed + std::log(1e5) / (alpha - 1.0));
+  }
+  EXPECT_NEAR(budget.epsilon, best, 1e-10);
+  EXPECT_EQ(budget.delta, 1e-5);
+}
+
+TEST_F(DpSgdTest, AccountingMonotonicity) {
+  DpSgdOptions base;
+  base.noise_multiplier = 1.0;
+  base.sampling_rate = 0.1;
+  base.steps = 100;
+  const double base_eps = DpSgdPrivacy(base).value().epsilon;
+  // More noise -> less epsilon.
+  DpSgdOptions noisier = base;
+  noisier.noise_multiplier = 2.0;
+  EXPECT_LT(DpSgdPrivacy(noisier).value().epsilon, base_eps);
+  // More steps -> more epsilon.
+  DpSgdOptions longer = base;
+  longer.steps = 400;
+  EXPECT_GT(DpSgdPrivacy(longer).value().epsilon, base_eps);
+  // Lower sampling rate -> less epsilon.
+  DpSgdOptions rarer = base;
+  rarer.sampling_rate = 0.01;
+  EXPECT_LT(DpSgdPrivacy(rarer).value().epsilon, base_eps);
+}
+
+TEST_F(DpSgdTest, NoiseMultiplierCalibrationHitsTarget) {
+  const double target = 2.0;
+  const double sigma = NoiseMultiplierForTarget(target, 0.1, 200, 1e-5).value();
+  DpSgdOptions options;
+  options.noise_multiplier = sigma;
+  options.sampling_rate = 0.1;
+  options.steps = 200;
+  options.delta = 1e-5;
+  const double achieved = DpSgdPrivacy(options).value().epsilon;
+  EXPECT_LE(achieved, target + 1e-6);
+  EXPECT_NEAR(achieved, target, 0.05);
+  EXPECT_FALSE(NoiseMultiplierForTarget(0.0, 0.1, 200, 1e-5).ok());
+}
+
+TEST_F(DpSgdTest, DeterministicForFixedSeed) {
+  DpSgdOptions options;
+  options.steps = 50;
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(DpSgd(loss_, data_, options, &a)->theta, DpSgd(loss_, data_, options, &b)->theta);
+}
+
+TEST_F(DpSgdTest, Validation) {
+  Rng rng(1);
+  DpSgdOptions options;
+  EXPECT_FALSE(DpSgd(loss_, Dataset(), options, &rng).ok());
+  ZeroOneLoss no_grad;
+  EXPECT_FALSE(DpSgd(no_grad, data_, options, &rng).ok());
+  DpSgdOptions bad = options;
+  bad.noise_multiplier = 0.0;
+  EXPECT_FALSE(DpSgd(loss_, data_, bad, &rng).ok());
+  bad = options;
+  bad.sampling_rate = 0.0;
+  EXPECT_FALSE(DpSgd(loss_, data_, bad, &rng).ok());
+  bad = options;
+  bad.steps = 0;
+  EXPECT_FALSE(DpSgd(loss_, data_, bad, &rng).ok());
+  bad = options;
+  bad.delta = 1.0;
+  EXPECT_FALSE(DpSgdPrivacy(bad).ok());
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,171 @@
+#include "core/dp_verifier.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/gibbs_estimator.h"
+#include "learning/generators.h"
+#include "learning/risk.h"
+#include "mechanisms/laplace.h"
+#include "mechanisms/sensitivity.h"
+
+namespace dplearn {
+namespace {
+
+Dataset BitData(std::initializer_list<double> bits) {
+  Dataset d;
+  for (double b : bits) d.Add(Example{Vector{1.0}, b});
+  return d;
+}
+
+TEST(AuditFiniteMechanismTest, PerfectlyPrivateMechanismHasZeroRatio) {
+  FiniteOutputMechanism constant = [](const Dataset&) -> StatusOr<std::vector<double>> {
+    return std::vector<double>{0.5, 0.5};
+  };
+  auto result = AuditFiniteMechanism(constant, {BitData({0.0, 1.0})},
+                                     BernoulliMeanTask::Domain());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->max_log_ratio, 0.0);
+  EXPECT_FALSE(result->unbounded);
+}
+
+TEST(AuditFiniteMechanismTest, NonPrivateMechanismIsUnbounded) {
+  // Deterministically reveals whether the first bit is one.
+  FiniteOutputMechanism leaky = [](const Dataset& d) -> StatusOr<std::vector<double>> {
+    if (d.at(0).label == 1.0) return std::vector<double>{1.0, 0.0};
+    return std::vector<double>{0.0, 1.0};
+  };
+  auto result =
+      AuditFiniteMechanism(leaky, {BitData({0.0, 1.0})}, BernoulliMeanTask::Domain());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->unbounded);
+}
+
+TEST(AuditFiniteMechanismTest, GibbsEstimatorWithinTheorem41Guarantee) {
+  // Theorem 4.1 audited exhaustively on every dataset of size 4.
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 9).value();
+  const double lambda = 3.0;
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, lambda).value();
+  const std::size_t n = 4;
+  const double sensitivity = EmpiricalRiskSensitivityBound(loss, n).value();
+  const double guarantee = gibbs.PrivacyGuaranteeEpsilon(sensitivity).value();
+
+  FiniteOutputMechanism mechanism = [&gibbs](const Dataset& d) {
+    return gibbs.Posterior(d);
+  };
+  std::vector<Dataset> bases;
+  for (std::size_t ones = 0; ones <= n; ++ones) {
+    Dataset d;
+    for (std::size_t i = 0; i < n; ++i) {
+      d.Add(Example{Vector{1.0}, i < ones ? 1.0 : 0.0});
+    }
+    bases.push_back(d);
+  }
+  auto result = AuditFiniteMechanism(mechanism, bases, BernoulliMeanTask::Domain());
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->unbounded);
+  EXPECT_LE(result->max_log_ratio, guarantee + 1e-12);
+  EXPECT_GT(result->max_log_ratio, 0.0);  // some privacy loss is measured
+}
+
+TEST(AuditFiniteMechanismTest, Validation) {
+  FiniteOutputMechanism ok_mech = [](const Dataset&) -> StatusOr<std::vector<double>> {
+    return std::vector<double>{1.0};
+  };
+  EXPECT_FALSE(AuditFiniteMechanism(nullptr, {BitData({1.0})},
+                                    BernoulliMeanTask::Domain())
+                   .ok());
+  EXPECT_FALSE(AuditFiniteMechanism(ok_mech, {}, BernoulliMeanTask::Domain()).ok());
+  EXPECT_FALSE(AuditFiniteMechanism(ok_mech, {BitData({1.0})}, {}).ok());
+}
+
+TEST(AuditFiniteMechanismTest, DetectsArityChange) {
+  FiniteOutputMechanism shifty = [](const Dataset& d) -> StatusOr<std::vector<double>> {
+    if (d.at(0).label == 1.0) return std::vector<double>{1.0};
+    return std::vector<double>{0.5, 0.5};
+  };
+  EXPECT_FALSE(
+      AuditFiniteMechanism(shifty, {BitData({0.0, 1.0})}, BernoulliMeanTask::Domain()).ok());
+}
+
+TEST(AuditScalarDensityTest, LaplaceMeetsItsGuaranteeTightly) {
+  const double eps = 0.8;
+  auto query = BoundedMeanQuery(0.0, 1.0, 3).value();
+  auto mechanism = LaplaceMechanism::Create(query, eps).value();
+  ScalarDensityFn density = [&mechanism](const Dataset& d, double out) {
+    return mechanism.OutputDensity(d, out);
+  };
+  std::vector<double> probes;
+  for (double x = -8.0; x <= 9.0; x += 0.05) probes.push_back(x);
+  auto result = AuditScalarDensityMechanism(density, {BitData({0.0, 1.0, 1.0})},
+                                            BernoulliMeanTask::Domain(), probes);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->unbounded);
+  EXPECT_LE(result->max_log_ratio, eps + 1e-9);
+  // In the far tail the ratio attains eps.
+  EXPECT_NEAR(result->max_log_ratio, eps, 1e-6);
+}
+
+TEST(AuditScalarDensityTest, Validation) {
+  ScalarDensityFn d = [](const Dataset&, double) { return 1.0; };
+  EXPECT_FALSE(AuditScalarDensityMechanism(nullptr, {BitData({1.0})},
+                                           BernoulliMeanTask::Domain(), {0.0})
+                   .ok());
+  EXPECT_FALSE(
+      AuditScalarDensityMechanism(d, {}, BernoulliMeanTask::Domain(), {0.0}).ok());
+  EXPECT_FALSE(AuditScalarDensityMechanism(d, {BitData({1.0})},
+                                           BernoulliMeanTask::Domain(), {})
+                   .ok());
+}
+
+TEST(SampledAuditPairTest, MatchesExactRatioOnGibbs) {
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 5).value();
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, 4.0).value();
+  Dataset a = BitData({0.0, 1.0, 1.0});
+  Dataset b = BitData({0.0, 0.0, 1.0});
+  ASSERT_TRUE(a.IsNeighborOf(b));
+
+  // Exact max log ratio between the two posteriors.
+  auto pa = gibbs.Posterior(a).value();
+  auto pb = gibbs.Posterior(b).value();
+  double exact = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    exact = std::max(exact, std::fabs(std::log(pa[i] / pb[i])));
+  }
+
+  SamplingMechanism mechanism = [&gibbs](const Dataset& d, Rng* rng) {
+    return gibbs.Sample(d, rng);
+  };
+  Rng rng(1);
+  auto result = SampledAuditPair(mechanism, a, b, hclass.size(), 400000, 20, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->unbounded);
+  EXPECT_NEAR(result->max_log_ratio, exact, 0.05);
+}
+
+TEST(SampledAuditPairTest, Validation) {
+  SamplingMechanism m = [](const Dataset&, Rng*) -> StatusOr<std::size_t> { return 0; };
+  Dataset a = BitData({0.0, 1.0});
+  Dataset b = BitData({1.0, 1.0});
+  Dataset far = BitData({1.0, 0.0});
+  Rng rng(1);
+  EXPECT_FALSE(SampledAuditPair(nullptr, a, b, 2, 10, 5, &rng).ok());
+  EXPECT_FALSE(SampledAuditPair(m, a, b, 0, 10, 5, &rng).ok());
+  EXPECT_FALSE(SampledAuditPair(m, a, b, 2, 0, 5, &rng).ok());
+  EXPECT_FALSE(SampledAuditPair(m, a, a, 2, 10, 5, &rng).ok());   // not neighbors (equal)
+  EXPECT_FALSE(SampledAuditPair(m, a, far, 2, 10, 5, &rng).ok());  // two diffs
+}
+
+TEST(SampledAuditPairTest, RejectsOutOfRangeOutput) {
+  SamplingMechanism bad = [](const Dataset&, Rng*) -> StatusOr<std::size_t> { return 7; };
+  Dataset a = BitData({0.0, 1.0});
+  Dataset b = BitData({1.0, 1.0});
+  Rng rng(1);
+  EXPECT_FALSE(SampledAuditPair(bad, a, b, 2, 10, 5, &rng).ok());
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,128 @@
+#include "core/finite_domain_channel.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "learning/generators.h"
+#include "learning/risk.h"
+
+namespace dplearn {
+namespace {
+
+TEST(FiniteDomainChannelTest, ReducesToBernoulliChannelOnTwoElementDomain) {
+  auto task = BernoulliMeanTask::Create(0.4).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 9).value();
+  const std::size_t n = 6;
+  const double lambda = 5.0;
+
+  auto bernoulli = BuildBernoulliGibbsChannel(task, n, loss, hclass,
+                                              hclass.UniformPrior(), lambda)
+                       .value();
+  auto general = BuildFiniteDomainGibbsChannel(BernoulliMeanTask::Domain(), {0.6, 0.4}, n,
+                                               loss, hclass, hclass.UniformPrior(), lambda)
+                     .value();
+
+  ASSERT_EQ(general.channel.num_inputs(), n + 1);
+  // Compositions enumerate (zeros, ones): composition index k has counts
+  // (n-k... the enumeration order puts (c0=0,c1=n) first? EnumerateCompositions
+  // assigns cell 0 from 0..n, so index k <-> c0=k zeros, c1=n-k ones.
+  // Bernoulli channel index j <-> j ones. Match them up.
+  for (std::size_t idx = 0; idx <= n; ++idx) {
+    const std::size_t ones = general.inputs[idx].counts[1];
+    EXPECT_NEAR(general.input_marginal[idx], bernoulli.input_marginal[ones], 1e-12);
+    for (std::size_t i = 0; i < hclass.size(); ++i) {
+      EXPECT_NEAR(general.channel.TransitionProbability(idx, i),
+                  bernoulli.channel.TransitionProbability(ones, i), 1e-12);
+    }
+  }
+  // Same MI and same privacy level.
+  EXPECT_NEAR(FiniteDomainChannelMutualInformation(general).value(),
+              ChannelMutualInformation(bernoulli).value(), 1e-10);
+  EXPECT_NEAR(FiniteDomainChannelPrivacyLevel(general), ChannelPrivacyLevel(bernoulli),
+              1e-10);
+}
+
+TEST(FiniteDomainChannelTest, ThreeCategoryChannelRespectsTheorem41) {
+  // A 3-element domain: labels {0, 0.5, 1} (ternary rating).
+  std::vector<Example> domain = {Example{Vector{1.0}, 0.0}, Example{Vector{1.0}, 0.5},
+                                 Example{Vector{1.0}, 1.0}};
+  std::vector<double> probs = {0.5, 0.3, 0.2};
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 9).value();
+  const std::size_t n = 8;
+  for (double lambda : {1.0, 8.0}) {
+    auto channel = BuildFiniteDomainGibbsChannel(domain, probs, n, loss, hclass,
+                                                 hclass.UniformPrior(), lambda)
+                       .value();
+    // C(10,2) = 45 compositions.
+    EXPECT_EQ(channel.channel.num_inputs(), 45u);
+    const double guarantee =
+        2.0 * lambda * EmpiricalRiskSensitivityBound(loss, n).value();
+    EXPECT_LE(FiniteDomainChannelPrivacyLevel(channel), guarantee + 1e-9);
+    // Marginal sums to 1.
+    double total = 0.0;
+    for (double p : channel.input_marginal) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(FiniteDomainChannelTest, MiMonotoneInLambdaOnTernaryDomain) {
+  std::vector<Example> domain = {Example{Vector{1.0}, 0.0}, Example{Vector{1.0}, 0.5},
+                                 Example{Vector{1.0}, 1.0}};
+  std::vector<double> probs = {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0};
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 7).value();
+  double previous = -1.0;
+  for (double lambda : {0.0, 2.0, 8.0, 32.0}) {
+    auto channel = BuildFiniteDomainGibbsChannel(domain, probs, 6, loss, hclass,
+                                                 hclass.UniformPrior(), lambda)
+                       .value();
+    const double mi = FiniteDomainChannelMutualInformation(channel).value();
+    EXPECT_GE(mi, previous - 1e-9);
+    previous = mi;
+  }
+}
+
+TEST(FiniteDomainChannelTest, NeighborPairsAreUnitMoves) {
+  std::vector<Example> domain = {Example{Vector{1.0}, 0.0}, Example{Vector{1.0}, 1.0},
+                                 Example{Vector{1.0}, 2.0}};
+  std::vector<double> probs = {0.4, 0.3, 0.3};
+  ClippedSquaredLoss loss(4.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 2.0, 5).value();
+  auto channel = BuildFiniteDomainGibbsChannel(domain, probs, 4, loss, hclass,
+                                               hclass.UniformPrior(), 2.0)
+                     .value();
+  for (const auto& [a, b] : channel.neighbor_pairs) {
+    std::size_t l1 = 0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const std::size_t ca = channel.inputs[a].counts[j];
+      const std::size_t cb = channel.inputs[b].counts[j];
+      l1 += ca > cb ? ca - cb : cb - ca;
+    }
+    EXPECT_EQ(l1, 2u);
+  }
+  EXPECT_FALSE(channel.neighbor_pairs.empty());
+}
+
+TEST(FiniteDomainChannelTest, Validation) {
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 5).value();
+  std::vector<Example> domain = BernoulliMeanTask::Domain();
+  EXPECT_FALSE(BuildFiniteDomainGibbsChannel({domain[0]}, {1.0}, 4, loss, hclass,
+                                             hclass.UniformPrior(), 1.0)
+                   .ok());
+  EXPECT_FALSE(BuildFiniteDomainGibbsChannel(domain, {0.5}, 4, loss, hclass,
+                                             hclass.UniformPrior(), 1.0)
+                   .ok());
+  EXPECT_FALSE(BuildFiniteDomainGibbsChannel(domain, {0.5, 0.5}, 0, loss, hclass,
+                                             hclass.UniformPrior(), 1.0)
+                   .ok());
+  // max_inputs cap.
+  EXPECT_FALSE(BuildFiniteDomainGibbsChannel(domain, {0.5, 0.5}, 100, loss, hclass,
+                                             hclass.UniformPrior(), 1.0, 10)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,143 @@
+#include "core/private_density.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "infotheory/entropy.h"
+#include "util/math_util.h"
+
+namespace dplearn {
+namespace {
+
+/// A 4-category dataset with known composition.
+Dataset CategoricalData(const std::vector<std::size_t>& counts) {
+  Dataset d;
+  for (std::size_t bin = 0; bin < counts.size(); ++bin) {
+    for (std::size_t i = 0; i < counts[bin]; ++i) {
+      d.Add(Example{Vector{1.0}, static_cast<double>(bin)});
+    }
+  }
+  return d;
+}
+
+TEST(QuantizedSimplexTest, CountsMatchCompositions) {
+  // Compositions of q into m parts: C(q+m-1, m-1).
+  EXPECT_EQ(QuantizedSimplex(2, 4).value().size(), 5u);    // C(5,1)
+  EXPECT_EQ(QuantizedSimplex(3, 4).value().size(), 15u);   // C(6,2)
+  EXPECT_EQ(QuantizedSimplex(4, 8).value().size(), 165u);  // C(11,3)
+}
+
+TEST(QuantizedSimplexTest, EveryCandidateIsADistribution) {
+  auto candidates = QuantizedSimplex(3, 6).value();
+  for (const auto& density : candidates) {
+    EXPECT_TRUE(ValidateDistribution(density, 1e-9).ok());
+  }
+}
+
+TEST(QuantizedSimplexTest, Validation) {
+  EXPECT_FALSE(QuantizedSimplex(0, 4).ok());
+  EXPECT_FALSE(QuantizedSimplex(3, 0).ok());
+}
+
+TEST(ClippedLogLossTest, ValuesAndRange) {
+  std::vector<double> density = {0.5, 0.5};
+  // -ln(0.5) / 6.
+  EXPECT_NEAR(ClippedLogLoss(density, 0, 6.0, 1e-4).value(), std::log(2.0) / 6.0, 1e-12);
+  // Zero-mass bin hits the floor, clipped and scaled into [0,1].
+  std::vector<double> point = {1.0, 0.0};
+  const double at_floor = ClippedLogLoss(point, 1, 6.0, 1e-2).value();
+  EXPECT_LE(at_floor, 1.0);
+  EXPECT_GT(at_floor, 0.5);
+  EXPECT_FALSE(ClippedLogLoss(density, 2, 6.0, 1e-4).ok());
+  EXPECT_FALSE(ClippedLogLoss(density, 0, 0.0, 1e-4).ok());
+  EXPECT_FALSE(ClippedLogLoss(density, 0, 6.0, 0.0).ok());
+}
+
+TEST(GibbsDensityEstimateTest, RecoversSkewAtGenerousEpsilon) {
+  Dataset d = CategoricalData({60, 20, 15, 5});
+  GibbsDensityOptions options;
+  options.epsilon = 20.0;
+  options.resolution = 10;
+  Rng rng(1);
+  auto result = GibbsDensityEstimate(d, 4, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ValidateDistribution(result->density, 1e-9).ok());
+  EXPECT_EQ(result->epsilon, 20.0);
+  // The dominant bin should be identified.
+  EXPECT_GT(result->density[0], result->density[3]);
+  EXPECT_NEAR(result->density[0], 0.6, 0.2);
+}
+
+TEST(GibbsDensityEstimateTest, NearUniformAtTinyEpsilon) {
+  // With eps ~ 0 the posterior is ~uniform over candidates; the AVERAGE
+  // released density approaches the simplex barycenter (uniform).
+  Dataset d = CategoricalData({90, 5, 3, 2});
+  GibbsDensityOptions options;
+  options.epsilon = 1e-4;
+  options.resolution = 6;
+  Rng rng(2);
+  std::vector<double> mean_density(4, 0.0);
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    auto result = GibbsDensityEstimate(d, 4, options, &rng).value();
+    for (std::size_t b = 0; b < 4; ++b) mean_density[b] += result.density[b] / trials;
+  }
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_NEAR(mean_density[b], 0.25, 0.05) << "bin " << b;
+  }
+}
+
+TEST(GibbsDensityEstimateTest, Validation) {
+  GibbsDensityOptions options;
+  Rng rng(1);
+  EXPECT_FALSE(GibbsDensityEstimate(Dataset(), 4, options, &rng).ok());
+  Dataset bad;
+  bad.Add(Example{Vector{1.0}, 7.0});
+  EXPECT_FALSE(GibbsDensityEstimate(bad, 4, options, &rng).ok());
+  Dataset fractional;
+  fractional.Add(Example{Vector{1.0}, 0.5});
+  EXPECT_FALSE(GibbsDensityEstimate(fractional, 4, options, &rng).ok());
+  GibbsDensityOptions bad_eps;
+  bad_eps.epsilon = 0.0;
+  EXPECT_FALSE(GibbsDensityEstimate(CategoricalData({1, 1}), 2, bad_eps, &rng).ok());
+}
+
+TEST(LaplaceHistogramEstimateTest, AccurateAtGenerousEpsilon) {
+  Dataset d = CategoricalData({400, 300, 200, 100});
+  Rng rng(3);
+  auto result = LaplaceHistogramEstimate(d, 4, 5.0, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ValidateDistribution(result->density, 1e-9).ok());
+  EXPECT_NEAR(result->density[0], 0.4, 0.03);
+  EXPECT_NEAR(result->density[3], 0.1, 0.03);
+}
+
+TEST(LaplaceHistogramEstimateTest, StillADistributionAtTinyEpsilon) {
+  Dataset d = CategoricalData({3, 1});
+  Rng rng(4);
+  for (int t = 0; t < 50; ++t) {
+    auto result = LaplaceHistogramEstimate(d, 2, 0.01, &rng).value();
+    EXPECT_TRUE(ValidateDistribution(result.density, 1e-9).ok());
+  }
+}
+
+TEST(GeometricHistogramEstimateTest, AccurateAtGenerousEpsilon) {
+  Dataset d = CategoricalData({500, 300, 200});
+  Rng rng(5);
+  auto result = GeometricHistogramEstimate(d, 3, 5.0, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ValidateDistribution(result->density, 1e-9).ok());
+  EXPECT_NEAR(result->density[0], 0.5, 0.03);
+}
+
+TEST(EmpiricalHistogramTest, ExactFrequencies) {
+  Dataset d = CategoricalData({6, 3, 1});
+  auto hist = EmpiricalHistogram(d, 3).value();
+  EXPECT_NEAR(hist[0], 0.6, 1e-12);
+  EXPECT_NEAR(hist[1], 0.3, 1e-12);
+  EXPECT_NEAR(hist[2], 0.1, 1e-12);
+  EXPECT_FALSE(EmpiricalHistogram(Dataset(), 3).ok());
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,138 @@
+#include "core/private_regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "learning/generators.h"
+
+namespace dplearn {
+namespace {
+
+class GibbsRegressionTest : public ::testing::Test {
+ protected:
+  GibbsRegressionTest() : task_(LinearRegressionTask::Create({1.2}, 1.0, 0.2).value()) {
+    Rng rng(9);
+    data_ = task_.Sample(300, &rng).value();
+  }
+
+  LinearRegressionTask task_;
+  Dataset data_;
+};
+
+TEST_F(GibbsRegressionTest, RecoversCoefficientAtGenerousEpsilon) {
+  GibbsRegressionOptions options;
+  options.epsilon = 50.0;
+  options.box_radius = 2.0;
+  options.per_dim = 41;
+  Rng rng(1);
+  auto result = GibbsRegression(data_, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->theta[0], 1.2, 0.2);
+  EXPECT_EQ(result->epsilon, 50.0);
+}
+
+TEST_F(GibbsRegressionTest, CertificateBoundsEmpiricalRisk) {
+  GibbsRegressionOptions options;
+  options.epsilon = 5.0;
+  Rng rng(2);
+  auto result = GibbsRegression(data_, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->risk_certificate, 0.0);
+  EXPECT_LE(result->risk_certificate, options.loss_clip);
+  // The certificate upper-bounds the posterior's expected empirical risk.
+  EXPECT_GE(result->risk_certificate, result->expected_empirical_risk);
+}
+
+TEST_F(GibbsRegressionTest, MoreNoiseAtSmallerEpsilon) {
+  // Spread of released thetas across repeated runs shrinks with epsilon.
+  auto spread = [&](double eps) {
+    GibbsRegressionOptions options;
+    options.epsilon = eps;
+    options.per_dim = 41;
+    Rng rng(3);
+    double min_theta = 1e300;
+    double max_theta = -1e300;
+    for (int t = 0; t < 40; ++t) {
+      auto result = GibbsRegression(data_, options, &rng).value();
+      min_theta = std::min(min_theta, result.theta[0]);
+      max_theta = std::max(max_theta, result.theta[0]);
+    }
+    return max_theta - min_theta;
+  };
+  EXPECT_GT(spread(0.05), spread(50.0));
+}
+
+TEST_F(GibbsRegressionTest, TwoDimensionalGrid) {
+  auto task2 = LinearRegressionTask::Create({0.8, -0.5}, 1.0, 0.2).value();
+  Rng data_rng(4);
+  Dataset data2 = task2.Sample(400, &data_rng).value();
+  GibbsRegressionOptions options;
+  options.epsilon = 40.0;
+  options.per_dim = 17;
+  Rng rng(5);
+  auto result = GibbsRegression(data2, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->theta[0], 0.8, 0.35);
+  EXPECT_NEAR(result->theta[1], -0.5, 0.35);
+}
+
+TEST_F(GibbsRegressionTest, Validation) {
+  Rng rng(1);
+  GibbsRegressionOptions options;
+  EXPECT_FALSE(GibbsRegression(Dataset(), options, &rng).ok());
+  GibbsRegressionOptions bad_eps;
+  bad_eps.epsilon = 0.0;
+  EXPECT_FALSE(GibbsRegression(data_, bad_eps, &rng).ok());
+  GibbsRegressionOptions bad_grid;
+  bad_grid.per_dim = 1;
+  EXPECT_FALSE(GibbsRegression(data_, bad_grid, &rng).ok());
+  GibbsRegressionOptions bad_delta;
+  bad_delta.delta = 1.0;
+  EXPECT_FALSE(GibbsRegression(data_, bad_delta, &rng).ok());
+}
+
+TEST_F(GibbsRegressionTest, RejectsOversizedGrid) {
+  auto task5 = LinearRegressionTask::Create({1.0, 1.0, 1.0, 1.0, 1.0}, 1.0, 0.1).value();
+  Rng data_rng(6);
+  Dataset data5 = task5.Sample(50, &data_rng).value();
+  GibbsRegressionOptions options;
+  options.per_dim = 21;  // 21^5 > 200000
+  Rng rng(7);
+  EXPECT_FALSE(GibbsRegression(data5, options, &rng).ok());
+}
+
+TEST(ContinuousGibbsRegressionTest, ConcentratesNearTruth) {
+  auto task = LinearRegressionTask::Create({0.9}, 1.0, 0.2).value();
+  Rng data_rng(8);
+  Dataset data = task.Sample(300, &data_rng).value();
+  ContinuousGibbsRegressionOptions options;
+  options.epsilon = 50.0;
+  options.mcmc.proposal_stddev = 0.1;
+  options.mcmc.burn_in = 2000;
+  options.mcmc.thinning = 5;
+  options.mcmc_samples = 500;
+  Rng rng(9);
+  auto result = ContinuousGibbsRegression(data, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->theta[0], 0.9, 0.3);
+  EXPECT_GT(result->expected_empirical_risk, 0.0);
+  EXPECT_LT(result->expected_empirical_risk, 1.0);
+}
+
+TEST(ContinuousGibbsRegressionTest, Validation) {
+  Rng rng(1);
+  ContinuousGibbsRegressionOptions options;
+  EXPECT_FALSE(ContinuousGibbsRegression(Dataset(), options, &rng).ok());
+  auto task = LinearRegressionTask::Create({1.0}, 1.0, 0.1).value();
+  Rng data_rng(2);
+  Dataset data = task.Sample(20, &data_rng).value();
+  ContinuousGibbsRegressionOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_FALSE(ContinuousGibbsRegression(data, bad, &rng).ok());
+  ContinuousGibbsRegressionOptions bad_prior;
+  bad_prior.prior_stddev = 0.0;
+  EXPECT_FALSE(ContinuousGibbsRegression(data, bad_prior, &rng).ok());
+}
+
+}  // namespace
+}  // namespace dplearn

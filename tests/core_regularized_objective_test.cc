@@ -1,0 +1,151 @@
+#include "core/regularized_objective.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/gibbs_estimator.h"
+#include "core/learning_channel.h"
+#include "learning/generators.h"
+
+namespace dplearn {
+namespace {
+
+/// A tiny problem: 3 dataset classes, 4 hypotheses, arbitrary risks.
+struct TinyProblem {
+  std::vector<double> marginal = {0.25, 0.5, 0.25};
+  std::vector<std::vector<double>> risks = {
+      {0.1, 0.4, 0.7, 0.9},
+      {0.5, 0.2, 0.3, 0.8},
+      {0.9, 0.6, 0.1, 0.2},
+  };
+};
+
+TEST(RegularizedObjectiveTest, DecomposesIntoRiskPlusMi) {
+  TinyProblem p;
+  // A deterministic channel: each input maps to its ERM hypothesis.
+  std::vector<std::vector<double>> det = {
+      {1.0, 0.0, 0.0, 0.0}, {0.0, 1.0, 0.0, 0.0}, {0.0, 0.0, 1.0, 0.0}};
+  const double lambda = 4.0;
+  const double g = RegularizedObjective(det, p.marginal, p.risks, lambda).value();
+  // Risk term: 0.25*0.1 + 0.5*0.2 + 0.25*0.1 = 0.15. MI term: inputs map to
+  // distinct outputs, so I = H(marginal) = entropy of {0.25,0.5,0.25}.
+  const double h = -(0.25 * std::log(0.25) + 0.5 * std::log(0.5) + 0.25 * std::log(0.25));
+  EXPECT_NEAR(g, 0.15 + h / lambda, 1e-12);
+}
+
+TEST(RegularizedObjectiveTest, ConstantChannelHasZeroMi) {
+  TinyProblem p;
+  std::vector<std::vector<double>> constant(3, {0.25, 0.25, 0.25, 0.25});
+  const double g = RegularizedObjective(constant, p.marginal, p.risks, 10.0).value();
+  // Pure expected-risk term, uniform over hypotheses.
+  double risk = 0.0;
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t i = 0; i < 4; ++i) risk += p.marginal[k] * 0.25 * p.risks[k][i];
+  }
+  EXPECT_NEAR(g, risk, 1e-12);
+}
+
+TEST(RegularizedObjectiveTest, Validation) {
+  TinyProblem p;
+  std::vector<std::vector<double>> rows(3, {0.25, 0.25, 0.25, 0.25});
+  EXPECT_FALSE(RegularizedObjective(rows, {0.5, 0.5}, p.risks, 1.0).ok());
+  EXPECT_FALSE(RegularizedObjective(rows, p.marginal, p.risks, 0.0).ok());
+  std::vector<std::vector<double>> ragged = {{1.0}, {0.5, 0.5}, {1.0}};
+  EXPECT_FALSE(RegularizedObjective(ragged, p.marginal, p.risks, 1.0).ok());
+}
+
+TEST(MinimizeRegularizedObjectiveTest, ConvergesAndIsAFixedPoint) {
+  TinyProblem p;
+  const double lambda = 6.0;
+  auto result = MinimizeRegularizedObjective(p.marginal, p.risks, lambda);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+
+  // Fixed-point property 1: rows are Gibbs posteriors at the prior. The
+  // minimizer stops on objective decrease, which is quadratically flat near
+  // the optimum, so parameter residuals are ~sqrt(tol).
+  for (std::size_t k = 0; k < 3; ++k) {
+    auto gibbs = GibbsPosteriorFromRisks(p.risks[k], result->prior, lambda).value();
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_NEAR(result->transition[k][i], gibbs[i], 1e-5);
+    }
+  }
+  // Fixed-point property 2: prior is the output marginal (Catoni's
+  // pi_OPT = E_Z[posterior]).
+  for (std::size_t i = 0; i < 4; ++i) {
+    double marginal_i = 0.0;
+    for (std::size_t k = 0; k < 3; ++k) {
+      marginal_i += p.marginal[k] * result->transition[k][i];
+    }
+    EXPECT_NEAR(result->prior[i], marginal_i, 1e-5);
+  }
+}
+
+TEST(MinimizeRegularizedObjectiveTest, MinimumBeatsNaturalAlternatives) {
+  // Theorem 4.2: the Gibbs channel (at the optimal prior) minimizes
+  // E[risk] + I/lambda. Check against a family of competitor channels.
+  TinyProblem p;
+  const double lambda = 6.0;
+  auto result = MinimizeRegularizedObjective(p.marginal, p.risks, lambda);
+  ASSERT_TRUE(result.ok());
+  const double optimum = result->objective;
+
+  std::vector<std::vector<std::vector<double>>> competitors;
+  // Deterministic ERM channel.
+  competitors.push_back(
+      {{1.0, 0.0, 0.0, 0.0}, {0.0, 1.0, 0.0, 0.0}, {0.0, 0.0, 1.0, 0.0}});
+  // Constant uniform channel.
+  competitors.push_back({std::vector<double>(4, 0.25), std::vector<double>(4, 0.25),
+                         std::vector<double>(4, 0.25)});
+  // Gibbs at the wrong temperature (uniform prior).
+  std::vector<double> uniform(4, 0.25);
+  std::vector<std::vector<double>> wrong_temp(3);
+  for (std::size_t k = 0; k < 3; ++k) {
+    wrong_temp[k] = GibbsPosteriorFromRisks(p.risks[k], uniform, 3.0 * lambda).value();
+  }
+  competitors.push_back(wrong_temp);
+
+  for (const auto& rows : competitors) {
+    const double g = RegularizedObjective(rows, p.marginal, p.risks, lambda).value();
+    EXPECT_GE(g, optimum - 1e-9);
+  }
+}
+
+TEST(MinimizeRegularizedObjectiveTest, MatchesGibbsChannelOnBernoulliTask) {
+  // End-to-end Theorem 4.2 on the real learning problem: the alternating
+  // minimizer over ALL channels lands on (a prior-adjusted) Gibbs channel,
+  // and the uniform-prior Gibbs channel is within the prior-mismatch gap
+  // D_KL(E[posterior] || uniform) / lambda of the optimum.
+  auto task = BernoulliMeanTask::Create(0.5).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 7).value();
+  const std::size_t n = 6;
+  const double lambda = 5.0;
+  auto gibbs_channel = BuildBernoulliGibbsChannel(task, n, loss, hclass,
+                                                  hclass.UniformPrior(), lambda)
+                           .value();
+  auto optimum =
+      MinimizeRegularizedObjective(gibbs_channel.input_marginal,
+                                   gibbs_channel.risk_matrix, lambda)
+          .value();
+  const double uniform_gibbs_value =
+      RegularizedObjective(gibbs_channel.channel.transition(),
+                           gibbs_channel.input_marginal, gibbs_channel.risk_matrix, lambda)
+          .value();
+  EXPECT_GE(uniform_gibbs_value, optimum.objective - 1e-10);
+  // The gap D_KL(E[posterior] || uniform)/lambda is modest: the uniform
+  // prior is near-optimal on this symmetric task.
+  EXPECT_LT(uniform_gibbs_value - optimum.objective, 0.1);
+}
+
+TEST(MinimizeRegularizedObjectiveTest, Validation) {
+  TinyProblem p;
+  EXPECT_FALSE(MinimizeRegularizedObjective(p.marginal, p.risks, 0.0).ok());
+  EXPECT_FALSE(MinimizeRegularizedObjective(p.marginal, p.risks, 1.0, 0.0).ok());
+  EXPECT_FALSE(MinimizeRegularizedObjective(p.marginal, p.risks, 1.0, 1e-9, 0).ok());
+  EXPECT_FALSE(MinimizeRegularizedObjective({0.5, 0.5}, p.risks, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace dplearn

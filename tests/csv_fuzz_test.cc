@@ -1,0 +1,112 @@
+/// Deterministic fuzzing of the CSV parser: seeded pseudo-random byte
+/// soup, structured-ish corruptions, and pathological sizes must all
+/// produce clean Status errors or valid datasets — never crashes, hangs,
+/// or invalid Dataset invariants.
+
+#include <string>
+
+#include <gtest/gtest.h>
+#include "learning/csv_io.h"
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace {
+
+std::string RandomBytes(Rng* rng, std::size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>(rng->NextBounded(256)));
+  }
+  return out;
+}
+
+std::string RandomCsvish(Rng* rng, std::size_t length) {
+  // Characters weighted toward CSV structure to reach deeper parse paths.
+  static const char kAlphabet[] = "0123456789.,-+eE \t\r\n#xyz";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+void CheckParseIsSafe(const std::string& input) {
+  auto result = ParseCsv(input);
+  if (result.ok()) {
+    // Any accepted dataset must satisfy its invariants.
+    ASSERT_FALSE(result->empty());
+    const std::size_t dim = result->FeatureDim();
+    ASSERT_GE(dim, 1u);
+    for (const Example& z : result->examples()) {
+      ASSERT_EQ(z.features.size(), dim);
+    }
+    // And must round-trip.
+    auto csv = ToCsv(*result);
+    ASSERT_TRUE(csv.ok());
+    auto back = ParseCsv(*csv);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back->size(), result->size());
+  }
+}
+
+TEST(CsvFuzzTest, RawByteSoupNeverCrashes) {
+  Rng rng(0xFEED);
+  for (int trial = 0; trial < 500; ++trial) {
+    CheckParseIsSafe(RandomBytes(&rng, 1 + rng.NextBounded(300)));
+  }
+}
+
+TEST(CsvFuzzTest, CsvFlavoredSoupNeverCrashes) {
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 2000; ++trial) {
+    CheckParseIsSafe(RandomCsvish(&rng, 1 + rng.NextBounded(400)));
+  }
+}
+
+TEST(CsvFuzzTest, StructuredCorruptions) {
+  const std::string base = "1.0,2.0,3.0\n4.0,5.0,6.0\n";
+  Rng rng(0xCAFE);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string corrupted = base;
+    // Flip, insert, or delete 1-4 positions.
+    const std::size_t edits = 1 + rng.NextBounded(4);
+    for (std::size_t e = 0; e < edits && !corrupted.empty(); ++e) {
+      const std::size_t pos = rng.NextBounded(corrupted.size());
+      switch (rng.NextBounded(3)) {
+        case 0:
+          corrupted[pos] = static_cast<char>(rng.NextBounded(256));
+          break;
+        case 1:
+          corrupted.insert(pos, 1, static_cast<char>(rng.NextBounded(256)));
+          break;
+        default:
+          corrupted.erase(pos, 1);
+          break;
+      }
+    }
+    CheckParseIsSafe(corrupted);
+  }
+}
+
+TEST(CsvFuzzTest, PathologicalShapes) {
+  // Very long single line.
+  std::string long_line;
+  for (int i = 0; i < 10000; ++i) long_line += "1,";
+  long_line += "2\n";
+  CheckParseIsSafe(long_line);
+  // Many tiny lines.
+  std::string many_lines;
+  for (int i = 0; i < 20000; ++i) many_lines += "1,2\n";
+  CheckParseIsSafe(many_lines);
+  // Only separators.
+  CheckParseIsSafe(",,,,,\n");
+  // Huge exponents and denormals.
+  CheckParseIsSafe("1e308,1e-308\n-1e309,5e-324\n");
+  // Windows line endings and trailing newline soup.
+  CheckParseIsSafe("1,2\r\n3,4\r\n\n\n");
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,130 @@
+#include "infotheory/leakage.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+#include "core/learning_channel.h"
+#include "infotheory/entropy.h"
+#include "learning/generators.h"
+#include "learning/risk.h"
+
+namespace dplearn {
+namespace {
+
+DiscreteChannel BinarySymmetricChannel(double flip) {
+  return DiscreteChannel::Create({{1.0 - flip, flip}, {flip, 1.0 - flip}}).value();
+}
+
+TEST(MinEntropyLeakageTest, NoiselessChannelLeaksPriorMinEntropy) {
+  DiscreteChannel ident = DiscreteChannel::Create({{1.0, 0.0}, {0.0, 1.0}}).value();
+  // Uniform prior: leakage = ln(1 / max p) = ln 2.
+  EXPECT_NEAR(MinEntropyLeakage(ident, {0.5, 0.5}).value(), std::log(2.0), 1e-12);
+}
+
+TEST(MinEntropyLeakageTest, UselessChannelLeaksNothing) {
+  DiscreteChannel useless = DiscreteChannel::Create({{0.7, 0.3}, {0.7, 0.3}}).value();
+  EXPECT_NEAR(MinEntropyLeakage(useless, {0.4, 0.6}).value(), 0.0, 1e-12);
+}
+
+TEST(MinEntropyLeakageTest, BscLeakageClosedForm) {
+  // BSC(p<1/2), uniform prior: posterior vulnerability = 1-p, prior = 1/2.
+  const double flip = 0.2;
+  DiscreteChannel bsc = BinarySymmetricChannel(flip);
+  EXPECT_NEAR(MinEntropyLeakage(bsc, {0.5, 0.5}).value(), std::log(2.0 * (1.0 - flip)),
+              1e-12);
+}
+
+TEST(MinEntropyLeakageTest, Validation) {
+  DiscreteChannel bsc = BinarySymmetricChannel(0.1);
+  EXPECT_FALSE(MinEntropyLeakage(bsc, {1.0}).ok());
+  EXPECT_FALSE(MinEntropyLeakage(bsc, {0.7, 0.7}).ok());
+}
+
+TEST(MinCapacityTest, KnownValues) {
+  EXPECT_NEAR(MinCapacity(BinarySymmetricChannel(0.2)).value(), std::log(1.6), 1e-12);
+  DiscreteChannel ident = DiscreteChannel::Create({{1.0, 0.0}, {0.0, 1.0}}).value();
+  EXPECT_NEAR(MinCapacity(ident).value(), std::log(2.0), 1e-12);
+  DiscreteChannel useless = DiscreteChannel::Create({{0.7, 0.3}, {0.7, 0.3}}).value();
+  EXPECT_NEAR(MinCapacity(useless).value(), 0.0, 1e-12);
+}
+
+TEST(MinCapacityTest, UpperBoundsShannonCapacity) {
+  for (double flip : {0.05, 0.2, 0.4}) {
+    DiscreteChannel bsc = BinarySymmetricChannel(flip);
+    EXPECT_GE(MinCapacity(bsc).value(), bsc.Capacity().value() - 1e-9);
+  }
+}
+
+TEST(NeighborGraphDiameterTest, ChainGraph) {
+  NeighborGraph chain = {{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_EQ(NeighborGraphDiameter(chain, 4).value(), 3u);
+}
+
+TEST(NeighborGraphDiameterTest, CompleteGraph) {
+  NeighborGraph complete = {{0, 1}, {0, 2}, {1, 2}};
+  EXPECT_EQ(NeighborGraphDiameter(complete, 3).value(), 1u);
+}
+
+TEST(NeighborGraphDiameterTest, SingleNodeAndErrors) {
+  EXPECT_EQ(NeighborGraphDiameter({}, 1).value(), 0u);
+  EXPECT_FALSE(NeighborGraphDiameter({}, 0).ok());
+  EXPECT_FALSE(NeighborGraphDiameter({}, 3).ok());            // disconnected
+  EXPECT_FALSE(NeighborGraphDiameter({{0, 5}}, 3).ok());      // out of range
+  EXPECT_FALSE(NeighborGraphDiameter({{0, 1}}, 3).ok());      // node 2 isolated
+}
+
+TEST(ComputeDpMiBoundsTest, AllBoundsDominateExactMiOnGibbsChannel) {
+  auto task = BernoulliMeanTask::Create(0.4).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 9).value();
+  const std::size_t n = 8;
+  for (double lambda : {1.0, 4.0, 16.0}) {
+    auto channel = BuildBernoulliGibbsChannel(task, n, loss, hclass,
+                                              hclass.UniformPrior(), lambda)
+                       .value();
+    const double exact_mi = ChannelMutualInformation(channel).value();
+    auto bounds =
+        ComputeDpMiBounds(channel.channel, channel.input_marginal, channel.neighbor_pairs)
+            .value();
+    EXPECT_GE(bounds.input_entropy, exact_mi - 1e-9);
+    EXPECT_GE(bounds.shannon_capacity, exact_mi - 1e-9);
+    EXPECT_GE(bounds.min_capacity, bounds.shannon_capacity - 1e-9);
+    EXPECT_GE(bounds.max_pairwise_kl, exact_mi - 1e-9);
+    EXPECT_GE(bounds.diameter_eps, bounds.max_pairwise_kl - 1e-9);
+    EXPECT_EQ(bounds.diameter, n);  // chain 0..n
+  }
+}
+
+TEST(ComputeDpMiBoundsTest, EpsMatchesChannelMaxLogRatio) {
+  auto task = BernoulliMeanTask::Create(0.5).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 5).value();
+  auto channel =
+      BuildBernoulliGibbsChannel(task, 6, loss, hclass, hclass.UniformPrior(), 4.0).value();
+  auto bounds =
+      ComputeDpMiBounds(channel.channel, channel.input_marginal, channel.neighbor_pairs)
+          .value();
+  EXPECT_NEAR(bounds.eps, ChannelPrivacyLevel(channel), 1e-12);
+}
+
+TEST(TwoPointMiLowerBoundTest, BoundsBelowCapacityAboveZeroWhenInformative) {
+  DiscreteChannel bsc = BinarySymmetricChannel(0.1);
+  const double lower = TwoPointMiLowerBound(bsc).value();
+  const double capacity = bsc.Capacity().value();
+  EXPECT_GT(lower, 0.0);
+  EXPECT_LE(lower, capacity + 1e-9);
+  // For a 2-input channel the two-point bound IS the capacity-achieving MI
+  // under a uniform prior... which is the capacity for the symmetric BSC.
+  EXPECT_NEAR(lower, capacity, 1e-6);
+}
+
+TEST(TwoPointMiLowerBoundTest, ZeroForUselessChannel) {
+  DiscreteChannel useless = DiscreteChannel::Create({{0.7, 0.3}, {0.7, 0.3}}).value();
+  EXPECT_NEAR(TwoPointMiLowerBound(useless).value(), 0.0, 1e-12);
+  DiscreteChannel one_input = DiscreteChannel::Create({{1.0}}).value();
+  EXPECT_FALSE(TwoPointMiLowerBound(one_input).ok());
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,189 @@
+/// End-to-end tests that exercise the full pipeline of the paper:
+/// sample data from Q -> build the Gibbs estimator -> verify its privacy
+/// (Theorem 4.1), its PAC-Bayes optimality (Lemma 3.2), its bound validity
+/// (Theorem 3.1), and the channel view (Theorem 4.2 / Figure 1) together.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/dp_verifier.h"
+#include "core/gibbs_estimator.h"
+#include "core/learning_channel.h"
+#include "core/pac_bayes.h"
+#include "core/regularized_objective.h"
+#include "learning/generators.h"
+#include "learning/risk.h"
+
+namespace dplearn {
+namespace {
+
+TEST(IntegrationTest, FullPipelineOnBernoulliTask) {
+  const double p = 0.35;
+  const std::size_t n = 50;
+  const double lambda = 10.0;
+  const double delta = 0.05;
+
+  auto task = BernoulliMeanTask::Create(p).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 21).value();
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, lambda).value();
+
+  Rng rng(11);
+  Dataset data = task.Sample(n, &rng).value();
+
+  // 1. The posterior is a valid distribution concentrated near p.
+  auto posterior = gibbs.Posterior(data).value();
+  double posterior_mean = 0.0;
+  for (std::size_t i = 0; i < posterior.size(); ++i) {
+    posterior_mean += posterior[i] * hclass.at(i)[0];
+  }
+  EXPECT_NEAR(posterior_mean, p, 0.2);
+
+  // 2. Privacy (Theorem 4.1), audited exhaustively over neighboring
+  // datasets of this size.
+  const double sensitivity = EmpiricalRiskSensitivityBound(loss, n).value();
+  const double guarantee = gibbs.PrivacyGuaranteeEpsilon(sensitivity).value();
+  FiniteOutputMechanism mechanism = [&gibbs](const Dataset& d) {
+    return gibbs.Posterior(d);
+  };
+  auto audit =
+      AuditFiniteMechanism(mechanism, {data}, BernoulliMeanTask::Domain()).value();
+  EXPECT_FALSE(audit.unbounded);
+  EXPECT_LE(audit.max_log_ratio, guarantee + 1e-12);
+
+  // 3. PAC-Bayes: the bound evaluated at the Gibbs posterior holds for the
+  // TRUE risk (which is computable for this task).
+  const double expected_empirical = gibbs.ExpectedEmpiricalRisk(data).value();
+  const double kl = gibbs.KlToPrior(data).value();
+  const double bound =
+      CatoniHighProbabilityBound(expected_empirical, kl, lambda, n, delta).value();
+  double true_risk = 0.0;
+  for (std::size_t i = 0; i < posterior.size(); ++i) {
+    true_risk += posterior[i] * task.TrueRisk(hclass.at(i)[0]);
+  }
+  EXPECT_LE(true_risk, bound);
+
+  // 4. Lemma 3.2: the Gibbs posterior minimizes the PAC-Bayes objective.
+  auto risks = EmpiricalRiskProfile(loss, hclass.thetas(), data).value();
+  const double at_gibbs =
+      PacBayesObjective(posterior, risks, hclass.UniformPrior(), lambda).value();
+  const double closed_form =
+      PacBayesObjectiveMinimum(risks, hclass.UniformPrior(), lambda).value();
+  EXPECT_NEAR(at_gibbs, closed_form, 1e-9);
+}
+
+TEST(IntegrationTest, ChannelViewConsistentWithEstimator) {
+  // The Figure-1 channel built from the task must agree row-by-row with the
+  // GibbsEstimator's posterior on datasets of each composition.
+  auto task = BernoulliMeanTask::Create(0.5).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 9).value();
+  const std::size_t n = 5;
+  const double lambda = 6.0;
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, lambda).value();
+  auto channel = BuildBernoulliGibbsChannel(task, n, loss, hclass, hclass.UniformPrior(),
+                                            lambda)
+                     .value();
+  for (std::size_t k = 0; k <= n; ++k) {
+    Dataset d;
+    for (std::size_t i = 0; i < n; ++i) d.Add(Example{Vector{1.0}, i < k ? 1.0 : 0.0});
+    auto posterior = gibbs.Posterior(d).value();
+    for (std::size_t i = 0; i < hclass.size(); ++i) {
+      EXPECT_NEAR(channel.channel.TransitionProbability(k, i), posterior[i], 1e-12);
+    }
+  }
+}
+
+TEST(IntegrationTest, PrivacyUtilityMonotonicity) {
+  // Across lambda, measured privacy ε* and expected TRUE risk move in
+  // opposite directions — the paper's central trade-off, end to end.
+  auto task = BernoulliMeanTask::Create(0.3).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 11).value();
+  const std::size_t n = 12;
+
+  std::vector<double> eps_values;
+  std::vector<double> risk_values;
+  for (double lambda : {0.5, 2.0, 8.0, 32.0}) {
+    auto channel = BuildBernoulliGibbsChannel(task, n, loss, hclass,
+                                              hclass.UniformPrior(), lambda)
+                       .value();
+    eps_values.push_back(ChannelPrivacyLevel(channel));
+    // Expected true risk under the channel: E_k E_{theta|k} TrueRisk(theta).
+    double risk = 0.0;
+    for (std::size_t k = 0; k <= n; ++k) {
+      for (std::size_t i = 0; i < hclass.size(); ++i) {
+        risk += channel.input_marginal[k] *
+                channel.channel.TransitionProbability(k, i) *
+                task.TrueRisk(hclass.at(i)[0]);
+      }
+    }
+    risk_values.push_back(risk);
+  }
+  for (std::size_t i = 1; i < eps_values.size(); ++i) {
+    EXPECT_GT(eps_values[i], eps_values[i - 1]);   // less privacy
+    EXPECT_LT(risk_values[i], risk_values[i - 1]);  // better utility
+  }
+}
+
+TEST(IntegrationTest, PacBayesBoundHoldsAcrossResamples) {
+  // Theorem 3.1's probabilistic guarantee: over many resamples of Z, the
+  // bound fails with frequency <= delta (here: never, since the bound at
+  // this n is loose).
+  auto task = BernoulliMeanTask::Create(0.4).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 11).value();
+  const std::size_t n = 100;
+  const double lambda = SuggestLambda(n, std::log(static_cast<double>(hclass.size())));
+  const double delta = 0.05;
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, lambda).value();
+
+  Rng rng(13);
+  int violations = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    Dataset data = task.Sample(n, &rng).value();
+    const double emp = gibbs.ExpectedEmpiricalRisk(data).value();
+    const double kl = gibbs.KlToPrior(data).value();
+    const double bound = CatoniHighProbabilityBound(emp, kl, lambda, n, delta).value();
+    auto posterior = gibbs.Posterior(data).value();
+    double true_risk = 0.0;
+    for (std::size_t i = 0; i < posterior.size(); ++i) {
+      true_risk += posterior[i] * task.TrueRisk(hclass.at(i)[0]);
+    }
+    if (true_risk > bound) ++violations;
+  }
+  EXPECT_LE(static_cast<double>(violations) / trials, delta);
+}
+
+TEST(IntegrationTest, RegularizedObjectiveOptimumIsGibbsFamilyMember) {
+  // Theorem 4.2 end-to-end: minimize E[risk] + I/lambda over all channels;
+  // the optimizer's rows must be Gibbs posteriors (verified inside the
+  // minimizer test) AND its objective must undercut the uniform-prior
+  // Gibbs channel by exactly the prior-mismatch KL gap, which vanishes as
+  // the prior approaches the optimum.
+  auto task = BernoulliMeanTask::Create(0.5).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 9).value();
+  const std::size_t n = 8;
+  const double lambda = 4.0;
+  auto channel = BuildBernoulliGibbsChannel(task, n, loss, hclass, hclass.UniformPrior(),
+                                            lambda)
+                     .value();
+  auto optimum = MinimizeRegularizedObjective(channel.input_marginal, channel.risk_matrix,
+                                              lambda)
+                     .value();
+  ASSERT_TRUE(optimum.converged);
+  // Rebuild the channel using the fixed-point prior: objectives must match.
+  auto tuned = BuildBernoulliGibbsChannel(task, n, loss, hclass, optimum.prior, lambda)
+                   .value();
+  const double tuned_value =
+      RegularizedObjective(tuned.channel.transition(), tuned.input_marginal,
+                           tuned.risk_matrix, lambda)
+          .value();
+  EXPECT_NEAR(tuned_value, optimum.objective, 1e-6);
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,104 @@
+#include "learning/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace dplearn {
+namespace {
+
+Example Ex(double x, double y) { return Example{Vector{x}, y}; }
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d({Ex(1.0, 0.0), Ex(2.0, 1.0)});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.at(1).label, 1.0);
+  EXPECT_EQ(d.FeatureDim(), 1u);
+  Dataset empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.FeatureDim(), 0u);
+}
+
+TEST(DatasetTest, AddAppends) {
+  Dataset d;
+  d.Add(Ex(1.0, 1.0));
+  d.Add(Ex(2.0, 0.0));
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.at(0).features[0], 1.0);
+}
+
+TEST(DatasetTest, ReplaceExampleCreatesNeighbor) {
+  Dataset d({Ex(1.0, 0.0), Ex(2.0, 1.0), Ex(3.0, 0.0)});
+  auto neighbor = d.ReplaceExample(1, Ex(9.0, 1.0));
+  ASSERT_TRUE(neighbor.ok());
+  EXPECT_TRUE(d.IsNeighborOf(*neighbor));
+  EXPECT_TRUE(neighbor->IsNeighborOf(d));
+  EXPECT_EQ(neighbor->at(1).features[0], 9.0);
+  EXPECT_EQ(d.at(1).features[0], 2.0);  // original unchanged
+  EXPECT_FALSE(d.ReplaceExample(3, Ex(1.0, 1.0)).ok());
+}
+
+TEST(DatasetTest, IsNeighborOfRequiresExactlyOneDifference) {
+  Dataset d({Ex(1.0, 0.0), Ex(2.0, 1.0)});
+  EXPECT_FALSE(d.IsNeighborOf(d));  // zero differences
+  Dataset two_diff({Ex(9.0, 0.0), Ex(8.0, 1.0)});
+  EXPECT_FALSE(d.IsNeighborOf(two_diff));
+  Dataset different_size({Ex(1.0, 0.0)});
+  EXPECT_FALSE(d.IsNeighborOf(different_size));
+  Dataset one_diff({Ex(1.0, 0.0), Ex(7.0, 1.0)});
+  EXPECT_TRUE(d.IsNeighborOf(one_diff));
+}
+
+TEST(DatasetTest, SplitPartitionsAllExamples) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i) d.Add(Ex(static_cast<double>(i), 0.0));
+  Rng rng(1);
+  auto parts = d.Split(0.7, &rng);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->first.size(), 70u);
+  EXPECT_EQ(parts->second.size(), 30u);
+  // Every original example appears exactly once across both parts.
+  std::vector<int> seen(100, 0);
+  for (const Example& z : parts->first.examples()) {
+    ++seen[static_cast<int>(z.features[0])];
+  }
+  for (const Example& z : parts->second.examples()) {
+    ++seen[static_cast<int>(z.features[0])];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(DatasetTest, SplitValidation) {
+  Rng rng(1);
+  Dataset empty;
+  EXPECT_FALSE(empty.Split(0.5, &rng).ok());
+  Dataset d({Ex(1.0, 0.0), Ex(2.0, 0.0)});
+  EXPECT_FALSE(d.Split(0.0, &rng).ok());
+  EXPECT_FALSE(d.Split(1.0, &rng).ok());
+}
+
+TEST(EnumerateNeighborsTest, CountsAndValidity) {
+  Dataset d({Ex(1.0, 0.0), Ex(1.0, 1.0)});
+  std::vector<Example> domain = {Ex(1.0, 0.0), Ex(1.0, 1.0)};
+  const std::vector<Dataset> neighbors = EnumerateNeighbors(d, domain);
+  // Each of the 2 positions has 1 non-identical replacement.
+  ASSERT_EQ(neighbors.size(), 2u);
+  for (const Dataset& nb : neighbors) {
+    EXPECT_TRUE(d.IsNeighborOf(nb));
+  }
+}
+
+TEST(EnumerateNeighborsTest, SkipsIdenticalReplacements) {
+  Dataset d({Ex(1.0, 0.0)});
+  std::vector<Example> domain = {Ex(1.0, 0.0)};
+  EXPECT_TRUE(EnumerateNeighbors(d, domain).empty());
+}
+
+TEST(EnumerateNeighborsTest, LargerDomain) {
+  Dataset d({Ex(1.0, 0.0), Ex(1.0, 1.0), Ex(1.0, 0.0)});
+  std::vector<Example> domain = {Ex(1.0, 0.0), Ex(1.0, 1.0), Ex(1.0, 2.0)};
+  // Position 0: replacements {1,2} -> 2; position 1: {0,2} -> 2; position 2: 2.
+  EXPECT_EQ(EnumerateNeighbors(d, domain).size(), 6u);
+}
+
+}  // namespace
+}  // namespace dplearn

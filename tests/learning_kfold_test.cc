@@ -1,0 +1,74 @@
+#include "learning/kfold.h"
+
+#include <gtest/gtest.h>
+#include "learning/generators.h"
+
+namespace dplearn {
+namespace {
+
+Dataset SequentialData(std::size_t n) {
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    d.Add(Example{Vector{1.0}, static_cast<double>(i)});
+  }
+  return d;
+}
+
+TEST(MakeFoldsTest, PartitionsExactly) {
+  Rng rng(1);
+  auto folds = MakeFolds(SequentialData(10), 3, &rng);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 3u);
+  std::size_t total_validation = 0;
+  std::vector<int> seen(10, 0);
+  for (const Fold& fold : *folds) {
+    EXPECT_EQ(fold.train.size() + fold.validation.size(), 10u);
+    total_validation += fold.validation.size();
+    for (const Example& z : fold.validation.examples()) {
+      ++seen[static_cast<int>(z.label)];
+    }
+  }
+  // Every example validates exactly once.
+  EXPECT_EQ(total_validation, 10u);
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(MakeFoldsTest, BalancedSizes) {
+  Rng rng(2);
+  auto folds = MakeFolds(SequentialData(103), 5, &rng).value();
+  for (const Fold& fold : folds) {
+    EXPECT_GE(fold.validation.size(), 20u);
+    EXPECT_LE(fold.validation.size(), 21u);
+  }
+}
+
+TEST(MakeFoldsTest, Validation) {
+  Rng rng(1);
+  EXPECT_FALSE(MakeFolds(SequentialData(10), 1, &rng).ok());
+  EXPECT_FALSE(MakeFolds(SequentialData(3), 5, &rng).ok());
+}
+
+TEST(CrossValidatedSelectionTest, PicksNearTrueParameter) {
+  auto task = BernoulliMeanTask::Create(0.3).value();
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 11).value();
+  Rng data_rng(3);
+  Dataset data = task.Sample(500, &data_rng).value();
+  Rng rng(4);
+  auto selected = CrossValidatedSelection(loss, hclass, data, 5, &rng);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_NEAR(hclass.at(*selected)[0], 0.3, 0.11);
+}
+
+TEST(CrossValidatedRisksTest, MatchesSingleFoldStructure) {
+  ClippedSquaredLoss loss(1.0);
+  auto hclass = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 5).value();
+  Rng rng(5);
+  auto risks = CrossValidatedRisks(loss, hclass, SequentialData(20), 4, &rng);
+  ASSERT_TRUE(risks.ok());
+  EXPECT_EQ(risks->size(), hclass.size());
+  for (double r : *risks) EXPECT_GE(r, 0.0);
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,115 @@
+#include "learning/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dplearn {
+namespace {
+
+Example Classify(double x, double label) { return Example{Vector{x}, label}; }
+
+TEST(ZeroOneLossTest, CorrectAndIncorrect) {
+  ZeroOneLoss loss;
+  EXPECT_EQ(loss.Loss({1.0}, Classify(2.0, 1.0)), 0.0);   // margin +2
+  EXPECT_EQ(loss.Loss({1.0}, Classify(-2.0, 1.0)), 1.0);  // margin -2
+  EXPECT_EQ(loss.Loss({1.0}, Classify(2.0, -1.0)), 1.0);
+  EXPECT_EQ(loss.Loss({0.0}, Classify(2.0, 1.0)), 1.0);  // zero margin counts as error
+  EXPECT_EQ(loss.UpperBound(), 1.0);
+  EXPECT_FALSE(loss.HasGradient());
+}
+
+TEST(ClippedSquaredLossTest, ValuesAndClipping) {
+  ClippedSquaredLoss loss(1.0);
+  // theta=0.3 on Bernoulli-style z=1: (0.3-1)^2 = 0.49.
+  EXPECT_NEAR(loss.Loss({0.3}, Example{Vector{1.0}, 1.0}), 0.49, 1e-12);
+  // Residual 5 -> 25 clipped to 1.
+  EXPECT_EQ(loss.Loss({5.0}, Example{Vector{1.0}, 0.0}), 1.0);
+  EXPECT_EQ(loss.UpperBound(), 1.0);
+}
+
+TEST(ClippedAbsoluteLossTest, ValuesAndClipping) {
+  ClippedAbsoluteLoss loss(2.0);
+  EXPECT_NEAR(loss.Loss({0.5}, Example{Vector{1.0}, 1.0}), 0.5, 1e-12);
+  EXPECT_EQ(loss.Loss({10.0}, Example{Vector{1.0}, 0.0}), 2.0);
+}
+
+TEST(LogisticLossTest, KnownValues) {
+  LogisticLoss loss(10.0);
+  // Zero margin: log 2.
+  EXPECT_NEAR(loss.Loss({0.0}, Classify(1.0, 1.0)), std::log(2.0), 1e-12);
+  // Large positive margin: ~0.
+  EXPECT_LT(loss.Loss({10.0}, Classify(1.0, 1.0)), 1e-4);
+  // Large negative margin approx |margin| (clipped at 10).
+  EXPECT_NEAR(loss.Loss({8.0}, Classify(1.0, -1.0)), 8.0, 1e-3);
+  EXPECT_EQ(loss.Loss({100.0}, Classify(1.0, -1.0)), 10.0);
+}
+
+TEST(LogisticLossTest, GradientMatchesFiniteDifference) {
+  LogisticLoss loss(100.0);
+  const Example z = Classify(0.7, -1.0);
+  const Vector theta = {0.4};
+  const Vector grad = loss.Gradient(theta, z);
+  const double h = 1e-6;
+  const double fd =
+      (loss.Loss({theta[0] + h}, z) - loss.Loss({theta[0] - h}, z)) / (2.0 * h);
+  EXPECT_NEAR(grad[0], fd, 1e-6);
+  EXPECT_TRUE(loss.HasGradient());
+}
+
+TEST(LogisticLossTest, GradientStableAtExtremeMargins) {
+  LogisticLoss loss(100.0);
+  const Vector grad_pos = loss.Gradient({50.0}, Classify(1.0, 1.0));
+  EXPECT_NEAR(grad_pos[0], 0.0, 1e-12);
+  const Vector grad_neg = loss.Gradient({-50.0}, Classify(1.0, 1.0));
+  EXPECT_NEAR(grad_neg[0], -1.0, 1e-12);  // saturates at -y*x
+}
+
+TEST(HingeLossTest, KnownValues) {
+  HingeLoss loss(5.0);
+  EXPECT_EQ(loss.Loss({2.0}, Classify(1.0, 1.0)), 0.0);       // margin 2 >= 1
+  EXPECT_NEAR(loss.Loss({0.5}, Classify(1.0, 1.0)), 0.5, 1e-12);  // margin 0.5
+  EXPECT_NEAR(loss.Loss({1.0}, Classify(1.0, -1.0)), 2.0, 1e-12);
+  EXPECT_EQ(loss.Loss({10.0}, Classify(1.0, -1.0)), 5.0);  // clipped
+}
+
+TEST(HuberLossTest, QuadraticInsideLinearOutside) {
+  HuberLoss loss(1.0, 100.0);
+  // Residual 0.5 (inside delta): 0.5 * 0.25.
+  EXPECT_NEAR(loss.Loss({0.5}, Example{Vector{1.0}, 0.0}), 0.125, 1e-12);
+  // Residual 3 (outside): delta*(r - delta/2) = 1*(3-0.5) = 2.5.
+  EXPECT_NEAR(loss.Loss({3.0}, Example{Vector{1.0}, 0.0}), 2.5, 1e-12);
+}
+
+TEST(HuberLossTest, GradientMatchesFiniteDifference) {
+  HuberLoss loss(1.0, 100.0);
+  for (double t : {0.2, 0.9, 2.5, -1.7}) {
+    const Example z = Example{Vector{1.0}, 0.3};
+    const Vector grad = loss.Gradient({t}, z);
+    const double h = 1e-6;
+    const double fd = (loss.Loss({t + h}, z) - loss.Loss({t - h}, z)) / (2.0 * h);
+    EXPECT_NEAR(grad[0], fd, 1e-5) << "theta=" << t;
+  }
+}
+
+TEST(AllLossesTest, HonorDeclaredBounds) {
+  ClippedSquaredLoss sq(1.0);
+  ClippedAbsoluteLoss abs(2.0);
+  LogisticLoss logi(3.0);
+  HingeLoss hinge(4.0);
+  HuberLoss huber(1.0, 2.0);
+  ZeroOneLoss zo;
+  const LossFunction* losses[] = {&sq, &abs, &logi, &hinge, &huber, &zo};
+  for (const LossFunction* loss : losses) {
+    for (double t = -20.0; t <= 20.0; t += 0.7) {
+      for (double y : {-1.0, 0.0, 1.0}) {
+        const double l = loss->Loss({t}, Example{Vector{1.0}, y});
+        EXPECT_GE(l, 0.0) << loss->Name();
+        EXPECT_LE(l, loss->UpperBound()) << loss->Name();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,108 @@
+#include "mechanisms/privacy_budget.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dplearn {
+namespace {
+
+TEST(ValidateBudgetTest, AcceptsValidRejectsInvalid) {
+  EXPECT_TRUE(ValidateBudget({1.0, 0.0}).ok());
+  EXPECT_TRUE(ValidateBudget({0.1, 1e-6}).ok());
+  EXPECT_FALSE(ValidateBudget({0.0, 0.0}).ok());
+  EXPECT_FALSE(ValidateBudget({-1.0, 0.0}).ok());
+  EXPECT_FALSE(ValidateBudget({1.0, -0.1}).ok());
+  EXPECT_FALSE(ValidateBudget({1.0, 1.0}).ok());
+}
+
+TEST(SequentialCompositionTest, SumsEpsilonsAndDeltas) {
+  auto total = SequentialComposition({{0.5, 0.0}, {0.3, 1e-6}, {0.2, 1e-6}});
+  ASSERT_TRUE(total.ok());
+  EXPECT_NEAR(total->epsilon, 1.0, 1e-12);
+  EXPECT_NEAR(total->delta, 2e-6, 1e-15);
+}
+
+TEST(SequentialCompositionTest, RejectsEmptyOrInvalid) {
+  EXPECT_FALSE(SequentialComposition({}).ok());
+  EXPECT_FALSE(SequentialComposition({{0.5, 0.0}, {0.0, 0.0}}).ok());
+}
+
+TEST(ParallelCompositionTest, TakesMax) {
+  auto total = ParallelComposition({{0.5, 0.0}, {0.9, 1e-7}, {0.2, 1e-6}});
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total->epsilon, 0.9);
+  EXPECT_EQ(total->delta, 1e-6);
+}
+
+TEST(AdvancedCompositionTest, BeatsBasicCompositionForManyMechanisms) {
+  const PrivacyBudget per = {0.1, 0.0};
+  const std::size_t k = 100;
+  auto advanced = AdvancedComposition(per, k, 1e-6);
+  ASSERT_TRUE(advanced.ok());
+  const double basic_eps = per.epsilon * static_cast<double>(k);  // 10
+  EXPECT_LT(advanced->epsilon, basic_eps);
+  EXPECT_NEAR(advanced->delta, 1e-6, 1e-12);
+}
+
+TEST(AdvancedCompositionTest, MatchesClosedForm) {
+  const PrivacyBudget per = {0.5, 1e-8};
+  const std::size_t k = 10;
+  const double dp = 1e-5;
+  auto total = AdvancedComposition(per, k, dp).value();
+  const double expected = 0.5 * std::sqrt(2.0 * 10.0 * std::log(1.0 / dp)) +
+                          10.0 * 0.5 * (std::exp(0.5) - 1.0);
+  EXPECT_NEAR(total.epsilon, expected, 1e-9);
+  EXPECT_NEAR(total.delta, 10.0 * 1e-8 + dp, 1e-15);
+}
+
+TEST(AdvancedCompositionTest, Validation) {
+  EXPECT_FALSE(AdvancedComposition({0.0, 0.0}, 10, 1e-5).ok());
+  EXPECT_FALSE(AdvancedComposition({0.1, 0.0}, 0, 1e-5).ok());
+  EXPECT_FALSE(AdvancedComposition({0.1, 0.0}, 10, 0.0).ok());
+  EXPECT_FALSE(AdvancedComposition({0.1, 0.0}, 10, 1.0).ok());
+}
+
+TEST(GroupPrivacyTest, LinearInGroupSize) {
+  EXPECT_NEAR(GroupPrivacyEpsilon(0.5, 4).value(), 2.0, 1e-12);
+  EXPECT_NEAR(GroupPrivacyEpsilon(1.0, 1).value(), 1.0, 1e-12);
+  EXPECT_FALSE(GroupPrivacyEpsilon(0.0, 4).ok());
+  EXPECT_FALSE(GroupPrivacyEpsilon(0.5, 0).ok());
+}
+
+TEST(PrivacyAccountantTest, TracksSpending) {
+  auto acct = PrivacyAccountant::Create({1.0, 0.0});
+  ASSERT_TRUE(acct.ok());
+  EXPECT_TRUE(acct->Spend({0.4, 0.0}).ok());
+  EXPECT_TRUE(acct->Spend({0.4, 0.0}).ok());
+  EXPECT_NEAR(acct->spent().epsilon, 0.8, 1e-12);
+  EXPECT_NEAR(acct->Remaining().epsilon, 0.2, 1e-12);
+}
+
+TEST(PrivacyAccountantTest, RefusesOverspend) {
+  auto acct = PrivacyAccountant::Create({1.0, 0.0});
+  ASSERT_TRUE(acct.ok());
+  EXPECT_TRUE(acct->Spend({0.9, 0.0}).ok());
+  // Would exceed; state must not change.
+  EXPECT_FALSE(acct->Spend({0.2, 0.0}).ok());
+  EXPECT_NEAR(acct->spent().epsilon, 0.9, 1e-12);
+  // A fitting spend still works.
+  EXPECT_TRUE(acct->Spend({0.1, 0.0}).ok());
+}
+
+TEST(PrivacyAccountantTest, RefusesDeltaOverspend) {
+  auto acct = PrivacyAccountant::Create({10.0, 1e-6});
+  ASSERT_TRUE(acct.ok());
+  EXPECT_FALSE(acct->Spend({1.0, 1e-5}).ok());
+  EXPECT_TRUE(acct->Spend({1.0, 1e-6}).ok());
+}
+
+TEST(PrivacyAccountantTest, RejectsInvalidTotalOrSpend) {
+  EXPECT_FALSE(PrivacyAccountant::Create({0.0, 0.0}).ok());
+  auto acct = PrivacyAccountant::Create({1.0, 0.0});
+  ASSERT_TRUE(acct.ok());
+  EXPECT_FALSE(acct->Spend({-0.1, 0.0}).ok());
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,153 @@
+#include "mechanisms/exponential.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "learning/generators.h"
+
+namespace dplearn {
+namespace {
+
+Dataset BitData(std::initializer_list<double> bits) {
+  Dataset d;
+  for (double b : bits) d.Add(Example{Vector{1.0}, b});
+  return d;
+}
+
+/// Quality = fraction of labels equal to candidate/4 rounded — a toy
+/// "pick the best bucket" task. Sensitivity 1/n with n = dataset size.
+QualityFn FractionMatchingQuality() {
+  return [](const Dataset& data, std::size_t u) {
+    double match = 0.0;
+    for (const Example& z : data.examples()) {
+      if (static_cast<std::size_t>(z.label) == u) match += 1.0;
+    }
+    return match / static_cast<double>(data.size());
+  };
+}
+
+TEST(ExponentialMechanismTest, CreateValidation) {
+  auto q = FractionMatchingQuality();
+  EXPECT_TRUE(ExponentialMechanism::CreateUniform(q, 2, 1.0, 0.5).ok());
+  EXPECT_FALSE(ExponentialMechanism::CreateUniform(q, 0, 1.0, 0.5).ok());
+  EXPECT_FALSE(ExponentialMechanism::CreateUniform(q, 2, 0.0, 0.5).ok());
+  EXPECT_FALSE(ExponentialMechanism::CreateUniform(q, 2, 1.0, 0.0).ok());
+  EXPECT_FALSE(ExponentialMechanism::Create(q, 2, {0.5, 0.6}, 1.0, 0.5).ok());
+  EXPECT_FALSE(ExponentialMechanism::Create(q, 2, {1.0}, 1.0, 0.5).ok());
+  EXPECT_FALSE(ExponentialMechanism::Create(nullptr, 2, {0.5, 0.5}, 1.0, 0.5).ok());
+}
+
+TEST(ExponentialMechanismTest, OutputDistributionMatchesClosedForm) {
+  // Two candidates, qualities q0 and q1: P(0) = e^{eps q0}/(e^{eps q0}+e^{eps q1}).
+  Dataset d = BitData({0.0, 0.0, 1.0, 0.0});
+  auto q = FractionMatchingQuality();
+  const double eps = 2.0;
+  auto m = ExponentialMechanism::CreateUniform(q, 2, eps, 0.25).value();
+  auto p = m.OutputDistribution(d);
+  ASSERT_TRUE(p.ok());
+  const double w0 = std::exp(eps * 0.75);
+  const double w1 = std::exp(eps * 0.25);
+  EXPECT_NEAR((*p)[0], w0 / (w0 + w1), 1e-12);
+  EXPECT_NEAR((*p)[1], w1 / (w0 + w1), 1e-12);
+}
+
+TEST(ExponentialMechanismTest, NonUniformPriorTiltsDistribution) {
+  Dataset d = BitData({0.0, 1.0});  // equal qualities
+  auto q = FractionMatchingQuality();
+  auto m = ExponentialMechanism::Create(q, 2, {0.9, 0.1}, 1.0, 0.5).value();
+  auto p = m.OutputDistribution(d);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR((*p)[0], 0.9, 1e-12);
+  EXPECT_NEAR((*p)[1], 0.1, 1e-12);
+}
+
+TEST(ExponentialMechanismTest, SampleFrequenciesMatchDistribution) {
+  Dataset d = BitData({0.0, 0.0, 1.0, 1.0, 1.0});
+  auto q = FractionMatchingQuality();
+  auto m = ExponentialMechanism::CreateUniform(q, 2, 1.5, 0.2).value();
+  auto p = m.OutputDistribution(d).value();
+  Rng rng(1);
+  std::vector<int> counts(2, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) ++counts[m.Sample(d, &rng).value()];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / trials, p[0], 0.005);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / trials, p[1], 0.005);
+}
+
+TEST(ExponentialMechanismTest, PrivacyGuaranteeIsTwoEpsDelta) {
+  auto q = FractionMatchingQuality();
+  auto m = ExponentialMechanism::CreateUniform(q, 2, 3.0, 0.25).value();
+  EXPECT_NEAR(m.PrivacyGuaranteeEpsilon(), 1.5, 1e-12);
+}
+
+TEST(ExponentialMechanismTest, TargetPrivacyCalibration) {
+  auto q = FractionMatchingQuality();
+  auto m = ExponentialMechanism::CreateWithTargetPrivacy(q, 2, {0.5, 0.5}, 1.0, 0.25).value();
+  EXPECT_NEAR(m.PrivacyGuaranteeEpsilon(), 1.0, 1e-12);
+  EXPECT_NEAR(m.epsilon(), 2.0, 1e-12);
+}
+
+TEST(ExponentialMechanismTest, MeasuredPrivacyWithinGuarantee) {
+  // Exhaustive check of Theorem 2.2 on a tiny domain.
+  auto q = FractionMatchingQuality();
+  const double eps = 1.0;
+  const std::size_t n = 4;
+  const double sensitivity = 1.0 / static_cast<double>(n);
+  auto m = ExponentialMechanism::CreateUniform(q, 2, eps, sensitivity).value();
+  Dataset base = BitData({0.0, 1.0, 0.0, 1.0});
+  double max_log_ratio = 0.0;
+  auto p_base = m.OutputDistribution(base).value();
+  for (const Dataset& nb : EnumerateNeighbors(base, BernoulliMeanTask::Domain())) {
+    auto p_nb = m.OutputDistribution(nb).value();
+    for (std::size_t u = 0; u < 2; ++u) {
+      max_log_ratio = std::max(max_log_ratio, std::fabs(std::log(p_base[u] / p_nb[u])));
+    }
+  }
+  EXPECT_LE(max_log_ratio, m.PrivacyGuaranteeEpsilon() + 1e-12);
+}
+
+TEST(ExponentialMechanismTest, UtilityGapBound) {
+  auto q = FractionMatchingQuality();
+  auto m = ExponentialMechanism::CreateUniform(q, 8, 2.0, 0.25).value();
+  auto gap = m.UtilityGapBound(0.05);
+  ASSERT_TRUE(gap.ok());
+  EXPECT_NEAR(*gap, std::log(8.0 / 0.05) / 2.0, 1e-12);
+  EXPECT_FALSE(m.UtilityGapBound(0.0).ok());
+  EXPECT_FALSE(m.UtilityGapBound(1.0).ok());
+}
+
+TEST(ExponentialMechanismTest, UtilityImprovesWithEpsilon) {
+  // Larger eps concentrates on the best candidate.
+  Dataset d = BitData({0.0, 0.0, 0.0, 1.0});
+  auto q = FractionMatchingQuality();
+  auto weak = ExponentialMechanism::CreateUniform(q, 2, 0.1, 0.25).value();
+  auto strong = ExponentialMechanism::CreateUniform(q, 2, 20.0, 0.25).value();
+  EXPECT_LT(weak.OutputDistribution(d).value()[0],
+            strong.OutputDistribution(d).value()[0]);
+  EXPECT_GT(strong.OutputDistribution(d).value()[0], 0.99);
+}
+
+TEST(ReportNoisyMaxTest, SelectsBestCandidateMostOften) {
+  Dataset d = BitData({0.0, 0.0, 0.0, 1.0});
+  auto q = FractionMatchingQuality();
+  auto m = ReportNoisyMax::Create(q, 2, 5.0, 0.25).value();
+  Rng rng(2);
+  int best_count = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (m.Sample(d, &rng).value() == 0u) ++best_count;
+  }
+  EXPECT_GT(static_cast<double>(best_count) / trials, 0.8);
+}
+
+TEST(ReportNoisyMaxTest, Validation) {
+  auto q = FractionMatchingQuality();
+  EXPECT_FALSE(ReportNoisyMax::Create(q, 0, 1.0, 0.5).ok());
+  EXPECT_FALSE(ReportNoisyMax::Create(q, 2, 0.0, 0.5).ok());
+  EXPECT_FALSE(ReportNoisyMax::Create(q, 2, 1.0, 0.0).ok());
+  EXPECT_FALSE(ReportNoisyMax::Create(nullptr, 2, 1.0, 0.5).ok());
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,134 @@
+#include "mechanisms/geometric.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+#include "learning/generators.h"
+
+namespace dplearn {
+namespace {
+
+Dataset BitData(std::initializer_list<double> bits) {
+  Dataset d;
+  for (double b : bits) d.Add(Example{Vector{1.0}, b});
+  return d;
+}
+
+SensitiveQuery OnesCount() {
+  return CountQuery([](const Example& z) { return z.label == 1.0; });
+}
+
+TEST(TwoSidedGeometricTest, PmfMatchesTheory) {
+  Rng rng(1);
+  const double alpha = 0.5;
+  std::map<std::int64_t, int> counts;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[SampleTwoSidedGeometric(&rng, alpha).value()];
+  const double norm = (1.0 - alpha) / (1.0 + alpha);
+  for (std::int64_t z = -4; z <= 4; ++z) {
+    const double expected = norm * std::pow(alpha, std::fabs(static_cast<double>(z)));
+    EXPECT_NEAR(static_cast<double>(counts[z]) / n, expected, 0.004) << "z=" << z;
+  }
+}
+
+TEST(TwoSidedGeometricTest, SymmetricAndValidation) {
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(SampleTwoSidedGeometric(&rng, 0.7).value());
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_FALSE(SampleTwoSidedGeometric(&rng, 0.0).ok());
+  EXPECT_FALSE(SampleTwoSidedGeometric(&rng, 1.0).ok());
+}
+
+TEST(GeometricMechanismTest, CreateValidation) {
+  EXPECT_TRUE(GeometricMechanism::Create(OnesCount(), 1.0).ok());
+  EXPECT_FALSE(GeometricMechanism::Create(OnesCount(), 0.0).ok());
+  SensitiveQuery fractional = OnesCount();
+  fractional.sensitivity = 0.5;
+  EXPECT_FALSE(GeometricMechanism::Create(fractional, 1.0).ok());
+  SensitiveQuery non_integer = OnesCount();
+  non_integer.sensitivity = 1.5;
+  EXPECT_FALSE(GeometricMechanism::Create(non_integer, 1.0).ok());
+}
+
+TEST(GeometricMechanismTest, AlphaCalibration) {
+  auto m = GeometricMechanism::Create(OnesCount(), 2.0).value();
+  EXPECT_NEAR(m.alpha(), std::exp(-2.0), 1e-12);
+  EXPECT_EQ(m.Guarantee().epsilon, 2.0);
+}
+
+TEST(GeometricMechanismTest, OutputProbabilitySumsToOneAroundTruth) {
+  auto m = GeometricMechanism::Create(OnesCount(), 1.0).value();
+  Dataset d = BitData({1.0, 1.0, 0.0});
+  double total = 0.0;
+  for (std::int64_t out = -60; out <= 60; ++out) {
+    total += m.OutputProbability(d, out).value();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(GeometricMechanismTest, ExactDpAuditOverNeighbors) {
+  // Finite output masses make Definition 2.1 checkable pointwise.
+  const double eps = 0.8;
+  auto m = GeometricMechanism::Create(OnesCount(), eps).value();
+  Dataset base = BitData({1.0, 0.0, 1.0, 1.0});
+  double max_log_ratio = 0.0;
+  for (const Dataset& nb : EnumerateNeighbors(base, BernoulliMeanTask::Domain())) {
+    for (std::int64_t out = -40; out <= 40; ++out) {
+      const double pa = m.OutputProbability(base, out).value();
+      const double pb = m.OutputProbability(nb, out).value();
+      max_log_ratio = std::max(max_log_ratio, std::fabs(std::log(pa / pb)));
+    }
+  }
+  EXPECT_LE(max_log_ratio, eps + 1e-9);
+  EXPECT_NEAR(max_log_ratio, eps, 1e-9);  // attained (pure geometric tails)
+}
+
+TEST(GeometricMechanismTest, ReleaseCentersOnTruth) {
+  auto m = GeometricMechanism::Create(OnesCount(), 1.0).value();
+  Dataset d = BitData({1.0, 1.0, 1.0, 0.0, 1.0});
+  Rng rng(3);
+  double sum = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(m.Release(d, &rng).value());
+  }
+  EXPECT_NEAR(sum / trials, 4.0, 0.03);
+}
+
+TEST(GeometricMechanismTest, NoiseTailProbability) {
+  auto m = GeometricMechanism::Create(OnesCount(), 1.0).value();
+  EXPECT_EQ(m.NoiseTailProbability(0).value(), 1.0);
+  const double alpha = m.alpha();
+  EXPECT_NEAR(m.NoiseTailProbability(3).value(),
+              2.0 * std::pow(alpha, 3.0) / (1.0 + alpha), 1e-12);
+  EXPECT_FALSE(m.NoiseTailProbability(-1).ok());
+
+  // Empirical check of the tail.
+  Rng rng(4);
+  int beyond = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) {
+    const std::int64_t z = SampleTwoSidedGeometric(&rng, alpha).value();
+    if (z >= 3 || z <= -3) ++beyond;
+  }
+  EXPECT_NEAR(static_cast<double>(beyond) / trials, m.NoiseTailProbability(3).value(),
+              0.003);
+}
+
+TEST(GeometricMechanismTest, RejectsNonIntegerQuery) {
+  SensitiveQuery fractional_query;
+  fractional_query.query = [](const Dataset&) { return 1.5; };
+  fractional_query.sensitivity = 1.0;
+  auto m = GeometricMechanism::Create(fractional_query, 1.0).value();
+  Rng rng(5);
+  EXPECT_FALSE(m.Release(BitData({1.0}), &rng).ok());
+  EXPECT_FALSE(m.OutputProbability(BitData({1.0}), 0).ok());
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,84 @@
+#include "mechanisms/sensitivity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "learning/generators.h"
+
+namespace dplearn {
+namespace {
+
+Dataset BitData(std::initializer_list<double> bits) {
+  Dataset d;
+  for (double b : bits) d.Add(Example{Vector{1.0}, b});
+  return d;
+}
+
+TEST(CountQueryTest, CountsMatchingExamples) {
+  SensitiveQuery q = CountQuery([](const Example& z) { return z.label == 1.0; });
+  EXPECT_EQ(q.query(BitData({1.0, 0.0, 1.0, 1.0})), 3.0);
+  EXPECT_EQ(q.sensitivity, 1.0);
+}
+
+TEST(CountQueryTest, ClaimedSensitivityIsCorrectOnDomain) {
+  SensitiveQuery q = CountQuery([](const Example& z) { return z.label == 1.0; });
+  auto measured =
+      MeasuredSensitivity(q.query, BitData({1.0, 0.0, 1.0}), BernoulliMeanTask::Domain());
+  ASSERT_TRUE(measured.ok());
+  EXPECT_LE(*measured, q.sensitivity + 1e-12);
+  EXPECT_NEAR(*measured, 1.0, 1e-12);  // tight
+}
+
+TEST(BoundedMeanQueryTest, ComputesClampedMean) {
+  auto q = BoundedMeanQuery(0.0, 1.0, 4);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q->query(BitData({1.0, 0.0, 1.0, 0.0})), 0.5, 1e-12);
+  // Outlier labels are clamped, keeping the sensitivity claim honest.
+  EXPECT_NEAR(q->query(BitData({5.0, 0.0})), 0.5, 1e-12);
+  EXPECT_NEAR(q->sensitivity, 0.25, 1e-12);
+}
+
+TEST(BoundedMeanQueryTest, ClaimedSensitivityTightOnDomain) {
+  const std::size_t n = 5;
+  auto q = BoundedMeanQuery(0.0, 1.0, n);
+  ASSERT_TRUE(q.ok());
+  auto measured = MeasuredSensitivity(q->query, BitData({1.0, 0.0, 1.0, 0.0, 1.0}),
+                                      BernoulliMeanTask::Domain());
+  ASSERT_TRUE(measured.ok());
+  EXPECT_NEAR(*measured, 1.0 / static_cast<double>(n), 1e-12);
+}
+
+TEST(BoundedMeanQueryTest, Validation) {
+  EXPECT_FALSE(BoundedMeanQuery(1.0, 0.0, 4).ok());
+  EXPECT_FALSE(BoundedMeanQuery(0.0, 1.0, 0).ok());
+}
+
+TEST(BoundedSumQueryTest, SensitivityIsRange) {
+  auto q = BoundedSumQuery(-1.0, 2.0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q->sensitivity, 3.0, 1e-12);
+  EXPECT_NEAR(q->query(BitData({1.0, 1.0, -5.0})), 1.0 + 1.0 - 1.0, 1e-12);
+  EXPECT_FALSE(BoundedSumQuery(2.0, 2.0).ok());
+}
+
+TEST(MeasuredSensitivityTest, DetectsOverclaimedSensitivity) {
+  // A query whose true local change can be 2/n, not 1/n: sum of 2*label.
+  ScalarQuery doubled = [](const Dataset& data) {
+    double s = 0.0;
+    for (const Example& z : data.examples()) s += 2.0 * z.label;
+    return s / static_cast<double>(data.size());
+  };
+  auto measured =
+      MeasuredSensitivity(doubled, BitData({1.0, 0.0}), BernoulliMeanTask::Domain());
+  ASSERT_TRUE(measured.ok());
+  EXPECT_NEAR(*measured, 1.0, 1e-12);  // 2/n with n=2
+}
+
+TEST(MeasuredSensitivityTest, Validation) {
+  ScalarQuery q = [](const Dataset&) { return 0.0; };
+  EXPECT_FALSE(MeasuredSensitivity(q, Dataset(), BernoulliMeanTask::Domain()).ok());
+  EXPECT_FALSE(MeasuredSensitivity(q, BitData({1.0}), {}).ok());
+}
+
+}  // namespace
+}  // namespace dplearn

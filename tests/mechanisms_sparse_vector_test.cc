@@ -1,0 +1,100 @@
+#include "mechanisms/sparse_vector.h"
+
+#include <gtest/gtest.h>
+#include "learning/generators.h"
+
+namespace dplearn {
+namespace {
+
+Dataset BitData(std::size_t zeros, std::size_t ones) {
+  Dataset d;
+  for (std::size_t i = 0; i < zeros; ++i) d.Add(Example{Vector{1.0}, 0.0});
+  for (std::size_t i = 0; i < ones; ++i) d.Add(Example{Vector{1.0}, 1.0});
+  return d;
+}
+
+ScalarQuery OnesFraction() {
+  return [](const Dataset& data) {
+    double ones = 0.0;
+    for (const Example& z : data.examples()) ones += z.label;
+    return ones / static_cast<double>(data.size());
+  };
+}
+
+TEST(SparseVectorTest, CreateValidation) {
+  EXPECT_TRUE(SparseVectorMechanism::Create(1.0, 0.5, 1, 0.01).ok());
+  EXPECT_FALSE(SparseVectorMechanism::Create(0.0, 0.5, 1, 0.01).ok());
+  EXPECT_FALSE(SparseVectorMechanism::Create(1.0, 0.5, 0, 0.01).ok());
+  EXPECT_FALSE(SparseVectorMechanism::Create(1.0, 0.5, 1, 0.0).ok());
+}
+
+TEST(SparseVectorTest, ObviousAboveAndBelowAreSeparated) {
+  // With a generous budget the noise is small relative to the margins.
+  auto svt = SparseVectorMechanism::Create(50.0, 0.5, 3, 0.01).value();
+  Dataset mostly_ones = BitData(5, 95);
+  Dataset mostly_zeros = BitData(95, 5);
+  Rng rng(1);
+  auto high = svt.Probe(OnesFraction(), mostly_ones, &rng);
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(*high, SparseVectorMechanism::Answer::kAbove);
+  auto low = svt.Probe(OnesFraction(), mostly_zeros, &rng);
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(*low, SparseVectorMechanism::Answer::kBelow);
+}
+
+TEST(SparseVectorTest, HaltsAfterMaxAboveAnswers) {
+  auto svt = SparseVectorMechanism::Create(100.0, 0.5, 2, 0.01).value();
+  Dataset hot = BitData(0, 50);
+  Rng rng(2);
+  int above = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto answer = svt.Probe(OnesFraction(), hot, &rng);
+    ASSERT_TRUE(answer.ok());
+    if (*answer == SparseVectorMechanism::Answer::kAbove) ++above;
+  }
+  EXPECT_EQ(above, 2);
+  EXPECT_TRUE(svt.halted());
+  auto after = svt.Probe(OnesFraction(), hot, &rng);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, SparseVectorMechanism::Answer::kHalted);
+  EXPECT_EQ(svt.above_count(), 2u);
+}
+
+TEST(SparseVectorTest, BelowAnswersAreFree) {
+  // Many below-threshold probes never exhaust the mechanism.
+  auto svt = SparseVectorMechanism::Create(100.0, 0.9, 1, 0.01).value();
+  Dataset cold = BitData(90, 10);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    auto answer = svt.Probe(OnesFraction(), cold, &rng);
+    ASSERT_TRUE(answer.ok());
+    ASSERT_EQ(*answer, SparseVectorMechanism::Answer::kBelow) << "probe " << i;
+  }
+  EXPECT_FALSE(svt.halted());
+  EXPECT_EQ(svt.Guarantee().epsilon, 100.0);
+}
+
+TEST(SparseVectorTest, NoisierAtSmallEpsilon) {
+  // At small eps the answers near the threshold are genuinely random:
+  // both outcomes occur across seeds.
+  Dataset borderline = BitData(50, 50);
+  int above = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    auto svt = SparseVectorMechanism::Create(0.5, 0.5, 1, 0.01).value();
+    Rng rng(seed);
+    auto answer = svt.Probe(OnesFraction(), borderline, &rng);
+    ASSERT_TRUE(answer.ok());
+    if (*answer == SparseVectorMechanism::Answer::kAbove) ++above;
+  }
+  EXPECT_GT(above, 20);
+  EXPECT_LT(above, 180);
+}
+
+TEST(SparseVectorTest, RejectsUnsetQuery) {
+  auto svt = SparseVectorMechanism::Create(1.0, 0.5, 1, 0.01).value();
+  Rng rng(4);
+  EXPECT_FALSE(svt.Probe(nullptr, BitData(1, 1), &rng).ok());
+}
+
+}  // namespace
+}  // namespace dplearn

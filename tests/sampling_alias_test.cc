@@ -1,0 +1,65 @@
+#include "sampling/alias_sampler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dplearn {
+namespace {
+
+TEST(AliasSamplerTest, RejectsInvalidDistribution) {
+  EXPECT_FALSE(AliasSampler::Create({0.5, 0.6}).ok());
+  EXPECT_FALSE(AliasSampler::Create({}).ok());
+  EXPECT_FALSE(AliasSampler::Create({-0.5, 1.5}).ok());
+}
+
+TEST(AliasSamplerTest, SingleOutcome) {
+  auto s = AliasSampler::Create({1.0});
+  ASSERT_TRUE(s.ok());
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s->Sample(&rng), 0u);
+}
+
+TEST(AliasSamplerTest, DegenerateMassOnOneOutcome) {
+  auto s = AliasSampler::Create({0.0, 1.0, 0.0});
+  ASSERT_TRUE(s.ok());
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(s->Sample(&rng), 1u);
+}
+
+TEST(AliasSamplerTest, FrequenciesMatchUniform) {
+  auto s = AliasSampler::Create({0.25, 0.25, 0.25, 0.25});
+  ASSERT_TRUE(s.ok());
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[s->Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.006);
+}
+
+TEST(AliasSamplerTest, FrequenciesMatchSkewedDistribution) {
+  std::vector<double> p = {0.05, 0.15, 0.6, 0.2};
+  auto s = AliasSampler::Create(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 4u);
+  EXPECT_EQ(s->probabilities(), p);
+  Rng rng(4);
+  std::vector<int> counts(4, 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[s->Sample(&rng)];
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, p[k], 0.006);
+  }
+}
+
+TEST(AliasSamplerTest, ManyOutcomes) {
+  const std::size_t m = 1000;
+  std::vector<double> p(m, 1.0 / static_cast<double>(m));
+  auto s = AliasSampler::Create(p);
+  ASSERT_TRUE(s.ok());
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(s->Sample(&rng), m);
+}
+
+}  // namespace
+}  // namespace dplearn

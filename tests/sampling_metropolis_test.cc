@@ -1,0 +1,119 @@
+#include "sampling/metropolis.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dplearn {
+namespace {
+
+double MeanOfCoordinate(const std::vector<std::vector<double>>& samples, std::size_t j) {
+  double s = 0.0;
+  for (const auto& x : samples) s += x[j];
+  return s / static_cast<double>(samples.size());
+}
+
+double VarOfCoordinate(const std::vector<std::vector<double>>& samples, std::size_t j) {
+  const double m = MeanOfCoordinate(samples, j);
+  double ss = 0.0;
+  for (const auto& x : samples) ss += (x[j] - m) * (x[j] - m);
+  return ss / static_cast<double>(samples.size() - 1);
+}
+
+TEST(MetropolisTest, RecoversStandardNormalMoments) {
+  LogDensityFn target = [](const std::vector<double>& x) { return -0.5 * x[0] * x[0]; };
+  MetropolisOptions options;
+  options.proposal_stddev = 1.0;
+  options.burn_in = 2000;
+  options.thinning = 5;
+  Rng rng(1);
+  auto result = RunMetropolis(target, {0.0}, 20000, options, &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->samples.size(), 20000u);
+  EXPECT_NEAR(MeanOfCoordinate(result->samples, 0), 0.0, 0.05);
+  EXPECT_NEAR(VarOfCoordinate(result->samples, 0), 1.0, 0.08);
+  EXPECT_GT(result->acceptance_rate, 0.2);
+  EXPECT_LT(result->acceptance_rate, 0.9);
+}
+
+TEST(MetropolisTest, Recovers2dShiftedGaussian) {
+  LogDensityFn target = [](const std::vector<double>& x) {
+    const double a = x[0] - 2.0;
+    const double b = x[1] + 1.0;
+    return -0.5 * (a * a + b * b / 0.25);
+  };
+  MetropolisOptions options;
+  options.proposal_stddev = 0.6;
+  options.burn_in = 5000;
+  options.thinning = 10;
+  Rng rng(2);
+  auto result = RunMetropolis(target, {0.0, 0.0}, 15000, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(MeanOfCoordinate(result->samples, 0), 2.0, 0.07);
+  EXPECT_NEAR(MeanOfCoordinate(result->samples, 1), -1.0, 0.05);
+  EXPECT_NEAR(VarOfCoordinate(result->samples, 1), 0.25, 0.05);
+}
+
+TEST(MetropolisTest, RespectsBoundedSupport) {
+  LogDensityFn target = [](const std::vector<double>& x) {
+    if (x[0] < 0.0 || x[0] > 1.0) return -std::numeric_limits<double>::infinity();
+    return 0.0;  // Uniform(0,1)
+  };
+  MetropolisOptions options;
+  options.proposal_stddev = 0.3;
+  options.burn_in = 1000;
+  options.thinning = 2;
+  Rng rng(3);
+  auto result = RunMetropolis(target, {0.5}, 20000, options, &rng);
+  ASSERT_TRUE(result.ok());
+  for (const auto& x : result->samples) {
+    ASSERT_GE(x[0], 0.0);
+    ASSERT_LE(x[0], 1.0);
+  }
+  EXPECT_NEAR(MeanOfCoordinate(result->samples, 0), 0.5, 0.02);
+  EXPECT_NEAR(VarOfCoordinate(result->samples, 0), 1.0 / 12.0, 0.01);
+}
+
+TEST(MetropolisTest, RejectsInvalidArguments) {
+  LogDensityFn target = [](const std::vector<double>& x) { return -x[0] * x[0]; };
+  MetropolisOptions options;
+  Rng rng(1);
+  EXPECT_FALSE(RunMetropolis(target, {}, 10, options, &rng).ok());
+  EXPECT_FALSE(RunMetropolis(target, {0.0}, 0, options, &rng).ok());
+  MetropolisOptions bad_stddev;
+  bad_stddev.proposal_stddev = 0.0;
+  EXPECT_FALSE(RunMetropolis(target, {0.0}, 10, bad_stddev, &rng).ok());
+  MetropolisOptions bad_thin;
+  bad_thin.thinning = 0;
+  EXPECT_FALSE(RunMetropolis(target, {0.0}, 10, bad_thin, &rng).ok());
+}
+
+TEST(MetropolisTest, RejectsZeroDensityStart) {
+  LogDensityFn target = [](const std::vector<double>& x) {
+    if (x[0] < 0.0) return -std::numeric_limits<double>::infinity();
+    return 0.0;
+  };
+  MetropolisOptions options;
+  Rng rng(1);
+  EXPECT_FALSE(RunMetropolis(target, {-1.0}, 10, options, &rng).ok());
+}
+
+TEST(MetropolisTest, DeterministicForFixedSeed) {
+  LogDensityFn target = [](const std::vector<double>& x) { return -0.5 * x[0] * x[0]; };
+  MetropolisOptions options;
+  options.burn_in = 100;
+  options.thinning = 1;
+  Rng rng_a(42);
+  Rng rng_b(42);
+  auto ra = RunMetropolis(target, {0.0}, 500, options, &rng_a);
+  auto rb = RunMetropolis(target, {0.0}, 500, options, &rng_b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->samples, rb->samples);
+}
+
+}  // namespace
+}  // namespace dplearn

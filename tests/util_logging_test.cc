@@ -1,0 +1,46 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+#include "util/status.h"
+
+namespace dplearn {
+namespace {
+
+TEST(CheckMacroTest, PassingChecksAreSilent) {
+  DPLEARN_CHECK(true) << "never printed";
+  DPLEARN_CHECK_EQ(1, 1);
+  DPLEARN_CHECK_NE(1, 2);
+  DPLEARN_CHECK_LT(1, 2);
+  DPLEARN_CHECK_LE(2, 2);
+  DPLEARN_CHECK_GT(3, 2);
+  DPLEARN_CHECK_GE(3, 3);
+  DPLEARN_CHECK_OK(Status::Ok());
+}
+
+using CheckMacroDeathTest = ::testing::Test;
+
+TEST(CheckMacroDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ DPLEARN_CHECK(false) << "boom"; }, "Check failed: false boom");
+}
+
+TEST(CheckMacroDeathTest, ComparisonChecksReportValues) {
+  EXPECT_DEATH({ DPLEARN_CHECK_EQ(1, 2); }, "Check failed:.*\\(1 vs 2\\)");
+  EXPECT_DEATH({ DPLEARN_CHECK_LT(5, 3); }, "Check failed:.*\\(5 vs 3\\)");
+}
+
+TEST(CheckMacroDeathTest, CheckOkReportsStatus) {
+  EXPECT_DEATH({ DPLEARN_CHECK_OK(InvalidArgumentError("bad juju")); },
+               "INVALID_ARGUMENT: bad juju");
+}
+
+TEST(CheckMacroDeathTest, StatusOrValueOnErrorAborts) {
+  StatusOr<int> error = InternalError("no value");
+  EXPECT_DEATH({ (void)error.value(); }, ".*");
+}
+
+TEST(CheckMacroDeathTest, StatusOrFromOkStatusAborts) {
+  EXPECT_DEATH({ StatusOr<int> bad = Status::Ok(); (void)bad; }, ".*");
+}
+
+}  // namespace
+}  // namespace dplearn

@@ -1,0 +1,156 @@
+#include "util/math_util.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dplearn {
+namespace {
+
+TEST(LogSumExpTest, MatchesDirectComputationOnSmallValues) {
+  std::vector<double> x = {0.0, 1.0, 2.0};
+  const double expected = std::log(std::exp(0.0) + std::exp(1.0) + std::exp(2.0));
+  EXPECT_NEAR(LogSumExp(x), expected, 1e-12);
+}
+
+TEST(LogSumExpTest, StableForLargeMagnitudes) {
+  std::vector<double> x = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(x), 1000.0 + std::log(2.0), 1e-9);
+  std::vector<double> y = {-1000.0, -1000.0};
+  EXPECT_NEAR(LogSumExp(y), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExpTest, EmptyIsNegativeInfinity) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogSumExpTest, AllNegativeInfinity) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(LogSumExp({ninf, ninf}), ninf);
+}
+
+TEST(LogAddExpTest, Basic) {
+  EXPECT_NEAR(LogAddExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(LogAddExp(ninf, 1.5), 1.5);
+  EXPECT_EQ(LogAddExp(1.5, ninf), 1.5);
+}
+
+TEST(SoftmaxFromLogTest, NormalizesCorrectly) {
+  auto p = SoftmaxFromLog({std::log(1.0), std::log(3.0)});
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR((*p)[0], 0.25, 1e-12);
+  EXPECT_NEAR((*p)[1], 0.75, 1e-12);
+}
+
+TEST(SoftmaxFromLogTest, StableForHugeSpread) {
+  auto p = SoftmaxFromLog({-5000.0, 0.0, -5000.0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR((*p)[1], 1.0, 1e-12);
+}
+
+TEST(SoftmaxFromLogTest, RejectsEmptyAndAllZero) {
+  EXPECT_FALSE(SoftmaxFromLog({}).ok());
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(SoftmaxFromLog({ninf, ninf}).ok());
+}
+
+TEST(XLogXTest, ZeroConvention) {
+  EXPECT_EQ(XLogX(0.0), 0.0);
+  EXPECT_NEAR(XLogX(1.0), 0.0, 1e-15);
+  EXPECT_NEAR(XLogX(2.0), 2.0 * std::log(2.0), 1e-12);
+}
+
+TEST(XLogXOverYTest, Conventions) {
+  EXPECT_EQ(XLogXOverY(0.0, 0.5), 0.0);
+  EXPECT_EQ(XLogXOverY(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(XLogXOverY(0.5, 0.0)));
+  EXPECT_NEAR(XLogXOverY(0.5, 0.25), 0.5 * std::log(2.0), 1e-12);
+}
+
+TEST(ClampTest, Basic) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(ApproxEqualTest, Basic) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(1e9, 1e9 * (1.0 + 1e-10)));
+}
+
+TEST(MeanVarianceTest, KnownValues) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(Mean(x).value(), 2.5, 1e-12);
+  EXPECT_NEAR(SampleVariance(x).value(), 5.0 / 3.0, 1e-12);
+  EXPECT_FALSE(Mean({}).ok());
+  EXPECT_FALSE(SampleVariance({1.0}).ok());
+}
+
+TEST(QuantileTest, InterpolatesSortedSample) {
+  std::vector<double> x = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_NEAR(Quantile(x, 0.0).value(), 1.0, 1e-12);
+  EXPECT_NEAR(Quantile(x, 1.0).value(), 4.0, 1e-12);
+  EXPECT_NEAR(Quantile(x, 0.5).value(), 2.5, 1e-12);
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  EXPECT_FALSE(Quantile(x, 1.5).ok());
+}
+
+TEST(ValidateDistributionTest, AcceptsValidRejectsInvalid) {
+  EXPECT_TRUE(ValidateDistribution({0.25, 0.75}).ok());
+  EXPECT_FALSE(ValidateDistribution({0.5, 0.6}).ok());
+  EXPECT_FALSE(ValidateDistribution({-0.1, 1.1}).ok());
+  EXPECT_FALSE(ValidateDistribution({}).ok());
+}
+
+TEST(NormalizeTest, Basic) {
+  auto p = Normalize({1.0, 3.0});
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR((*p)[0], 0.25, 1e-12);
+  EXPECT_FALSE(Normalize({0.0, 0.0}).ok());
+  EXPECT_FALSE(Normalize({-1.0, 2.0}).ok());
+  EXPECT_FALSE(Normalize({}).ok());
+}
+
+TEST(LinspaceTest, EndpointsAndSpacing) {
+  auto g = Linspace(0.0, 1.0, 5);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->size(), 5u);
+  EXPECT_EQ((*g)[0], 0.0);
+  EXPECT_EQ((*g)[4], 1.0);
+  EXPECT_NEAR((*g)[2], 0.5, 1e-12);
+  EXPECT_FALSE(Linspace(1.0, 0.0, 5).ok());
+  EXPECT_FALSE(Linspace(0.0, 1.0, 1).ok());
+}
+
+TEST(CatoniPhiTest, IsInverseOfCatoniMap) {
+  // Phi is the inverse of r -> (1 - exp(-gamma r)) / (1 - exp(-gamma)).
+  const double gamma = 0.3;
+  const double r = 0.4;
+  const double mapped = -std::expm1(-gamma * r) / -std::expm1(-gamma);
+  auto inv = CatoniPhi(gamma, mapped);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_NEAR(*inv, r, 1e-12);
+}
+
+TEST(CatoniPhiTest, RejectsOutOfDomain) {
+  EXPECT_FALSE(CatoniPhi(0.0, 0.5).ok());
+  // r beyond 1/(1-e^{-gamma}) makes the log argument non-positive.
+  EXPECT_FALSE(CatoniPhi(1.0, 5.0).ok());
+}
+
+TEST(CatoniContractionFactorTest, InCatoniRange) {
+  // The paper notes (n/lambda)(1 - e^{-lambda/n}) lies in [1 - lambda/(2n), 1].
+  for (double lambda : {1.0, 10.0, 100.0}) {
+    const double n = 200.0;
+    const double c = CatoniContractionFactor(lambda, n);
+    EXPECT_LE(c, 1.0);
+    EXPECT_GE(c, 1.0 - lambda / (2.0 * n));
+  }
+}
+
+}  // namespace
+}  // namespace dplearn
