@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_composition.dir/exp_composition.cc.o"
+  "CMakeFiles/exp_composition.dir/exp_composition.cc.o.d"
+  "exp_composition"
+  "exp_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

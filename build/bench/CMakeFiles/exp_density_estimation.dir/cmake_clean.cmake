@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_density_estimation.dir/exp_density_estimation.cc.o"
+  "CMakeFiles/exp_density_estimation.dir/exp_density_estimation.cc.o.d"
+  "exp_density_estimation"
+  "exp_density_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_density_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_exponential_dp.dir/exp_exponential_dp.cc.o"
+  "CMakeFiles/exp_exponential_dp.dir/exp_exponential_dp.cc.o.d"
+  "exp_exponential_dp"
+  "exp_exponential_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_exponential_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_gibbs_optimality.dir/exp_gibbs_optimality.cc.o"
+  "CMakeFiles/exp_gibbs_optimality.dir/exp_gibbs_optimality.cc.o.d"
+  "exp_gibbs_optimality"
+  "exp_gibbs_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_gibbs_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

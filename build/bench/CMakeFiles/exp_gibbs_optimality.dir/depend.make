@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_gibbs_optimality.
+# This may be replaced when dependencies are built.

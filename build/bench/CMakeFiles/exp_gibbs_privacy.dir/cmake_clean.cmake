@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_gibbs_privacy.dir/exp_gibbs_privacy.cc.o"
+  "CMakeFiles/exp_gibbs_privacy.dir/exp_gibbs_privacy.cc.o.d"
+  "exp_gibbs_privacy"
+  "exp_gibbs_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_gibbs_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_lambda_selection.dir/exp_lambda_selection.cc.o"
+  "CMakeFiles/exp_lambda_selection.dir/exp_lambda_selection.cc.o.d"
+  "exp_lambda_selection"
+  "exp_lambda_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_lambda_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

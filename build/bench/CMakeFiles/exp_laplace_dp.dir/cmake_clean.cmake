@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_laplace_dp.dir/exp_laplace_dp.cc.o"
+  "CMakeFiles/exp_laplace_dp.dir/exp_laplace_dp.cc.o.d"
+  "exp_laplace_dp"
+  "exp_laplace_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_laplace_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_laplace_dp.
+# This may be replaced when dependencies are built.

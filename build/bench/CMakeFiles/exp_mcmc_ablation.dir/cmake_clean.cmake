@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_mcmc_ablation.dir/exp_mcmc_ablation.cc.o"
+  "CMakeFiles/exp_mcmc_ablation.dir/exp_mcmc_ablation.cc.o.d"
+  "exp_mcmc_ablation"
+  "exp_mcmc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_mcmc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_membership_attack.dir/exp_membership_attack.cc.o"
+  "CMakeFiles/exp_membership_attack.dir/exp_membership_attack.cc.o.d"
+  "exp_membership_attack"
+  "exp_membership_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_membership_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

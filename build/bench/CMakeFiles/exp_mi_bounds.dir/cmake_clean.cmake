@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_mi_bounds.dir/exp_mi_bounds.cc.o"
+  "CMakeFiles/exp_mi_bounds.dir/exp_mi_bounds.cc.o.d"
+  "exp_mi_bounds"
+  "exp_mi_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_mi_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_mi_channel.dir/exp_mi_channel.cc.o"
+  "CMakeFiles/exp_mi_channel.dir/exp_mi_channel.cc.o.d"
+  "exp_mi_channel"
+  "exp_mi_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_mi_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

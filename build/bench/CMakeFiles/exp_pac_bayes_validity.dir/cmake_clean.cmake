@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_pac_bayes_validity.dir/exp_pac_bayes_validity.cc.o"
+  "CMakeFiles/exp_pac_bayes_validity.dir/exp_pac_bayes_validity.cc.o.d"
+  "exp_pac_bayes_validity"
+  "exp_pac_bayes_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_pac_bayes_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

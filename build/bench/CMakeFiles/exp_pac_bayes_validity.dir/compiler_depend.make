@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_pac_bayes_validity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_privacy_utility.dir/exp_privacy_utility.cc.o"
+  "CMakeFiles/exp_privacy_utility.dir/exp_privacy_utility.cc.o.d"
+  "exp_privacy_utility"
+  "exp_privacy_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_privacy_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_privacy_utility.
+# This may be replaced when dependencies are built.

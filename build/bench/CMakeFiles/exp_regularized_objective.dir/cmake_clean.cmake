@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_regularized_objective.dir/exp_regularized_objective.cc.o"
+  "CMakeFiles/exp_regularized_objective.dir/exp_regularized_objective.cc.o.d"
+  "exp_regularized_objective"
+  "exp_regularized_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_regularized_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_regularized_objective.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_regularized_objective.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_analysis.dir/channel_analysis.cpp.o"
+  "CMakeFiles/channel_analysis.dir/channel_analysis.cpp.o.d"
+  "channel_analysis"
+  "channel_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

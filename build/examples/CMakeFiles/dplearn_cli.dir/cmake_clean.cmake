@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dplearn_cli.dir/dplearn_cli.cpp.o"
+  "CMakeFiles/dplearn_cli.dir/dplearn_cli.cpp.o.d"
+  "dplearn_cli"
+  "dplearn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dplearn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_median.dir/private_median.cpp.o"
+  "CMakeFiles/private_median.dir/private_median.cpp.o.d"
+  "private_median"
+  "private_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

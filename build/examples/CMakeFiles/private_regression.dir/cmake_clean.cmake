@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_regression.dir/private_regression.cpp.o"
+  "CMakeFiles/private_regression.dir/private_regression.cpp.o.d"
+  "private_regression"
+  "private_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_screening.dir/sparse_screening.cpp.o"
+  "CMakeFiles/sparse_screening.dir/sparse_screening.cpp.o.d"
+  "sparse_screening"
+  "sparse_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

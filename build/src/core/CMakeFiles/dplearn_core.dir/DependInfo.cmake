@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dp_sgd.cc" "src/core/CMakeFiles/dplearn_core.dir/dp_sgd.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/dp_sgd.cc.o.d"
+  "/root/repo/src/core/dp_verifier.cc" "src/core/CMakeFiles/dplearn_core.dir/dp_verifier.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/dp_verifier.cc.o.d"
+  "/root/repo/src/core/finite_domain_channel.cc" "src/core/CMakeFiles/dplearn_core.dir/finite_domain_channel.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/finite_domain_channel.cc.o.d"
+  "/root/repo/src/core/gibbs_estimator.cc" "src/core/CMakeFiles/dplearn_core.dir/gibbs_estimator.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/gibbs_estimator.cc.o.d"
+  "/root/repo/src/core/lambda_selection.cc" "src/core/CMakeFiles/dplearn_core.dir/lambda_selection.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/lambda_selection.cc.o.d"
+  "/root/repo/src/core/learning_channel.cc" "src/core/CMakeFiles/dplearn_core.dir/learning_channel.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/learning_channel.cc.o.d"
+  "/root/repo/src/core/membership_attack.cc" "src/core/CMakeFiles/dplearn_core.dir/membership_attack.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/membership_attack.cc.o.d"
+  "/root/repo/src/core/pac_bayes.cc" "src/core/CMakeFiles/dplearn_core.dir/pac_bayes.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/pac_bayes.cc.o.d"
+  "/root/repo/src/core/private_density.cc" "src/core/CMakeFiles/dplearn_core.dir/private_density.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/private_density.cc.o.d"
+  "/root/repo/src/core/private_erm.cc" "src/core/CMakeFiles/dplearn_core.dir/private_erm.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/private_erm.cc.o.d"
+  "/root/repo/src/core/private_regression.cc" "src/core/CMakeFiles/dplearn_core.dir/private_regression.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/private_regression.cc.o.d"
+  "/root/repo/src/core/regularized_objective.cc" "src/core/CMakeFiles/dplearn_core.dir/regularized_objective.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/regularized_objective.cc.o.d"
+  "/root/repo/src/core/utility_bounds.cc" "src/core/CMakeFiles/dplearn_core.dir/utility_bounds.cc.o" "gcc" "src/core/CMakeFiles/dplearn_core.dir/utility_bounds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dplearn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/dplearn_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/infotheory/CMakeFiles/dplearn_infotheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/learning/CMakeFiles/dplearn_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dplearn_core.dir/dp_sgd.cc.o"
+  "CMakeFiles/dplearn_core.dir/dp_sgd.cc.o.d"
+  "CMakeFiles/dplearn_core.dir/dp_verifier.cc.o"
+  "CMakeFiles/dplearn_core.dir/dp_verifier.cc.o.d"
+  "CMakeFiles/dplearn_core.dir/finite_domain_channel.cc.o"
+  "CMakeFiles/dplearn_core.dir/finite_domain_channel.cc.o.d"
+  "CMakeFiles/dplearn_core.dir/gibbs_estimator.cc.o"
+  "CMakeFiles/dplearn_core.dir/gibbs_estimator.cc.o.d"
+  "CMakeFiles/dplearn_core.dir/lambda_selection.cc.o"
+  "CMakeFiles/dplearn_core.dir/lambda_selection.cc.o.d"
+  "CMakeFiles/dplearn_core.dir/learning_channel.cc.o"
+  "CMakeFiles/dplearn_core.dir/learning_channel.cc.o.d"
+  "CMakeFiles/dplearn_core.dir/membership_attack.cc.o"
+  "CMakeFiles/dplearn_core.dir/membership_attack.cc.o.d"
+  "CMakeFiles/dplearn_core.dir/pac_bayes.cc.o"
+  "CMakeFiles/dplearn_core.dir/pac_bayes.cc.o.d"
+  "CMakeFiles/dplearn_core.dir/private_density.cc.o"
+  "CMakeFiles/dplearn_core.dir/private_density.cc.o.d"
+  "CMakeFiles/dplearn_core.dir/private_erm.cc.o"
+  "CMakeFiles/dplearn_core.dir/private_erm.cc.o.d"
+  "CMakeFiles/dplearn_core.dir/private_regression.cc.o"
+  "CMakeFiles/dplearn_core.dir/private_regression.cc.o.d"
+  "CMakeFiles/dplearn_core.dir/regularized_objective.cc.o"
+  "CMakeFiles/dplearn_core.dir/regularized_objective.cc.o.d"
+  "CMakeFiles/dplearn_core.dir/utility_bounds.cc.o"
+  "CMakeFiles/dplearn_core.dir/utility_bounds.cc.o.d"
+  "libdplearn_core.a"
+  "libdplearn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dplearn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdplearn_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infotheory/channel.cc" "src/infotheory/CMakeFiles/dplearn_infotheory.dir/channel.cc.o" "gcc" "src/infotheory/CMakeFiles/dplearn_infotheory.dir/channel.cc.o.d"
+  "/root/repo/src/infotheory/entropy.cc" "src/infotheory/CMakeFiles/dplearn_infotheory.dir/entropy.cc.o" "gcc" "src/infotheory/CMakeFiles/dplearn_infotheory.dir/entropy.cc.o.d"
+  "/root/repo/src/infotheory/fano.cc" "src/infotheory/CMakeFiles/dplearn_infotheory.dir/fano.cc.o" "gcc" "src/infotheory/CMakeFiles/dplearn_infotheory.dir/fano.cc.o.d"
+  "/root/repo/src/infotheory/leakage.cc" "src/infotheory/CMakeFiles/dplearn_infotheory.dir/leakage.cc.o" "gcc" "src/infotheory/CMakeFiles/dplearn_infotheory.dir/leakage.cc.o.d"
+  "/root/repo/src/infotheory/mutual_information.cc" "src/infotheory/CMakeFiles/dplearn_infotheory.dir/mutual_information.cc.o" "gcc" "src/infotheory/CMakeFiles/dplearn_infotheory.dir/mutual_information.cc.o.d"
+  "/root/repo/src/infotheory/renyi.cc" "src/infotheory/CMakeFiles/dplearn_infotheory.dir/renyi.cc.o" "gcc" "src/infotheory/CMakeFiles/dplearn_infotheory.dir/renyi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dplearn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

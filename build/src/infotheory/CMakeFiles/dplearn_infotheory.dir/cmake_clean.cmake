@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dplearn_infotheory.dir/channel.cc.o"
+  "CMakeFiles/dplearn_infotheory.dir/channel.cc.o.d"
+  "CMakeFiles/dplearn_infotheory.dir/entropy.cc.o"
+  "CMakeFiles/dplearn_infotheory.dir/entropy.cc.o.d"
+  "CMakeFiles/dplearn_infotheory.dir/fano.cc.o"
+  "CMakeFiles/dplearn_infotheory.dir/fano.cc.o.d"
+  "CMakeFiles/dplearn_infotheory.dir/leakage.cc.o"
+  "CMakeFiles/dplearn_infotheory.dir/leakage.cc.o.d"
+  "CMakeFiles/dplearn_infotheory.dir/mutual_information.cc.o"
+  "CMakeFiles/dplearn_infotheory.dir/mutual_information.cc.o.d"
+  "CMakeFiles/dplearn_infotheory.dir/renyi.cc.o"
+  "CMakeFiles/dplearn_infotheory.dir/renyi.cc.o.d"
+  "libdplearn_infotheory.a"
+  "libdplearn_infotheory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dplearn_infotheory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

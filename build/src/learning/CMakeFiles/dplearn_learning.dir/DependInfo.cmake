@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learning/csv_io.cc" "src/learning/CMakeFiles/dplearn_learning.dir/csv_io.cc.o" "gcc" "src/learning/CMakeFiles/dplearn_learning.dir/csv_io.cc.o.d"
+  "/root/repo/src/learning/dataset.cc" "src/learning/CMakeFiles/dplearn_learning.dir/dataset.cc.o" "gcc" "src/learning/CMakeFiles/dplearn_learning.dir/dataset.cc.o.d"
+  "/root/repo/src/learning/erm.cc" "src/learning/CMakeFiles/dplearn_learning.dir/erm.cc.o" "gcc" "src/learning/CMakeFiles/dplearn_learning.dir/erm.cc.o.d"
+  "/root/repo/src/learning/generators.cc" "src/learning/CMakeFiles/dplearn_learning.dir/generators.cc.o" "gcc" "src/learning/CMakeFiles/dplearn_learning.dir/generators.cc.o.d"
+  "/root/repo/src/learning/hypothesis.cc" "src/learning/CMakeFiles/dplearn_learning.dir/hypothesis.cc.o" "gcc" "src/learning/CMakeFiles/dplearn_learning.dir/hypothesis.cc.o.d"
+  "/root/repo/src/learning/kfold.cc" "src/learning/CMakeFiles/dplearn_learning.dir/kfold.cc.o" "gcc" "src/learning/CMakeFiles/dplearn_learning.dir/kfold.cc.o.d"
+  "/root/repo/src/learning/loss.cc" "src/learning/CMakeFiles/dplearn_learning.dir/loss.cc.o" "gcc" "src/learning/CMakeFiles/dplearn_learning.dir/loss.cc.o.d"
+  "/root/repo/src/learning/preprocess.cc" "src/learning/CMakeFiles/dplearn_learning.dir/preprocess.cc.o" "gcc" "src/learning/CMakeFiles/dplearn_learning.dir/preprocess.cc.o.d"
+  "/root/repo/src/learning/risk.cc" "src/learning/CMakeFiles/dplearn_learning.dir/risk.cc.o" "gcc" "src/learning/CMakeFiles/dplearn_learning.dir/risk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dplearn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/dplearn_sampling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

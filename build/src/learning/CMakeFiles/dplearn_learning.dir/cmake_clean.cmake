@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dplearn_learning.dir/csv_io.cc.o"
+  "CMakeFiles/dplearn_learning.dir/csv_io.cc.o.d"
+  "CMakeFiles/dplearn_learning.dir/dataset.cc.o"
+  "CMakeFiles/dplearn_learning.dir/dataset.cc.o.d"
+  "CMakeFiles/dplearn_learning.dir/erm.cc.o"
+  "CMakeFiles/dplearn_learning.dir/erm.cc.o.d"
+  "CMakeFiles/dplearn_learning.dir/generators.cc.o"
+  "CMakeFiles/dplearn_learning.dir/generators.cc.o.d"
+  "CMakeFiles/dplearn_learning.dir/hypothesis.cc.o"
+  "CMakeFiles/dplearn_learning.dir/hypothesis.cc.o.d"
+  "CMakeFiles/dplearn_learning.dir/kfold.cc.o"
+  "CMakeFiles/dplearn_learning.dir/kfold.cc.o.d"
+  "CMakeFiles/dplearn_learning.dir/loss.cc.o"
+  "CMakeFiles/dplearn_learning.dir/loss.cc.o.d"
+  "CMakeFiles/dplearn_learning.dir/preprocess.cc.o"
+  "CMakeFiles/dplearn_learning.dir/preprocess.cc.o.d"
+  "CMakeFiles/dplearn_learning.dir/risk.cc.o"
+  "CMakeFiles/dplearn_learning.dir/risk.cc.o.d"
+  "libdplearn_learning.a"
+  "libdplearn_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dplearn_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mechanisms/exponential.cc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/exponential.cc.o" "gcc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/exponential.cc.o.d"
+  "/root/repo/src/mechanisms/geometric.cc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/geometric.cc.o" "gcc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/geometric.cc.o.d"
+  "/root/repo/src/mechanisms/laplace.cc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/laplace.cc.o" "gcc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/laplace.cc.o.d"
+  "/root/repo/src/mechanisms/privacy_budget.cc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/privacy_budget.cc.o" "gcc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/privacy_budget.cc.o.d"
+  "/root/repo/src/mechanisms/sensitivity.cc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/sensitivity.cc.o" "gcc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/sensitivity.cc.o.d"
+  "/root/repo/src/mechanisms/sparse_vector.cc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/sparse_vector.cc.o" "gcc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/sparse_vector.cc.o.d"
+  "/root/repo/src/mechanisms/subsample.cc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/subsample.cc.o" "gcc" "src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/subsample.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dplearn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/dplearn_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/learning/CMakeFiles/dplearn_learning.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

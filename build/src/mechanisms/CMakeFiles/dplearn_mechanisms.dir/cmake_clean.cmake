@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dplearn_mechanisms.dir/exponential.cc.o"
+  "CMakeFiles/dplearn_mechanisms.dir/exponential.cc.o.d"
+  "CMakeFiles/dplearn_mechanisms.dir/geometric.cc.o"
+  "CMakeFiles/dplearn_mechanisms.dir/geometric.cc.o.d"
+  "CMakeFiles/dplearn_mechanisms.dir/laplace.cc.o"
+  "CMakeFiles/dplearn_mechanisms.dir/laplace.cc.o.d"
+  "CMakeFiles/dplearn_mechanisms.dir/privacy_budget.cc.o"
+  "CMakeFiles/dplearn_mechanisms.dir/privacy_budget.cc.o.d"
+  "CMakeFiles/dplearn_mechanisms.dir/sensitivity.cc.o"
+  "CMakeFiles/dplearn_mechanisms.dir/sensitivity.cc.o.d"
+  "CMakeFiles/dplearn_mechanisms.dir/sparse_vector.cc.o"
+  "CMakeFiles/dplearn_mechanisms.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/dplearn_mechanisms.dir/subsample.cc.o"
+  "CMakeFiles/dplearn_mechanisms.dir/subsample.cc.o.d"
+  "libdplearn_mechanisms.a"
+  "libdplearn_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dplearn_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

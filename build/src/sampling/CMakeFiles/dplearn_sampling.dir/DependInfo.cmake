@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/alias_sampler.cc" "src/sampling/CMakeFiles/dplearn_sampling.dir/alias_sampler.cc.o" "gcc" "src/sampling/CMakeFiles/dplearn_sampling.dir/alias_sampler.cc.o.d"
+  "/root/repo/src/sampling/distributions.cc" "src/sampling/CMakeFiles/dplearn_sampling.dir/distributions.cc.o" "gcc" "src/sampling/CMakeFiles/dplearn_sampling.dir/distributions.cc.o.d"
+  "/root/repo/src/sampling/metropolis.cc" "src/sampling/CMakeFiles/dplearn_sampling.dir/metropolis.cc.o" "gcc" "src/sampling/CMakeFiles/dplearn_sampling.dir/metropolis.cc.o.d"
+  "/root/repo/src/sampling/rng.cc" "src/sampling/CMakeFiles/dplearn_sampling.dir/rng.cc.o" "gcc" "src/sampling/CMakeFiles/dplearn_sampling.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dplearn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

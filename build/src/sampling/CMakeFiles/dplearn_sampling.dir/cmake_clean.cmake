@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dplearn_sampling.dir/alias_sampler.cc.o"
+  "CMakeFiles/dplearn_sampling.dir/alias_sampler.cc.o.d"
+  "CMakeFiles/dplearn_sampling.dir/distributions.cc.o"
+  "CMakeFiles/dplearn_sampling.dir/distributions.cc.o.d"
+  "CMakeFiles/dplearn_sampling.dir/metropolis.cc.o"
+  "CMakeFiles/dplearn_sampling.dir/metropolis.cc.o.d"
+  "CMakeFiles/dplearn_sampling.dir/rng.cc.o"
+  "CMakeFiles/dplearn_sampling.dir/rng.cc.o.d"
+  "libdplearn_sampling.a"
+  "libdplearn_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dplearn_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dplearn_util.dir/math_util.cc.o"
+  "CMakeFiles/dplearn_util.dir/math_util.cc.o.d"
+  "CMakeFiles/dplearn_util.dir/matrix.cc.o"
+  "CMakeFiles/dplearn_util.dir/matrix.cc.o.d"
+  "CMakeFiles/dplearn_util.dir/status.cc.o"
+  "CMakeFiles/dplearn_util.dir/status.cc.o.d"
+  "libdplearn_util.a"
+  "libdplearn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dplearn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_failure_injection_test.dir/audit_failure_injection_test.cc.o"
+  "CMakeFiles/audit_failure_injection_test.dir/audit_failure_injection_test.cc.o.d"
+  "audit_failure_injection_test"
+  "audit_failure_injection_test.pdb"
+  "audit_failure_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_failure_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dp_verifier_test.dir/core_dp_verifier_test.cc.o"
+  "CMakeFiles/core_dp_verifier_test.dir/core_dp_verifier_test.cc.o.d"
+  "core_dp_verifier_test"
+  "core_dp_verifier_test.pdb"
+  "core_dp_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dp_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

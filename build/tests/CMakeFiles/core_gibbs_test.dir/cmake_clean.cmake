@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_gibbs_test.dir/core_gibbs_test.cc.o"
+  "CMakeFiles/core_gibbs_test.dir/core_gibbs_test.cc.o.d"
+  "core_gibbs_test"
+  "core_gibbs_test.pdb"
+  "core_gibbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_gibbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

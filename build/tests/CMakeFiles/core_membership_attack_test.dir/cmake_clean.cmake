@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_membership_attack_test.dir/core_membership_attack_test.cc.o"
+  "CMakeFiles/core_membership_attack_test.dir/core_membership_attack_test.cc.o.d"
+  "core_membership_attack_test"
+  "core_membership_attack_test.pdb"
+  "core_membership_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_membership_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pac_bayes_test.dir/core_pac_bayes_test.cc.o"
+  "CMakeFiles/core_pac_bayes_test.dir/core_pac_bayes_test.cc.o.d"
+  "core_pac_bayes_test"
+  "core_pac_bayes_test.pdb"
+  "core_pac_bayes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pac_bayes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_private_regression_test.dir/core_private_regression_test.cc.o"
+  "CMakeFiles/core_private_regression_test.dir/core_private_regression_test.cc.o.d"
+  "core_private_regression_test"
+  "core_private_regression_test.pdb"
+  "core_private_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_private_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infotheory_channel_test.dir/infotheory_channel_test.cc.o"
+  "CMakeFiles/infotheory_channel_test.dir/infotheory_channel_test.cc.o.d"
+  "infotheory_channel_test"
+  "infotheory_channel_test.pdb"
+  "infotheory_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infotheory_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infotheory_entropy_test.dir/infotheory_entropy_test.cc.o"
+  "CMakeFiles/infotheory_entropy_test.dir/infotheory_entropy_test.cc.o.d"
+  "infotheory_entropy_test"
+  "infotheory_entropy_test.pdb"
+  "infotheory_entropy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infotheory_entropy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infotheory_fano_test.dir/infotheory_fano_test.cc.o"
+  "CMakeFiles/infotheory_fano_test.dir/infotheory_fano_test.cc.o.d"
+  "infotheory_fano_test"
+  "infotheory_fano_test.pdb"
+  "infotheory_fano_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infotheory_fano_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

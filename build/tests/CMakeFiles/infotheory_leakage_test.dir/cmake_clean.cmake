@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infotheory_leakage_test.dir/infotheory_leakage_test.cc.o"
+  "CMakeFiles/infotheory_leakage_test.dir/infotheory_leakage_test.cc.o.d"
+  "infotheory_leakage_test"
+  "infotheory_leakage_test.pdb"
+  "infotheory_leakage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infotheory_leakage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infotheory_mi_test.dir/infotheory_mi_test.cc.o"
+  "CMakeFiles/infotheory_mi_test.dir/infotheory_mi_test.cc.o.d"
+  "infotheory_mi_test"
+  "infotheory_mi_test.pdb"
+  "infotheory_mi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infotheory_mi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

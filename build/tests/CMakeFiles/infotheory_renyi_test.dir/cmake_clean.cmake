@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infotheory_renyi_test.dir/infotheory_renyi_test.cc.o"
+  "CMakeFiles/infotheory_renyi_test.dir/infotheory_renyi_test.cc.o.d"
+  "infotheory_renyi_test"
+  "infotheory_renyi_test.pdb"
+  "infotheory_renyi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infotheory_renyi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_future_work_test.dir/integration_future_work_test.cc.o"
+  "CMakeFiles/integration_future_work_test.dir/integration_future_work_test.cc.o.d"
+  "integration_future_work_test"
+  "integration_future_work_test.pdb"
+  "integration_future_work_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_future_work_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_csv_test.dir/learning_csv_test.cc.o"
+  "CMakeFiles/learning_csv_test.dir/learning_csv_test.cc.o.d"
+  "learning_csv_test"
+  "learning_csv_test.pdb"
+  "learning_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

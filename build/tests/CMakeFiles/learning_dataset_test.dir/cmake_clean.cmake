@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_dataset_test.dir/learning_dataset_test.cc.o"
+  "CMakeFiles/learning_dataset_test.dir/learning_dataset_test.cc.o.d"
+  "learning_dataset_test"
+  "learning_dataset_test.pdb"
+  "learning_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

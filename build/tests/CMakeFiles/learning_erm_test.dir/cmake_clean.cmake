@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_erm_test.dir/learning_erm_test.cc.o"
+  "CMakeFiles/learning_erm_test.dir/learning_erm_test.cc.o.d"
+  "learning_erm_test"
+  "learning_erm_test.pdb"
+  "learning_erm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_erm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

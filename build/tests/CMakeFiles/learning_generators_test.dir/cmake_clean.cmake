@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_generators_test.dir/learning_generators_test.cc.o"
+  "CMakeFiles/learning_generators_test.dir/learning_generators_test.cc.o.d"
+  "learning_generators_test"
+  "learning_generators_test.pdb"
+  "learning_generators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

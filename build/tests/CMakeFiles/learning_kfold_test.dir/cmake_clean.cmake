@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_kfold_test.dir/learning_kfold_test.cc.o"
+  "CMakeFiles/learning_kfold_test.dir/learning_kfold_test.cc.o.d"
+  "learning_kfold_test"
+  "learning_kfold_test.pdb"
+  "learning_kfold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_kfold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

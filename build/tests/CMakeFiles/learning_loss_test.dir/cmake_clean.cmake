@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_loss_test.dir/learning_loss_test.cc.o"
+  "CMakeFiles/learning_loss_test.dir/learning_loss_test.cc.o.d"
+  "learning_loss_test"
+  "learning_loss_test.pdb"
+  "learning_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_preprocess_test.dir/learning_preprocess_test.cc.o"
+  "CMakeFiles/learning_preprocess_test.dir/learning_preprocess_test.cc.o.d"
+  "learning_preprocess_test"
+  "learning_preprocess_test.pdb"
+  "learning_preprocess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_preprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

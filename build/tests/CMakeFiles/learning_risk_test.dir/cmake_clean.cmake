@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learning_risk_test.dir/learning_risk_test.cc.o"
+  "CMakeFiles/learning_risk_test.dir/learning_risk_test.cc.o.d"
+  "learning_risk_test"
+  "learning_risk_test.pdb"
+  "learning_risk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learning_risk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanisms_budget_test.dir/mechanisms_budget_test.cc.o"
+  "CMakeFiles/mechanisms_budget_test.dir/mechanisms_budget_test.cc.o.d"
+  "mechanisms_budget_test"
+  "mechanisms_budget_test.pdb"
+  "mechanisms_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanisms_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanisms_exponential_test.dir/mechanisms_exponential_test.cc.o"
+  "CMakeFiles/mechanisms_exponential_test.dir/mechanisms_exponential_test.cc.o.d"
+  "mechanisms_exponential_test"
+  "mechanisms_exponential_test.pdb"
+  "mechanisms_exponential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanisms_exponential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

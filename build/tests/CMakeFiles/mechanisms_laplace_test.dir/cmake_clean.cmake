@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanisms_laplace_test.dir/mechanisms_laplace_test.cc.o"
+  "CMakeFiles/mechanisms_laplace_test.dir/mechanisms_laplace_test.cc.o.d"
+  "mechanisms_laplace_test"
+  "mechanisms_laplace_test.pdb"
+  "mechanisms_laplace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanisms_laplace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanisms_sparse_vector_test.dir/mechanisms_sparse_vector_test.cc.o"
+  "CMakeFiles/mechanisms_sparse_vector_test.dir/mechanisms_sparse_vector_test.cc.o.d"
+  "mechanisms_sparse_vector_test"
+  "mechanisms_sparse_vector_test.pdb"
+  "mechanisms_sparse_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanisms_sparse_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanisms_subsample_test.dir/mechanisms_subsample_test.cc.o"
+  "CMakeFiles/mechanisms_subsample_test.dir/mechanisms_subsample_test.cc.o.d"
+  "mechanisms_subsample_test"
+  "mechanisms_subsample_test.pdb"
+  "mechanisms_subsample_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanisms_subsample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

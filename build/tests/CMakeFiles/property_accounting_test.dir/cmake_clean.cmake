@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_accounting_test.dir/property_accounting_test.cc.o"
+  "CMakeFiles/property_accounting_test.dir/property_accounting_test.cc.o.d"
+  "property_accounting_test"
+  "property_accounting_test.pdb"
+  "property_accounting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_accounting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_alias_test.dir/sampling_alias_test.cc.o"
+  "CMakeFiles/sampling_alias_test.dir/sampling_alias_test.cc.o.d"
+  "sampling_alias_test"
+  "sampling_alias_test.pdb"
+  "sampling_alias_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_alias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_distributions_test.dir/sampling_distributions_test.cc.o"
+  "CMakeFiles/sampling_distributions_test.dir/sampling_distributions_test.cc.o.d"
+  "sampling_distributions_test"
+  "sampling_distributions_test.pdb"
+  "sampling_distributions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_distributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

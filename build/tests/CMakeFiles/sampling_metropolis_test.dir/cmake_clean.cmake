@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_metropolis_test.dir/sampling_metropolis_test.cc.o"
+  "CMakeFiles/sampling_metropolis_test.dir/sampling_metropolis_test.cc.o.d"
+  "sampling_metropolis_test"
+  "sampling_metropolis_test.pdb"
+  "sampling_metropolis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_metropolis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

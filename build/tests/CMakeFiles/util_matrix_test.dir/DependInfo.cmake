@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_matrix_test.cc" "tests/CMakeFiles/util_matrix_test.dir/util_matrix_test.cc.o" "gcc" "tests/CMakeFiles/util_matrix_test.dir/util_matrix_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dplearn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanisms/CMakeFiles/dplearn_mechanisms.dir/DependInfo.cmake"
+  "/root/repo/build/src/learning/CMakeFiles/dplearn_learning.dir/DependInfo.cmake"
+  "/root/repo/build/src/infotheory/CMakeFiles/dplearn_infotheory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/dplearn_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dplearn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
