@@ -16,6 +16,7 @@
 #include "bench/experiment_util.h"
 #include "infotheory/renyi.h"
 #include "mechanisms/privacy_budget.h"
+#include "obs/audit_log.h"
 
 namespace dplearn {
 namespace {
@@ -74,7 +75,31 @@ void Run() {
     std::printf("%8zu %14.4f %14.4f %14.4f\n", k, basic, advanced.epsilon, rdp);
   }
 
+  bench::PrintSection("accountant audit trail (total budget eps=2, named spend stream)");
+  obs::BudgetAuditLog audit;
+  auto accountant = bench::Unwrap(PrivacyAccountant::Create({2.0, 1e-6}), "accountant");
+  accountant.set_audit_log(&audit);
+  bench::Check(accountant.Spend({0.5, 0.0}, "laplace"), "spend laplace");
+  bench::Check(accountant.Spend({0.5, 0.0}, "exponential"), "spend exponential");
+  bench::Check(accountant.Spend({0.75, 1e-7}, "gaussian"), "spend gaussian");
+  const Status denied = accountant.Spend({0.5, 0.0}, "laplace");  // 2.25 > 2.0
+  std::printf("%6s %20s %10s %10s %12s %12s\n", "seq", "mechanism", "eps", "granted",
+              "cum eps", "cum delta");
+  for (const auto& entry : audit.Entries()) {
+    std::printf("%6llu %20s %10.3f %10s %12.3f %12.2e\n",
+                static_cast<unsigned long long>(entry.sequence), entry.mechanism.c_str(),
+                entry.epsilon, entry.granted ? "yes" : "DENIED",
+                entry.cumulative_epsilon, entry.cumulative_delta);
+  }
+  const bool audit_ok = audit.ReplayVerify().ok() && !denied.ok() &&
+                        audit.cumulative_epsilon() == accountant.spent().epsilon &&
+                        audit.cumulative_delta() == accountant.spent().delta;
+  bench::RecordScalar("audit_cumulative_epsilon", audit.cumulative_epsilon());
+
   bench::PrintSection("verdicts");
+  bench::Verdict(audit_ok,
+                 "audit-log replay matches the accountant's sequential composition; "
+                 "over-budget spend denied and logged");
   bench::Verdict(rdp_wins, "RDP accounting <= advanced composition for Gaussian at k > 1");
   bench::Verdict(advanced_wins_eventually,
                  "advanced composition beats basic at large k (sqrt(k) vs k)");

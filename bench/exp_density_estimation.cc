@@ -15,12 +15,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench/experiment_util.h"
 #include "core/private_density.h"
 #include "infotheory/entropy.h"
 #include "learning/dataset.h"
+#include "obs/config.h"
 #include "sampling/distributions.h"
 #include "sampling/rng.h"
 
@@ -63,6 +65,10 @@ void Run() {
   std::printf("\n%6s %6s %20s %20s %20s %20s\n", "n", "eps", "gibbs", "laplace-hist",
               "geometric-hist", "empirical");
 
+  double final_tv_gibbs = 1.0;
+  double final_tv_laplace = 1.0;
+  double final_tv_geometric = 1.0;
+  double final_tv_empirical = 1.0;
   for (std::size_t n : {50u, 200u, 800u}) {
     for (double eps : {0.2, 1.0, 5.0}) {
       double tv_gibbs = 0.0;
@@ -74,6 +80,9 @@ void Run() {
       double tv_empirical = 0.0;
       double kl_empirical = 0.0;
       for (std::size_t t = 0; t < trials; ++t) {
+        // Audit the first trial per (n, eps); the rest are error measurement.
+        std::optional<obs::ScopedAuditPause> pause;
+        if (t > 0) pause.emplace();
         Dataset data = bench::Unwrap(SampleCategorical(n, &rng), "sample");
 
         GibbsDensityOptions gibbs_options;
@@ -103,8 +112,24 @@ void Run() {
                   n, eps, tv_gibbs / scale, kl_gibbs / scale, tv_laplace / scale,
                   kl_laplace / scale, tv_geometric / scale, kl_geometric / scale,
                   tv_empirical / scale, kl_empirical / scale);
+      final_tv_gibbs = tv_gibbs / scale;
+      final_tv_laplace = tv_laplace / scale;
+      final_tv_geometric = tv_geometric / scale;
+      final_tv_empirical = tv_empirical / scale;
     }
   }
+
+  bench::PrintSection("verdicts");
+  bench::RecordScalar("final_tv_gibbs", final_tv_gibbs);
+  bench::RecordScalar("final_tv_empirical", final_tv_empirical);
+  // At the easiest cell (n=800, eps=5) every private estimator should sit
+  // near the non-private empirical floor.
+  const double slack = 0.05;
+  bench::Verdict(final_tv_gibbs <= final_tv_empirical + slack &&
+                     final_tv_laplace <= final_tv_empirical + slack &&
+                     final_tv_geometric <= final_tv_empirical + slack,
+                 "all private estimators within 0.05 TV of the empirical floor at "
+                 "n=800, eps=5");
 
   std::printf(
       "\nexpected shape: every private estimator approaches the empirical floor as eps\n"

@@ -12,11 +12,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench/experiment_util.h"
 #include "learning/dataset.h"
 #include "mechanisms/exponential.h"
+#include "obs/config.h"
 #include "sampling/rng.h"
 
 namespace dplearn {
@@ -109,6 +111,9 @@ void Run() {
     std::size_t bound_violations = 0;
     const double gap_bound = bench::Unwrap(mechanism.UtilityGapBound(delta), "bound");
     for (std::size_t t = 0; t < utility_trials; ++t) {
+      // Audit the first sample per eps; the rest are utility measurement.
+      std::optional<obs::ScopedAuditPause> pause;
+      if (t > 0) pause.emplace();
       const std::size_t u = bench::Unwrap(mechanism.Sample(data, &rng), "sample");
       const double gap = best_quality - quality(data, u);
       total_gap += gap;

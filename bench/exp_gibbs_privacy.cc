@@ -49,6 +49,10 @@ void Run() {
       std::printf("%6zu %8.1f %14.6f %16.6f %16.6f %9.1f%%\n", n, lambda, measured,
                   generic_guarantee, exact_guarantee,
                   100.0 * measured / exact_guarantee);
+
+      char key[64];
+      std::snprintf(key, sizeof(key), "measured_eps_star_n%zu_lambda%.0f", n, lambda);
+      bench::RecordScalar(key, measured);
     }
   }
 

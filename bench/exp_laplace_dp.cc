@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench/experiment_util.h"
@@ -16,6 +17,7 @@
 #include "learning/generators.h"
 #include "mechanisms/laplace.h"
 #include "mechanisms/sensitivity.h"
+#include "obs/config.h"
 #include "sampling/rng.h"
 
 namespace dplearn {
@@ -53,6 +55,10 @@ void Run() {
 
     double total_error = 0.0;
     for (std::size_t t = 0; t < utility_trials; ++t) {
+      // Audit the first release per eps; the remaining trials re-measure the
+      // same mechanism and would flood the budget ledger with 20k entries.
+      std::optional<obs::ScopedAuditPause> pause;
+      if (t > 0) pause.emplace();
       const double released = bench::Unwrap(mechanism.Release(data, &rng), "release");
       total_error += std::fabs(released - query.query(data));
     }
@@ -64,6 +70,12 @@ void Run() {
     all_ok = all_ok && private_ok;
     std::printf("%8.2f %14.6f %14.6f %12s %16.6f %16.6f\n", eps, audit.max_log_ratio, eps,
                 tight ? "yes" : "no", mean_error, theory_error);
+
+    char key[64];
+    std::snprintf(key, sizeof(key), "measured_eps_star_at_eps_%.1f", eps);
+    bench::RecordScalar(key, audit.max_log_ratio);
+    std::snprintf(key, sizeof(key), "mean_abs_error_at_eps_%.1f", eps);
+    bench::RecordScalar(key, mean_error);
   }
 
   bench::PrintSection("verdicts");

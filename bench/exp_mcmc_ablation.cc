@@ -98,6 +98,7 @@ void Run() {
                 chain.acceptance_rate);
     last_tv = tv;
   }
+  bench::RecordScalar("final_tv_to_exact", last_tv);
   converges = converges && last_tv < 0.05;
 
   bench::PrintSection("verdicts");

@@ -16,6 +16,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench/experiment_util.h"
@@ -28,6 +29,7 @@
 #include "learning/risk.h"
 #include "mechanisms/laplace.h"
 #include "mechanisms/sensitivity.h"
+#include "obs/config.h"
 #include "sampling/rng.h"
 #include "util/math_util.h"
 
@@ -72,6 +74,9 @@ void PartAMeanEstimation() {
       double rr_risk = 0.0;
       double erm_risk = 0.0;
       for (std::size_t t = 0; t < trials; ++t) {
+        // Audit the first trial per (n, eps); the rest are risk measurement.
+        std::optional<obs::ScopedAuditPause> pause;
+        if (t > 0) pause.emplace();
         Dataset data = bench::Unwrap(task.Sample(n, &rng), "sample");
         const double released =
             Clamp(bench::Unwrap(laplace.Release(data, &rng), "release"), 0.0, 1.0);
@@ -150,6 +155,9 @@ void PartBClassification() {
     sgd.noise_multiplier = bench::Unwrap(
         NoiseMultiplierForTarget(eps, sgd.sampling_rate, sgd.steps, sgd.delta), "sigma");
     for (std::size_t t = 0; t < trials; ++t) {
+      // Audit the first trial per eps; the rest are risk measurement.
+      std::optional<obs::ScopedAuditPause> pause;
+      if (t > 0) pause.emplace();
       Dataset data = bench::Unwrap(task.Sample(n, &rng), "sample");
 
       // Gibbs over the grid with 0-1 loss; 2*lambda*(1/n) = eps.

@@ -1,27 +1,232 @@
 #ifndef DPLEARN_BENCH_EXPERIMENT_UTIL_H_
 #define DPLEARN_BENCH_EXPERIMENT_UTIL_H_
 
+#include <cctype>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/audit_log.h"
+#include "obs/config.h"
+#include "obs/event_sink.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace dplearn {
 namespace bench {
 
-/// Shared console helpers for the experiment binaries. Each binary prints
-/// one or more paper-style tables; EXPERIMENTS.md records the expected
-/// shapes.
+/// Shared helpers for the experiment binaries. Each binary prints one or
+/// more paper-style console tables (EXPERIMENTS.md records the expected
+/// shapes) AND emits one machine-readable JSON record per run:
+///
+///   results/<slug>.json         — the experiment record: id, claim,
+///                                 per-section wall times, verdicts, named
+///                                 scalars, the full privacy-budget audit
+///                                 trail, and a metrics snapshot.
+///   results/<slug>.events.jsonl — the live event stream (verdicts, audit
+///                                 entries, trace spans) as JSONL.
+///
+/// The output directory is `results/` under the current working directory;
+/// override with DPLEARN_RESULTS_DIR, or set it to the empty string to
+/// disable file output entirely. PrintHeader() turns on metrics, tracing,
+/// and budget auditing so the record is complete; the record is written by
+/// an atexit hook so straight-line experiment code needs no teardown call.
+
+namespace internal {
+
+struct SectionRecord {
+  std::string title;
+  double seconds = 0.0;
+};
+
+struct VerdictRecord {
+  std::string claim;
+  bool pass = false;
+};
+
+struct ScalarRecord {
+  std::string name;
+  double value = 0.0;
+};
+
+struct ExperimentState {
+  bool initialized = false;
+  std::string id;
+  std::string claim;
+  std::string slug;
+  std::string results_dir;
+  std::int64_t started_unix_ms = 0;
+  std::chrono::steady_clock::time_point start;
+  bool section_open = false;
+  std::string current_section;
+  std::chrono::steady_clock::time_point section_start;
+  std::vector<SectionRecord> sections;
+  std::vector<VerdictRecord> verdicts;
+  std::vector<ScalarRecord> scalars;
+  std::unique_ptr<obs::JsonlFileSink> event_sink;
+};
+
+inline ExperimentState& State() {
+  static ExperimentState state;
+  return state;
+}
+
+/// "E5 (Theorem 4.1)" -> "e5-theorem-4-1": lowercase alphanumerics with
+/// runs of anything else collapsed to single dashes.
+inline std::string Slugify(const std::string& id) {
+  std::string slug;
+  bool pending_dash = false;
+  for (const char c : id) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_dash && !slug.empty()) slug += '-';
+      pending_dash = false;
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      pending_dash = true;
+    }
+  }
+  return slug.empty() ? "experiment" : slug;
+}
+
+inline std::string ResultsDir() {
+  const char* env = std::getenv("DPLEARN_RESULTS_DIR");
+  if (env == nullptr) return "results";
+  return env;  // "" disables output
+}
+
+inline void CloseSection() {
+  ExperimentState& state = State();
+  if (!state.section_open) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - state.section_start)
+          .count();
+  state.sections.push_back({state.current_section, seconds});
+  state.section_open = false;
+}
+
+/// atexit hook: finalizes sections and writes results/<slug>.json.
+inline void WriteRecord() {
+  ExperimentState& state = State();
+  if (!state.initialized) return;
+  CloseSection();
+  if (state.event_sink != nullptr) {
+    obs::RemoveGlobalSink(state.event_sink.get());
+    state.event_sink->Flush();
+  }
+  if (state.results_dir.empty()) return;
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - state.start).count();
+  bool all_pass = true;
+  for (const VerdictRecord& v : state.verdicts) all_pass = all_pass && v.pass;
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("experiment_id").Value(state.id);
+  w.Key("claim").Value(state.claim);
+  w.Key("started_unix_ms").Value(static_cast<std::int64_t>(state.started_unix_ms));
+  w.Key("wall_time_seconds").Value(wall_seconds);
+  w.Key("sections").BeginArray();
+  for (const SectionRecord& s : state.sections) {
+    w.BeginObject().Key("title").Value(s.title).Key("seconds").Value(s.seconds).EndObject();
+  }
+  w.EndArray();
+  w.Key("verdicts").BeginArray();
+  for (const VerdictRecord& v : state.verdicts) {
+    w.BeginObject().Key("claim").Value(v.claim).Key("pass").Value(v.pass).EndObject();
+  }
+  w.EndArray();
+  w.Key("all_pass").Value(all_pass);
+  w.Key("scalars").BeginObject();
+  for (const ScalarRecord& s : state.scalars) w.Key(s.name).Value(s.value);
+  w.EndObject();
+  w.Key("audit_trail").Raw(obs::GlobalAuditLog().ToJson());
+  w.Key("audit_cumulative").BeginObject();
+  w.Key("epsilon").Value(obs::GlobalAuditLog().cumulative_epsilon());
+  w.Key("delta").Value(obs::GlobalAuditLog().cumulative_delta());
+  w.EndObject();
+  w.Key("metrics").Raw(obs::GlobalMetrics().ExportJson());
+  w.EndObject();
+
+  const std::string path = state.results_dir + "/" + state.slug + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(w.str().data(), 1, w.str().size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace internal
 
 inline void PrintHeader(const std::string& experiment_id, const std::string& claim) {
   std::printf("==============================================================================\n");
   std::printf("%s — %s\n", experiment_id.c_str(), claim.c_str());
   std::printf("==============================================================================\n");
+
+  internal::ExperimentState& state = internal::State();
+  if (state.initialized) return;  // one record per process; first header wins
+
+  // Experiments always run fully observed: the JSON record must contain the
+  // audit trail and span timings regardless of ambient env defaults.
+  obs::SetMetricsEnabled(true);
+  obs::SetTracingEnabled(true);
+  obs::SetAuditEnabled(true);
+  // Force construction of the global singletons BEFORE registering the
+  // atexit hook, so the hook (run in reverse registration order) can still
+  // read them.
+  obs::GlobalMetrics();
+  obs::GlobalAuditLog().Clear();
+
+  state.initialized = true;
+  state.id = experiment_id;
+  state.claim = claim;
+  state.slug = internal::Slugify(experiment_id);
+  state.results_dir = internal::ResultsDir();
+  state.started_unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::system_clock::now().time_since_epoch())
+                              .count();
+  state.start = std::chrono::steady_clock::now();
+  // Time before the first PrintSection is attributed to an implicit "main"
+  // section so every experiment phase lands in the record.
+  state.section_open = true;
+  state.current_section = "main";
+  state.section_start = state.start;
+
+  if (!state.results_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(state.results_dir, ec);
+    if (!ec) {
+      auto sink =
+          obs::JsonlFileSink::Open(state.results_dir + "/" + state.slug + ".events.jsonl");
+      if (sink.ok()) {
+        state.event_sink = std::move(sink).value();
+        obs::AddGlobalSink(state.event_sink.get());
+      } else {
+        std::fprintf(stderr, "warning: %s\n", sink.status().ToString().c_str());
+      }
+    }
+  }
+  std::atexit(internal::WriteRecord);
 }
 
 inline void PrintSection(const std::string& title) {
   std::printf("\n--- %s ---\n", title.c_str());
+  internal::ExperimentState& state = internal::State();
+  if (!state.initialized) return;
+  internal::CloseSection();
+  state.section_open = true;
+  state.current_section = title;
+  state.section_start = std::chrono::steady_clock::now();
 }
 
 /// Unwraps a StatusOr in experiment code, aborting with a message on error.
@@ -43,10 +248,36 @@ inline void Check(const Status& status, const char* what) {
 }
 
 /// Prints PASS/FAIL with a claim description; experiments end with a
-/// summary of these verdicts.
+/// summary of these verdicts. The single bool drives the console line, the
+/// JSON record, AND the "verdict" event on the sink, so the three can never
+/// disagree.
 inline bool Verdict(bool ok, const std::string& claim) {
   std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  internal::ExperimentState& state = internal::State();
+  if (state.initialized) state.verdicts.push_back({claim, ok});
+  if (obs::HasGlobalSinks()) {
+    obs::Event event;
+    event.type = "verdict";
+    event.name = claim;
+    event.With("pass", obs::EventValue::Bool(ok));
+    if (state.initialized) event.With("experiment_id", obs::EventValue::Str(state.id));
+    obs::EmitEvent(event);
+  }
   return ok;
+}
+
+/// Records a named scalar into the JSON record's "scalars" object (and the
+/// event stream) — the experiment's key numbers, machine-readable.
+inline void RecordScalar(const std::string& name, double value) {
+  internal::ExperimentState& state = internal::State();
+  if (state.initialized) state.scalars.push_back({name, value});
+  if (obs::HasGlobalSinks()) {
+    obs::Event event;
+    event.type = "scalar";
+    event.name = name;
+    event.With("value", obs::EventValue::Num(value));
+    obs::EmitEvent(event);
+  }
 }
 
 }  // namespace bench

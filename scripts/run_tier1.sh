@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the observability
+# tests again under ThreadSanitizer (their fast paths are lock-free
+# atomics, so data races are the failure mode that matters most).
+#
+# Usage: scripts/run_tier1.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo
+echo "== tier-1: obs tests under ThreadSanitizer =="
+cmake -B build-tsan -S . -DDPLEARN_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs" --target \
+  obs_metrics_test obs_trace_test obs_event_sink_test obs_audit_log_test
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" -R '^Obs'
+
+echo
+echo "tier-1: OK"

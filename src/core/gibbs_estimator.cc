@@ -5,6 +5,10 @@
 #include <utility>
 
 #include "learning/risk.h"
+#include "obs/audit_log.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/distributions.h"
 #include "util/math_util.h"
 
@@ -32,12 +36,26 @@ StatusOr<GibbsEstimator> GibbsEstimator::CreateUniform(const LossFunction* loss,
 }
 
 StatusOr<std::vector<double>> GibbsEstimator::Posterior(const Dataset& data) const {
-  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
-                           EmpiricalRiskProfile(*loss_, hclass_.thetas(), data));
+  obs::TraceSpan span("gibbs.posterior");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const builds =
+        obs::GlobalMetrics().GetCounter("gibbs.posterior_builds");
+    builds->Increment();
+  }
+  std::vector<double> risks;
+  {
+    obs::TraceSpan risk_span("gibbs.risk_profile");
+    DPLEARN_ASSIGN_OR_RETURN(risks, EmpiricalRiskProfile(*loss_, hclass_.thetas(), data));
+  }
   return GibbsPosteriorFromRisks(risks, prior_, lambda_);
 }
 
 StatusOr<std::size_t> GibbsEstimator::Sample(const Dataset& data, Rng* rng) const {
+  obs::TraceSpan span("gibbs.sample");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const samples = obs::GlobalMetrics().GetCounter("gibbs.samples");
+    samples->Increment();
+  }
   DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
                            EmpiricalRiskProfile(*loss_, hclass_.thetas(), data));
   std::vector<double> log_w(risks.size());
@@ -131,6 +149,19 @@ StatusOr<MetropolisResult> SampleGibbsContinuous(const LossFunction& loss,
   }
   if (!log_prior) {
     return InvalidArgumentError("SampleGibbsContinuous: log_prior must be set");
+  }
+  obs::TraceSpan span("gibbs.mcmc");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const runs = obs::GlobalMetrics().GetCounter("gibbs.mcmc_runs");
+    runs->Increment();
+  }
+  if (obs::AuditEnabled()) {
+    // Self-report the exact-posterior guarantee 2*lambda*Delta(R-hat) that
+    // this chain approximates (the MCMC gap is measured, not certified).
+    DPLEARN_ASSIGN_OR_RETURN(const double sensitivity,
+                             EmpiricalRiskSensitivityBound(loss, data.size()));
+    obs::GlobalAuditLog().Record("gibbs.mcmc", 2.0 * lambda * sensitivity, 0.0,
+                                 /*granted=*/true);
   }
   LogDensityFn target = [&loss, &data, &log_prior, lambda](const Vector& theta) {
     const double lp = log_prior(theta);

@@ -5,6 +5,10 @@
 #include "core/gibbs_estimator.h"
 #include "learning/dataset.h"
 #include "learning/risk.h"
+#include "obs/audit_log.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dplearn {
 
@@ -17,6 +21,20 @@ StatusOr<GibbsLearningChannel> BuildBernoulliGibbsChannel(const BernoulliMeanTas
   if (n == 0) return InvalidArgumentError("BuildBernoulliGibbsChannel: n must be positive");
   if (prior.size() != hclass.size()) {
     return InvalidArgumentError("BuildBernoulliGibbsChannel: prior size mismatch");
+  }
+
+  obs::TraceSpan span("channel.build");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const builds = obs::GlobalMetrics().GetCounter("channel.builds");
+    builds->Increment();
+  }
+  if (obs::AuditEnabled()) {
+    // The channel IS the Gibbs release mechanism; self-report its Theorem
+    // 4.1 guarantee 2*lambda*Delta(R-hat) with the generic sensitivity B/n.
+    DPLEARN_ASSIGN_OR_RETURN(const double sensitivity,
+                             EmpiricalRiskSensitivityBound(loss, n));
+    obs::GlobalAuditLog().Record("gibbs.channel", 2.0 * lambda * sensitivity, 0.0,
+                                 /*granted=*/true);
   }
 
   std::vector<std::vector<double>> risk_matrix(n + 1);

@@ -3,11 +3,15 @@
 #include <cmath>
 
 #include "learning/risk.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dplearn {
 
 StatusOr<std::size_t> GridErm(const LossFunction& loss, const FiniteHypothesisClass& hclass,
                               const Dataset& data) {
+  obs::TraceSpan span("erm.grid");
   DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
                            EmpiricalRiskProfile(loss, hclass.thetas(), data));
   return hclass.ArgMin(risks);
@@ -35,6 +39,8 @@ StatusOr<GradientErmResult> GradientDescentErm(const LossFunction& loss, const D
     return InvalidArgumentError("GradientDescentErm: perturbation dimension mismatch");
   }
 
+  obs::TraceSpan span("erm.gradient_descent");
+
   const double n = static_cast<double>(data.size());
   Vector theta = initial_theta;
   GradientErmResult result;
@@ -57,6 +63,12 @@ StatusOr<GradientErmResult> GradientDescentErm(const LossFunction& loss, const D
     AxpyInPlace(&theta, -options.learning_rate, grad);
   }
 
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const runs = obs::GlobalMetrics().GetCounter("erm.gd_runs");
+    static obs::Counter* const iters = obs::GlobalMetrics().GetCounter("erm.gd_iterations");
+    runs->Increment();
+    iters->Increment(result.iterations);
+  }
   result.theta = theta;
   DPLEARN_ASSIGN_OR_RETURN(double risk, EmpiricalRisk(loss, theta, data));
   result.objective = risk + 0.5 * options.l2_lambda * Dot(theta, theta);

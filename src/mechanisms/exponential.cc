@@ -3,6 +3,10 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/audit_log.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/distributions.h"
 #include "util/math_util.h"
 
@@ -67,10 +71,23 @@ std::vector<double> ExponentialMechanism::LogWeights(const Dataset& data) const 
 
 StatusOr<std::vector<double>> ExponentialMechanism::OutputDistribution(
     const Dataset& data) const {
+  obs::TraceSpan span("mechanism.exponential.output_distribution");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const evaluations =
+        obs::GlobalMetrics().GetCounter("mechanism.exponential.output_distributions");
+    evaluations->Increment();
+  }
   return SoftmaxFromLog(LogWeights(data));
 }
 
 StatusOr<std::size_t> ExponentialMechanism::Sample(const Dataset& data, Rng* rng) const {
+  obs::TraceSpan span("mechanism.exponential.sample");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const samples =
+        obs::GlobalMetrics().GetCounter("mechanism.exponential.samples");
+    samples->Increment();
+  }
+  obs::AuditMechanismInvocation("exponential", PrivacyGuaranteeEpsilon(), 0.0);
   return SampleFromLogWeights(rng, LogWeights(data));
 }
 
@@ -97,6 +114,12 @@ StatusOr<ReportNoisyMax> ReportNoisyMax::Create(QualityFn quality, std::size_t n
 }
 
 StatusOr<std::size_t> ReportNoisyMax::Sample(const Dataset& data, Rng* rng) const {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const samples =
+        obs::GlobalMetrics().GetCounter("mechanism.report_noisy_max.samples");
+    samples->Increment();
+  }
+  obs::AuditMechanismInvocation("report_noisy_max", epsilon_, 0.0);
   std::size_t best = 0;
   double best_score = -std::numeric_limits<double>::infinity();
   for (std::size_t u = 0; u < num_candidates_; ++u) {

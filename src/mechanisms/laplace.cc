@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/audit_log.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
 #include "sampling/distributions.h"
 
 namespace dplearn {
@@ -19,6 +22,12 @@ StatusOr<LaplaceMechanism> LaplaceMechanism::Create(SensitiveQuery query, double
 }
 
 StatusOr<double> LaplaceMechanism::Release(const Dataset& data, Rng* rng) const {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const releases =
+        obs::GlobalMetrics().GetCounter("mechanism.laplace.releases");
+    releases->Increment();
+  }
+  obs::AuditMechanismInvocation("laplace", epsilon_, 0.0);
   const double true_value = query_.query(data);
   return SampleLaplace(rng, true_value, scale_);
 }
@@ -49,6 +58,12 @@ StatusOr<GaussianMechanism> GaussianMechanism::Create(SensitiveQuery query,
 }
 
 StatusOr<double> GaussianMechanism::Release(const Dataset& data, Rng* rng) const {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const releases =
+        obs::GlobalMetrics().GetCounter("mechanism.gaussian.releases");
+    releases->Increment();
+  }
+  obs::AuditMechanismInvocation("gaussian", budget_.epsilon, budget_.delta);
   const double true_value = query_.query(data);
   return SampleNormal(rng, true_value, stddev_);
 }
@@ -68,6 +83,12 @@ StatusOr<int> RandomizedResponse::Release(int true_bit, Rng* rng) const {
   if (true_bit != 0 && true_bit != 1) {
     return InvalidArgumentError("RandomizedResponse: bit must be 0 or 1");
   }
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const releases =
+        obs::GlobalMetrics().GetCounter("mechanism.randomized_response.releases");
+    releases->Increment();
+  }
+  obs::AuditMechanismInvocation("randomized_response", epsilon_, 0.0);
   DPLEARN_ASSIGN_OR_RETURN(int keep, SampleBernoulli(rng, p_truth_));
   return keep == 1 ? true_bit : 1 - true_bit;
 }

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/audit_log.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
 namespace dplearn {
 
 Status ValidateBudget(const PrivacyBudget& budget) {
@@ -72,10 +77,25 @@ StatusOr<PrivacyAccountant> PrivacyAccountant::Create(PrivacyBudget total) {
   return PrivacyAccountant(total);
 }
 
-Status PrivacyAccountant::Spend(const PrivacyBudget& cost) {
+Status PrivacyAccountant::Spend(const PrivacyBudget& cost, std::string_view mechanism) {
   DPLEARN_RETURN_IF_ERROR(ValidateBudget(cost));
-  if (spent_.epsilon + cost.epsilon > total_.epsilon ||
-      spent_.delta + cost.delta > total_.delta + 1e-15) {
+  const bool granted = !(spent_.epsilon + cost.epsilon > total_.epsilon ||
+                         spent_.delta + cost.delta > total_.delta + 1e-15);
+  obs::BudgetAuditLog* log = audit_log_;
+  if (log == nullptr && obs::AuditEnabled()) log = &obs::GlobalAuditLog();
+  if (log != nullptr) log->Record(mechanism, cost.epsilon, cost.delta, granted);
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const granted_counter =
+        obs::GlobalMetrics().GetCounter("accountant.spends_granted");
+    static obs::Counter* const denied_counter =
+        obs::GlobalMetrics().GetCounter("accountant.spends_denied");
+    (granted ? granted_counter : denied_counter)->Increment();
+  }
+  if (!granted) {
+    DPLEARN_LOG(WARN) << "PrivacyAccountant: denied spend of (" << cost.epsilon << ", "
+                      << cost.delta << ") by '" << mechanism << "'; spent ("
+                      << spent_.epsilon << ", " << spent_.delta << ") of ("
+                      << total_.epsilon << ", " << total_.delta << ")";
     return FailedPreconditionError("PrivacyAccountant: spend would exceed total budget");
   }
   spent_.epsilon += cost.epsilon;

@@ -2,11 +2,16 @@
 #define DPLEARN_MECHANISMS_PRIVACY_BUDGET_H_
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
 #include "util/status.h"
 
 namespace dplearn {
+
+namespace obs {
+class BudgetAuditLog;
+}  // namespace obs
 
 /// An (epsilon, delta) differential-privacy guarantee. delta == 0 is pure
 /// epsilon-DP (Definition 2.1 of the paper); the Gaussian mechanism needs
@@ -53,8 +58,17 @@ class PrivacyAccountant {
   static StatusOr<PrivacyAccountant> Create(PrivacyBudget total);
 
   /// Records a spend of `cost`. Error (and no state change) if the spend is
-  /// invalid or would exceed the total budget.
-  Status Spend(const PrivacyBudget& cost);
+  /// invalid or would exceed the total budget. Every structurally valid
+  /// spend — granted or denied-over-budget — is appended to the audit log
+  /// (see set_audit_log) under `mechanism`; invalid budgets are rejected
+  /// before reaching the ledger.
+  Status Spend(const PrivacyBudget& cost, std::string_view mechanism);
+  Status Spend(const PrivacyBudget& cost) { return Spend(cost, "accountant"); }
+
+  /// Directs audit entries to `log` instead of the default, which is
+  /// obs::GlobalAuditLog() when obs::AuditEnabled() and nothing otherwise.
+  /// `log` must outlive the accountant; nullptr restores the default.
+  void set_audit_log(obs::BudgetAuditLog* log) { audit_log_ = log; }
 
   PrivacyBudget spent() const { return spent_; }
   PrivacyBudget total() const { return total_; }
@@ -67,6 +81,7 @@ class PrivacyAccountant {
 
   PrivacyBudget total_;
   PrivacyBudget spent_{0.0, 0.0};
+  obs::BudgetAuditLog* audit_log_ = nullptr;  // not owned
 };
 
 }  // namespace dplearn

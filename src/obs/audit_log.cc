@@ -1,0 +1,117 @@
+#include "obs/audit_log.h"
+
+#include <cmath>
+
+#include "obs/event_sink.h"
+#include "obs/json_writer.h"
+
+namespace dplearn {
+namespace obs {
+
+void BudgetAuditLog::Record(std::string_view mechanism, double epsilon, double delta,
+                            bool granted) {
+  BudgetAuditEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry.sequence = entries_.size();
+    entry.mechanism = std::string(mechanism);
+    entry.epsilon = epsilon;
+    entry.delta = delta;
+    entry.granted = granted;
+    if (granted) {
+      cumulative_epsilon_ += epsilon;
+      cumulative_delta_ += delta;
+    }
+    entry.cumulative_epsilon = cumulative_epsilon_;
+    entry.cumulative_delta = cumulative_delta_;
+    entries_.push_back(entry);
+  }
+  if (HasGlobalSinks()) {
+    Event event;
+    event.type = "audit";
+    event.name = entry.mechanism;
+    event.With("seq", EventValue::Int(static_cast<std::int64_t>(entry.sequence)))
+        .With("epsilon", EventValue::Num(entry.epsilon))
+        .With("delta", EventValue::Num(entry.delta))
+        .With("granted", EventValue::Bool(entry.granted))
+        .With("cum_epsilon", EventValue::Num(entry.cumulative_epsilon))
+        .With("cum_delta", EventValue::Num(entry.cumulative_delta));
+    EmitEvent(event);
+  }
+}
+
+std::vector<BudgetAuditEntry> BudgetAuditLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::size_t BudgetAuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void BudgetAuditLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  cumulative_epsilon_ = 0.0;
+  cumulative_delta_ = 0.0;
+}
+
+double BudgetAuditLog::cumulative_epsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cumulative_epsilon_;
+}
+
+double BudgetAuditLog::cumulative_delta() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cumulative_delta_;
+}
+
+Status BudgetAuditLog::ReplayVerify() const {
+  const std::vector<BudgetAuditEntry> entries = Entries();
+  double eps = 0.0;
+  double delta = 0.0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BudgetAuditEntry& entry = entries[i];
+    if (entry.sequence != i) {
+      return InternalError("BudgetAuditLog: sequence gap at entry " + std::to_string(i));
+    }
+    if (entry.granted) {
+      eps += entry.epsilon;
+      delta += entry.delta;
+    }
+    if (std::fabs(entry.cumulative_epsilon - eps) > 1e-9 ||
+        std::fabs(entry.cumulative_delta - delta) > 1e-9) {
+      return InternalError("BudgetAuditLog: cumulative mismatch at entry " +
+                           std::to_string(i) + " (mechanism '" + entry.mechanism + "')");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string BudgetAuditLog::ToJson() const {
+  const std::vector<BudgetAuditEntry> entries = Entries();
+  JsonWriter w;
+  w.BeginArray();
+  for (const BudgetAuditEntry& entry : entries) {
+    w.BeginObject();
+    w.Key("seq").Value(entry.sequence);
+    w.Key("mechanism").Value(entry.mechanism);
+    w.Key("epsilon").Value(entry.epsilon);
+    w.Key("delta").Value(entry.delta);
+    w.Key("granted").Value(entry.granted);
+    w.Key("cum_epsilon").Value(entry.cumulative_epsilon);
+    w.Key("cum_delta").Value(entry.cumulative_delta);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.str();
+}
+
+BudgetAuditLog& GlobalAuditLog() {
+  static BudgetAuditLog* log = new BudgetAuditLog();  // never destroyed
+  return *log;
+}
+
+}  // namespace obs
+}  // namespace dplearn

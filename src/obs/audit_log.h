@@ -1,0 +1,88 @@
+#ifndef DPLEARN_OBS_AUDIT_LOG_H_
+#define DPLEARN_OBS_AUDIT_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/config.h"
+#include "util/status.h"
+
+namespace dplearn {
+namespace obs {
+
+/// One recorded privacy-budget event. Entries are written for every
+/// PrivacyAccountant::Spend (granted or denied) and for every direct
+/// mechanism invocation (LaplaceMechanism::Release, ExponentialMechanism::
+/// Sample, ...), which are recorded as granted self-reports of the
+/// mechanism's own guarantee.
+///
+/// Budgets are raw (epsilon, delta) doubles rather than PrivacyBudget to
+/// keep obs below mechanisms in the dependency order.
+struct BudgetAuditEntry {
+  std::uint64_t sequence = 0;  // monotone, starts at 0 per log
+  std::string mechanism;       // e.g. "laplace", "accountant", "gibbs.channel"
+  double epsilon = 0.0;        // requested spend
+  double delta = 0.0;
+  bool granted = true;
+  /// Running totals over all GRANTED entries up to and including this one —
+  /// basic sequential composition. A denied entry repeats the previous
+  /// totals.
+  double cumulative_epsilon = 0.0;
+  double cumulative_delta = 0.0;
+};
+
+/// A thread-safe append-only ledger of budget spends. The class both
+/// records and verifies: ReplayVerify() re-runs sequential composition over
+/// the granted entries and checks the stored cumulative totals match, so a
+/// consumer of an exported trail can independently confirm the accountant's
+/// arithmetic.
+class BudgetAuditLog {
+ public:
+  /// Appends an entry, computing the cumulative totals; emits an "audit"
+  /// event to the global sinks when any are attached.
+  void Record(std::string_view mechanism, double epsilon, double delta, bool granted);
+
+  std::vector<BudgetAuditEntry> Entries() const;
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  void Clear();
+
+  /// Totals over granted entries so far.
+  double cumulative_epsilon() const;
+  double cumulative_delta() const;
+
+  /// Replays the ledger: sequence numbers must be 0..n-1 and every entry's
+  /// stored cumulative totals must equal the running sequential-composition
+  /// sums of the granted spends (to 1e-9 absolute). Returns InternalError
+  /// naming the first inconsistent entry otherwise.
+  Status ReplayVerify() const;
+
+  /// The trail as a JSON array (one object per entry, schema as in
+  /// DESIGN.md §7).
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<BudgetAuditEntry> entries_;
+  double cumulative_epsilon_ = 0.0;
+  double cumulative_delta_ = 0.0;
+};
+
+/// The ledger library instrumentation writes to (when AuditEnabled()).
+BudgetAuditLog& GlobalAuditLog();
+
+/// Self-report hook for mechanisms: when auditing is on, records a granted
+/// entry for one invocation of `mechanism` with guarantee (epsilon, delta)
+/// in the global ledger. One relaxed load when auditing is off.
+inline void AuditMechanismInvocation(const char* mechanism, double epsilon,
+                                     double delta) {
+  if (AuditEnabled()) GlobalAuditLog().Record(mechanism, epsilon, delta, true);
+}
+
+}  // namespace obs
+}  // namespace dplearn
+
+#endif  // DPLEARN_OBS_AUDIT_LOG_H_

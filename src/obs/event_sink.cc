@@ -1,0 +1,129 @@
+#include "obs/event_sink.h"
+
+#include <atomic>
+
+#include "obs/json_writer.h"
+
+namespace dplearn {
+namespace obs {
+
+std::string Event::ToJsonLine() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").Value(type);
+  w.Key("name").Value(name);
+  for (const auto& [key, value] : fields) {
+    w.Key(key);
+    switch (value.kind) {
+      case EventValue::Kind::kString: w.Value(value.string_value); break;
+      case EventValue::Kind::kNumber: w.Value(value.number_value); break;
+      case EventValue::Kind::kInt: w.Value(value.int_value); break;
+      case EventValue::Kind::kBool: w.Value(value.bool_value); break;
+    }
+  }
+  w.EndObject();
+  return w.str();
+}
+
+void InMemorySink::Emit(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+std::vector<Event> InMemorySink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t InMemorySink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void InMemorySink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+StatusOr<std::unique_ptr<JsonlFileSink>> JsonlFileSink::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return InternalError("JsonlFileSink: cannot open '" + path + "'");
+  }
+  return std::unique_ptr<JsonlFileSink>(new JsonlFileSink(file, path));
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlFileSink::Emit(const Event& event) {
+  const std::string line = event.ToJsonLine();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void JsonlFileSink::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fflush(file_);
+}
+
+namespace {
+
+std::mutex& SinksMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<EventSink*>& Sinks() {
+  static std::vector<EventSink*>* sinks = new std::vector<EventSink*>();
+  return *sinks;
+}
+
+std::atomic<int>& SinkCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+}  // namespace
+
+void AddGlobalSink(EventSink* sink) {
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lock(SinksMutex());
+  Sinks().push_back(sink);
+  SinkCount().store(static_cast<int>(Sinks().size()), std::memory_order_relaxed);
+}
+
+void RemoveGlobalSink(EventSink* sink) {
+  std::lock_guard<std::mutex> lock(SinksMutex());
+  auto& sinks = Sinks();
+  for (auto it = sinks.begin(); it != sinks.end(); ++it) {
+    if (*it == sink) {
+      sinks.erase(it);
+      break;
+    }
+  }
+  SinkCount().store(static_cast<int>(sinks.size()), std::memory_order_relaxed);
+}
+
+bool HasGlobalSinks() {
+  return SinkCount().load(std::memory_order_relaxed) > 0;
+}
+
+void EmitEvent(const Event& event) {
+  if (!HasGlobalSinks()) return;
+  // Copy the list so a sink emitting re-entrantly (or another thread
+  // registering) cannot invalidate the iteration.
+  std::vector<EventSink*> sinks;
+  {
+    std::lock_guard<std::mutex> lock(SinksMutex());
+    sinks = Sinks();
+  }
+  for (EventSink* sink : sinks) sink->Emit(event);
+}
+
+}  // namespace obs
+}  // namespace dplearn

@@ -1,0 +1,130 @@
+#ifndef DPLEARN_OBS_EVENT_SINK_H_
+#define DPLEARN_OBS_EVENT_SINK_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dplearn {
+namespace obs {
+
+/// A typed scalar for event fields, so sinks can serialize numbers as JSON
+/// numbers rather than strings.
+struct EventValue {
+  enum class Kind { kString, kNumber, kInt, kBool };
+
+  static EventValue Str(std::string v) {
+    EventValue e;
+    e.kind = Kind::kString;
+    e.string_value = std::move(v);
+    return e;
+  }
+  static EventValue Num(double v) {
+    EventValue e;
+    e.kind = Kind::kNumber;
+    e.number_value = v;
+    return e;
+  }
+  static EventValue Int(std::int64_t v) {
+    EventValue e;
+    e.kind = Kind::kInt;
+    e.int_value = v;
+    return e;
+  }
+  static EventValue Bool(bool v) {
+    EventValue e;
+    e.kind = Kind::kBool;
+    e.bool_value = v;
+    return e;
+  }
+
+  Kind kind = Kind::kString;
+  std::string string_value;
+  double number_value = 0.0;
+  std::int64_t int_value = 0;
+  bool bool_value = false;
+};
+
+/// One observability event: a verdict, a finished trace span, an audit-log
+/// entry, a recorded scalar. `type` and `name` are always present; the rest
+/// is free-form key/value fields.
+struct Event {
+  std::string type;
+  std::string name;
+  std::vector<std::pair<std::string, EventValue>> fields;
+
+  Event& With(std::string key, EventValue value) {
+    fields.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// {"type":"verdict","name":"...","pass":true} — one line, no newline.
+  std::string ToJsonLine() const;
+};
+
+/// Receives events from instrumented code. Implementations must be
+/// thread-safe: Emit can be called concurrently.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void Emit(const Event& event) = 0;
+};
+
+/// Buffers events in memory — the test double, and the experiment harness's
+/// verdict ledger.
+class InMemorySink final : public EventSink {
+ public:
+  void Emit(const Event& event) override;
+  std::vector<Event> Events() const;
+  std::size_t size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// Appends one JSON object per line (JSONL) to a file. Lines are written
+/// atomically under a mutex and flushed per event, so a crashed process
+/// leaves a readable prefix.
+class JsonlFileSink final : public EventSink {
+ public:
+  /// Opens `path` for appending (creating it if needed). Error if the file
+  /// cannot be opened.
+  static StatusOr<std::unique_ptr<JsonlFileSink>> Open(const std::string& path);
+  ~JsonlFileSink() override;
+
+  void Emit(const Event& event) override;
+  void Flush();
+  const std::string& path() const { return path_; }
+
+ private:
+  JsonlFileSink(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::mutex mu_;
+  std::FILE* file_;
+  std::string path_;
+};
+
+/// Global sink fan-out. Sinks are borrowed, not owned: the caller keeps the
+/// sink alive until after RemoveGlobalSink returns. HasGlobalSinks() is a
+/// relaxed atomic load, so instrumentation can skip event construction
+/// entirely when nobody is listening.
+void AddGlobalSink(EventSink* sink);
+void RemoveGlobalSink(EventSink* sink);
+bool HasGlobalSinks();
+/// Delivers `event` to every registered sink (no-op when there are none).
+void EmitEvent(const Event& event);
+
+}  // namespace obs
+}  // namespace dplearn
+
+#endif  // DPLEARN_OBS_EVENT_SINK_H_

@@ -1,0 +1,189 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json_writer.h"
+#include "util/logging.h"
+
+namespace dplearn {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<std::uint64_t>[upper_bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= upper_bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value; past-the-end is the overflow bucket.
+  const auto it = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - upper_bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value);
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snap;
+  snap.upper_bounds = upper_bounds_;
+  snap.bucket_counts.resize(upper_bounds_.size() + 1);
+  for (std::size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    snap.bucket_counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (std::size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBucketsUs() {
+  static const std::vector<double> buckets = {
+      1,     2,     5,     10,     20,     50,     100,    200,    500,
+      1e3,   2e3,   5e3,   1e4,    2e4,    5e4,    1e5,    2e5,    5e5,
+      1e6,   2e6,   5e6};
+  return buckets;
+}
+
+void MetricsRegistry::CheckNameFree(const std::string& name,
+                                    const void* except_table) const {
+  // mu_ is held by the caller.
+  if (except_table != &counters_) {
+    DPLEARN_CHECK(counters_.find(name) == counters_.end())
+        << "metric '" << name << "' already registered as a counter";
+  }
+  if (except_table != &gauges_) {
+    DPLEARN_CHECK(gauges_.find(name) == gauges_.end())
+        << "metric '" << name << "' already registered as a gauge";
+  }
+  if (except_table != &histograms_) {
+    DPLEARN_CHECK(histograms_.find(name) == histograms_.end())
+        << "metric '" << name << "' already registered as a histogram";
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    CheckNameFree(name, &counters_);
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    CheckNameFree(name, &gauges_);
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    CheckNameFree(name, &histograms_);
+    DPLEARN_CHECK(!upper_bounds.empty()) << "histogram '" << name << "' needs buckets";
+    DPLEARN_CHECK(std::is_sorted(upper_bounds.begin(), upper_bounds.end()) &&
+                  std::adjacent_find(upper_bounds.begin(), upper_bounds.end()) ==
+                      upper_bounds.end())
+        << "histogram '" << name << "' bounds must be strictly increasing";
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(upper_bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::GetSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->GetSnapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsRegistry::ExportText() const {
+  const Snapshot snap = GetSnapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += "counter " + name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out += "gauge " + name + " " + buf + "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%llu mean=%.6g",
+                  static_cast<unsigned long long>(hist.count), hist.Mean());
+    out += "histogram " + name + " count=" + buf + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  const Snapshot snap = GetSnapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : snap.counters) w.Key(name).Value(value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snap.gauges) w.Key(name).Value(value);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, hist] : snap.histograms) {
+    w.Key(name).BeginObject();
+    w.Key("count").Value(hist.count);
+    w.Key("sum").Value(hist.sum);
+    w.Key("mean").Value(hist.Mean());
+    w.Key("upper_bounds").BeginArray();
+    for (const double b : hist.upper_bounds) w.Value(b);
+    w.EndArray();
+    w.Key("bucket_counts").BeginArray();
+    for (const std::uint64_t c : hist.bucket_counts) w.Value(c);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace dplearn

@@ -1,0 +1,137 @@
+#ifndef DPLEARN_OBS_METRICS_H_
+#define DPLEARN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dplearn {
+namespace obs {
+
+/// Adds `delta` to an atomic<double> without requiring C++20 floating-point
+/// fetch_add support from the standard library (GCC 12's is emulated anyway).
+inline void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(expected, expected + delta,
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+/// A monotonically increasing event count. All operations are lock-free
+/// relaxed atomics — the metrics fast path.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A last-written instantaneous value (e.g. an acceptance rate). Lock-free.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) { AtomicAddDouble(&value_, delta); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-bucket histogram: bucket i counts observations with
+/// value <= upper_bounds[i] (first matching bound); one implicit overflow
+/// bucket catches the rest. Observe() is lock-free; GetSnapshot() reads the
+/// atomics without stopping writers, so a snapshot taken during concurrent
+/// observation is approximate (each individual cell is exact).
+class Histogram {
+ public:
+  struct Snapshot {
+    std::vector<double> upper_bounds;        // as configured
+    std::vector<std::uint64_t> bucket_counts;  // upper_bounds.size() + 1 cells
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  };
+
+  void Observe(double value);
+  Snapshot GetSnapshot() const;
+  void Reset();
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  /// `upper_bounds` must be non-empty and strictly increasing (checked by
+  /// the registry on creation).
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  std::vector<double> upper_bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // upper_bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential latency buckets in microseconds: 1, 2, 5, 10, ... 5e6. The
+/// default for TraceSpan duration histograms.
+const std::vector<double>& DefaultLatencyBucketsUs();
+
+/// A process-wide name → metric table. Registration (GetCounter/GetGauge/
+/// GetHistogram) takes a mutex and is intended for cold paths — call sites
+/// cache the returned pointer (commonly in a function-local static); the
+/// pointer stays valid for the registry's lifetime, across Reset calls.
+/// Updates through the returned handles are lock-free.
+///
+/// Names are namespaced with dots, e.g. "mechanism.laplace.releases"; see
+/// DESIGN.md §7 for the catalogue.
+class MetricsRegistry {
+ public:
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;   // name-sorted
+    std::vector<std::pair<std::string, double>> gauges;            // name-sorted
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  };
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// Registering the same name as two different kinds is a programming
+  /// error and aborts.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `upper_bounds` applies on first creation only (must be non-empty,
+  /// strictly increasing); later calls return the existing histogram.
+  Histogram* GetHistogram(const std::string& name, const std::vector<double>& upper_bounds);
+
+  Snapshot GetSnapshot() const;
+  /// Zeroes every value; registered metrics (and cached pointers) survive.
+  void ResetAll();
+
+  /// One metric per line: "counter mechanism.laplace.releases 42".
+  std::string ExportText() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{...}}}
+  std::string ExportJson() const;
+
+ private:
+  void CheckNameFree(const std::string& name, const void* except_table) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The registry all library instrumentation writes to.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace obs
+}  // namespace dplearn
+
+#endif  // DPLEARN_OBS_METRICS_H_

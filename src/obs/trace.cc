@@ -1,0 +1,57 @@
+#include "obs/trace.h"
+
+#include <string>
+#include <vector>
+
+#include "obs/config.h"
+#include "obs/event_sink.h"
+#include "obs/metrics.h"
+
+namespace dplearn {
+namespace obs {
+namespace {
+
+thread_local std::vector<const char*> t_span_stack;
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  if (!TracingEnabled()) return;
+  active_ = true;
+  parent_ = t_span_stack.empty() ? nullptr : t_span_stack.back();
+  t_span_stack.push_back(name_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const double us = ElapsedMicros();
+  t_span_stack.pop_back();
+  const int depth = static_cast<int>(t_span_stack.size());
+  Histogram* histogram = GlobalMetrics().GetHistogram(
+      std::string("span.") + name_ + ".us", DefaultLatencyBucketsUs());
+  histogram->Observe(us);
+  if (HasGlobalSinks()) {
+    Event event;
+    event.type = "span";
+    event.name = name_;
+    event.With("us", EventValue::Num(us)).With("depth", EventValue::Int(depth));
+    if (parent_ != nullptr) event.With("parent", EventValue::Str(parent_));
+    EmitEvent(event);
+  }
+}
+
+double TraceSpan::ElapsedMicros() const {
+  if (!active_) return 0.0;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+int TraceSpan::CurrentDepth() { return static_cast<int>(t_span_stack.size()); }
+
+const char* TraceSpan::CurrentName() {
+  return t_span_stack.empty() ? nullptr : t_span_stack.back();
+}
+
+}  // namespace obs
+}  // namespace dplearn

@@ -1,0 +1,58 @@
+#ifndef DPLEARN_OBS_TRACE_H_
+#define DPLEARN_OBS_TRACE_H_
+
+#include <chrono>
+
+namespace dplearn {
+namespace obs {
+
+/// RAII scoped tracer. When tracing is enabled (obs::TracingEnabled()) the
+/// constructor pushes the span onto a per-thread span stack and the
+/// destructor records the elapsed wall time into the duration histogram
+/// `span.<name>.us` in GlobalMetrics(), emitting a "span" event to the
+/// global sinks (if any) with the span's depth and parent. When tracing is
+/// disabled the constructor is two relaxed loads and the destructor a
+/// branch — cheap enough to leave in hot paths unconditionally.
+///
+/// Spans nest lexically within a thread:
+///
+///   TraceSpan outer("gibbs.posterior");
+///   {
+///     TraceSpan inner("risk.profile");   // parent == "gibbs.posterior"
+///   }
+///
+/// `name` must be a string literal (or otherwise outlive the span); spans
+/// store the pointer, not a copy.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// False when tracing was disabled at construction.
+  bool active() const { return active_; }
+  /// Elapsed wall time so far; 0 when inactive.
+  double ElapsedMicros() const;
+
+  /// Depth of this thread's span stack (0 = no open span). For tests.
+  static int CurrentDepth();
+  /// Name of this thread's innermost open span, or nullptr.
+  static const char* CurrentName();
+
+ private:
+  const char* name_;
+  const char* parent_ = nullptr;
+  bool active_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The ISSUE-facing alias: a ScopedTimer is a TraceSpan whose only consumer
+/// is the duration histogram.
+using ScopedTimer = TraceSpan;
+
+}  // namespace obs
+}  // namespace dplearn
+
+#endif  // DPLEARN_OBS_TRACE_H_

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/distributions.h"
 
 namespace dplearn {
@@ -23,6 +26,8 @@ StatusOr<MetropolisResult> RunMetropolis(const LogDensityFn& log_density,
   if (options.thinning == 0) {
     return InvalidArgumentError("RunMetropolis: thinning must be positive");
   }
+
+  obs::TraceSpan span("mcmc.run");
 
   std::vector<double> current = initial_point;
   double current_log_density = log_density(current);
@@ -57,6 +62,16 @@ StatusOr<MetropolisResult> RunMetropolis(const LogDensityFn& log_density,
 
   result.acceptance_rate =
       static_cast<double>(accepted) / static_cast<double>(total_steps);
+  // Chain totals recorded once per run: no per-step instrumentation cost.
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const proposals = obs::GlobalMetrics().GetCounter("mcmc.proposals");
+    static obs::Counter* const accepts = obs::GlobalMetrics().GetCounter("mcmc.accepted");
+    static obs::Gauge* const rate =
+        obs::GlobalMetrics().GetGauge("mcmc.acceptance_rate");
+    proposals->Increment(total_steps);
+    accepts->Increment(accepted);
+    rate->Set(result.acceptance_rate);
+  }
   return result;
 }
 

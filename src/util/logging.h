@@ -1,12 +1,73 @@
 #ifndef DPLEARN_UTIL_LOGGING_H_
 #define DPLEARN_UTIL_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 
 namespace dplearn {
+
+/// Severity levels for DPLEARN_LOG. Messages below the process-wide
+/// threshold are discarded without evaluating their stream operands.
+enum class LogLevel : int { kInfo = 0, kWarn = 1, kError = 2 };
+
 namespace internal_logging {
+
+inline const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+/// Reads DPLEARN_LOG_LEVEL once at first use. Accepts level names
+/// (INFO/WARN/WARNING/ERROR) or the numeric values 0/1/2; anything else
+/// (including unset) keeps the default of WARN so library chatter stays
+/// out of experiment tables unless explicitly requested.
+inline int InitialLogLevel() {
+  const char* raw = std::getenv("DPLEARN_LOG_LEVEL");
+  if (raw == nullptr) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(raw, "INFO") == 0 || std::strcmp(raw, "0") == 0) {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (std::strcmp(raw, "WARN") == 0 || std::strcmp(raw, "WARNING") == 0 ||
+      std::strcmp(raw, "1") == 0) {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  if (std::strcmp(raw, "ERROR") == 0 || std::strcmp(raw, "2") == 0) {
+    return static_cast<int>(LogLevel::kError);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+inline std::atomic<int>& MinLogLevelStorage() {
+  static std::atomic<int> level(InitialLogLevel());
+  return level;
+}
+
+/// Accumulates one log line and writes it to stderr on destruction, so a
+/// multi-operand `DPLEARN_LOG(...) << a << b` emits a single write even
+/// when several threads log concurrently.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogLevel level) {
+    stream_ << "[" << LogLevelName(level) << " " << file << ":" << line << "] ";
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
 
 /// Accumulates a fatal-error message and aborts the process on destruction.
 /// Used by the DPLEARN_CHECK* macros; not part of the public API.
@@ -28,7 +89,35 @@ class FatalMessage {
 };
 
 }  // namespace internal_logging
+
+/// Process-wide log threshold; messages strictly below it are discarded.
+inline void SetMinLogLevel(LogLevel level) {
+  internal_logging::MinLogLevelStorage().store(static_cast<int>(level),
+                                               std::memory_order_relaxed);
+}
+
+inline LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      internal_logging::MinLogLevelStorage().load(std::memory_order_relaxed));
+}
+
 }  // namespace dplearn
+
+/// Leveled logging to stderr: DPLEARN_LOG(INFO) << "..."; severity is one
+/// of INFO, WARN, ERROR. The threshold defaults to WARN and is set by the
+/// DPLEARN_LOG_LEVEL environment variable or SetMinLogLevel(). When a
+/// message is below the threshold its operands are never evaluated.
+#define DPLEARN_LOG_LEVEL_INFO ::dplearn::LogLevel::kInfo
+#define DPLEARN_LOG_LEVEL_WARN ::dplearn::LogLevel::kWarn
+#define DPLEARN_LOG_LEVEL_ERROR ::dplearn::LogLevel::kError
+
+#define DPLEARN_LOG(severity)                                                 \
+  if (DPLEARN_LOG_LEVEL_##severity < ::dplearn::MinLogLevel())                \
+    ;                                                                         \
+  else                                                                        \
+    ::dplearn::internal_logging::LogMessage(__FILE__, __LINE__,               \
+                                            DPLEARN_LOG_LEVEL_##severity)     \
+        .stream()
 
 /// Aborts with a diagnostic if `condition` is false. Active in all build
 /// modes: these guard internal invariants whose violation would make

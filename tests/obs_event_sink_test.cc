@@ -1,0 +1,104 @@
+#include "obs/event_sink.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dplearn {
+namespace obs {
+namespace {
+
+TEST(ObsEventTest, ToJsonLineSerializesTypedFields) {
+  Event event{"verdict", "eps bound holds", {}};
+  event.With("pass", EventValue::Bool(true))
+      .With("epsilon", EventValue::Num(0.5))
+      .With("trial", EventValue::Int(3))
+      .With("note", EventValue::Str("tight \"bound\""));
+  EXPECT_EQ(event.ToJsonLine(),
+            "{\"type\":\"verdict\",\"name\":\"eps bound holds\",\"pass\":true,"
+            "\"epsilon\":0.5,\"trial\":3,\"note\":\"tight \\\"bound\\\"\"}");
+}
+
+TEST(ObsInMemorySinkTest, BuffersAndClears) {
+  InMemorySink sink;
+  sink.Emit(Event{"span", "a", {}});
+  sink.Emit(Event{"audit", "b", {}});
+  EXPECT_EQ(sink.size(), 2u);
+  std::vector<Event> events = sink.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, "span");
+  EXPECT_EQ(events[1].name, "b");
+  sink.Clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(ObsJsonlFileSinkTest, RoundTripsEventsThroughFile) {
+  const std::string path = ::testing::TempDir() + "/obs_event_sink_test.jsonl";
+  std::remove(path.c_str());
+  {
+    auto sink = JsonlFileSink::Open(path).value();
+    Event first{"span", "gibbs.posterior", {}};
+    first.With("us", EventValue::Num(12.5)).With("depth", EventValue::Int(1));
+    sink->Emit(first);
+    Event second{"verdict", "all good", {}};
+    second.With("pass", EventValue::Bool(false));
+    sink->Emit(second);
+  }  // destructor closes the file
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "{\"type\":\"span\",\"name\":\"gibbs.posterior\",\"us\":12.5,\"depth\":1}");
+  EXPECT_EQ(lines[1], "{\"type\":\"verdict\",\"name\":\"all good\",\"pass\":false}");
+  std::remove(path.c_str());
+}
+
+TEST(ObsJsonlFileSinkTest, AppendsAcrossReopens) {
+  const std::string path = ::testing::TempDir() + "/obs_event_sink_append.jsonl";
+  std::remove(path.c_str());
+  { JsonlFileSink::Open(path).value()->Emit(Event{"span", "first", {}}); }
+  { JsonlFileSink::Open(path).value()->Emit(Event{"span", "second", {}}); }
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("first"), std::string::npos);
+  EXPECT_NE(lines[1].find("second"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsJsonlFileSinkTest, OpenFailsOnUnwritablePath) {
+  auto sink = JsonlFileSink::Open("/nonexistent-dir/x/y.jsonl");
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(ObsGlobalSinkTest, FanOutDeliversToEveryRegisteredSink) {
+  EXPECT_FALSE(HasGlobalSinks());
+  EmitEvent(Event{"span", "dropped", {}});  // no-op without sinks
+
+  InMemorySink a;
+  InMemorySink b;
+  AddGlobalSink(&a);
+  EXPECT_TRUE(HasGlobalSinks());
+  AddGlobalSink(&b);
+  EmitEvent(Event{"audit", "shared", {}});
+  RemoveGlobalSink(&a);
+  EmitEvent(Event{"audit", "only b", {}});
+  RemoveGlobalSink(&b);
+  EXPECT_FALSE(HasGlobalSinks());
+
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.Events()[0].name, "shared");
+  EXPECT_EQ(b.Events()[1].name, "only b");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dplearn

@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dplearn {
+namespace obs {
+namespace {
+
+TEST(ObsCounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(ObsGaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(ObsMetricsRegistryTest, CreateOnFirstUseReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->Value(), 1u);
+
+  Gauge* g1 = registry.GetGauge("test.gauge");
+  Gauge* g2 = registry.GetGauge("test.gauge");
+  EXPECT_EQ(g1, g2);
+
+  Histogram* h1 = registry.GetHistogram("test.histogram", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("test.histogram", {999.0});  // ignored
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h2->upper_bounds().size(), 2u);
+}
+
+TEST(ObsMetricsRegistryTest, HistogramBucketBoundaries) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.latency", {1.0, 2.0, 5.0});
+  // Bucket i counts value <= upper_bounds[i] (first match); last cell is
+  // the overflow bucket.
+  h->Observe(0.5);   // bucket 0
+  h->Observe(1.0);   // bucket 0 (inclusive bound)
+  h->Observe(1.5);   // bucket 1
+  h->Observe(5.0);   // bucket 2
+  h->Observe(7.0);   // overflow
+  Histogram::Snapshot snapshot = h->GetSnapshot();
+  ASSERT_EQ(snapshot.bucket_counts.size(), 4u);
+  EXPECT_EQ(snapshot.bucket_counts[0], 2u);
+  EXPECT_EQ(snapshot.bucket_counts[1], 1u);
+  EXPECT_EQ(snapshot.bucket_counts[2], 1u);
+  EXPECT_EQ(snapshot.bucket_counts[3], 1u);
+  EXPECT_EQ(snapshot.count, 5u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 15.0);
+  EXPECT_DOUBLE_EQ(snapshot.Mean(), 3.0);
+}
+
+TEST(ObsMetricsRegistryTest, SnapshotAndResetAll) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  Gauge* g = registry.GetGauge("test.gauge");
+  Histogram* h = registry.GetHistogram("test.histogram", {1.0});
+  c->Increment(7);
+  g->Set(3.25);
+  h->Observe(0.5);
+
+  MetricsRegistry::Snapshot snapshot = registry.GetSnapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].first, "test.counter");
+  EXPECT_EQ(snapshot.counters[0].second, 7u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].second, 3.25);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].second.count, 1u);
+
+  registry.ResetAll();
+  // Cached handles survive a reset; values are zeroed.
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->GetSnapshot().count, 0u);
+}
+
+TEST(ObsMetricsRegistryTest, ExportFormats) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.counter")->Increment(3);
+  registry.GetGauge("test.gauge")->Set(0.5);
+  registry.GetHistogram("test.histogram", {1.0})->Observe(2.0);
+
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("counter test.counter 3"), std::string::npos);
+  EXPECT_NE(text.find("gauge test.gauge"), std::string::npos);
+
+  const std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("\"test.counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ObsMetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.concurrent");
+  Gauge* gauge = registry.GetGauge("test.concurrent_gauge");
+  Histogram* histogram = registry.GetHistogram("test.concurrent_histogram", {0.5});
+
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, counter, gauge, histogram] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        counter->Increment();
+        gauge->Add(1.0);
+        histogram->Observe(1.0);
+        // Concurrent registration of the same name must return the shared
+        // instance, not race on creation.
+        registry.GetCounter("test.concurrent")->Increment(0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kThreads) * kIncrementsPerThread;
+  EXPECT_EQ(counter->Value(), expected);
+  EXPECT_DOUBLE_EQ(gauge->Value(), static_cast<double>(expected));
+  Histogram::Snapshot snapshot = histogram->GetSnapshot();
+  EXPECT_EQ(snapshot.count, expected);
+  EXPECT_EQ(snapshot.bucket_counts[1], expected);  // 1.0 > bound 0.5: overflow
+}
+
+TEST(ObsDefaultLatencyBucketsTest, StrictlyIncreasing) {
+  const std::vector<double>& buckets = DefaultLatencyBucketsUs();
+  ASSERT_GE(buckets.size(), 2u);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LT(buckets[i - 1], buckets[i]);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dplearn

@@ -1,0 +1,99 @@
+#include "obs/trace.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+#include "obs/config.h"
+#include "obs/event_sink.h"
+#include "obs/metrics.h"
+
+namespace dplearn {
+namespace obs {
+namespace {
+
+/// Tracing is process-global; force a known state per test and restore it.
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = TracingEnabled();
+    SetTracingEnabled(true);
+  }
+  void TearDown() override { SetTracingEnabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(ObsTraceTest, InactiveWhenTracingDisabled) {
+  SetTracingEnabled(false);
+  TraceSpan span("obs_trace_test.disabled");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+  EXPECT_DOUBLE_EQ(span.ElapsedMicros(), 0.0);
+}
+
+TEST_F(ObsTraceTest, SpansNestOnThePerThreadStack) {
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+  EXPECT_EQ(TraceSpan::CurrentName(), nullptr);
+  {
+    TraceSpan outer("obs_trace_test.outer");
+    EXPECT_TRUE(outer.active());
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 1);
+    EXPECT_STREQ(TraceSpan::CurrentName(), "obs_trace_test.outer");
+    {
+      TraceSpan inner("obs_trace_test.inner");
+      EXPECT_EQ(TraceSpan::CurrentDepth(), 2);
+      EXPECT_STREQ(TraceSpan::CurrentName(), "obs_trace_test.inner");
+    }
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 1);
+    EXPECT_STREQ(TraceSpan::CurrentName(), "obs_trace_test.outer");
+  }
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0);
+}
+
+TEST_F(ObsTraceTest, ClosedSpanFeedsDurationHistogram) {
+  { TraceSpan span("obs_trace_test.timed"); }
+  { TraceSpan span("obs_trace_test.timed"); }
+  Histogram* histogram = GlobalMetrics().GetHistogram("span.obs_trace_test.timed.us",
+                                                      DefaultLatencyBucketsUs());
+  Histogram::Snapshot snapshot = histogram->GetSnapshot();
+  EXPECT_EQ(snapshot.count, 2u);
+  EXPECT_GE(snapshot.sum, 0.0);
+}
+
+TEST_F(ObsTraceTest, ClosedSpanEmitsEventWithDepthAndParent) {
+  InMemorySink sink;
+  AddGlobalSink(&sink);
+  {
+    TraceSpan outer("obs_trace_test.event_outer");
+    TraceSpan inner("obs_trace_test.event_inner");
+  }
+  RemoveGlobalSink(&sink);
+
+  std::vector<Event> events = sink.Events();
+  ASSERT_EQ(events.size(), 2u);  // inner closes first
+  EXPECT_EQ(events[0].type, "span");
+  EXPECT_EQ(events[0].name, "obs_trace_test.event_inner");
+  bool saw_parent = false;
+  for (const auto& [key, value] : events[0].fields) {
+    if (key == "parent") {
+      saw_parent = true;
+      EXPECT_EQ(value.string_value, "obs_trace_test.event_outer");
+    }
+  }
+  EXPECT_TRUE(saw_parent);
+  EXPECT_EQ(events[1].name, "obs_trace_test.event_outer");
+}
+
+TEST_F(ObsTraceTest, ElapsedMicrosIsMonotone) {
+  TraceSpan span("obs_trace_test.elapsed");
+  const double first = span.ElapsedMicros();
+  std::string sink;
+  for (int i = 0; i < 1000; ++i) sink += 'x';
+  EXPECT_GE(span.ElapsedMicros(), first);
+  EXPECT_GT(sink.size(), 0u);  // keep the busywork observable
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dplearn

@@ -42,5 +42,66 @@ TEST(CheckMacroDeathTest, StatusOrFromOkStatusAborts) {
   EXPECT_DEATH({ StatusOr<int> bad = Status::Ok(); (void)bad; }, ".*");
 }
 
+/// Leveled logging is process-global; pin the threshold and restore it.
+class LogMacroTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = MinLogLevel();
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+  void TearDown() override { SetMinLogLevel(previous_); }
+
+ private:
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LogMacroTest, EmitsLevelFileAndMessage) {
+  ::testing::internal::CaptureStderr();
+  DPLEARN_LOG(INFO) << "info " << 42;
+  DPLEARN_LOG(WARN) << "warn msg";
+  DPLEARN_LOG(ERROR) << "error msg";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO "), std::string::npos);
+  EXPECT_NE(out.find("util_logging_test.cc"), std::string::npos);
+  EXPECT_NE(out.find("info 42"), std::string::npos);
+  EXPECT_NE(out.find("[WARN "), std::string::npos);
+  EXPECT_NE(out.find("[ERROR "), std::string::npos);
+}
+
+TEST_F(LogMacroTest, ThresholdSuppressesLowerLevels) {
+  SetMinLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  DPLEARN_LOG(INFO) << "hidden info";
+  DPLEARN_LOG(WARN) << "hidden warn";
+  DPLEARN_LOG(ERROR) << "visible error";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible error"), std::string::npos);
+}
+
+TEST_F(LogMacroTest, SuppressedOperandsAreNotEvaluated) {
+  SetMinLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return "side effect";
+  };
+  DPLEARN_LOG(INFO) << touch();
+  EXPECT_EQ(evaluations, 0);
+  DPLEARN_LOG(ERROR) << touch();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogMacroTest, BindsTightlyInsideIfElse) {
+  // The macro must not swallow a trailing else.
+  ::testing::internal::CaptureStderr();
+  if (true)
+    DPLEARN_LOG(ERROR) << "then-branch";
+  else
+    FAIL() << "macro consumed the else";
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("then-branch"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dplearn
