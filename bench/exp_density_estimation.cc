@@ -15,7 +15,6 @@
 
 #include <cmath>
 #include <cstdio>
-#include <optional>
 #include <vector>
 
 #include "bench/experiment_util.h"
@@ -59,7 +58,9 @@ void Run() {
   bench::PrintHeader("E10 (§5 future work)",
                      "DP density estimation via PAC-Bayes vs histogram baselines");
 
-  const std::size_t trials = 400;
+  // Smoke keeps 80 trials: the verdict compares 0.05-TV slack at the easiest
+  // cell, far wider than the Monte-Carlo noise at 80 trials.
+  const std::size_t trials = bench::TrialCount(400, 80);
   Rng rng(909);
   std::printf("true density: (0.45, 0.30, 0.15, 0.10); metric: mean TV (mean KL)\n");
   std::printf("\n%6s %6s %20s %20s %20s %20s\n", "n", "eps", "gibbs", "laplace-hist",
@@ -71,42 +72,70 @@ void Run() {
   double final_tv_empirical = 1.0;
   for (std::size_t n : {50u, 200u, 800u}) {
     for (double eps : {0.2, 1.0, 5.0}) {
-      double tv_gibbs = 0.0;
-      double kl_gibbs = 0.0;
-      double tv_laplace = 0.0;
-      double kl_laplace = 0.0;
-      double tv_geometric = 0.0;
-      double kl_geometric = 0.0;
-      double tv_empirical = 0.0;
-      double kl_empirical = 0.0;
-      for (std::size_t t = 0; t < trials; ++t) {
-        // Audit the first trial per (n, eps); the rest are error measurement.
-        std::optional<obs::ScopedAuditPause> pause;
-        if (t > 0) pause.emplace();
-        Dataset data = bench::Unwrap(SampleCategorical(n, &rng), "sample");
+      struct TrialErrors {
+        double tv_gibbs = 0.0;
+        double kl_gibbs = 0.0;
+        double tv_laplace = 0.0;
+        double kl_laplace = 0.0;
+        double tv_geometric = 0.0;
+        double kl_geometric = 0.0;
+        double tv_empirical = 0.0;
+        double kl_empirical = 0.0;
+      };
+      auto trial_body = [&](std::size_t, Rng& trial_rng) {
+        TrialErrors out;
+        Dataset data = bench::Unwrap(SampleCategorical(n, &trial_rng), "sample");
 
         GibbsDensityOptions gibbs_options;
         gibbs_options.epsilon = eps;
         gibbs_options.resolution = 10;
         auto gibbs =
-            bench::Unwrap(GibbsDensityEstimate(data, 4, gibbs_options, &rng), "gibbs");
-        tv_gibbs += TotalVariation(kTrueDensity, gibbs.density);
-        kl_gibbs += KlToTruth(gibbs.density);
+            bench::Unwrap(GibbsDensityEstimate(data, 4, gibbs_options, &trial_rng), "gibbs");
+        out.tv_gibbs = TotalVariation(kTrueDensity, gibbs.density);
+        out.kl_gibbs = KlToTruth(gibbs.density);
 
         auto laplace =
-            bench::Unwrap(LaplaceHistogramEstimate(data, 4, eps, &rng), "laplace");
-        tv_laplace += TotalVariation(kTrueDensity, laplace.density);
-        kl_laplace += KlToTruth(laplace.density);
+            bench::Unwrap(LaplaceHistogramEstimate(data, 4, eps, &trial_rng), "laplace");
+        out.tv_laplace = TotalVariation(kTrueDensity, laplace.density);
+        out.kl_laplace = KlToTruth(laplace.density);
 
         auto geometric =
-            bench::Unwrap(GeometricHistogramEstimate(data, 4, eps, &rng), "geometric");
-        tv_geometric += TotalVariation(kTrueDensity, geometric.density);
-        kl_geometric += KlToTruth(geometric.density);
+            bench::Unwrap(GeometricHistogramEstimate(data, 4, eps, &trial_rng), "geometric");
+        out.tv_geometric = TotalVariation(kTrueDensity, geometric.density);
+        out.kl_geometric = KlToTruth(geometric.density);
 
         auto empirical = bench::Unwrap(EmpiricalHistogram(data, 4), "empirical");
-        tv_empirical += TotalVariation(kTrueDensity, empirical);
-        kl_empirical += KlToTruth(empirical);
+        out.tv_empirical = TotalVariation(kTrueDensity, empirical);
+        out.kl_empirical = KlToTruth(empirical);
+        return out;
+      };
+      // Audit the first trial per (n, eps) inline; the rest are error
+      // measurement over the thread pool (auditing paused, one split stream
+      // per trial, reduced in trial order — thread-count invariant).
+      Rng first_rng = rng.Split();
+      TrialErrors sums = trial_body(0, first_rng);
+      {
+        obs::ScopedAuditPause pause;
+        for (const TrialErrors& r :
+             bench::RunTrials<TrialErrors>(trials - 1, &rng, trial_body)) {
+          sums.tv_gibbs += r.tv_gibbs;
+          sums.kl_gibbs += r.kl_gibbs;
+          sums.tv_laplace += r.tv_laplace;
+          sums.kl_laplace += r.kl_laplace;
+          sums.tv_geometric += r.tv_geometric;
+          sums.kl_geometric += r.kl_geometric;
+          sums.tv_empirical += r.tv_empirical;
+          sums.kl_empirical += r.kl_empirical;
+        }
       }
+      const double tv_gibbs = sums.tv_gibbs;
+      const double kl_gibbs = sums.kl_gibbs;
+      const double tv_laplace = sums.tv_laplace;
+      const double kl_laplace = sums.kl_laplace;
+      const double tv_geometric = sums.tv_geometric;
+      const double kl_geometric = sums.kl_geometric;
+      const double tv_empirical = sums.tv_empirical;
+      const double kl_empirical = sums.kl_empirical;
       const double scale = static_cast<double>(trials);
       std::printf("%6zu %6.1f %10.4f (%6.4f) %10.4f (%6.4f) %10.4f (%6.4f) %10.4f (%6.4f)\n",
                   n, eps, tv_gibbs / scale, kl_gibbs / scale, tv_laplace / scale,
@@ -140,7 +169,8 @@ void Run() {
 }  // namespace
 }  // namespace dplearn
 
-int main() {
+int main(int argc, char** argv) {
+  dplearn::bench::ParseFlags(argc, argv);
   dplearn::Run();
   return 0;
 }

@@ -12,7 +12,6 @@
 
 #include <cmath>
 #include <cstdio>
-#include <optional>
 #include <vector>
 
 #include "bench/experiment_util.h"
@@ -67,7 +66,9 @@ void Run() {
   Rng rng(202);
   Dataset data = SkewedData(n, &rng);
   const double quality_sensitivity = 2.0;
-  const std::size_t utility_trials = 5000;
+  // The privacy verdict is an exhaustive exact audit; smoke mode only thins
+  // the utility simulation (violation-rate verdict keeps ample slack).
+  const std::size_t utility_trials = bench::TrialCount(5000, 250);
   const double delta = 0.05;
 
   // True (non-private) best candidate and quality.
@@ -107,17 +108,23 @@ void Run() {
     privacy_ok = privacy_ok && max_log_ratio <= guarantee + 1e-9;
 
     // Utility: empirical quality gap of sampled outputs vs the MT bound.
-    double total_gap = 0.0;
-    std::size_t bound_violations = 0;
     const double gap_bound = bench::Unwrap(mechanism.UtilityGapBound(delta), "bound");
-    for (std::size_t t = 0; t < utility_trials; ++t) {
-      // Audit the first sample per eps; the rest are utility measurement.
-      std::optional<obs::ScopedAuditPause> pause;
-      if (t > 0) pause.emplace();
-      const std::size_t u = bench::Unwrap(mechanism.Sample(data, &rng), "sample");
-      const double gap = best_quality - quality(data, u);
-      total_gap += gap;
-      if (gap > gap_bound) ++bound_violations;
+    // Audit the first sample per eps inline; the rest are utility
+    // measurement, mapped over the thread pool with auditing paused and one
+    // split stream per trial (thread-count invariant results).
+    auto trial_body = [&](std::size_t, Rng& trial_rng) {
+      const std::size_t u = bench::Unwrap(mechanism.Sample(data, &trial_rng), "sample");
+      return best_quality - quality(data, u);
+    };
+    Rng first_rng = rng.Split();
+    double total_gap = trial_body(0, first_rng);
+    std::size_t bound_violations = total_gap > gap_bound ? 1u : 0u;
+    {
+      obs::ScopedAuditPause pause;
+      for (double gap : bench::RunTrials<double>(utility_trials - 1, &rng, trial_body)) {
+        total_gap += gap;
+        if (gap > gap_bound) ++bound_violations;
+      }
     }
     const double mean_gap = total_gap / static_cast<double>(utility_trials);
     const double violation_rate =
@@ -137,7 +144,8 @@ void Run() {
 }  // namespace
 }  // namespace dplearn
 
-int main() {
+int main(int argc, char** argv) {
+  dplearn::bench::ParseFlags(argc, argv);
   dplearn::Run();
   return 0;
 }

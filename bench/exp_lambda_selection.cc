@@ -20,6 +20,7 @@
 #include "core/lambda_selection.h"
 #include "core/pac_bayes.h"
 #include "learning/generators.h"
+#include "obs/config.h"
 #include "sampling/rng.h"
 
 namespace dplearn {
@@ -33,7 +34,9 @@ void Run() {
   ClippedSquaredLoss loss(1.0);
   auto hclass = bench::Unwrap(FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 21), "grid");
   const std::size_t n = 300;
-  const std::size_t trials = 300;
+  // No verdicts depend on these means (shape-only table), so smoke mode can
+  // thin aggressively.
+  const std::size_t trials = bench::TrialCount(300, 30);
 
   std::printf("task: Bernoulli(0.3), n=%zu, Bayes risk=%.4f, %zu trials per cell\n",
               n, task.BayesRisk(), trials);
@@ -42,19 +45,22 @@ void Run() {
 
   Rng rng(1414);
   for (double total_eps : {0.2, 1.0, 5.0}) {
-    double fixed_risk = 0.0;
-    double select_risk = 0.0;
-    double oracle_risk = 0.0;
-    for (std::size_t t = 0; t < trials; ++t) {
-      Dataset data = bench::Unwrap(task.Sample(n, &rng), "sample");
+    struct TrialRisks {
+      double fixed = 0.0;
+      double select = 0.0;
+      double oracle = 0.0;
+    };
+    auto trial_body = [&](std::size_t, Rng& trial_rng) {
+      TrialRisks out;
+      Dataset data = bench::Unwrap(task.Sample(n, &trial_rng), "sample");
 
       // Fixed: all budget on one release, lambda = eps*n/2.
       {
         const double lambda = total_eps * static_cast<double>(n) / 2.0;
         auto gibbs =
             bench::Unwrap(GibbsEstimator::CreateUniform(&loss, hclass, lambda), "gibbs");
-        Vector theta = bench::Unwrap(gibbs.SampleTheta(data, &rng), "theta");
-        fixed_risk += task.TrueRisk(theta[0]);
+        Vector theta = bench::Unwrap(gibbs.SampleTheta(data, &trial_rng), "theta");
+        out.fixed = task.TrueRisk(theta[0]);
       }
 
       // Private selection: split the budget — half to selection, half
@@ -66,8 +72,8 @@ void Run() {
         options.selection_epsilon = total_eps / 2.0;
         options.training_epsilon = total_eps / 2.0;
         auto result = bench::Unwrap(
-            SelectLambdaAndTrain(loss, hclass, data, options, &rng), "select");
-        select_risk += task.TrueRisk(result.theta[0]);
+            SelectLambdaAndTrain(loss, hclass, data, options, &trial_rng), "select");
+        out.select = task.TrueRisk(result.theta[0]);
       }
 
       // Oracle: same grid, non-private argmax (reported for scale only).
@@ -75,13 +81,31 @@ void Run() {
         LambdaSelectionOptions options;
         options.lambda_grid = {2.0, 8.0, 32.0, 128.0};
         auto result = bench::Unwrap(
-            SelectLambdaNonPrivate(loss, hclass, data, options, &rng), "oracle");
-        oracle_risk += task.TrueRisk(result.theta[0]);
+            SelectLambdaNonPrivate(loss, hclass, data, options, &trial_rng), "oracle");
+        out.oracle = task.TrueRisk(result.theta[0]);
+      }
+      return out;
+    };
+    // Trial 0 inline with auditing live (one audited selection pipeline per
+    // budget); the rest are measurement over the thread pool, auditing
+    // paused, one split stream per trial.
+    Rng first_rng = rng.Split();
+    TrialRisks sums = trial_body(0, first_rng);
+    {
+      obs::ScopedAuditPause pause;
+      for (const TrialRisks& r :
+           bench::RunTrials<TrialRisks>(trials - 1, &rng, trial_body)) {
+        sums.fixed += r.fixed;
+        sums.select += r.select;
+        sums.oracle += r.oracle;
       }
     }
     const double scale = static_cast<double>(trials);
-    std::printf("%12.1f %14.4f %18.4f %18.4f\n", total_eps, fixed_risk / scale,
-                select_risk / scale, oracle_risk / scale);
+    std::printf("%12.1f %14.4f %18.4f %18.4f\n", total_eps, sums.fixed / scale,
+                sums.select / scale, sums.oracle / scale);
+    char key[48];
+    std::snprintf(key, sizeof key, "select_risk_eps%.1f", total_eps);
+    bench::RecordScalar(key, sums.select / scale);
   }
 
   std::printf(
@@ -94,7 +118,8 @@ void Run() {
 }  // namespace
 }  // namespace dplearn
 
-int main() {
+int main(int argc, char** argv) {
+  dplearn::bench::ParseFlags(argc, argv);
   dplearn::Run();
   return 0;
 }

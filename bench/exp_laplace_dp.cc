@@ -9,7 +9,6 @@
 
 #include <cmath>
 #include <cstdio>
-#include <optional>
 #include <vector>
 
 #include "bench/experiment_util.h"
@@ -27,7 +26,9 @@ void Run() {
   bench::PrintHeader("E1 (Theorem 2.1)", "Laplace mechanism is eps-DP");
 
   const std::size_t n = 200;
-  const std::size_t utility_trials = 20000;
+  // The privacy verdict is exact (density audit), so smoke mode only thins
+  // the utility simulation.
+  const std::size_t utility_trials = bench::TrialCount(20000, 500);
   auto task = bench::Unwrap(BernoulliMeanTask::Create(0.4), "task");
   Rng rng(101);
   Dataset data = bench::Unwrap(task.Sample(n, &rng), "sample");
@@ -53,14 +54,21 @@ void Run() {
         AuditScalarDensityMechanism(density, {data}, BernoulliMeanTask::Domain(), probes),
         "audit");
 
-    double total_error = 0.0;
-    for (std::size_t t = 0; t < utility_trials; ++t) {
-      // Audit the first release per eps; the remaining trials re-measure the
-      // same mechanism and would flood the budget ledger with 20k entries.
-      std::optional<obs::ScopedAuditPause> pause;
-      if (t > 0) pause.emplace();
-      const double released = bench::Unwrap(mechanism.Release(data, &rng), "release");
-      total_error += std::fabs(released - query.query(data));
+    // Audit the first release per eps inline; the remaining trials re-measure
+    // the same mechanism (they would flood the budget ledger with 20k
+    // entries) and run over the thread pool with auditing paused, one split
+    // stream per trial so the mean is thread-count invariant.
+    auto trial_body = [&](std::size_t, Rng& trial_rng) {
+      const double released = bench::Unwrap(mechanism.Release(data, &trial_rng), "release");
+      return std::fabs(released - query.query(data));
+    };
+    Rng first_rng = rng.Split();
+    double total_error = trial_body(0, first_rng);
+    {
+      obs::ScopedAuditPause pause;
+      for (double err : bench::RunTrials<double>(utility_trials - 1, &rng, trial_body)) {
+        total_error += err;
+      }
     }
     const double mean_error = total_error / static_cast<double>(utility_trials);
     const double theory_error = mechanism.ExpectedAbsoluteError();
@@ -85,7 +93,8 @@ void Run() {
 }  // namespace
 }  // namespace dplearn
 
-int main() {
+int main(int argc, char** argv) {
+  dplearn::bench::ParseFlags(argc, argv);
   dplearn::Run();
   return 0;
 }

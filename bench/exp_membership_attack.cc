@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench/experiment_util.h"
 #include "core/gibbs_estimator.h"
@@ -18,6 +19,7 @@
 #include "core/membership_attack.h"
 #include "learning/generators.h"
 #include "learning/risk.h"
+#include "parallel/trial_runner.h"
 
 namespace dplearn {
 namespace {
@@ -40,26 +42,48 @@ void Run() {
   std::printf("%8s %12s %14s %14s %14s %12s\n", "lambda", "eps (4.1)", "attack acc.",
               "advantage", "cap tanh(e/2)", "cap used%");
 
-  bool within = true;
-  double previous = -1.0;
-  for (double lambda : {0.5, 2.0, 8.0, 32.0, 128.0, 512.0}) {
+  // Each lambda cell is an independent closed-form attack evaluation (two
+  // exact posteriors per cell — the per-hypothesis risk profiles inside are
+  // the cost). Map the sweep over the thread pool; the monotonicity check
+  // and the table are produced from the results in lambda order, so the
+  // output is identical to the sequential sweep.
+  const std::vector<double> lambdas = {0.5, 2.0, 8.0, 32.0, 128.0, 512.0};
+  struct Cell {
+    double eps = 0.0;
+    MembershipAttackResult result;
+  };
+  parallel::ParallelTrialRunner runner;
+  const std::vector<Cell> cells = runner.Map<Cell>(lambdas.size(), [&](std::size_t i) {
+    const double lambda = lambdas[i];
     auto gibbs =
         bench::Unwrap(GibbsEstimator::CreateUniform(&loss, hclass, lambda), "gibbs");
     const double sensitivity =
         bench::Unwrap(EmpiricalRiskSensitivityBound(loss, n), "sensitivity");
-    const double eps = bench::Unwrap(gibbs.PrivacyGuaranteeEpsilon(sensitivity), "eps");
+    Cell cell;
+    cell.eps = bench::Unwrap(gibbs.PrivacyGuaranteeEpsilon(sensitivity), "eps");
     AttackTargetMechanism mechanism = [&gibbs](const Dataset& d) {
       return gibbs.Posterior(d);
     };
-    auto result = bench::Unwrap(
-        BayesMembershipAttack(mechanism, base, 0, replacement, eps), "attack");
-    within = within && result.advantage <= result.dp_advantage_bound + 1e-12;
-    const bool monotone = result.advantage >= previous - 1e-12;
+    cell.result = bench::Unwrap(
+        BayesMembershipAttack(mechanism, base, 0, replacement, cell.eps), "attack");
+    return cell;
+  });
+
+  bool within = true;
+  double previous = -1.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    within = within && cell.result.advantage <= cell.result.dp_advantage_bound + 1e-12;
+    const bool monotone = cell.result.advantage >= previous - 1e-12;
     within = within && monotone;
-    previous = result.advantage;
-    std::printf("%8.1f %12.4f %14.4f %14.4f %14.4f %11.1f%%\n", lambda, eps,
-                result.accuracy, result.advantage, result.dp_advantage_bound,
-                100.0 * result.advantage / std::max(result.dp_advantage_bound, 1e-300));
+    previous = cell.result.advantage;
+    std::printf("%8.1f %12.4f %14.4f %14.4f %14.4f %11.1f%%\n", lambdas[i], cell.eps,
+                cell.result.accuracy, cell.result.advantage, cell.result.dp_advantage_bound,
+                100.0 * cell.result.advantage /
+                    std::max(cell.result.dp_advantage_bound, 1e-300));
+    char key[48];
+    std::snprintf(key, sizeof key, "advantage_lambda%.1f", lambdas[i]);
+    bench::RecordScalar(key, cell.result.advantage);
   }
 
   bench::PrintSection("verdicts");
@@ -75,7 +99,8 @@ void Run() {
 }  // namespace
 }  // namespace dplearn
 
-int main() {
+int main(int argc, char** argv) {
+  dplearn::bench::ParseFlags(argc, argv);
   dplearn::Run();
   return 0;
 }

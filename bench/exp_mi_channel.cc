@@ -36,7 +36,7 @@ void Run() {
   ClippedSquaredLoss loss(1.0);
   auto hclass = bench::Unwrap(FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 13), "grid");
 
-  const std::size_t mi_samples = 200000;
+  const std::size_t mi_samples = bench::TrialCount(200000, 5000);
   Rng rng(606);
 
   std::printf("channel: Z=(k ones of %zu) ~ Binomial(%zu, %.1f) -> theta (|Theta|=%zu)\n",
@@ -72,13 +72,29 @@ void Run() {
       for (std::size_t i = 0; i < n; ++i) d.Add(Example{Vector{1.0}, i < k ? 1.0 : 0.0});
       representatives.push_back(d);
     }
-    for (std::size_t s = 0; s < mi_samples; ++s) {
+    // The MI sampling loop is the hot path of this experiment: each draw
+    // pushes a fresh Ẑ through the actual estimator. Draws are independent
+    // Monte-Carlo trials, so they map over the thread pool — draw s always
+    // uses the s-th Split() of rng and lands in slot s, making the plug-in
+    // estimate bit-identical at any DPLEARN_THREADS setting.
+    struct Draw {
       std::size_t k = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        k += static_cast<std::size_t>(bench::Unwrap(SampleBernoulli(&rng, p), "bit"));
-      }
-      ks[s] = k;
-      thetas[s] = bench::Unwrap(gibbs.Sample(representatives[k], &rng), "theta");
+      std::size_t theta = 0;
+    };
+    const std::vector<Draw> draws = bench::RunTrials<Draw>(
+        mi_samples, &rng, [&](std::size_t, Rng& draw_rng) {
+          Draw draw;
+          for (std::size_t i = 0; i < n; ++i) {
+            draw.k +=
+                static_cast<std::size_t>(bench::Unwrap(SampleBernoulli(&draw_rng, p), "bit"));
+          }
+          draw.theta =
+              bench::Unwrap(gibbs.Sample(representatives[draw.k], &draw_rng), "theta");
+          return draw;
+        });
+    for (std::size_t s = 0; s < mi_samples; ++s) {
+      ks[s] = draws[s].k;
+      thetas[s] = draws[s].theta;
     }
     double sampled_mi = bench::Unwrap(PluginMiFromSamples(ks, thetas), "plug-in MI");
     sampled_mi -= MillerMadowCorrection(n + 1, hclass.size(), (n + 1) * hclass.size(),
@@ -90,6 +106,11 @@ void Run() {
 
     std::printf("%8.1f %14.6f %12.6f %12.6f %12.6f %14.6f\n", lambda, eps, mi, capacity,
                 input_entropy, std::max(0.0, sampled_mi));
+    // The sampled MI is the Monte-Carlo product of the parallel loop above;
+    // CI's determinism gate asserts it is bit-identical for 1 vs 8 threads.
+    char key[48];
+    std::snprintf(key, sizeof key, "sampled_mi_lambda%.1f", lambda);
+    bench::RecordScalar(key, sampled_mi);
   }
 
   // Beyond-Bernoulli: the same channel construction on a TERNARY example
@@ -130,7 +151,8 @@ void Run() {
 }  // namespace
 }  // namespace dplearn
 
-int main() {
+int main(int argc, char** argv) {
+  dplearn::bench::ParseFlags(argc, argv);
   dplearn::Run();
   return 0;
 }

@@ -24,7 +24,10 @@ namespace {
 void Run() {
   bench::PrintHeader("E4 (Theorem 3.1)", "PAC-Bayes bound holds w.p. >= 1-delta");
 
-  const std::size_t trials = 2000;
+  // Smoke keeps 200 resamples: with delta >= 0.01 and violation rates that
+  // are essentially zero at these n, the viol_rate <= delta verdict retains
+  // a wide margin.
+  const std::size_t trials = bench::TrialCount(2000, 200);
   auto task = bench::Unwrap(BernoulliMeanTask::Create(0.3), "task");
   ClippedSquaredLoss loss(1.0);
   auto hclass = bench::Unwrap(FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 21), "grid");
@@ -44,27 +47,38 @@ void Run() {
     auto gibbs = bench::Unwrap(GibbsEstimator::CreateUniform(&loss, hclass, lambda),
                                "gibbs");
     for (double delta : {0.05, 0.01}) {
+      // Each resample is an independent trial: map over the thread pool with
+      // one split stream per trial and reduce in trial order, so every column
+      // is bit-identical at any DPLEARN_THREADS setting.
+      struct Trial {
+        double bound = 0.0;
+        double true_risk = 0.0;
+        double mcallester = 0.0;
+      };
+      const std::vector<Trial> results = bench::RunTrials<Trial>(
+          trials, &rng, [&](std::size_t, Rng& trial_rng) {
+            Trial out;
+            Dataset data = bench::Unwrap(task.Sample(n, &trial_rng), "sample");
+            const double emp = bench::Unwrap(gibbs.ExpectedEmpiricalRisk(data), "emp");
+            const double kl = bench::Unwrap(gibbs.KlToPrior(data), "kl");
+            out.bound = bench::Unwrap(CatoniHighProbabilityBound(emp, kl, lambda, n, delta),
+                                      "catoni");
+            out.mcallester = bench::Unwrap(McAllesterBound(emp, kl, n, delta), "mcallester");
+            auto posterior = bench::Unwrap(gibbs.Posterior(data), "posterior");
+            for (std::size_t i = 0; i < posterior.size(); ++i) {
+              out.true_risk += posterior[i] * task.TrueRisk(hclass.at(i)[0]);
+            }
+            return out;
+          });
       std::size_t violations = 0;
       double total_bound = 0.0;
       double total_true = 0.0;
       double total_mcallester = 0.0;
-      for (std::size_t t = 0; t < trials; ++t) {
-        Dataset data = bench::Unwrap(task.Sample(n, &rng), "sample");
-        const double emp = bench::Unwrap(gibbs.ExpectedEmpiricalRisk(data), "emp");
-        const double kl = bench::Unwrap(gibbs.KlToPrior(data), "kl");
-        const double bound =
-            bench::Unwrap(CatoniHighProbabilityBound(emp, kl, lambda, n, delta), "catoni");
-        const double mcallester =
-            bench::Unwrap(McAllesterBound(emp, kl, n, delta), "mcallester");
-        auto posterior = bench::Unwrap(gibbs.Posterior(data), "posterior");
-        double true_risk = 0.0;
-        for (std::size_t i = 0; i < posterior.size(); ++i) {
-          true_risk += posterior[i] * task.TrueRisk(hclass.at(i)[0]);
-        }
-        if (true_risk > bound) ++violations;
-        total_bound += bound;
-        total_true += true_risk;
-        total_mcallester += mcallester;
+      for (const Trial& t : results) {
+        if (t.true_risk > t.bound) ++violations;
+        total_bound += t.bound;
+        total_true += t.true_risk;
+        total_mcallester += t.mcallester;
       }
       const double viol_rate = static_cast<double>(violations) / static_cast<double>(trials);
       const double mean_bound = total_bound / static_cast<double>(trials);
@@ -74,6 +88,9 @@ void Run() {
       std::printf("%6zu %7.2f %8.1f %12.4f %12.4f %12.4f %14.4f %14.4f\n", n, delta,
                   lambda, viol_rate, mean_bound, mean_true, mean_bound - mean_true,
                   mean_mcallester - mean_true);
+      char key[64];
+      std::snprintf(key, sizeof key, "mean_bound_n%zu_delta%.2f", n, delta);
+      bench::RecordScalar(key, mean_bound);
     }
   }
 
@@ -91,18 +108,26 @@ void Run() {
                                "gibbs");
     double mean_true = 0.0;
     double mean_objective = 0.0;
-    const std::size_t exp_trials = 1000;
-    for (std::size_t t = 0; t < exp_trials; ++t) {
-      Dataset data = bench::Unwrap(task.Sample(n, &rng), "sample");
-      const double emp = bench::Unwrap(gibbs.ExpectedEmpiricalRisk(data), "emp");
-      const double kl = bench::Unwrap(gibbs.KlToPrior(data), "kl");
-      mean_objective += (emp + kl / lambda) / static_cast<double>(exp_trials);
-      auto posterior = bench::Unwrap(gibbs.Posterior(data), "posterior");
+    const std::size_t exp_trials = bench::TrialCount(1000, 100);
+    struct ExpTrial {
+      double objective = 0.0;
       double true_risk = 0.0;
-      for (std::size_t i = 0; i < posterior.size(); ++i) {
-        true_risk += posterior[i] * task.TrueRisk(hclass.at(i)[0]);
-      }
-      mean_true += true_risk / static_cast<double>(exp_trials);
+    };
+    for (const ExpTrial& t : bench::RunTrials<ExpTrial>(
+             exp_trials, &rng, [&](std::size_t, Rng& trial_rng) {
+               ExpTrial out;
+               Dataset data = bench::Unwrap(task.Sample(n, &trial_rng), "sample");
+               const double emp = bench::Unwrap(gibbs.ExpectedEmpiricalRisk(data), "emp");
+               const double kl = bench::Unwrap(gibbs.KlToPrior(data), "kl");
+               out.objective = emp + kl / lambda;
+               auto posterior = bench::Unwrap(gibbs.Posterior(data), "posterior");
+               for (std::size_t i = 0; i < posterior.size(); ++i) {
+                 out.true_risk += posterior[i] * task.TrueRisk(hclass.at(i)[0]);
+               }
+               return out;
+             })) {
+      mean_objective += t.objective / static_cast<double>(exp_trials);
+      mean_true += t.true_risk / static_cast<double>(exp_trials);
     }
     const double bound =
         bench::Unwrap(CatoniExpectationBound(mean_objective, lambda, n), "eq1");
@@ -122,7 +147,8 @@ void Run() {
 }  // namespace
 }  // namespace dplearn
 
-int main() {
+int main(int argc, char** argv) {
+  dplearn::bench::ParseFlags(argc, argv);
   dplearn::Run();
   return 0;
 }

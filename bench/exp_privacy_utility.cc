@@ -16,7 +16,6 @@
 
 #include <cmath>
 #include <cstdio>
-#include <optional>
 #include <vector>
 
 #include "bench/experiment_util.h"
@@ -43,7 +42,7 @@ void PartAMeanEstimation() {
   auto task = bench::Unwrap(BernoulliMeanTask::Create(p), "task");
   ClippedSquaredLoss loss(1.0);
   auto hclass = bench::Unwrap(FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 41), "grid");
-  const std::size_t trials = 3000;
+  const std::size_t trials = bench::TrialCount(3000, 60);
   Rng rng(707);
 
   std::printf("Bayes risk (irreducible) = %.4f; excess risk reported below\n",
@@ -70,17 +69,17 @@ void PartAMeanEstimation() {
       // Laplace on the empirical mean, clamped back into [0,1].
       auto query = bench::Unwrap(BoundedMeanQuery(0.0, 1.0, n), "query");
       auto laplace = bench::Unwrap(LaplaceMechanism::Create(query, eps), "laplace");
-      double laplace_risk = 0.0;
-      double rr_risk = 0.0;
-      double erm_risk = 0.0;
-      for (std::size_t t = 0; t < trials; ++t) {
-        // Audit the first trial per (n, eps); the rest are risk measurement.
-        std::optional<obs::ScopedAuditPause> pause;
-        if (t > 0) pause.emplace();
-        Dataset data = bench::Unwrap(task.Sample(n, &rng), "sample");
+      struct TrialRisks {
+        double laplace = 0.0;
+        double rr = 0.0;
+        double erm = 0.0;
+      };
+      auto trial_body = [&](std::size_t, Rng& trial_rng) {
+        TrialRisks out;
+        Dataset data = bench::Unwrap(task.Sample(n, &trial_rng), "sample");
         const double released =
-            Clamp(bench::Unwrap(laplace.Release(data, &rng), "release"), 0.0, 1.0);
-        laplace_risk += task.TrueRisk(released);
+            Clamp(bench::Unwrap(laplace.Release(data, &trial_rng), "release"), 0.0, 1.0);
+        out.laplace = task.TrueRisk(released);
 
         // Randomized response per bit, then debias and clamp.
         auto rr = bench::Unwrap(RandomizedResponse::Create(eps), "rr");
@@ -88,21 +87,42 @@ void PartAMeanEstimation() {
         reports.reserve(n);
         for (const Example& z : data.examples()) {
           reports.push_back(
-              bench::Unwrap(rr.Release(static_cast<int>(z.label), &rng), "rr bit"));
+              bench::Unwrap(rr.Release(static_cast<int>(z.label), &trial_rng), "rr bit"));
         }
         const double rr_mean =
             Clamp(bench::Unwrap(rr.DebiasedMean(reports), "debias"), 0.0, 1.0);
-        rr_risk += task.TrueRisk(rr_mean);
+        out.rr = task.TrueRisk(rr_mean);
 
         // Non-private ERM: the empirical mean itself.
         double mean = 0.0;
         for (const Example& z : data.examples()) mean += z.label;
-        erm_risk += task.TrueRisk(mean / static_cast<double>(n));
+        out.erm = task.TrueRisk(mean / static_cast<double>(n));
+        return out;
+      };
+      // Trial 0 runs inline with auditing live (one audited release per
+      // (n, eps) cell); the remaining trials are risk measurement and run
+      // over the thread pool with the process-wide audit switch paused.
+      // Trial t always consumes the t-th Split() of rng — see RunTrials.
+      Rng first_rng = rng.Split();
+      TrialRisks sums = trial_body(0, first_rng);
+      {
+        obs::ScopedAuditPause pause;
+        for (const TrialRisks& r :
+             bench::RunTrials<TrialRisks>(trials - 1, &rng, trial_body)) {
+          sums.laplace += r.laplace;
+          sums.rr += r.rr;
+          sums.erm += r.erm;
+        }
       }
       const double bayes = task.BayesRisk();
       std::printf("%6zu %8.2f %14.5f %14.5f %14.5f %14.5f\n", n, eps, gibbs_risk - bayes,
-                  laplace_risk / trials - bayes, rr_risk / trials - bayes,
-                  erm_risk / trials - bayes);
+                  sums.laplace / trials - bayes, sums.rr / trials - bayes,
+                  sums.erm / trials - bayes);
+      // Monte-Carlo means into the record: CI's determinism gate asserts
+      // these are bit-identical across DPLEARN_THREADS settings.
+      char key[64];
+      std::snprintf(key, sizeof key, "parta_laplace_excess_n%zu_eps%.2f", n, eps);
+      bench::RecordScalar(key, sums.laplace / trials - bayes);
     }
   }
 }
@@ -115,7 +135,7 @@ void PartBClassification() {
   LogisticLoss logistic(50.0);
   ZeroOneLoss zero_one;
   const std::size_t n = 400;
-  const std::size_t trials = 30;
+  const std::size_t trials = bench::TrialCount(30, 6);
 
   // 2-D hypothesis grid for the Gibbs learner (0-1 loss quality).
   std::vector<Vector> grid_thetas;
@@ -140,11 +160,6 @@ void PartBClassification() {
 
   Rng rng(808);
   for (double eps : {0.1, 0.5, 2.0, 8.0}) {
-    double gibbs_risk = 0.0;
-    double output_risk = 0.0;
-    double objective_risk = 0.0;
-    double dpsgd_risk = 0.0;
-    double erm_risk = 0.0;
     // DP-SGD configuration targeting this eps (sigma via binary search;
     // the * marks the q^2 leading-order amplification heuristic).
     DpSgdOptions sgd;
@@ -154,42 +169,70 @@ void PartBClassification() {
     sgd.delta = 1e-5;
     sgd.noise_multiplier = bench::Unwrap(
         NoiseMultiplierForTarget(eps, sgd.sampling_rate, sgd.steps, sgd.delta), "sigma");
-    for (std::size_t t = 0; t < trials; ++t) {
-      // Audit the first trial per eps; the rest are risk measurement.
-      std::optional<obs::ScopedAuditPause> pause;
-      if (t > 0) pause.emplace();
-      Dataset data = bench::Unwrap(task.Sample(n, &rng), "sample");
+
+    struct TrialRisks {
+      double gibbs = 0.0;
+      double output = 0.0;
+      double objective = 0.0;
+      double dpsgd = 0.0;
+      double erm = 0.0;
+    };
+    auto trial_body = [&](std::size_t, Rng& trial_rng) {
+      TrialRisks out_risks;
+      Dataset data = bench::Unwrap(task.Sample(n, &trial_rng), "sample");
 
       // Gibbs over the grid with 0-1 loss; 2*lambda*(1/n) = eps.
       const double lambda = eps * static_cast<double>(n) / 2.0;
       auto gibbs =
           bench::Unwrap(GibbsEstimator::CreateUniform(&zero_one, hclass, lambda), "gibbs");
-      auto theta_g = bench::Unwrap(gibbs.SampleTheta(data, &rng), "sample theta");
-      gibbs_risk += task.TrueZeroOneRisk(theta_g);
+      auto theta_g = bench::Unwrap(gibbs.SampleTheta(data, &trial_rng), "sample theta");
+      out_risks.gibbs = task.TrueZeroOneRisk(theta_g);
 
       PrivateErmOptions opts = erm_options;
       opts.epsilon = eps;
-      auto out = bench::Unwrap(OutputPerturbationErm(logistic, data, opts, &rng), "outp");
-      output_risk += task.TrueZeroOneRisk(out.theta);
+      auto out = bench::Unwrap(OutputPerturbationErm(logistic, data, opts, &trial_rng),
+                               "outp");
+      out_risks.output = task.TrueZeroOneRisk(out.theta);
       auto obj =
-          bench::Unwrap(ObjectivePerturbationErm(logistic, data, opts, &rng), "objp");
-      objective_risk += task.TrueZeroOneRisk(obj.theta);
+          bench::Unwrap(ObjectivePerturbationErm(logistic, data, opts, &trial_rng), "objp");
+      out_risks.objective = task.TrueZeroOneRisk(obj.theta);
 
-      auto sgd_result = bench::Unwrap(DpSgd(logistic, data, sgd, &rng), "dpsgd");
-      dpsgd_risk += task.TrueZeroOneRisk(sgd_result.theta);
+      auto sgd_result = bench::Unwrap(DpSgd(logistic, data, sgd, &trial_rng), "dpsgd");
+      out_risks.dpsgd = task.TrueZeroOneRisk(sgd_result.theta);
 
       GradientErmOptions solver = erm_options.solver;
       solver.l2_lambda = erm_options.l2_lambda;
-      auto np = bench::Unwrap(GradientDescentErm(logistic, data, solver, Vector(2, 0.0)),
-                              "erm");
-      erm_risk += task.TrueZeroOneRisk(np.theta);
+      auto np = bench::Unwrap(
+          GradientDescentErm(logistic, data, solver, Vector(2, 0.0)), "erm");
+      out_risks.erm = task.TrueZeroOneRisk(np.theta);
+      return out_risks;
+    };
+    // Trial 0 inline and audited (one audited pipeline per eps); the rest
+    // are measurement over the pool with auditing paused. Per-trial streams
+    // are split in trial order, so the column means are thread-count
+    // invariant.
+    Rng first_rng = rng.Split();
+    TrialRisks sums = trial_body(0, first_rng);
+    {
+      obs::ScopedAuditPause pause;
+      for (const TrialRisks& r :
+           bench::RunTrials<TrialRisks>(trials - 1, &rng, trial_body)) {
+        sums.gibbs += r.gibbs;
+        sums.output += r.output;
+        sums.objective += r.objective;
+        sums.dpsgd += r.dpsgd;
+        sums.erm += r.erm;
+      }
     }
     std::printf("%8.2f %12.4f %14.4f %14.4f %12.4f %14.4f\n", eps,
-                gibbs_risk / static_cast<double>(trials),
-                output_risk / static_cast<double>(trials),
-                objective_risk / static_cast<double>(trials),
-                dpsgd_risk / static_cast<double>(trials),
-                erm_risk / static_cast<double>(trials));
+                sums.gibbs / static_cast<double>(trials),
+                sums.output / static_cast<double>(trials),
+                sums.objective / static_cast<double>(trials),
+                sums.dpsgd / static_cast<double>(trials),
+                sums.erm / static_cast<double>(trials));
+    char key[64];
+    std::snprintf(key, sizeof key, "partb_gibbs_risk_eps%.2f", eps);
+    bench::RecordScalar(key, sums.gibbs / static_cast<double>(trials));
   }
   std::printf(
       "\nexpected shape: every private learner's risk falls toward the non-private floor\n"
@@ -207,7 +250,8 @@ void Run() {
 }  // namespace
 }  // namespace dplearn
 
-int main() {
+int main(int argc, char** argv) {
+  dplearn::bench::ParseFlags(argc, argv);
   dplearn::Run();
   return 0;
 }

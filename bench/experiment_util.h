@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/audit_log.h"
@@ -16,6 +18,9 @@
 #include "obs/event_sink.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "parallel/thread_pool.h"
+#include "parallel/trial_runner.h"
+#include "sampling/rng.h"
 #include "util/status.h"
 
 namespace dplearn {
@@ -37,6 +42,8 @@ namespace bench {
 /// disable file output entirely. PrintHeader() turns on metrics, tracing,
 /// and budget auditing so the record is complete; the record is written by
 /// an atexit hook so straight-line experiment code needs no teardown call.
+
+inline bool SmokeMode();  // defined below; used by the record writer
 
 namespace internal {
 
@@ -100,6 +107,18 @@ inline std::string ResultsDir() {
   return env;  // "" disables output
 }
 
+/// --trials=N override parsed by ParseFlags; 0 means "not set".
+inline std::size_t& TrialsOverride() {
+  static std::size_t value = 0;
+  return value;
+}
+
+/// --smoke parsed by ParseFlags (DPLEARN_SMOKE=1 is the env equivalent).
+inline bool& SmokeFlag() {
+  static bool value = false;
+  return value;
+}
+
 inline void CloseSection() {
   ExperimentState& state = State();
   if (!state.section_open) return;
@@ -132,6 +151,12 @@ inline void WriteRecord() {
   w.Key("claim").Value(state.claim);
   w.Key("started_unix_ms").Value(static_cast<std::int64_t>(state.started_unix_ms));
   w.Key("wall_time_seconds").Value(wall_seconds);
+  // Parallel-engine provenance: scalars/verdicts are thread-count invariant
+  // by the src/parallel determinism contract, but section wall times are
+  // not — CI's speedup assertions divide timings across records with
+  // different "threads" values.
+  w.Key("threads").Value(static_cast<std::uint64_t>(parallel::DefaultThreadCount()));
+  w.Key("smoke").Value(SmokeMode());
   w.Key("sections").BeginArray();
   for (const SectionRecord& s : state.sections) {
     w.BeginObject().Key("title").Value(s.title).Key("seconds").Value(s.seconds).EndObject();
@@ -168,9 +193,65 @@ inline void WriteRecord() {
 
 }  // namespace internal
 
+/// Fast mode for CI smoke runs: DPLEARN_SMOKE=1 (any non-"0" value) or the
+/// --smoke flag switches every experiment to its reduced trial counts so
+/// the whole suite finishes in minutes instead of hours.
+inline bool SmokeMode() {
+  static const bool env_smoke = [] {
+    const char* env = std::getenv("DPLEARN_SMOKE");
+    return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+  }();
+  return env_smoke || internal::SmokeFlag();
+}
+
+/// The trial count an experiment loop should run: `full` normally, `smoke`
+/// in SmokeMode(), or the explicit --trials=N override when one was given.
+inline std::size_t TrialCount(std::size_t full, std::size_t smoke) {
+  if (internal::TrialsOverride() > 0) return internal::TrialsOverride();
+  return SmokeMode() ? smoke : full;
+}
+
+/// Parses the flags every experiment binary shares (--smoke, --trials=N).
+/// Call at the top of main(); anything unrecognized aborts with usage, so a
+/// typo cannot silently run the full-size experiment.
+inline void ParseFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trials=", 9) == 0) {
+      const long parsed = std::strtol(arg + 9, nullptr, 10);
+      if (parsed <= 0) {
+        std::fprintf(stderr, "%s: --trials expects a positive integer, got '%s'\n",
+                     argv[0], arg + 9);
+        std::exit(2);
+      }
+      internal::TrialsOverride() = static_cast<std::size_t>(parsed);
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      internal::SmokeFlag() = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--trials=N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
+/// Maps `trials` Monte-Carlo trials over the global thread pool
+/// (src/parallel): trial t consumes the t-th Split() of *rng and results
+/// come back in trial order, so every number an experiment derives from the
+/// returned vector is bit-identical at any DPLEARN_THREADS setting. The
+/// body must not touch shared mutable state (obs counters/sinks are safe);
+/// audit self-reports inside trial bodies should be paused by the caller —
+/// parallel trials are measurement, not releases (see ScopedAuditPause).
+template <typename T, typename Body>
+std::vector<T> RunTrials(std::size_t trials, Rng* rng, Body&& body) {
+  parallel::ParallelTrialRunner runner;
+  return runner.MapTrials<T>(trials, rng, std::forward<Body>(body));
+}
+
 inline void PrintHeader(const std::string& experiment_id, const std::string& claim) {
   std::printf("==============================================================================\n");
   std::printf("%s — %s\n", experiment_id.c_str(), claim.c_str());
+  std::printf("[threads=%zu%s]\n", parallel::DefaultThreadCount(),
+              SmokeMode() ? ", smoke mode" : "");
   std::printf("==============================================================================\n");
 
   internal::ExperimentState& state = internal::State();

@@ -56,6 +56,16 @@ StatusOr<std::size_t> GibbsEstimator::Sample(const Dataset& data, Rng* rng) cons
     static obs::Counter* const samples = obs::GlobalMetrics().GetCounter("gibbs.samples");
     samples->Increment();
   }
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> log_w, LogWeights(data));
+  return SampleFromLogWeights(rng, log_w);
+}
+
+StatusOr<std::vector<double>> GibbsEstimator::LogWeights(const Dataset& data) const {
+  // The per-hypothesis risk profile is the hot loop of both Posterior() and
+  // Sample(); EmpiricalRiskProfile parallelizes it over the global pool for
+  // large |Θ|·n with bit-identical results at any thread count (each
+  // hypothesis keeps its serial inner loop). The O(|Θ|) weight pass below
+  // stays inline.
   DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
                            EmpiricalRiskProfile(*loss_, hclass_.thetas(), data));
   std::vector<double> log_w(risks.size());
@@ -64,7 +74,7 @@ StatusOr<std::size_t> GibbsEstimator::Sample(const Dataset& data, Rng* rng) cons
                                              : -std::numeric_limits<double>::infinity();
     log_w[i] = -lambda_ * risks[i] + log_prior;
   }
-  return SampleFromLogWeights(rng, log_w);
+  return log_w;
 }
 
 StatusOr<Vector> GibbsEstimator::SampleTheta(const Dataset& data, Rng* rng) const {

@@ -75,6 +75,11 @@ class GibbsEstimator {
   const LossFunction& loss() const { return *loss_; }
 
  private:
+  /// Unnormalized log posterior weights -λ·R̂(θ_i) + log π(θ_i); the shared
+  /// per-hypothesis pass behind Sample() (the risk profile inside runs on
+  /// the global thread pool for large problems).
+  StatusOr<std::vector<double>> LogWeights(const Dataset& data) const;
+
   GibbsEstimator(const LossFunction* loss, FiniteHypothesisClass hclass,
                  std::vector<double> prior, double lambda)
       : loss_(loss), hclass_(std::move(hclass)), prior_(std::move(prior)), lambda_(lambda) {}

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/distributions.h"
 
 namespace dplearn {
@@ -31,6 +34,15 @@ StatusOr<PrivateErmResult> OutputPerturbationErm(const LossFunction& loss,
                                                  const Dataset& data,
                                                  const PrivateErmOptions& options, Rng* rng) {
   DPLEARN_RETURN_IF_ERROR(ValidateOptions(loss, data, options));
+  // The solve below dominates; its gradient accumulation runs on the global
+  // thread pool for large n (learning/erm.cc), with thread-count-invariant
+  // results — the Monte-Carlo loops that call this stay bit-reproducible.
+  obs::TraceSpan span("erm.output_perturbation");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const runs =
+        obs::GlobalMetrics().GetCounter("erm.output_perturbation_runs");
+    runs->Increment();
+  }
   const std::size_t d = data.FeatureDim();
   const double n = static_cast<double>(data.size());
 
@@ -61,6 +73,12 @@ StatusOr<PrivateErmResult> ObjectivePerturbationErm(const LossFunction& loss,
   DPLEARN_RETURN_IF_ERROR(ValidateOptions(loss, data, options));
   if (!(options.smoothness > 0.0)) {
     return InvalidArgumentError("ObjectivePerturbationErm: smoothness must be positive");
+  }
+  obs::TraceSpan span("erm.objective_perturbation");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const runs =
+        obs::GlobalMetrics().GetCounter("erm.objective_perturbation_runs");
+    runs->Increment();
   }
   const std::size_t d = data.FeatureDim();
   const double n = static_cast<double>(data.size());

@@ -1,13 +1,51 @@
 #include "learning/erm.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "learning/risk.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "parallel/trial_runner.h"
 
 namespace dplearn {
+namespace {
+
+/// Gradient accumulation is chunked into FIXED-size blocks of examples and
+/// the per-chunk partial sums are combined in chunk order. The chunk
+/// geometry depends only on n, never on the thread count, so the (non-
+/// associative) floating-point sum is bit-identical whether the chunks run
+/// on the pool or inline — the determinism contract of src/parallel applied
+/// to a reduction. Datasets with n <= kGradientChunk take the plain serial
+/// path, which is the historical summation order.
+constexpr std::size_t kGradientChunk = 1024;
+
+void AccumulateGradient(const LossFunction& loss, const Dataset& data, const Vector& theta,
+                        double inv_n, Vector* grad) {
+  const std::size_t n = data.size();
+  if (n <= kGradientChunk) {
+    for (const Example& z : data.examples()) {
+      AxpyInPlace(grad, inv_n, loss.Gradient(theta, z));
+    }
+    return;
+  }
+  const std::size_t num_chunks = (n + kGradientChunk - 1) / kGradientChunk;
+  std::vector<Vector> partials(num_chunks);
+  parallel::ParallelTrialRunner runner;
+  runner.ForIndex(num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kGradientChunk;
+    const std::size_t end = std::min(n, begin + kGradientChunk);
+    Vector partial(theta.size(), 0.0);
+    for (std::size_t i = begin; i < end; ++i) {
+      AxpyInPlace(&partial, inv_n, loss.Gradient(theta, data.at(i)));
+    }
+    partials[c] = std::move(partial);
+  });
+  for (const Vector& partial : partials) AxpyInPlace(grad, 1.0, partial);
+}
+
+}  // namespace
 
 StatusOr<std::size_t> GridErm(const LossFunction& loss, const FiniteHypothesisClass& hclass,
                               const Dataset& data) {
@@ -48,9 +86,7 @@ StatusOr<GradientErmResult> GradientDescentErm(const LossFunction& loss, const D
   for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
     // grad = (1/n) sum_i dl/dtheta + lambda*theta + b/n.
     Vector grad(theta.size(), 0.0);
-    for (const Example& z : data.examples()) {
-      AxpyInPlace(&grad, 1.0 / n, loss.Gradient(theta, z));
-    }
+    AccumulateGradient(loss, data, theta, 1.0 / n, &grad);
     AxpyInPlace(&grad, options.l2_lambda, theta);
     if (!options.linear_perturbation.empty()) {
       AxpyInPlace(&grad, 1.0 / n, options.linear_perturbation);

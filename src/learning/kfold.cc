@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "learning/risk.h"
+#include "parallel/trial_runner.h"
 
 namespace dplearn {
 
@@ -41,10 +42,27 @@ StatusOr<std::vector<double>> CrossValidatedRisks(const LossFunction& loss,
                                                   const Dataset& data, std::size_t k,
                                                   Rng* rng) {
   DPLEARN_ASSIGN_OR_RETURN(std::vector<Fold> folds, MakeFolds(data, k, rng));
+  // Folds are independent read-only evaluations — map them over the pool,
+  // then average in fold order (ordered reduction keeps the floating-point
+  // sum identical at every thread count; the fold layout itself is fixed by
+  // the shuffle above, which consumed *rng on this thread).
+  std::vector<std::vector<double>> fold_risks(folds.size());
+  std::vector<Status> statuses(folds.size());
+  parallel::ParallelTrialRunner runner;
+  runner.ForIndex(folds.size(), [&](std::size_t f) {
+    StatusOr<std::vector<double>> risks =
+        EmpiricalRiskProfile(loss, hclass.thetas(), folds[f].validation);
+    if (risks.ok()) {
+      fold_risks[f] = std::move(risks).value();
+    } else {
+      statuses[f] = risks.status();
+    }
+  });
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
   std::vector<double> mean_risks(hclass.size(), 0.0);
-  for (const Fold& fold : folds) {
-    DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
-                             EmpiricalRiskProfile(loss, hclass.thetas(), fold.validation));
+  for (const std::vector<double>& risks : fold_risks) {
     for (std::size_t i = 0; i < risks.size(); ++i) {
       mean_risks[i] += risks[i] / static_cast<double>(folds.size());
     }

@@ -2,7 +2,18 @@
 
 #include <cmath>
 
+#include "parallel/trial_runner.h"
+
 namespace dplearn {
+namespace {
+
+/// Below this many loss evaluations (|Θ| × n) a risk profile is cheaper to
+/// compute inline than to fan out. Parallelism is per-hypothesis: each
+/// risks[i] is produced by the same serial inner loop as before, so the
+/// profile is bit-identical to the sequential result at any thread count.
+constexpr std::size_t kParallelProfileMinWork = 1 << 14;
+
+}  // namespace
 
 StatusOr<double> EmpiricalRisk(const LossFunction& loss, const Vector& theta,
                                const Dataset& data) {
@@ -18,6 +29,25 @@ StatusOr<std::vector<double>> EmpiricalRiskProfile(const LossFunction& loss,
   if (thetas.empty()) return InvalidArgumentError("EmpiricalRiskProfile: empty hypothesis list");
   if (data.empty()) return InvalidArgumentError("EmpiricalRiskProfile: empty dataset");
   std::vector<double> risks(thetas.size());
+  if (thetas.size() * data.size() >= kParallelProfileMinWork) {
+    // EmpiricalRisk can only fail on an empty dataset, which was rejected
+    // above, so the parallel path needs a status slot per hypothesis only
+    // for defense in depth.
+    std::vector<Status> statuses(thetas.size());
+    parallel::ParallelTrialRunner runner;
+    runner.ForIndex(thetas.size(), [&](std::size_t i) {
+      StatusOr<double> risk = EmpiricalRisk(loss, thetas[i], data);
+      if (risk.ok()) {
+        risks[i] = risk.value();
+      } else {
+        statuses[i] = risk.status();
+      }
+    });
+    for (const Status& status : statuses) {
+      if (!status.ok()) return status;
+    }
+    return risks;
+  }
   for (std::size_t i = 0; i < thetas.size(); ++i) {
     DPLEARN_ASSIGN_OR_RETURN(risks[i], EmpiricalRisk(loss, thetas[i], data));
   }

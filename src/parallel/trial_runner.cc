@@ -1,0 +1,55 @@
+#include "parallel/trial_runner.h"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+
+#include "obs/trace.h"
+
+namespace dplearn {
+namespace parallel {
+
+void ParallelTrialRunner::ForIndex(std::size_t n,
+                                   const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  // Inline when there is no pool, nothing to fan out, or we are already on
+  // a pool worker (a blocked worker waiting on tasks only other workers can
+  // run is a deadlock with one thread and a throughput bug with many).
+  if (pool_ == nullptr || pool_->num_threads() <= 1 || n == 1 ||
+      ThreadPool::OnWorkerThread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  obs::TraceSpan span("pool.batch");
+  // Contiguous chunks, several per worker so stragglers even out. Chunk
+  // geometry affects only scheduling, never results: every index writes its
+  // own slot and reductions happen on the caller's side in index order.
+  const std::size_t chunks = std::min(n, pool_->num_threads() * 4);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = std::min(n, begin + chunk_size);
+    if (begin >= end) break;
+    futures.push_back(pool_->Submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  // Wait for everything before rethrowing: no detached trial may outlive
+  // this call. Chunks are waited in submission (= index) order, so the
+  // surfaced exception is from the lowest-indexed failing chunk.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace parallel
+}  // namespace dplearn

@@ -1,0 +1,168 @@
+#include "parallel/trial_runner.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/thread_pool.h"
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace parallel {
+namespace {
+
+/// A randomized trial body with enough floating-point structure that any
+/// stream mixup or reordering would change the bits of the result.
+double TrialValue(std::size_t t, Rng& rng) {
+  double acc = static_cast<double>(t) * 1e-3;
+  for (int i = 0; i < 50; ++i) {
+    acc += std::exp(-rng.NextDouble()) * std::sin(acc + rng.NextDouble());
+  }
+  return acc;
+}
+
+TEST(ParallelTrialRunnerTest, InlineMatchesSerialLoopExactly) {
+  // The inline runner (null pool) must reproduce a hand-written serial
+  // split-per-trial loop bit for bit.
+  const std::size_t kTrials = 64;
+  Rng serial_rng(99);
+  std::vector<double> expected;
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    Rng trial_rng = serial_rng.Split();
+    expected.push_back(TrialValue(t, trial_rng));
+  }
+
+  Rng base(99);
+  ParallelTrialRunner inline_runner(nullptr);
+  const std::vector<double> got = inline_runner.MapTrials<double>(kTrials, &base, TrialValue);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t t = 0; t < kTrials; ++t) EXPECT_EQ(got[t], expected[t]);
+}
+
+TEST(ParallelTrialRunnerTest, ResultsBitIdenticalAcrossThreadCounts) {
+  // The determinism contract: 1, 2, 3, and 8 workers all produce the exact
+  // bits of the inline run.
+  const std::size_t kTrials = 97;  // deliberately not a multiple of anything
+  Rng base_inline(2024);
+  ParallelTrialRunner inline_runner(nullptr);
+  const std::vector<double> reference =
+      inline_runner.MapTrials<double>(kTrials, &base_inline, TrialValue);
+
+  for (std::size_t workers : {2u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    ParallelTrialRunner runner(&pool);
+    Rng base(2024);
+    const std::vector<double> got = runner.MapTrials<double>(kTrials, &base, TrialValue);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      EXPECT_EQ(got[t], reference[t]) << "trial " << t << " with " << workers << " workers";
+    }
+  }
+}
+
+TEST(ParallelTrialRunnerTest, BaseRngAdvancesAsIfSerial) {
+  // After MapTrials the caller's generator must sit exactly N splits in,
+  // independent of thread count — later experiment stages depend on it.
+  Rng base_a(7);
+  Rng base_b(7);
+  ParallelTrialRunner inline_runner(nullptr);
+  ThreadPool pool(4);
+  ParallelTrialRunner pooled_runner(&pool);
+  inline_runner.MapTrials<double>(31, &base_a, TrialValue);
+  pooled_runner.MapTrials<double>(31, &base_b, TrialValue);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(base_a.NextUint64(), base_b.NextUint64());
+}
+
+TEST(ParallelTrialRunnerTest, MapReduceFoldsInTrialOrder) {
+  // The reduction must consume results in trial order, never completion
+  // order; an order-sensitive accumulator makes any violation visible.
+  ThreadPool pool(8);
+  ParallelTrialRunner runner(&pool);
+  Rng base(1);
+  const std::vector<std::size_t> order = runner.MapReduceTrials<std::size_t>(
+      200, &base, [](std::size_t t, Rng&) { return t; }, std::vector<std::size_t>{},
+      [](std::vector<std::size_t> acc, std::size_t t) {
+        acc.push_back(t);
+        return acc;
+      });
+  ASSERT_EQ(order.size(), 200u);
+  for (std::size_t t = 0; t < order.size(); ++t) EXPECT_EQ(order[t], t);
+}
+
+TEST(ParallelTrialRunnerTest, MapComputesPureBodies) {
+  ThreadPool pool(4);
+  ParallelTrialRunner runner(&pool);
+  const std::vector<int> squares =
+      runner.Map<int>(50, [](std::size_t i) { return static_cast<int>(i * i); });
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelTrialRunnerTest, ExceptionRethrownAfterAllTrialsFinish) {
+  ThreadPool pool(4);
+  ParallelTrialRunner runner(&pool);
+  std::atomic<int> completed{0};
+  // Throw at the last index: every other trial sits in an earlier or equal
+  // chunk position, so all 63 must have completed by the time the rethrow
+  // reaches the caller — no detached work survives the call. (A mid-chunk
+  // throw additionally skips the rest of its own chunk; that part of the
+  // geometry is not contractual.)
+  EXPECT_THROW(
+      runner.ForIndex(64,
+                      [&completed](std::size_t i) {
+                        if (i == 63) throw std::runtime_error("boom");
+                        completed.fetch_add(1);
+                      }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ParallelTrialRunnerTest, SingleTrialRunsOnCallingThread) {
+  ThreadPool pool(4);
+  ParallelTrialRunner runner(&pool);
+  const std::thread::id main_id = std::this_thread::get_id();
+  std::thread::id seen;
+  runner.ForIndex(1, [&seen](std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, main_id);
+}
+
+TEST(ParallelTrialRunnerTest, NestedRunnerExecutesInlineWithoutDeadlock) {
+  // A trial body that itself fans out must run its inner region inline on
+  // the worker; submitting nested work to the same (fully busy) pool could
+  // deadlock. Two workers saturated by four outer chunks make the hazard
+  // real (a 1-thread pool would be inlined by the runner before ever
+  // reaching a worker).
+  ThreadPool pool(2);
+  ParallelTrialRunner outer(&pool);
+  std::vector<int> inner_sums(4, 0);
+  outer.ForIndex(4, [&pool, &inner_sums](std::size_t i) {
+    EXPECT_TRUE(ThreadPool::OnWorkerThread());
+    ParallelTrialRunner inner(&pool);
+    std::vector<int> values(8, 0);
+    inner.ForIndex(8, [&values](std::size_t j) { values[j] = static_cast<int>(j) + 1; });
+    int sum = 0;
+    for (int v : values) sum += v;
+    inner_sums[i] = sum;
+  });
+  for (int sum : inner_sums) EXPECT_EQ(sum, 36);
+}
+
+TEST(ParallelTrialRunnerTest, SplitPerTrialMatchesManualSplits) {
+  Rng base_a(4242);
+  Rng base_b(4242);
+  std::vector<Rng> streams = ParallelTrialRunner::SplitPerTrial(16, &base_a);
+  for (std::size_t t = 0; t < streams.size(); ++t) {
+    Rng manual = base_b.Split();
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(streams[t].NextUint64(), manual.NextUint64());
+  }
+}
+
+}  // namespace
+}  // namespace parallel
+}  // namespace dplearn
