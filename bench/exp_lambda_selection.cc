@@ -119,7 +119,5 @@ void Run() {
 }  // namespace dplearn
 
 int main(int argc, char** argv) {
-  dplearn::bench::ParseFlags(argc, argv);
-  dplearn::Run();
-  return 0;
+  return dplearn::bench::GuardedMain(argc, argv, [] { dplearn::Run(); });
 }

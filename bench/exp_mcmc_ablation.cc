@@ -80,6 +80,9 @@ void Run() {
     double mean_error = 0.0;
     double acceptance_rate = 0.0;
   };
+  // Guarded as one section: the configs run on pool workers, so an injected
+  // fault surfaces out of Map on the main thread and is recorded here.
+  bench::GuardCell("config_sweep", [&] {
   parallel::ParallelTrialRunner runner;
   const std::vector<Row> rows = runner.Map<Row>(num_configs, [&](std::size_t c) {
     const Config& config = configs[c];
@@ -130,13 +133,12 @@ void Run() {
       "      ~0.35) shows the worst TV — exactly the transient the privacy analysis of\n"
       "      an MCMC release must account for. The grid path has no such gap, which is\n"
       "      why the theorem-checking experiments use finite Theta (DESIGN.md §3).\n");
+  });
 }
 
 }  // namespace
 }  // namespace dplearn
 
 int main(int argc, char** argv) {
-  dplearn::bench::ParseFlags(argc, argv);
-  dplearn::Run();
-  return 0;
+  return dplearn::bench::GuardedMain(argc, argv, [] { dplearn::Run(); });
 }

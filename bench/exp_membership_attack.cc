@@ -52,6 +52,10 @@ void Run() {
     double eps = 0.0;
     MembershipAttackResult result;
   };
+  // The sweep runs as one guarded section: cells execute on pool workers, so
+  // an injected fault propagates out of Map (earliest index wins) and is
+  // recorded here on the main thread rather than per-cell.
+  bench::GuardCell("lambda_sweep", [&] {
   parallel::ParallelTrialRunner runner;
   const std::vector<Cell> cells = runner.Map<Cell>(lambdas.size(), [&](std::size_t i) {
     const double lambda = lambdas[i];
@@ -94,13 +98,12 @@ void Run() {
       "      cannot beat the cap — the operational content of Theorem 4.1. At small\n"
       "      lambda the released predictor is near-useless to the attacker AND to the\n"
       "      analyst: the two sides of Theorem 4.2's trade-off.\n");
+  });
 }
 
 }  // namespace
 }  // namespace dplearn
 
 int main(int argc, char** argv) {
-  dplearn::bench::ParseFlags(argc, argv);
-  dplearn::Run();
-  return 0;
+  return dplearn::bench::GuardedMain(argc, argv, [] { dplearn::Run(); });
 }

@@ -50,6 +50,12 @@ void Run() {
   bool bounded = true;
   double previous_mi = -1.0;
   for (double lambda : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    // Guarded cell: an injected fault records a failure for this lambda and
+    // the sweep moves on (ParallelTrialRunner rethrows worker faults here,
+    // on the main thread, so the guard sees them too).
+    char cell[48];
+    std::snprintf(cell, sizeof cell, "binary_lambda%.1f", lambda);
+    bench::GuardCell(cell, [&] {
     auto channel = bench::Unwrap(
         BuildBernoulliGibbsChannel(task, n, loss, hclass, hclass.UniformPrior(), lambda),
         "channel");
@@ -111,6 +117,7 @@ void Run() {
     char key[48];
     std::snprintf(key, sizeof key, "sampled_mi_lambda%.1f", lambda);
     bench::RecordScalar(key, sampled_mi);
+    });
   }
 
   // Beyond-Bernoulli: the same channel construction on a TERNARY example
@@ -125,6 +132,9 @@ void Run() {
   bool ternary_monotone = true;
   double ternary_previous = -1.0;
   for (double lambda : {0.5, 2.0, 8.0, 32.0}) {
+    char cell[48];
+    std::snprintf(cell, sizeof cell, "ternary_lambda%.1f", lambda);
+    bench::GuardCell(cell, [&] {
     auto tchannel = bench::Unwrap(
         BuildFiniteDomainGibbsChannel(ternary, ternary_probs, 8, loss, hclass,
                                       hclass.UniformPrior(), lambda),
@@ -136,6 +146,7 @@ void Run() {
     std::printf("%8.1f %14.6f %12.6f %12zu\n", lambda,
                 FiniteDomainChannelPrivacyLevel(tchannel), tmi,
                 tchannel.channel.num_inputs());
+    });
   }
 
   bench::PrintSection("verdicts");
@@ -152,7 +163,5 @@ void Run() {
 }  // namespace dplearn
 
 int main(int argc, char** argv) {
-  dplearn::bench::ParseFlags(argc, argv);
-  dplearn::Run();
-  return 0;
+  return dplearn::bench::GuardedMain(argc, argv, [] { dplearn::Run(); });
 }

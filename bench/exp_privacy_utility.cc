@@ -52,6 +52,11 @@ void PartAMeanEstimation() {
 
   for (std::size_t n : {30u, 100u, 300u}) {
     for (double eps : {0.1, 0.5, 2.0}) {
+      // Each (n, eps) cell is guarded: an injected fault inside it becomes a
+      // structured failure record and the sweep moves to the next cell.
+      char cell[64];
+      std::snprintf(cell, sizeof cell, "parta_n%zu_eps%.2f", n, eps);
+      bench::GuardCell(cell, [&] {
       // Gibbs: lambda calibrated so the Theorem 4.1 guarantee equals eps.
       const double lambda = eps * static_cast<double>(n) / 2.0;
       auto channel = bench::Unwrap(
@@ -123,6 +128,7 @@ void PartAMeanEstimation() {
       char key[64];
       std::snprintf(key, sizeof key, "parta_laplace_excess_n%zu_eps%.2f", n, eps);
       bench::RecordScalar(key, sums.laplace / trials - bayes);
+      });
     }
   }
 }
@@ -160,6 +166,9 @@ void PartBClassification() {
 
   Rng rng(808);
   for (double eps : {0.1, 0.5, 2.0, 8.0}) {
+    char cell[64];
+    std::snprintf(cell, sizeof cell, "partb_eps%.2f", eps);
+    bench::GuardCell(cell, [&] {
     // DP-SGD configuration targeting this eps (sigma via binary search;
     // the * marks the q^2 leading-order amplification heuristic).
     DpSgdOptions sgd;
@@ -233,6 +242,7 @@ void PartBClassification() {
     char key[64];
     std::snprintf(key, sizeof key, "partb_gibbs_risk_eps%.2f", eps);
     bench::RecordScalar(key, sums.gibbs / static_cast<double>(trials));
+    });
   }
   std::printf(
       "\nexpected shape: every private learner's risk falls toward the non-private floor\n"
@@ -251,7 +261,5 @@ void Run() {
 }  // namespace dplearn
 
 int main(int argc, char** argv) {
-  dplearn::bench::ParseFlags(argc, argv);
-  dplearn::Run();
-  return 0;
+  return dplearn::bench::GuardedMain(argc, argv, [] { dplearn::Run(); });
 }

@@ -7,8 +7,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <filesystem>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,6 +22,8 @@
 #include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 #include "parallel/trial_runner.h"
+#include "robustness/failpoint.h"
+#include "robustness/retry.h"
 #include "sampling/rng.h"
 #include "util/status.h"
 
@@ -45,6 +49,26 @@ namespace bench {
 
 inline bool SmokeMode();  // defined below; used by the record writer
 
+/// Thrown (and caught by GuardCell / GuardedMain) when Unwrap or Check sees
+/// a Status produced by robustness::Inject — an injected chaos fault, not a
+/// real bug. Real errors still abort: the distinction is what lets the
+/// failpoint-chaos CI job assert "sweeps complete with failure records"
+/// while genuine failures keep failing loudly.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  FaultInjectedError(std::string what_arg, Status status)
+      : std::runtime_error(what_arg + ": " + status.ToString()),
+        context_(std::move(what_arg)),
+        status_(std::move(status)) {}
+
+  const std::string& context() const { return context_; }
+  const Status& status() const { return status_; }
+
+ private:
+  std::string context_;
+  Status status_;
+};
+
 namespace internal {
 
 struct SectionRecord {
@@ -62,6 +86,13 @@ struct ScalarRecord {
   double value = 0.0;
 };
 
+/// One grid cell (or whole section) abandoned because a fail point fired.
+struct FailureRecord {
+  std::string cell;     // caller-supplied label, e.g. "parta:n=30,eps=0.10"
+  std::string context;  // the Unwrap/Check site that saw the fault
+  std::string status;   // the injected Status, rendered
+};
+
 struct ExperimentState {
   bool initialized = false;
   std::string id;
@@ -76,6 +107,7 @@ struct ExperimentState {
   std::vector<SectionRecord> sections;
   std::vector<VerdictRecord> verdicts;
   std::vector<ScalarRecord> scalars;
+  std::vector<FailureRecord> failures;
   std::unique_ptr<obs::JsonlFileSink> event_sink;
 };
 
@@ -157,6 +189,21 @@ inline void WriteRecord() {
   // different "threads" values.
   w.Key("threads").Value(static_cast<std::uint64_t>(parallel::DefaultThreadCount()));
   w.Key("smoke").Value(SmokeMode());
+  // Chaos provenance: the armed fail-point configuration (empty string when
+  // none) and every cell abandoned to an injected fault. A record with
+  // failures and all_pass=true means the sweep degraded gracefully — the
+  // failpoint-chaos CI job asserts exactly this shape.
+  w.Key("failpoints").Value(robustness::FailPointRegistry::Global().ConfigString());
+  w.Key("failures").BeginArray();
+  for (const FailureRecord& f : state.failures) {
+    w.BeginObject()
+        .Key("cell").Value(f.cell)
+        .Key("context").Value(f.context)
+        .Key("status").Value(f.status)
+        .EndObject();
+  }
+  w.EndArray();
+  w.Key("failure_count").Value(static_cast<std::uint64_t>(state.failures.size()));
   w.Key("sections").BeginArray();
   for (const SectionRecord& s : state.sections) {
     w.BeginObject().Key("title").Value(s.title).Key("seconds").Value(s.seconds).EndObject();
@@ -179,10 +226,22 @@ inline void WriteRecord() {
   w.Key("metrics").Raw(obs::GlobalMetrics().ExportJson());
   w.EndObject();
 
+  // The record is the experiment's one durable artifact, so its write gets
+  // the same retry treatment as the event sink (fail point: record.write).
   const std::string path = state.results_dir + "/" + state.slug + ".json";
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+  std::FILE* file = nullptr;
+  robustness::RetryPolicy retry;
+  const Status open_status = retry.Run([&file, &path] {
+    DPLEARN_RETURN_IF_ERROR(robustness::Inject("record.write"));
+    file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      return UnavailableError("cannot open record file");
+    }
+    return Status::Ok();
+  });
+  if (!open_status.ok()) {
+    std::fprintf(stderr, "warning: cannot write %s: %s\n", path.c_str(),
+                 open_status.ToString().c_str());
     return;
   }
   std::fwrite(w.str().data(), 1, w.str().size(), file);
@@ -310,11 +369,18 @@ inline void PrintSection(const std::string& title) {
   state.section_start = std::chrono::steady_clock::now();
 }
 
-/// Unwraps a StatusOr in experiment code, aborting with a message on error.
-/// Experiments are straight-line programs; an error here is a bug.
+/// Unwraps a StatusOr in experiment code. A *real* error aborts with a
+/// message — experiments are straight-line programs, so it is a bug. An
+/// *injected* fault (robustness::Inject) instead throws FaultInjectedError,
+/// which GuardCell / GuardedMain convert into a structured failure record so
+/// the sweep continues — the crash-vs-degrade distinction the chaos CI job
+/// is built on.
 template <typename T>
 T Unwrap(StatusOr<T> value, const char* what) {
   if (!value.ok()) {
+    if (robustness::IsInjectedFault(value.status())) {
+      throw FaultInjectedError(what, value.status());
+    }
     std::fprintf(stderr, "FATAL in %s: %s\n", what, value.status().ToString().c_str());
     std::abort();
   }
@@ -323,9 +389,76 @@ T Unwrap(StatusOr<T> value, const char* what) {
 
 inline void Check(const Status& status, const char* what) {
   if (!status.ok()) {
+    if (robustness::IsInjectedFault(status)) {
+      throw FaultInjectedError(what, status);
+    }
     std::fprintf(stderr, "FATAL in %s: %s\n", what, status.ToString().c_str());
     std::abort();
   }
+}
+
+/// Appends a structured failure record (and a "failure" event on the sinks)
+/// for a grid cell abandoned to an injected fault.
+inline void RecordFailure(const std::string& cell, const std::string& context,
+                          const Status& status) {
+  internal::ExperimentState& state = internal::State();
+  if (state.initialized) {
+    state.failures.push_back({cell, context, status.ToString()});
+  }
+  if (obs::HasGlobalSinks()) {
+    obs::Event event;
+    event.type = "failure";
+    event.name = cell;
+    event.With("context", obs::EventValue::Str(context))
+        .With("status", obs::EventValue::Str(status.ToString()));
+    obs::EmitEvent(event);
+  }
+  std::printf("[FAULT] cell '%s' abandoned (%s: %s)\n", cell.c_str(), context.c_str(),
+              status.ToString().c_str());
+}
+
+/// Runs one grid cell under fault isolation: returns true when `body`
+/// completed, false when an injected fault (from any depth — mechanism
+/// sample, accountant spend, a trial on the pool) unwound it, in which case
+/// the failure is recorded and the caller moves to the next cell. Real
+/// errors are not caught; they abort inside Unwrap/Check as before.
+template <typename Body>
+bool GuardCell(const std::string& cell, Body&& body) {
+  try {
+    body();
+    return true;
+  } catch (const FaultInjectedError& fault) {
+    RecordFailure(cell, fault.context(), fault.status());
+    return false;
+  } catch (const std::runtime_error& error) {
+    // The thread-pool `pool.task` hook cannot return Status, so it throws a
+    // runtime_error carrying the injected-fault prefix; anything else is a
+    // real bug and keeps propagating.
+    if (!robustness::IsInjectedFaultMessage(error.what())) throw;
+    RecordFailure(cell, "pool.task", UnavailableError(error.what()));
+    return false;
+  }
+}
+
+/// The shared main() wrapper: parses flags, runs the experiment, and turns
+/// an injected fault that escapes every GuardCell into a final failure
+/// record plus a clean exit — with fail points armed, a chaos run must end
+/// with "record written, exit 0", never a crash. The atexit record writer
+/// still runs on this path.
+template <typename RunFn>
+int GuardedMain(int argc, char** argv, RunFn&& run) {
+  ParseFlags(argc, argv);
+  try {
+    run();
+  } catch (const FaultInjectedError& fault) {
+    RecordFailure("main", fault.context(), fault.status());
+    std::printf("\nexperiment interrupted by injected fault; record still written\n");
+  } catch (const std::runtime_error& error) {
+    if (!robustness::IsInjectedFaultMessage(error.what())) throw;
+    RecordFailure("main", "pool.task", UnavailableError(error.what()));
+    std::printf("\nexperiment interrupted by injected fault; record still written\n");
+  }
+  return 0;
 }
 
 /// Prints PASS/FAIL with a claim description; experiments end with a

@@ -133,7 +133,19 @@ StatusOr<double> PluginMiFromSamples(const std::vector<std::size_t>& xs,
   }
   double mi = 0.0;
   for (const auto& [key, p] : pxy) {
-    mi += p * std::log(p / (px[key.first] * py[key.second]));
+    // Zero-cell handling must agree with the dense path
+    // (JointDistribution::MutualInformation): cells with no joint mass
+    // contribute 0, and the log-difference form never divides by the
+    // product px*py, which can underflow to zero even when each marginal
+    // is positive.
+    if (p <= 0.0) continue;
+    const auto mx = px.find(key.first);
+    const auto my = py.find(key.second);
+    if (mx == px.end() || my == py.end() || mx->second <= 0.0 || my->second <= 0.0) {
+      return InternalError(
+          "PluginMiFromSamples: joint cell has mass but a marginal is zero");
+    }
+    mi += p * (std::log(p) - std::log(mx->second) - std::log(my->second));
   }
   return std::max(0.0, mi);
 }

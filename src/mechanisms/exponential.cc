@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/audit_log.h"
+#include "robustness/failpoint.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -81,6 +82,7 @@ StatusOr<std::vector<double>> ExponentialMechanism::OutputDistribution(
 }
 
 StatusOr<std::size_t> ExponentialMechanism::Sample(const Dataset& data, Rng* rng) const {
+  DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
   obs::TraceSpan span("mechanism.exponential.sample");
   if (obs::MetricsEnabled()) {
     static obs::Counter* const samples =
@@ -114,6 +116,7 @@ StatusOr<ReportNoisyMax> ReportNoisyMax::Create(QualityFn quality, std::size_t n
 }
 
 StatusOr<std::size_t> ReportNoisyMax::Sample(const Dataset& data, Rng* rng) const {
+  DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
   if (obs::MetricsEnabled()) {
     static obs::Counter* const samples =
         obs::GlobalMetrics().GetCounter("mechanism.report_noisy_max.samples");

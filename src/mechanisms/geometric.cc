@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "robustness/failpoint.h"
+
 namespace dplearn {
 
 StatusOr<std::int64_t> SampleTwoSidedGeometric(Rng* rng, double alpha) {
@@ -40,6 +42,7 @@ StatusOr<GeometricMechanism> GeometricMechanism::Create(SensitiveQuery query,
 }
 
 StatusOr<std::int64_t> GeometricMechanism::Release(const Dataset& data, Rng* rng) const {
+  DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
   const double true_value = query_.query(data);
   if (std::floor(true_value) != true_value) {
     return FailedPreconditionError("GeometricMechanism: query returned a non-integer");

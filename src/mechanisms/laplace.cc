@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/audit_log.h"
+#include "robustness/failpoint.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
 #include "sampling/distributions.h"
@@ -22,6 +23,7 @@ StatusOr<LaplaceMechanism> LaplaceMechanism::Create(SensitiveQuery query, double
 }
 
 StatusOr<double> LaplaceMechanism::Release(const Dataset& data, Rng* rng) const {
+  DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
   if (obs::MetricsEnabled()) {
     static obs::Counter* const releases =
         obs::GlobalMetrics().GetCounter("mechanism.laplace.releases");
@@ -58,6 +60,7 @@ StatusOr<GaussianMechanism> GaussianMechanism::Create(SensitiveQuery query,
 }
 
 StatusOr<double> GaussianMechanism::Release(const Dataset& data, Rng* rng) const {
+  DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
   if (obs::MetricsEnabled()) {
     static obs::Counter* const releases =
         obs::GlobalMetrics().GetCounter("mechanism.gaussian.releases");
@@ -80,6 +83,7 @@ StatusOr<RandomizedResponse> RandomizedResponse::Create(double epsilon) {
 }
 
 StatusOr<int> RandomizedResponse::Release(int true_bit, Rng* rng) const {
+  DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
   if (true_bit != 0 && true_bit != 1) {
     return InvalidArgumentError("RandomizedResponse: bit must be 0 or 1");
   }

@@ -6,6 +6,7 @@
 #include "obs/audit_log.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
+#include "robustness/failpoint.h"
 #include "util/logging.h"
 
 namespace dplearn {
@@ -24,13 +25,16 @@ StatusOr<PrivacyBudget> SequentialComposition(const std::vector<PrivacyBudget>& 
   if (budgets.empty()) {
     return InvalidArgumentError("SequentialComposition: empty budget list");
   }
-  PrivacyBudget total{0.0, 0.0};
+  // Compensated sums: composing many small per-query budgets must not
+  // drift the reported total guarantee.
+  KahanSum epsilon;
+  KahanSum delta;
   for (const PrivacyBudget& b : budgets) {
     DPLEARN_RETURN_IF_ERROR(ValidateBudget(b));
-    total.epsilon += b.epsilon;
-    total.delta += b.delta;
+    epsilon.Add(b.epsilon);
+    delta.Add(b.delta);
   }
-  return total;
+  return PrivacyBudget{epsilon.Value(), delta.Value()};
 }
 
 StatusOr<PrivacyBudget> ParallelComposition(const std::vector<PrivacyBudget>& budgets) {
@@ -78,9 +82,13 @@ StatusOr<PrivacyAccountant> PrivacyAccountant::Create(PrivacyBudget total) {
 }
 
 Status PrivacyAccountant::Spend(const PrivacyBudget& cost, std::string_view mechanism) {
+  // The chaos hook fires before validation and mutation: an injected
+  // accountant outage must leave the ledger exactly as it was.
+  DPLEARN_RETURN_IF_ERROR(robustness::Inject("budget.spend"));
   DPLEARN_RETURN_IF_ERROR(ValidateBudget(cost));
-  const bool granted = !(spent_.epsilon + cost.epsilon > total_.epsilon ||
-                         spent_.delta + cost.delta > total_.delta + 1e-15);
+  const PrivacyBudget current = spent();
+  const bool granted = !(current.epsilon + cost.epsilon > total_.epsilon ||
+                         current.delta + cost.delta > total_.delta + 1e-15);
   obs::BudgetAuditLog* log = audit_log_;
   if (log == nullptr && obs::AuditEnabled()) log = &obs::GlobalAuditLog();
   if (log != nullptr) log->Record(mechanism, cost.epsilon, cost.delta, granted);
@@ -94,18 +102,19 @@ Status PrivacyAccountant::Spend(const PrivacyBudget& cost, std::string_view mech
   if (!granted) {
     DPLEARN_LOG(WARN) << "PrivacyAccountant: denied spend of (" << cost.epsilon << ", "
                       << cost.delta << ") by '" << mechanism << "'; spent ("
-                      << spent_.epsilon << ", " << spent_.delta << ") of ("
+                      << current.epsilon << ", " << current.delta << ") of ("
                       << total_.epsilon << ", " << total_.delta << ")";
     return FailedPreconditionError("PrivacyAccountant: spend would exceed total budget");
   }
-  spent_.epsilon += cost.epsilon;
-  spent_.delta += cost.delta;
+  spent_epsilon_.Add(cost.epsilon);
+  spent_delta_.Add(cost.delta);
   return Status::Ok();
 }
 
 PrivacyBudget PrivacyAccountant::Remaining() const {
-  return PrivacyBudget{std::max(0.0, total_.epsilon - spent_.epsilon),
-                       std::max(0.0, total_.delta - spent_.delta)};
+  const PrivacyBudget current = spent();
+  return PrivacyBudget{std::max(0.0, total_.epsilon - current.epsilon),
+                       std::max(0.0, total_.delta - current.delta)};
 }
 
 }  // namespace dplearn

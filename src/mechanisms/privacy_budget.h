@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/math_util.h"
 #include "util/status.h"
 
 namespace dplearn {
@@ -62,6 +63,12 @@ class PrivacyAccountant {
   /// spend — granted or denied-over-budget — is appended to the audit log
   /// (see set_audit_log) under `mechanism`; invalid budgets are rejected
   /// before reaching the ledger.
+  ///
+  /// Accumulation is Kahan-compensated, so millions of small spends do not
+  /// drift the ledger: the running total stays within one ulp of the exact
+  /// sum and BudgetAuditLog::ReplayVerify reconciles against it. Chaos
+  /// hook: fail point `budget.spend` fails the call (UNAVAILABLE) before
+  /// any state or audit mutation.
   Status Spend(const PrivacyBudget& cost, std::string_view mechanism);
   Status Spend(const PrivacyBudget& cost) { return Spend(cost, "accountant"); }
 
@@ -70,7 +77,9 @@ class PrivacyAccountant {
   /// `log` must outlive the accountant; nullptr restores the default.
   void set_audit_log(obs::BudgetAuditLog* log) { audit_log_ = log; }
 
-  PrivacyBudget spent() const { return spent_; }
+  PrivacyBudget spent() const {
+    return PrivacyBudget{spent_epsilon_.Value(), spent_delta_.Value()};
+  }
   PrivacyBudget total() const { return total_; }
 
   /// Remaining budget (total - spent), clamped at zero.
@@ -80,7 +89,8 @@ class PrivacyAccountant {
   explicit PrivacyAccountant(PrivacyBudget total) : total_(total) {}
 
   PrivacyBudget total_;
-  PrivacyBudget spent_{0.0, 0.0};
+  KahanSum spent_epsilon_;
+  KahanSum spent_delta_;
   obs::BudgetAuditLog* audit_log_ = nullptr;  // not owned
 };
 

@@ -19,11 +19,11 @@ void BudgetAuditLog::Record(std::string_view mechanism, double epsilon, double d
     entry.delta = delta;
     entry.granted = granted;
     if (granted) {
-      cumulative_epsilon_ += epsilon;
-      cumulative_delta_ += delta;
+      cumulative_epsilon_.Add(epsilon);
+      cumulative_delta_.Add(delta);
     }
-    entry.cumulative_epsilon = cumulative_epsilon_;
-    entry.cumulative_delta = cumulative_delta_;
+    entry.cumulative_epsilon = cumulative_epsilon_.Value();
+    entry.cumulative_delta = cumulative_delta_.Value();
     entries_.push_back(entry);
   }
   if (HasGlobalSinks()) {
@@ -53,35 +53,38 @@ std::size_t BudgetAuditLog::size() const {
 void BudgetAuditLog::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
-  cumulative_epsilon_ = 0.0;
-  cumulative_delta_ = 0.0;
+  cumulative_epsilon_.Reset();
+  cumulative_delta_.Reset();
 }
 
 double BudgetAuditLog::cumulative_epsilon() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return cumulative_epsilon_;
+  return cumulative_epsilon_.Value();
 }
 
 double BudgetAuditLog::cumulative_delta() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return cumulative_delta_;
+  return cumulative_delta_.Value();
 }
 
 Status BudgetAuditLog::ReplayVerify() const {
   const std::vector<BudgetAuditEntry> entries = Entries();
-  double eps = 0.0;
-  double delta = 0.0;
+  // Replay with the same compensated summation Record uses: the stored and
+  // replayed cumulatives then agree bit-for-bit, and the 1e-9 tolerance
+  // only absorbs entries written by older (uncompensated) recorders.
+  KahanSum eps;
+  KahanSum delta;
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const BudgetAuditEntry& entry = entries[i];
     if (entry.sequence != i) {
       return InternalError("BudgetAuditLog: sequence gap at entry " + std::to_string(i));
     }
     if (entry.granted) {
-      eps += entry.epsilon;
-      delta += entry.delta;
+      eps.Add(entry.epsilon);
+      delta.Add(entry.delta);
     }
-    if (std::fabs(entry.cumulative_epsilon - eps) > 1e-9 ||
-        std::fabs(entry.cumulative_delta - delta) > 1e-9) {
+    if (std::fabs(entry.cumulative_epsilon - eps.Value()) > 1e-9 ||
+        std::fabs(entry.cumulative_delta - delta.Value()) > 1e-9) {
       return InternalError("BudgetAuditLog: cumulative mismatch at entry " +
                            std::to_string(i) + " (mechanism '" + entry.mechanism + "')");
     }

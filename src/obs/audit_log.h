@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/config.h"
+#include "util/math_util.h"
 #include "util/status.h"
 
 namespace dplearn {
@@ -56,8 +57,10 @@ class BudgetAuditLog {
 
   /// Replays the ledger: sequence numbers must be 0..n-1 and every entry's
   /// stored cumulative totals must equal the running sequential-composition
-  /// sums of the granted spends (to 1e-9 absolute). Returns InternalError
-  /// naming the first inconsistent entry otherwise.
+  /// sums of the granted spends (to 1e-9 absolute). Both the recorder and
+  /// the replay use Kahan-compensated summation, so the check stays exact
+  /// even over millions of small spends. Returns InternalError naming the
+  /// first inconsistent entry otherwise.
   Status ReplayVerify() const;
 
   /// The trail as a JSON array (one object per entry, schema as in
@@ -67,8 +70,8 @@ class BudgetAuditLog {
  private:
   mutable std::mutex mu_;
   std::vector<BudgetAuditEntry> entries_;
-  double cumulative_epsilon_ = 0.0;
-  double cumulative_delta_ = 0.0;
+  KahanSum cumulative_epsilon_;
+  KahanSum cumulative_delta_;
 };
 
 /// The ledger library instrumentation writes to (when AuditEnabled()).

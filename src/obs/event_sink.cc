@@ -2,7 +2,12 @@
 
 #include <atomic>
 
+#include "obs/config.h"
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "robustness/failpoint.h"
+#include "robustness/retry.h"
+#include "util/logging.h"
 
 namespace dplearn {
 namespace obs {
@@ -46,10 +51,17 @@ void InMemorySink::Clear() {
 }
 
 StatusOr<std::unique_ptr<JsonlFileSink>> JsonlFileSink::Open(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "a");
-  if (file == nullptr) {
-    return InternalError("JsonlFileSink: cannot open '" + path + "'");
-  }
+  std::FILE* file = nullptr;
+  robustness::RetryPolicy retry;
+  const Status status = retry.Run([&file, &path] {
+    DPLEARN_RETURN_IF_ERROR(robustness::Inject("sink.open"));
+    file = std::fopen(path.c_str(), "a");
+    if (file == nullptr) {
+      return UnavailableError("JsonlFileSink: cannot open '" + path + "'");
+    }
+    return Status::Ok();
+  });
+  if (!status.ok()) return status;
   return std::unique_ptr<JsonlFileSink>(new JsonlFileSink(file, path));
 }
 
@@ -58,12 +70,35 @@ JsonlFileSink::~JsonlFileSink() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+Status JsonlFileSink::WriteLineLocked(const std::string& line) {
+  DPLEARN_RETURN_IF_ERROR(robustness::Inject("sink.write"));
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF) {
+    std::clearerr(file_);
+    return UnavailableError("JsonlFileSink: write failed for '" + path_ + "'");
+  }
+  std::fflush(file_);
+  return Status::Ok();
+}
+
 void JsonlFileSink::Emit(const Event& event) {
   const std::string line = event.ToJsonLine();
   std::lock_guard<std::mutex> lock(mu_);
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
-  std::fflush(file_);
+  robustness::RetryPolicy retry;
+  const Status status =
+      retry.Run([this, &line] { return WriteLineLocked(line); });
+  if (!status.ok()) {
+    // Drop-and-count: a dead sink must not take the pipeline down. A real
+    // short write may have left a partial line; JSONL readers skip it, the
+    // same way they skip the tail of a crashed process.
+    dropped_events_.fetch_add(1, std::memory_order_relaxed);
+    if (MetricsEnabled()) {
+      static Counter* const dropped = GlobalMetrics().GetCounter("sink.dropped_events");
+      dropped->Increment();
+    }
+    DPLEARN_LOG(WARN) << "JsonlFileSink: dropped event after " << retry.last_attempts()
+                      << " attempts: " << status;
+  }
 }
 
 void JsonlFileSink::Flush() {

@@ -1,6 +1,7 @@
 #ifndef DPLEARN_OBS_EVENT_SINK_H_
 #define DPLEARN_OBS_EVENT_SINK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -94,10 +95,18 @@ class InMemorySink final : public EventSink {
 /// Appends one JSON object per line (JSONL) to a file. Lines are written
 /// atomically under a mutex and flushed per event, so a crashed process
 /// leaves a readable prefix.
+///
+/// Writes are hardened: a failed write (a real I/O error, or the
+/// `sink.write` fail point) is retried under a bounded-backoff RetryPolicy;
+/// when retries are exhausted the event is dropped and counted
+/// (dropped_events(), metric `sink.dropped_events`) instead of crashing or
+/// blocking the experiment — observability must never take down the
+/// pipeline it observes.
 class JsonlFileSink final : public EventSink {
  public:
-  /// Opens `path` for appending (creating it if needed). Error if the file
-  /// cannot be opened.
+  /// Opens `path` for appending (creating it if needed). The open itself is
+  /// retried (fail point `sink.open`). Error if the file cannot be opened
+  /// after retries.
   static StatusOr<std::unique_ptr<JsonlFileSink>> Open(const std::string& path);
   ~JsonlFileSink() override;
 
@@ -105,13 +114,23 @@ class JsonlFileSink final : public EventSink {
   void Flush();
   const std::string& path() const { return path_; }
 
+  /// Events abandoned after exhausting write retries.
+  std::uint64_t dropped_events() const {
+    return dropped_events_.load(std::memory_order_relaxed);
+  }
+
  private:
   JsonlFileSink(std::FILE* file, std::string path)
       : file_(file), path_(std::move(path)) {}
 
+  /// One write attempt; UNAVAILABLE on injected or real write failure.
+  /// Caller holds mu_.
+  Status WriteLineLocked(const std::string& line);
+
   std::mutex mu_;
   std::FILE* file_;
   std::string path_;
+  std::atomic<std::uint64_t> dropped_events_{0};
 };
 
 /// Global sink fan-out. Sinks are borrowed, not owned: the caller keeps the

@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "obs/config.h"
 #include "obs/metrics.h"
+#include "robustness/failpoint.h"
 
 namespace dplearn {
 namespace parallel {
@@ -33,6 +35,19 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  // Chaos hook: `pool.task` makes the task throw on the worker before its
+  // body runs; the exception is captured into the future like any task
+  // failure, which is exactly the propagation path being exercised. The
+  // fail point is evaluated at run time (not submit time) so cancellation
+  // and ordering behave like a real mid-flight task failure.
+  if (robustness::FailPointsEnabled()) {
+    task = [inner = std::move(task)] {
+      if (robustness::ShouldFail("pool.task")) {
+        throw std::runtime_error("injected fault at 'pool.task'");
+      }
+      inner();
+    };
+  }
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {

@@ -1,5 +1,6 @@
 #include "sampling/rng.h"
 
+#include "robustness/failpoint.h"
 #include "util/logging.h"
 
 namespace dplearn {
@@ -28,6 +29,12 @@ Rng::Rng(std::uint64_t seed) {
 }
 
 std::uint64_t Rng::NextUint64() {
+  // Chaos hook: `rng.degenerate` forces all-zero output bits so downstream
+  // samplers prove they cannot emit NaN/inf on degenerate uniforms. The
+  // state still advances, so rejection samplers (e.g. NextBounded) make
+  // progress under every:N / prob:p triggers; `always` starves them by
+  // design. Disarmed, the hook is one relaxed load.
+  const bool degenerate = robustness::ShouldFail("rng.degenerate");
   const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];
@@ -36,7 +43,7 @@ std::uint64_t Rng::NextUint64() {
   s_[0] ^= s_[3];
   s_[2] ^= t;
   s_[3] = Rotl(s_[3], 45);
-  return result;
+  return degenerate ? 0 : result;
 }
 
 double Rng::NextDouble() {

@@ -10,10 +10,18 @@ namespace dplearn {
 
 double LogSumExp(const std::vector<double>& x) {
   if (x.empty()) return -std::numeric_limits<double>::infinity();
-  const double m = *std::max_element(x.begin(), x.end());
-  if (!std::isfinite(m)) return m;  // all -inf, or contains +inf/NaN
+  // Max by explicit scan: max_element's comparator gives an arbitrary
+  // answer when NaN is present, and NaN must propagate, not vanish.
+  double m = -std::numeric_limits<double>::infinity();
+  for (const double v : x) {
+    if (std::isnan(v)) return v;
+    if (v > m) m = v;
+  }
+  // all -inf -> log of a zero sum; any +inf dominates. A single finite
+  // element returns exactly that element (exp(0) == 1, log(1) == 0).
+  if (!std::isfinite(m)) return m;
   double sum = 0.0;
-  for (double v : x) sum += std::exp(v - m);
+  for (const double v : x) sum += std::exp(v - m);
   return m + std::log(sum);
 }
 

@@ -15,8 +15,17 @@ namespace dplearn {
 /// Natural log of 2; entropy functions convert nats->bits with this.
 inline constexpr double kLn2 = 0.6931471805599453;
 
-/// Returns log(sum_i exp(x[i])) computed stably (shift by max). Returns
-/// -infinity for an empty input.
+/// Returns log(sum_i exp(x[i])) computed stably (shift by max).
+///
+/// Edge cases are defined — the Gibbs-posterior and PAC-Bayes paths call
+/// this on filtered log-term vectors that can legitimately be empty or
+/// entirely -inf (zero-mass priors), so each corner returns the
+/// mathematically consistent limit rather than NaN:
+///   empty input        -> -inf   (log of an empty sum)
+///   all entries -inf   -> -inf   (log of a zero sum)
+///   single element x0  -> exactly x0 (exp/log round-trip is exact at 0)
+///   any entry +inf     -> +inf
+///   any entry NaN      -> NaN    (propagated, never silently dropped)
 double LogSumExp(const std::vector<double>& x);
 
 /// Returns log(exp(a) + exp(b)) computed stably.
@@ -38,6 +47,40 @@ double Clamp(double x, double lo, double hi);
 
 /// Returns true iff |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
 bool ApproxEqual(double a, double b, double abs_tol = 1e-9, double rel_tol = 1e-9);
+
+/// Compensated (Kahan–Babuška–Neumaier) accumulator: the running error of
+/// each addition is carried in a correction term, so summing n values costs
+/// O(u) error instead of O(n·u). Used wherever many small increments must
+/// not drift — the privacy accountant's spent-budget ledger, the audit
+/// log's cumulative totals, sequential composition over long spend lists.
+class KahanSum {
+ public:
+  KahanSum() = default;
+  explicit KahanSum(double initial) : sum_(initial) {}
+
+  void Add(double x) {
+    const double t = sum_ + x;
+    // Neumaier's branch keeps the correction valid when |x| > |sum_|.
+    if ((sum_ >= 0 ? sum_ : -sum_) >= (x >= 0 ? x : -x)) {
+      c_ += (sum_ - t) + x;
+    } else {
+      c_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  /// The compensated total.
+  double Value() const { return sum_ + c_; }
+
+  void Reset(double value = 0.0) {
+    sum_ = value;
+    c_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double c_ = 0.0;
+};
 
 /// Returns the mean of `x`. Error if empty.
 StatusOr<double> Mean(const std::vector<double>& x);

@@ -20,6 +20,9 @@ enum class StatusCode {
   kNotFound = 4,
   kInternal = 5,
   kUnimplemented = 6,
+  /// A transient failure (sink write, file I/O, injected fault) that a
+  /// RetryPolicy may retry; see src/robustness and DESIGN.md §9.
+  kUnavailable = 7,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -72,6 +75,7 @@ Status FailedPreconditionError(std::string message);
 Status NotFoundError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
+Status UnavailableError(std::string message);
 
 /// A value-or-error result. Accessing the value of a non-OK StatusOr aborts
 /// the process (programming error), mirroring absl::StatusOr semantics.

@@ -105,6 +105,29 @@ TEST(BernoulliKlTest, MatchesVectorKl) {
               KlDivergence({p, 1.0 - p}, {q, 1.0 - q}).value(), 1e-12);
 }
 
+TEST(CrossEntropyTest, InfiniteWhenQIsZeroOnPSupport) {
+  // p puts mass where q puts none: H(p, q) = +inf, the defined limit of
+  // -p log q, not a domain error and not a crash.
+  auto h = CrossEntropy({0.5, 0.5}, {1.0, 0.0});
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(std::isinf(h.value()));
+  EXPECT_GT(h.value(), 0.0);
+}
+
+TEST(CrossEntropyTest, ZeroPTermsContributeNothing) {
+  // 0 * log(0) terms are skipped: a shared zero cell must not poison the
+  // sum, so the answer equals the cross-entropy of the restricted supports.
+  auto h = CrossEntropy({0.0, 1.0}, {0.0, 1.0});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value(), 0.0);
+
+  // q's extra mass off p's support only shows up through log q on p's
+  // support, never through an inf/nan from the zero cell.
+  auto mixed = CrossEntropy({0.0, 0.4, 0.6}, {0.2, 0.4, 0.4});
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_NEAR(mixed.value(), -0.4 * std::log(0.4) - 0.6 * std::log(0.4), 1e-12);
+}
+
 TEST(BernoulliKlTest, EdgeCases) {
   EXPECT_EQ(BernoulliKl(0.4, 0.4).value(), 0.0);
   EXPECT_TRUE(std::isinf(BernoulliKl(0.5, 0.0).value()));

@@ -163,6 +163,45 @@ TEST(KsgMiTest, IndependentNearZero) {
   EXPECT_LT(KsgMi(xs, ys, 4).value(), 0.05);
 }
 
+TEST(PluginMiTest, SparseAccumulatorMatchesDenseOnStructuralZeros) {
+  // Samples whose empirical joint has structural zeros (x == y only, so the
+  // off-diagonal cells never occur). The sparse sample path and the dense
+  // JointDistribution path must agree: zero cells contribute exactly 0 in
+  // both, and no marginal product is ever formed (it can underflow).
+  std::vector<std::size_t> xs;
+  std::vector<std::size_t> ys;
+  for (int rep = 0; rep < 7; ++rep) xs.push_back(0);
+  for (int rep = 0; rep < 3; ++rep) xs.push_back(1);
+  ys = xs;  // perfectly correlated -> MI = H(X)
+  auto sparse = PluginMiFromSamples(xs, ys);
+  ASSERT_TRUE(sparse.ok());
+
+  auto dense = JointDistribution::Create(2, 2, {0.7, 0.0, 0.0, 0.3});
+  ASSERT_TRUE(dense.ok());
+  EXPECT_NEAR(sparse.value(), dense.value().MutualInformation(), 1e-12);
+  // And both equal the entropy of the marginal.
+  const double h = -(0.7 * std::log(0.7) + 0.3 * std::log(0.3));
+  EXPECT_NEAR(sparse.value(), h, 1e-12);
+}
+
+TEST(PluginMiTest, IndependentSamplesGiveZeroMi) {
+  // A product empirical distribution: every joint cell is exactly px * py,
+  // so plug-in MI is 0 up to log-arithmetic rounding, and never negative
+  // (the estimator clamps).
+  std::vector<std::size_t> xs;
+  std::vector<std::size_t> ys;
+  for (std::size_t x = 0; x < 2; ++x) {
+    for (std::size_t y = 0; y < 3; ++y) {
+      xs.push_back(x);
+      ys.push_back(y);
+    }
+  }
+  auto mi = PluginMiFromSamples(xs, ys);
+  ASSERT_TRUE(mi.ok());
+  EXPECT_GE(mi.value(), 0.0);
+  EXPECT_NEAR(mi.value(), 0.0, 1e-12);
+}
+
 TEST(KsgMiTest, RejectsBadInput) {
   EXPECT_FALSE(KsgMi({1.0, 2.0}, {1.0}, 1).ok());
   EXPECT_FALSE(KsgMi({1.0, 2.0}, {1.0, 2.0}, 0).ok());

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/audit_log.h"
+#include "robustness/failpoint.h"
+
 namespace dplearn {
 namespace {
 
@@ -102,6 +105,50 @@ TEST(PrivacyAccountantTest, RejectsInvalidTotalOrSpend) {
   auto acct = PrivacyAccountant::Create({1.0, 0.0});
   ASSERT_TRUE(acct.ok());
   EXPECT_FALSE(acct->Spend({-0.1, 0.0}).ok());
+}
+
+TEST(PrivacyAccountantTest, MillionSmallSpendsStayExact) {
+  // 1e6 spends of eps = 1e-6 sum to exactly 1.0 in real arithmetic. Naive
+  // accumulation drifts by thousands of ulps; the Kahan-compensated ledger
+  // must land within one ulp AND reconcile against the audit trail's own
+  // compensated replay.
+  auto acct = PrivacyAccountant::Create({2.0, 0.0});
+  ASSERT_TRUE(acct.ok());
+  obs::BudgetAuditLog log;
+  acct->set_audit_log(&log);
+
+  const int spends = 1000000;
+  const double step = 1e-6;
+  double naive = 0.0;
+  for (int i = 0; i < spends; ++i) {
+    ASSERT_TRUE(acct->Spend({step, 0.0}, "micro").ok());
+    naive += step;
+  }
+  EXPECT_NE(naive, 1.0);  // the drift the fix is about
+  EXPECT_NEAR(acct->spent().epsilon, 1.0, 1e-12);
+  EXPECT_NEAR(acct->Remaining().epsilon, 1.0, 1e-12);
+  EXPECT_NEAR(log.cumulative_epsilon(), acct->spent().epsilon, 0.0);
+  EXPECT_TRUE(log.ReplayVerify().ok());
+}
+
+TEST(PrivacyAccountantTest, InjectedSpendFaultLeavesStateUnchanged) {
+  auto acct = PrivacyAccountant::Create({1.0, 0.0});
+  ASSERT_TRUE(acct.ok());
+  obs::BudgetAuditLog log;
+  acct->set_audit_log(&log);
+  ASSERT_TRUE(acct->Spend({0.25, 0.0}, "real").ok());
+
+  {
+    robustness::ScopedFailPoint fp("budget.spend", "always");
+    const Status status = acct->Spend({0.25, 0.0}, "chaos");
+    ASSERT_FALSE(status.ok());
+    EXPECT_TRUE(robustness::IsInjectedFault(status));
+  }
+  // The fault fired before validation and mutation: no ledger entry, no
+  // audit entry, and the trail still reconciles.
+  EXPECT_NEAR(acct->spent().epsilon, 0.25, 0.0);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_TRUE(log.ReplayVerify().ok());
 }
 
 }  // namespace

@@ -61,5 +61,34 @@ TEST(AliasSamplerTest, ManyOutcomes) {
   for (int i = 0; i < 10000; ++i) EXPECT_LT(s->Sample(&rng), m);
 }
 
+TEST(AliasSamplerTest, ZeroWeightEntriesAreNeverSampled) {
+  // Vose's construction can leave a zero-mass bucket with prob 1.0 if the
+  // pairing mishandles it; assert the zero outcomes genuinely never appear.
+  std::vector<double> p = {0.3, 0.0, 0.5, 0.0, 0.2};
+  auto s = AliasSampler::Create(p);
+  ASSERT_TRUE(s.ok());
+  Rng rng(11);
+  for (int i = 0; i < 50000; ++i) {
+    const std::size_t k = s->Sample(&rng);
+    EXPECT_NE(k, 1u);
+    EXPECT_NE(k, 3u);
+  }
+}
+
+TEST(AliasSamplerTest, SingleBucketAlwaysReturnsZero) {
+  auto s = AliasSampler::Create({1.0});
+  ASSERT_TRUE(s.ok());
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(s->Sample(&rng), 0u);
+}
+
+TEST(AliasSamplerTest, RejectsWeightsSummingFarFromOne) {
+  // Unnormalized inputs are a caller bug, not something to silently rescale.
+  EXPECT_FALSE(AliasSampler::Create({0.5, 0.2}).ok());
+  EXPECT_FALSE(AliasSampler::Create({2.0, 2.0}).ok());
+  EXPECT_FALSE(AliasSampler::Create({1e-12, 1e-12}).ok());
+  EXPECT_FALSE(AliasSampler::Create({0.7, -0.2, 0.5}).ok());
+}
+
 }  // namespace
 }  // namespace dplearn

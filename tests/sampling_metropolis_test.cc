@@ -101,6 +101,31 @@ TEST(MetropolisTest, RejectsZeroDensityStart) {
   EXPECT_FALSE(RunMetropolis(target, {-1.0}, 10, options, &rng).ok());
 }
 
+TEST(MetropolisTest, ZeroAcceptanceChainStaysAtInitialPoint) {
+  // A density supported only on (essentially) the initial point: every
+  // Gaussian proposal lands outside the support and is rejected. The chain
+  // must report acceptance_rate == 0 and return the initial point for every
+  // retained sample — never NaN, never an uninitialized state.
+  LogDensityFn spike = [](const std::vector<double>& x) {
+    return std::fabs(x[0] - 0.5) < 1e-12
+               ? 0.0
+               : -std::numeric_limits<double>::infinity();
+  };
+  MetropolisOptions options;
+  options.proposal_stddev = 0.3;
+  options.burn_in = 50;
+  options.thinning = 2;
+  Rng rng(77);
+  auto result = RunMetropolis(spike, {0.5}, 100, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->acceptance_rate, 0.0);
+  ASSERT_EQ(result->samples.size(), 100u);
+  for (const auto& sample : result->samples) {
+    ASSERT_EQ(sample.size(), 1u);
+    EXPECT_EQ(sample[0], 0.5);
+  }
+}
+
 TEST(MetropolisTest, DeterministicForFixedSeed) {
   LogDensityFn target = [](const std::vector<double>& x) { return -0.5 * x[0] * x[0]; };
   MetropolisOptions options;

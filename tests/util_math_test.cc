@@ -142,6 +142,75 @@ TEST(CatoniPhiTest, RejectsOutOfDomain) {
   EXPECT_FALSE(CatoniPhi(1.0, 5.0).ok());
 }
 
+TEST(LogSumExpTest, EmptyInputIsNegativeInfinity) {
+  // log(sum of zero terms) = log(0): the identity element of logsumexp.
+  EXPECT_TRUE(std::isinf(LogSumExp({})));
+  EXPECT_LT(LogSumExp({}), 0.0);
+}
+
+TEST(LogSumExpTest, AllNegativeInfinityStaysNegativeInfinity) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_EQ(LogSumExp({ninf}), ninf);
+  EXPECT_EQ(LogSumExp({ninf, ninf, ninf}), ninf);
+  // A single finite term dominates any number of -inf terms exactly.
+  EXPECT_EQ(LogSumExp({ninf, 3.5, ninf}), 3.5);
+}
+
+TEST(LogSumExpTest, SingleElementIsExact) {
+  // Exactly x0, not x0 + log(exp(0)) round-tripped through exp/log.
+  EXPECT_EQ(LogSumExp({0.3}), 0.3);
+  EXPECT_EQ(LogSumExp({-745.0}), -745.0);
+  EXPECT_EQ(LogSumExp({1e300}), 1e300);
+}
+
+TEST(LogSumExpTest, PositiveInfinityAndNanPropagate) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(LogSumExp({1.0, inf}), inf);
+  EXPECT_TRUE(std::isnan(LogSumExp({1.0, nan})));
+}
+
+TEST(KahanSumTest, MatchesNaiveSumOnBenignInput) {
+  KahanSum kahan;
+  double naive = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    kahan.Add(static_cast<double>(i));
+    naive += static_cast<double>(i);
+  }
+  EXPECT_EQ(kahan.Value(), naive);
+}
+
+TEST(KahanSumTest, CompensatesWhereNaiveSumDrifts) {
+  // 1e6 additions of 1e-3: exactly 1000 in real arithmetic. The naive float
+  // sum drifts by far more than one ulp; the compensated sum does not.
+  KahanSum kahan;
+  double naive = 0.0;
+  for (int i = 0; i < 1000000; ++i) {
+    kahan.Add(1e-3);
+    naive += 1e-3;
+  }
+  EXPECT_NE(naive, 1000.0);
+  EXPECT_EQ(kahan.Value(), 1000.0);
+}
+
+TEST(KahanSumTest, RecoversSmallTermNextToHugeTerm) {
+  // Classic Neumaier case: 1 + 1e100 + 1 - 1e100. Naive summation loses both
+  // ones; the compensated variant keeps them.
+  KahanSum kahan;
+  for (const double x : {1.0, 1e100, 1.0, -1e100}) kahan.Add(x);
+  EXPECT_EQ(kahan.Value(), 2.0);
+}
+
+TEST(KahanSumTest, ResetAndInitialValue) {
+  KahanSum kahan(5.0);
+  kahan.Add(1.0);
+  EXPECT_EQ(kahan.Value(), 6.0);
+  kahan.Reset();
+  EXPECT_EQ(kahan.Value(), 0.0);
+  kahan.Reset(2.5);
+  EXPECT_EQ(kahan.Value(), 2.5);
+}
+
 TEST(CatoniContractionFactorTest, InCatoniRange) {
   // The paper notes (n/lambda)(1 - e^{-lambda/n}) lies in [1 - lambda/(2n), 1].
   for (double lambda : {1.0, 10.0, 100.0}) {
