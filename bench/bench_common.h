@@ -1,0 +1,45 @@
+#ifndef DPLEARN_BENCH_BENCH_COMMON_H_
+#define DPLEARN_BENCH_BENCH_COMMON_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "learning/dataset.h"
+#include "learning/generators.h"
+#include "learning/hypothesis.h"
+#include "learning/loss.h"
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace bench {
+
+/// Shared fixtures for the per-subsystem microbenchmark binaries
+/// (bench_sampling, bench_mechanisms, bench_gibbs, bench_infotheory).
+/// Every fixture is seeded deterministically so two runs of a binary
+/// measure the same work; scripts/run_bench.sh merges the binaries' JSON
+/// into the BENCH_<rev>.json snapshot that bench_compare.py diffs.
+
+/// A Bernoulli(0.4) labelled dataset of size n, seeded by `seed`.
+inline Dataset MakeBernoulliData(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return BernoulliMeanTask::Create(0.4).value().Sample(n, &rng).value();
+}
+
+/// The scalar hypothesis grid Θ = {0, 1/(m-1), ..., 1} used across the
+/// Gibbs/mechanism benchmarks.
+inline FiniteHypothesisClass MakeScalarGrid(std::size_t m) {
+  return FiniteHypothesisClass::ScalarGrid(0.0, 1.0, m).value();
+}
+
+/// Mildly decaying log-weights of length m — a stand-in for
+/// exponential-mechanism scores with no risk evaluation attached.
+inline std::vector<double> MakeLogWeights(std::size_t m) {
+  std::vector<double> log_w(m);
+  for (std::size_t i = 0; i < m; ++i) log_w[i] = -static_cast<double>(i) * 0.01;
+  return log_w;
+}
+
+}  // namespace bench
+}  // namespace dplearn
+
+#endif  // DPLEARN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,127 @@
+/// Gibbs/risk-subsystem microbenchmarks: the empirical-risk profile (raw
+/// and through the src/perf cache), exact posteriors, batched posterior
+/// sampling, and the headline grid-sweep pair — BM_GibbsGridSweepUncached
+/// vs BM_GibbsGridSweepCached run the SAME λ sweep with the risk-profile
+/// cache off and on. The cached form skips |grid|-1 of the |Θ|·n risk
+/// passes, so scripts/check_bench_speedup.py asserts a >=2x ratio between
+/// the two inside one snapshot (a machine-independent gate, unlike the
+/// cross-run 25% regression threshold).
+
+#include <cstddef>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+#include "bench/bench_common.h"
+#include "core/gibbs_estimator.h"
+#include "learning/loss.h"
+#include "learning/risk.h"
+#include "perf/risk_profile_cache.h"
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace {
+
+void BM_EmpiricalRiskProfile(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  ClippedSquaredLoss loss(1.0);
+  const FiniteHypothesisClass hclass = bench::MakeScalarGrid(m);
+  Dataset data = bench::MakeBernoulliData(500, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmpiricalRiskProfile(loss, hclass.thetas(), data).value());
+  }
+}
+BENCHMARK(BM_EmpiricalRiskProfile)->Arg(21)->Arg(201);
+
+/// Steady-state cache hit: everything after the first iteration is a
+/// key-hash + bitwise-verify + splice. Compare against
+/// BM_EmpiricalRiskProfile/201 for the hit-vs-compute gap.
+void BM_RiskProfileCacheHit(benchmark::State& state) {
+  ClippedSquaredLoss loss(1.0);
+  const FiniteHypothesisClass hclass = bench::MakeScalarGrid(201);
+  Dataset data = bench::MakeBernoulliData(500, 9);
+  const bool prev = perf::RiskCacheEnabled();
+  perf::SetRiskCacheEnabled(true);
+  perf::RiskProfileCache::Global().Clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        perf::CachedRiskProfile(loss, hclass.thetas(), data).value());
+  }
+  perf::SetRiskCacheEnabled(prev);
+}
+BENCHMARK(BM_RiskProfileCacheHit);
+
+void BM_GibbsPosterior(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  ClippedSquaredLoss loss(1.0);
+  const FiniteHypothesisClass hclass = bench::MakeScalarGrid(m);
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, 10.0).value();
+  Dataset data = bench::MakeBernoulliData(n, 6);
+  const bool prev = perf::RiskCacheEnabled();
+  perf::SetRiskCacheEnabled(false);  // measure the full posterior pass
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gibbs.Posterior(data).value());
+  }
+  perf::SetRiskCacheEnabled(prev);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m * n));
+}
+BENCHMARK(BM_GibbsPosterior)->Args({21, 100})->Args({101, 100})->Args({101, 1000});
+
+/// k posterior draws via SampleBatch: one risk profile + log-weight pass,
+/// then k Gumbel-max scans. The single-draw loop pays the profile k times
+/// (cache off) — this is the shape λ-selection and the DP verifier use.
+void BM_GibbsSampleBatch(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  ClippedSquaredLoss loss(1.0);
+  const FiniteHypothesisClass hclass = bench::MakeScalarGrid(101);
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, 10.0).value();
+  Dataset data = bench::MakeBernoulliData(1000, 6);
+  Rng rng(14);
+  std::vector<std::size_t> out;
+  const bool prev = perf::RiskCacheEnabled();
+  perf::SetRiskCacheEnabled(false);
+  for (auto _ : state) {
+    const Status status = gibbs.SampleBatch(data, &rng, k, &out);
+    benchmark::DoNotOptimize(status.ok());
+    benchmark::DoNotOptimize(out.data());
+  }
+  perf::SetRiskCacheEnabled(prev);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_GibbsSampleBatch)->Arg(16)->Arg(256);
+
+constexpr double kSweepLambdas[] = {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0};
+
+/// One full λ grid sweep (8 cells): posterior at every temperature over a
+/// fixed 1000-example dataset and 101-point grid.
+void RunGridSweep(benchmark::State& state, bool cached) {
+  ClippedSquaredLoss loss(1.0);
+  const FiniteHypothesisClass hclass = bench::MakeScalarGrid(101);
+  Dataset data = bench::MakeBernoulliData(1000, 6);
+  const bool prev = perf::RiskCacheEnabled();
+  perf::SetRiskCacheEnabled(cached);
+  for (auto _ : state) {
+    // Clearing inside the timed region charges the cached sweep its one
+    // real miss per iteration — the steady state it claims is "compute the
+    // profile once per (dataset, loss), not once per λ".
+    perf::RiskProfileCache::Global().Clear();
+    for (double lambda : kSweepLambdas) {
+      auto gibbs = GibbsEstimator::CreateUniform(&loss, hclass, lambda).value();
+      benchmark::DoNotOptimize(gibbs.Posterior(data).value());
+    }
+  }
+  perf::SetRiskCacheEnabled(prev);
+}
+
+void BM_GibbsGridSweepUncached(benchmark::State& state) { RunGridSweep(state, false); }
+BENCHMARK(BM_GibbsGridSweepUncached);
+
+void BM_GibbsGridSweepCached(benchmark::State& state) { RunGridSweep(state, true); }
+BENCHMARK(BM_GibbsGridSweepCached);
+
+}  // namespace
+}  // namespace dplearn
+
+BENCHMARK_MAIN();

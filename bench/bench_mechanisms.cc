@@ -1,0 +1,145 @@
+/// Mechanism-subsystem microbenchmarks: Laplace releases, exponential-
+/// mechanism draws (single vs batched — the batch evaluates the quality
+/// function once per block instead of once per draw), report-noisy-max,
+/// and the output-perturbation ERM ε-sweep in its naive (re-solve per ε)
+/// and split (solve once, release per ε) forms.
+
+#include <cstddef>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+#include "bench/bench_common.h"
+#include "core/private_erm.h"
+#include "learning/erm.h"
+#include "learning/loss.h"
+#include "learning/risk.h"
+#include "mechanisms/exponential.h"
+#include "mechanisms/laplace.h"
+#include "mechanisms/sensitivity.h"
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace {
+
+void BM_LaplaceRelease(benchmark::State& state) {
+  const std::size_t n = 1000;
+  auto query = BoundedMeanQuery(0.0, 1.0, n).value();
+  auto mechanism = LaplaceMechanism::Create(query, 1.0).value();
+  Rng rng(7);
+  Dataset data = bench::MakeBernoulliData(n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.Release(data, &rng).value());
+  }
+}
+BENCHMARK(BM_LaplaceRelease);
+
+ExponentialMechanism MakeRiskMechanism(const LossFunction* loss,
+                                       const FiniteHypothesisClass& hclass) {
+  std::vector<Vector> thetas = hclass.thetas();
+  QualityFn quality = [loss, thetas](const Dataset& data, std::size_t u) {
+    auto risk = EmpiricalRisk(*loss, thetas[u], data);
+    return risk.ok() ? -risk.value() : 0.0;
+  };
+  return ExponentialMechanism::CreateUniform(std::move(quality), hclass.size(), 5.0, 0.01)
+      .value();
+}
+
+void BM_ExponentialSample(benchmark::State& state) {
+  static const ClippedSquaredLoss loss(1.0);
+  const FiniteHypothesisClass hclass = bench::MakeScalarGrid(101);
+  const ExponentialMechanism mechanism = MakeRiskMechanism(&loss, hclass);
+  Dataset data = bench::MakeBernoulliData(100, 11);
+  Rng rng(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.Sample(data, &rng).value());
+  }
+}
+BENCHMARK(BM_ExponentialSample);
+
+void BM_ExponentialSampleBatch(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  static const ClippedSquaredLoss loss(1.0);
+  const FiniteHypothesisClass hclass = bench::MakeScalarGrid(101);
+  const ExponentialMechanism mechanism = MakeRiskMechanism(&loss, hclass);
+  Dataset data = bench::MakeBernoulliData(100, 11);
+  Rng rng(12);
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    const Status status = mechanism.SampleBatch(data, &rng, k, &out);
+    benchmark::DoNotOptimize(status.ok());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_ExponentialSampleBatch)->Arg(16)->Arg(256);
+
+void BM_ReportNoisyMax(benchmark::State& state) {
+  static const ClippedSquaredLoss loss(1.0);
+  const FiniteHypothesisClass hclass = bench::MakeScalarGrid(101);
+  std::vector<Vector> thetas = hclass.thetas();
+  QualityFn quality = [thetas](const Dataset& data, std::size_t u) {
+    auto risk = EmpiricalRisk(loss, thetas[u], data);
+    return risk.ok() ? -risk.value() : 0.0;
+  };
+  auto mechanism = ReportNoisyMax::Create(std::move(quality), hclass.size(), 1.0, 0.01).value();
+  Dataset data = bench::MakeBernoulliData(100, 11);
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.Sample(data, &rng).value());
+  }
+}
+BENCHMARK(BM_ReportNoisyMax);
+
+Dataset MakeLogisticData(std::size_t n) {
+  Rng rng(21);
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.NextDouble() * 2.0 - 1.0;
+    data.Add(Example{Vector{x}, x > 0.0 ? 1.0 : -1.0});
+  }
+  return data;
+}
+
+/// The naive ε-sweep: one full OutputPerturbationErm (solve + noise) per
+/// grid cell.
+void BM_OutputPerturbSweepNaive(benchmark::State& state) {
+  const LogisticLoss loss(4.0);
+  Dataset data = MakeLogisticData(200);
+  const std::vector<double> epsilons = {0.1, 0.2, 0.5, 1.0, 2.0, 5.0};
+  Rng rng(22);
+  for (auto _ : state) {
+    for (double eps : epsilons) {
+      PrivateErmOptions options;
+      options.epsilon = eps;
+      benchmark::DoNotOptimize(OutputPerturbationErm(loss, data, options, &rng).value());
+    }
+  }
+}
+BENCHMARK(BM_OutputPerturbSweepNaive);
+
+/// The split sweep: SolveNonPrivateErm once, ReleaseOutputPerturbation per
+/// ε — bit-identical outputs (the solve consumes no randomness), minus
+/// |grid|-1 solves.
+void BM_OutputPerturbSweepSplit(benchmark::State& state) {
+  const LogisticLoss loss(4.0);
+  Dataset data = MakeLogisticData(200);
+  const std::vector<double> epsilons = {0.1, 0.2, 0.5, 1.0, 2.0, 5.0};
+  Rng rng(22);
+  for (auto _ : state) {
+    PrivateErmOptions options;
+    const GradientErmResult erm = SolveNonPrivateErm(loss, data, options).value();
+    for (double eps : epsilons) {
+      options.epsilon = eps;
+      benchmark::DoNotOptimize(
+          ReleaseOutputPerturbation(erm, data.size(), data.FeatureDim(), options, &rng)
+              .value());
+    }
+  }
+}
+BENCHMARK(BM_OutputPerturbSweepSplit);
+
+}  // namespace
+}  // namespace dplearn
+
+BENCHMARK_MAIN();

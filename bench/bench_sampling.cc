@@ -1,0 +1,129 @@
+/// Sampling-subsystem microbenchmarks: the raw RNG, the scalar noise
+/// samplers, and the discrete samplers (Gumbel-max and alias) in both their
+/// one-at-a-time and batched forms. The */Batch* pairs exist to keep the
+/// batched fast paths honest: they must be bit-identical to the loops they
+/// replace (tests/perf_cache_equivalence_test.cc), so any speedup shown
+/// here is pure call/allocation overhead removed, not different math.
+
+#include <cstddef>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+#include "bench/bench_common.h"
+#include "sampling/alias_sampler.h"
+#include "sampling/distributions.h"
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace {
+
+void BM_RngNextDouble(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextDouble());
+  }
+}
+BENCHMARK(BM_RngNextDouble);
+
+void BM_RngNextDoubleBatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    rng.NextDoubleBatch(out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RngNextDoubleBatch)->Arg(64)->Arg(4096);
+
+void BM_SampleLaplace(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleLaplace(&rng, 0.0, 1.0).value());
+  }
+}
+BENCHMARK(BM_SampleLaplace);
+
+void BM_SampleStandardNormal(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleStandardNormal(&rng));
+  }
+}
+BENCHMARK(BM_SampleStandardNormal);
+
+void BM_GumbelMaxSample(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> log_w = bench::MakeLogWeights(m);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleFromLogWeights(&rng, log_w).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m));
+}
+BENCHMARK(BM_GumbelMaxSample)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GumbelMaxSampleScratch(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> log_w = bench::MakeLogWeights(m);
+  Rng rng(4);
+  std::vector<double> scratch;
+  scratch.reserve(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleFromLogWeights(&rng, log_w, &scratch).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m));
+}
+BENCHMARK(BM_GumbelMaxSampleScratch)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_GumbelMaxBatch(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 64;
+  const std::vector<double> log_w = bench::MakeLogWeights(m);
+  Rng rng(4);
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    const Status status = SampleFromLogWeightsBatch(&rng, log_w, k, &out);
+    benchmark::DoNotOptimize(status.ok());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m * k));
+}
+BENCHMARK(BM_GumbelMaxBatch)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AliasSample(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  std::vector<double> p(m, 1.0 / static_cast<double>(m));
+  auto sampler = AliasSampler::Create(p).value();
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+}
+BENCHMARK(BM_AliasSample)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AliasSampleBatch(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 1024;
+  std::vector<double> p(m, 1.0 / static_cast<double>(m));
+  auto sampler = AliasSampler::Create(p).value();
+  Rng rng(5);
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    sampler.SampleBatch(&rng, k, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_AliasSampleBatch)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace dplearn
+
+BENCHMARK_MAIN();

@@ -22,6 +22,7 @@
 #include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 #include "parallel/trial_runner.h"
+#include "perf/risk_profile_cache.h"
 #include "robustness/failpoint.h"
 #include "robustness/retry.h"
 #include "sampling/rng.h"
@@ -218,6 +219,18 @@ inline void WriteRecord() {
   w.Key("scalars").BeginObject();
   for (const ScalarRecord& s : state.scalars) w.Key(s.name).Value(s.value);
   w.EndObject();
+  // Hot-path provenance: how much of the sweep's risk-profile work the
+  // process-wide cache absorbed (src/perf). A grid experiment whose hit
+  // count stays 0 is re-deriving λ-invariant work and worth a look.
+  {
+    const perf::RiskProfileCache::Stats cache = perf::RiskProfileCache::Global().stats();
+    w.Key("risk_cache").BeginObject();
+    w.Key("enabled").Value(perf::RiskCacheEnabled());
+    w.Key("hits").Value(static_cast<std::uint64_t>(cache.hits));
+    w.Key("misses").Value(static_cast<std::uint64_t>(cache.misses));
+    w.Key("evictions").Value(static_cast<std::uint64_t>(cache.evictions));
+    w.EndObject();
+  }
   w.Key("audit_trail").Raw(obs::GlobalAuditLog().ToJson());
   w.Key("audit_cumulative").BeginObject();
   w.Key("epsilon").Value(obs::GlobalAuditLog().cumulative_epsilon());

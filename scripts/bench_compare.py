@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json snapshots and gate on hot-benchmark regressions.
+
+Usage: bench_compare.py BASELINE CURRENT [--threshold 0.25] [--strict]
+
+Prints a per-benchmark table of real_time deltas for every name present in
+both snapshots. The HOT_BENCHMARKS below are the gated subset: with
+--strict (CI's bench-smoke job), a slowdown of more than --threshold
+(default 25%) in any of them exits non-zero. Without --strict the table is
+informational — local machines and CI runners differ too much for an
+absolute cross-machine gate, which is why the bit-identity tests and the
+intra-snapshot ratio gate (check_bench_speedup.py) carry the correctness
+and architecture claims, and this diff only has to catch gross regressions
+between runs on the SAME machine.
+"""
+
+import argparse
+import json
+import sys
+
+# The named hot paths of the performance layer (ISSUE PR4). Names must
+# match the google-benchmark JSON "name" field exactly.
+HOT_BENCHMARKS = [
+    "BM_GumbelMaxSample/256",
+    "BM_GumbelMaxBatch/256",
+    "BM_AliasSampleBatch/256",
+    "BM_ExponentialSampleBatch/256",
+    "BM_GibbsPosterior/101/1000",
+    "BM_GibbsSampleBatch/256",
+    "BM_GibbsGridSweepCached",
+    "BM_RiskProfileCacheHit",
+]
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        snapshot = json.load(f)
+    out = {}
+    for entry in snapshot.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if entry.get("run_type") == "aggregate":
+            continue
+        out[entry["name"]] = entry
+    return snapshot, out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional slowdown in hot benchmarks")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on hot-benchmark regressions")
+    args = parser.parse_args()
+
+    base_snap, base = load(args.baseline)
+    curr_snap, curr = load(args.current)
+    print(f"baseline: {args.baseline} (rev {base_snap.get('revision', '?')})")
+    print(f"current:  {args.current} (rev {curr_snap.get('revision', '?')})")
+
+    common = [name for name in curr if name in base]
+    if not common:
+        print("bench_compare: no common benchmarks between snapshots", file=sys.stderr)
+        return 1
+
+    regressions = []
+    print(f"{'benchmark':45s} {'base':>12s} {'curr':>12s} {'delta':>8s}  gated")
+    for name in common:
+        b = base[name].get("real_time", 0.0)
+        c = curr[name].get("real_time", 0.0)
+        if b <= 0.0:
+            continue
+        delta = (c - b) / b
+        hot = name in HOT_BENCHMARKS
+        flag = ""
+        if hot and delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        unit = curr[name].get("time_unit", "ns")
+        print(f"{name:45s} {b:>10.1f}{unit} {c:>10.1f}{unit} {delta:>+7.1%}"
+              f"  {'hot' if hot else '-'}{flag}")
+
+    missing_hot = [name for name in HOT_BENCHMARKS if name not in curr]
+    if missing_hot:
+        print(f"bench_compare: hot benchmarks missing from current snapshot: "
+              f"{missing_hot}", file=sys.stderr)
+        if args.strict:
+            return 1
+
+    if regressions:
+        print(f"\nbench_compare: {len(regressions)} hot benchmark(s) regressed more "
+              f"than {args.threshold:.0%}:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1 if args.strict else 0
+    print("\nbench_compare: no gated regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

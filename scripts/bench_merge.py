@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Merge per-binary google-benchmark JSON outputs into one snapshot.
+
+Usage: bench_merge.py --rev REV --out OUT part1.json [part2.json ...]
+
+Each part is the --benchmark_format=json output of one bench binary. The
+merged snapshot keeps one "context" block (from the first part, plus the
+revision and per-binary provenance) and the concatenation of all
+"benchmarks" arrays, with each entry tagged by the binary it came from.
+scripts/bench_compare.py and scripts/check_bench_speedup.py read this
+format, and the repo root keeps one committed BENCH_<rev>.json as the
+regression baseline.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rev", required=True, help="git revision of the snapshot")
+    parser.add_argument("--out", required=True, help="merged snapshot path")
+    parser.add_argument("parts", nargs="+", help="per-binary benchmark JSON files")
+    args = parser.parse_args()
+
+    context = None
+    benchmarks = []
+    binaries = []
+    for path in args.parts:
+        with open(path, "r", encoding="utf-8") as f:
+            part = json.load(f)
+        if "benchmarks" not in part:
+            print(f"bench_merge: {path} has no 'benchmarks' array", file=sys.stderr)
+            return 1
+        binary = os.path.splitext(os.path.basename(path))[0]
+        binaries.append(binary)
+        if context is None:
+            context = part.get("context", {})
+        for entry in part["benchmarks"]:
+            entry = dict(entry)
+            entry["binary"] = binary
+            benchmarks.append(entry)
+
+    names = [b["name"] for b in benchmarks]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        print(f"bench_merge: duplicate benchmark names across binaries: {duplicates}",
+              file=sys.stderr)
+        return 1
+
+    snapshot = {
+        "schema": "dplearn-bench-v1",
+        "revision": args.rev,
+        "binaries": binaries,
+        "context": context or {},
+        "benchmarks": benchmarks,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(snapshot, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"bench_merge: {len(benchmarks)} benchmarks from {len(binaries)} binaries "
+          f"-> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Validate the JSON schema of a google-benchmark output or merged snapshot.
+
+Usage: check_bench_json.py FILE [FILE ...] [--expect-prefix BM_Foo ...]
+
+Used by the tier-1 bench smoke test: each bench binary runs with
+--benchmark_min_time=0.01s and its output must parse as JSON, contain a
+non-empty "benchmarks" array, and give every entry a name, real_time,
+cpu_time, and time_unit. Merged dplearn-bench-v1 snapshots additionally
+need "revision" and per-entry "binary" tags. This pins the contract
+bench_compare.py / check_bench_speedup.py rely on without timing anything.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_ENTRY_KEYS = ("name", "real_time", "cpu_time", "time_unit")
+
+
+def check_file(path, expect_prefixes):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+
+    merged = data.get("schema") == "dplearn-bench-v1"
+    if merged and not data.get("revision"):
+        return f"{path}: merged snapshot missing 'revision'"
+    if not merged and "context" not in data:
+        return f"{path}: raw benchmark output missing 'context'"
+
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        return f"{path}: missing or empty 'benchmarks' array"
+
+    for entry in benchmarks:
+        for key in REQUIRED_ENTRY_KEYS:
+            if key not in entry:
+                return f"{path}: benchmark entry {entry.get('name', '?')!r} missing '{key}'"
+        if not isinstance(entry["real_time"], (int, float)) or entry["real_time"] < 0:
+            return f"{path}: benchmark {entry['name']!r} has invalid real_time"
+        if merged and "binary" not in entry:
+            return f"{path}: merged entry {entry['name']!r} missing 'binary' tag"
+
+    names = [b["name"] for b in benchmarks]
+    for prefix in expect_prefixes:
+        if not any(n == prefix or n.startswith(prefix + "/") for n in names):
+            return f"{path}: expected a benchmark named '{prefix}[/...]', found none"
+    print(f"check_bench_json: {path}: {len(benchmarks)} benchmarks OK")
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+")
+    parser.add_argument("--expect-prefix", action="append", default=[],
+                        help="require a benchmark with this name (or name/arg)")
+    args = parser.parse_args()
+
+    for path in args.files:
+        error = check_file(path, args.expect_prefix)
+        if error:
+            print(f"check_bench_json: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

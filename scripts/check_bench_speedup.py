@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Assert the intra-snapshot cache-speedup invariant of a BENCH_*.json.
+
+Usage: check_bench_speedup.py SNAPSHOT [--min-ratio 2.0]
+
+The Gibbs grid-sweep pair (BM_GibbsGridSweepUncached / ...Cached) runs the
+same 8-cell λ sweep with the risk-profile cache off and on, in the same
+process on the same machine — so their real_time ratio is a machine-
+independent architecture claim, not a timing comparison across runs. The
+PR-4 acceptance criterion is cached >= 2x faster; anything less means the
+cache stopped being hit on the sweep path.
+"""
+
+import argparse
+import json
+import sys
+
+UNCACHED = "BM_GibbsGridSweepUncached"
+CACHED = "BM_GibbsGridSweepCached"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshot")
+    parser.add_argument("--min-ratio", type=float, default=2.0)
+    args = parser.parse_args()
+
+    with open(args.snapshot, "r", encoding="utf-8") as f:
+        snapshot = json.load(f)
+    times = {}
+    for entry in snapshot.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        if entry["name"] in (UNCACHED, CACHED):
+            times[entry["name"]] = float(entry["real_time"])
+
+    missing = [n for n in (UNCACHED, CACHED) if n not in times]
+    if missing:
+        print(f"check_bench_speedup: missing benchmarks {missing} in "
+              f"{args.snapshot}", file=sys.stderr)
+        return 1
+    if times[CACHED] <= 0.0:
+        print("check_bench_speedup: non-positive cached time", file=sys.stderr)
+        return 1
+
+    ratio = times[UNCACHED] / times[CACHED]
+    print(f"check_bench_speedup: uncached {times[UNCACHED]:.1f} / "
+          f"cached {times[CACHED]:.1f} = {ratio:.2f}x (require >= "
+          f"{args.min_ratio:.2f}x)")
+    if ratio < args.min_ratio:
+        print("check_bench_speedup: cached grid sweep is not fast enough — the "
+              "risk-profile cache is not being hit on the sweep path",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

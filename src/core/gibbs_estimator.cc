@@ -9,6 +9,7 @@
 #include "obs/config.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "perf/risk_profile_cache.h"
 #include "sampling/distributions.h"
 #include "util/math_util.h"
 
@@ -42,39 +43,63 @@ StatusOr<std::vector<double>> GibbsEstimator::Posterior(const Dataset& data) con
         obs::GlobalMetrics().GetCounter("gibbs.posterior_builds");
     builds->Increment();
   }
-  std::vector<double> risks;
-  {
-    obs::TraceSpan risk_span("gibbs.risk_profile");
-    DPLEARN_ASSIGN_OR_RETURN(risks, EmpiricalRiskProfile(*loss_, hclass_.thetas(), data));
-  }
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks, RiskProfile(data));
   return GibbsPosteriorFromRisks(risks, prior_, lambda_);
 }
 
+StatusOr<std::vector<double>> GibbsEstimator::RiskProfile(const Dataset& data) const {
+  // The per-hypothesis risk profile is the hot loop of Posterior(), Sample()
+  // and every PAC-Bayes term below, and it is λ/prior-invariant — so it goes
+  // through the process-wide cache. A miss falls through to
+  // EmpiricalRiskProfile, which parallelizes over the global pool for large
+  // |Θ|·n with bit-identical results at any thread count (each hypothesis
+  // keeps its serial inner loop).
+  obs::TraceSpan span("gibbs.risk_profile");
+  return perf::CachedRiskProfile(*loss_, hclass_.thetas(), data);
+}
+
 StatusOr<std::size_t> GibbsEstimator::Sample(const Dataset& data, Rng* rng) const {
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks, RiskProfile(data));
+  return SampleGivenRisks(risks, rng);
+}
+
+StatusOr<std::size_t> GibbsEstimator::SampleGivenRisks(const std::vector<double>& risks,
+                                                       Rng* rng) const {
   obs::TraceSpan span("gibbs.sample");
   if (obs::MetricsEnabled()) {
     static obs::Counter* const samples = obs::GlobalMetrics().GetCounter("gibbs.samples");
     samples->Increment();
   }
-  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> log_w, LogWeights(data));
+  if (risks.size() != hclass_.size()) {
+    return InvalidArgumentError("SampleGivenRisks: risk profile size mismatch");
+  }
+  std::vector<double> log_w;
+  LogWeightsFromRisks(risks, &log_w);
   return SampleFromLogWeights(rng, log_w);
 }
 
-StatusOr<std::vector<double>> GibbsEstimator::LogWeights(const Dataset& data) const {
-  // The per-hypothesis risk profile is the hot loop of both Posterior() and
-  // Sample(); EmpiricalRiskProfile parallelizes it over the global pool for
-  // large |Θ|·n with bit-identical results at any thread count (each
-  // hypothesis keeps its serial inner loop). The O(|Θ|) weight pass below
-  // stays inline.
-  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
-                           EmpiricalRiskProfile(*loss_, hclass_.thetas(), data));
-  std::vector<double> log_w(risks.size());
+Status GibbsEstimator::SampleBatch(const Dataset& data, Rng* rng, std::size_t k,
+                                   std::vector<std::size_t>* out) const {
+  if (out == nullptr) return InvalidArgumentError("SampleBatch: out must be set");
+  obs::TraceSpan span("gibbs.sample_batch");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const samples = obs::GlobalMetrics().GetCounter("gibbs.samples");
+    samples->Increment(k);
+  }
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks, RiskProfile(data));
+  std::vector<double> log_w;
+  LogWeightsFromRisks(risks, &log_w);
+  return SampleFromLogWeightsBatch(rng, log_w, k, out);
+}
+
+void GibbsEstimator::LogWeightsFromRisks(const std::vector<double>& risks,
+                                         std::vector<double>* log_w) const {
+  log_w->resize(risks.size());
   for (std::size_t i = 0; i < risks.size(); ++i) {
     const double log_prior = prior_[i] > 0.0 ? std::log(prior_[i])
                                              : -std::numeric_limits<double>::infinity();
-    log_w[i] = -lambda_ * risks[i] + log_prior;
+    (*log_w)[i] = -lambda_ * risks[i] + log_prior;
   }
-  return log_w;
 }
 
 StatusOr<Vector> GibbsEstimator::SampleTheta(const Dataset& data, Rng* rng) const {
@@ -83,8 +108,7 @@ StatusOr<Vector> GibbsEstimator::SampleTheta(const Dataset& data, Rng* rng) cons
 }
 
 StatusOr<double> GibbsEstimator::ExpectedEmpiricalRisk(const Dataset& data) const {
-  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
-                           EmpiricalRiskProfile(*loss_, hclass_.thetas(), data));
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks, RiskProfile(data));
   DPLEARN_ASSIGN_OR_RETURN(std::vector<double> posterior,
                            GibbsPosteriorFromRisks(risks, prior_, lambda_));
   double expected = 0.0;

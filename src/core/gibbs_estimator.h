@@ -45,8 +45,28 @@ class GibbsEstimator {
   /// Error if data is empty.
   StatusOr<std::vector<double>> Posterior(const Dataset& data) const;
 
+  /// The empirical-risk profile R̂_data(θ_i) over the hypothesis class —
+  /// the λ-invariant part of every posterior/sample below, served through
+  /// the process-wide perf::RiskProfileCache so ε/λ grid sweeps over one
+  /// dataset compute it once. Error if data is empty.
+  StatusOr<std::vector<double>> RiskProfile(const Dataset& data) const;
+
   /// Draws one hypothesis index from the posterior.
   StatusOr<std::size_t> Sample(const Dataset& data, Rng* rng) const;
+
+  /// Sample() with the risk profile supplied by the caller — the fast path
+  /// for sweeps that evaluate many temperatures/priors against one profile
+  /// (λ selection, grid experiments). Bit-identical to Sample() when
+  /// `risks` equals RiskProfile(data). Error if risks is empty or sized
+  /// differently from the hypothesis class.
+  StatusOr<std::size_t> SampleGivenRisks(const std::vector<double>& risks, Rng* rng) const;
+
+  /// Draws `k` posterior indices into *out (resized to k), computing the
+  /// risk profile and log-weights once for the whole block — bit- and
+  /// stream-identical to k Sample() calls on the same Rng. Error as
+  /// Sample(); on error *out is left resized but unspecified.
+  Status SampleBatch(const Dataset& data, Rng* rng, std::size_t k,
+                     std::vector<std::size_t>* out) const;
 
   /// Draws one parameter vector from the posterior.
   StatusOr<Vector> SampleTheta(const Dataset& data, Rng* rng) const;
@@ -75,10 +95,12 @@ class GibbsEstimator {
   const LossFunction& loss() const { return *loss_; }
 
  private:
-  /// Unnormalized log posterior weights -λ·R̂(θ_i) + log π(θ_i); the shared
-  /// per-hypothesis pass behind Sample() (the risk profile inside runs on
-  /// the global thread pool for large problems).
-  StatusOr<std::vector<double>> LogWeights(const Dataset& data) const;
+  /// Unnormalized log posterior weights -λ·R̂(θ_i) + log π(θ_i) written into
+  /// *log_w (resized) — the shared per-hypothesis pass behind Sample() and
+  /// SampleBatch(). The risk profile feeding it comes from RiskProfile()
+  /// (cached; runs on the global thread pool for large problems).
+  void LogWeightsFromRisks(const std::vector<double>& risks,
+                           std::vector<double>* log_w) const;
 
   GibbsEstimator(const LossFunction* loss, FiniteHypothesisClass hclass,
                  std::vector<double> prior, double lambda)

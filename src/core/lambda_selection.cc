@@ -29,7 +29,10 @@ Status ValidateOptions(const LambdaSelectionOptions& options) {
 }
 
 /// Draws one Gibbs predictor per candidate λ on `train` and returns the
-/// validation risks of those draws.
+/// validation risks of those draws. The train risk profile is λ-invariant,
+/// so it is computed once (through the risk-profile cache) and every
+/// candidate temperature samples against it — bit-identical to per-λ
+/// SampleTheta calls, minus |grid|-1 full passes over train × Θ.
 StatusOr<std::pair<std::vector<Vector>, std::vector<double>>> CandidateDrawsAndRisks(
     const LossFunction& loss, const FiniteHypothesisClass& hclass, const Dataset& train,
     const Dataset& validation, const std::vector<double>& lambda_grid, Rng* rng) {
@@ -37,10 +40,15 @@ StatusOr<std::pair<std::vector<Vector>, std::vector<double>>> CandidateDrawsAndR
   std::vector<double> risks;
   draws.reserve(lambda_grid.size());
   risks.reserve(lambda_grid.size());
+  std::vector<double> train_risks;
   for (double lambda : lambda_grid) {
     DPLEARN_ASSIGN_OR_RETURN(GibbsEstimator gibbs,
                              GibbsEstimator::CreateUniform(&loss, hclass, lambda));
-    DPLEARN_ASSIGN_OR_RETURN(Vector theta, gibbs.SampleTheta(train, rng));
+    if (train_risks.empty()) {
+      DPLEARN_ASSIGN_OR_RETURN(train_risks, gibbs.RiskProfile(train));
+    }
+    DPLEARN_ASSIGN_OR_RETURN(std::size_t index, gibbs.SampleGivenRisks(train_risks, rng));
+    Vector theta = hclass.at(index);
     DPLEARN_ASSIGN_OR_RETURN(double risk, EmpiricalRisk(loss, theta, validation));
     draws.push_back(std::move(theta));
     risks.push_back(risk);

@@ -9,6 +9,7 @@
 #include "obs/config.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "perf/risk_profile_cache.h"
 
 namespace dplearn {
 
@@ -48,8 +49,11 @@ StatusOr<GibbsLearningChannel> BuildBernoulliGibbsChannel(const BernoulliMeanTas
     for (std::size_t i = 0; i < n; ++i) {
       representative.Add(Example{Vector{1.0}, i < k ? 1.0 : 0.0});
     }
+    // Routed through the risk-profile cache: λ sweeps rebuild the channel
+    // over the same n+1 representative datasets, and only the Gibbs tilt
+    // below depends on λ.
     DPLEARN_ASSIGN_OR_RETURN(risk_matrix[k],
-                             EmpiricalRiskProfile(loss, hclass.thetas(), representative));
+                             perf::CachedRiskProfile(loss, hclass.thetas(), representative));
     DPLEARN_ASSIGN_OR_RETURN(transition[k],
                              GibbsPosteriorFromRisks(risk_matrix[k], prior, lambda));
     DPLEARN_ASSIGN_OR_RETURN(input_marginal[k], task.DatasetProbability(n, k));

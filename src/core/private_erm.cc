@@ -43,26 +43,48 @@ StatusOr<PrivateErmResult> OutputPerturbationErm(const LossFunction& loss,
         obs::GlobalMetrics().GetCounter("erm.output_perturbation_runs");
     runs->Increment();
   }
-  const std::size_t d = data.FeatureDim();
-  const double n = static_cast<double>(data.size());
+  DPLEARN_ASSIGN_OR_RETURN(GradientErmResult erm, SolveNonPrivateErm(loss, data, options));
+  return ReleaseOutputPerturbation(erm, data.size(), data.FeatureDim(), options, rng);
+}
 
+StatusOr<GradientErmResult> SolveNonPrivateErm(const LossFunction& loss, const Dataset& data,
+                                               const PrivateErmOptions& options) {
+  DPLEARN_RETURN_IF_ERROR(ValidateOptions(loss, data, options));
+  const std::size_t d = data.FeatureDim();
   GradientErmOptions solver = options.solver;
   solver.l2_lambda = options.l2_lambda;
   solver.linear_perturbation.clear();
-  DPLEARN_ASSIGN_OR_RETURN(GradientErmResult erm,
-                           GradientDescentErm(loss, data, solver, Vector(d, 0.0)));
+  return GradientDescentErm(loss, data, solver, Vector(d, 0.0));
+}
 
+StatusOr<PrivateErmResult> ReleaseOutputPerturbation(const GradientErmResult& erm,
+                                                     std::size_t n, std::size_t d,
+                                                     const PrivateErmOptions& options,
+                                                     Rng* rng) {
+  if (n == 0 || d == 0) {
+    return InvalidArgumentError("ReleaseOutputPerturbation: n and d must be positive");
+  }
+  if (!(options.epsilon > 0.0)) {
+    return InvalidArgumentError("ReleaseOutputPerturbation: epsilon must be positive");
+  }
+  if (!(options.l2_lambda > 0.0) || !(options.lipschitz > 0.0)) {
+    return InvalidArgumentError(
+        "ReleaseOutputPerturbation: l2_lambda and lipschitz must be positive");
+  }
+  if (erm.theta.size() != d) {
+    return InvalidArgumentError("ReleaseOutputPerturbation: solver result dimension mismatch");
+  }
   // L2 sensitivity of the lambda-strongly-convex minimizer under a
   // replace-one change: beta = 2L/(n*lambda). Noise density
   // prop. to exp(-eps ||b|| / beta) gives eps-DP.
-  const double beta = 2.0 * options.lipschitz / (n * options.l2_lambda);
-  DPLEARN_ASSIGN_OR_RETURN(Vector noise,
-                           SampleGammaNormVector(rng, d, options.epsilon / beta));
+  const double beta = 2.0 * options.lipschitz / (static_cast<double>(n) * options.l2_lambda);
+  Vector noise;
+  DPLEARN_RETURN_IF_ERROR(SampleGammaNormVector(rng, d, options.epsilon / beta, &noise));
 
   PrivateErmResult result;
   result.theta = Add(erm.theta, noise);
   result.epsilon_spent = options.epsilon;
-  result.solver_result = std::move(erm);
+  result.solver_result = erm;
   return result;
 }
 

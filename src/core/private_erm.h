@@ -60,6 +60,26 @@ StatusOr<PrivateErmResult> OutputPerturbationErm(const LossFunction& loss,
                                                  const Dataset& data,
                                                  const PrivateErmOptions& options, Rng* rng);
 
+/// The ε-invariant half of output perturbation: the regularized non-private
+/// solve, which depends only on (loss, data, l2_lambda/solver options) —
+/// never on options.epsilon and never on the Rng. Privacy–utility sweeps
+/// call this once per dataset and then release at every ε on the grid via
+/// ReleaseOutputPerturbation, skipping the solve (by far the dominant cost)
+/// on all but the first cell. Errors as OutputPerturbationErm.
+StatusOr<GradientErmResult> SolveNonPrivateErm(const LossFunction& loss, const Dataset& data,
+                                               const PrivateErmOptions& options);
+
+/// The ε-dependent half: draws the Gamma-norm noise for `options.epsilon`
+/// and adds it to the solved minimizer. `n` and `d` are the dataset size
+/// and feature dimension the solve ran on. OutputPerturbationErm(loss,
+/// data, options, rng) is bit-identical to SolveNonPrivateErm followed by
+/// this call — the solve consumes no randomness, so the noise draw sees the
+/// same Rng stream either way. Errors on invalid options, n == 0, or d == 0.
+StatusOr<PrivateErmResult> ReleaseOutputPerturbation(const GradientErmResult& erm,
+                                                     std::size_t n, std::size_t d,
+                                                     const PrivateErmOptions& options,
+                                                     Rng* rng);
+
 /// Objective perturbation: add a random linear term (b·θ)/n to the
 /// objective before solving, with ||b|| ~ Gamma(d, 2/ε') and uniform
 /// direction. Requires ε' = ε - 2 ln(1 + c/(nλ)) > 0; if not, the

@@ -37,6 +37,14 @@ class LossFunction {
   /// objective perturbation).
   virtual bool HasGradient() const { return false; }
 
+  /// Distinguishes losses whose Loss() depends on parameters beyond Name()
+  /// and UpperBound() — the risk-profile cache (src/perf) keys entries on
+  /// (Name, UpperBound, ParameterFingerprint, Θ, Ẑ), so a loss with hidden
+  /// parameters that does not override this would alias a differently
+  /// parameterized instance of the same class. Losses fully identified by
+  /// name + bound keep the default.
+  virtual double ParameterFingerprint() const { return 0.0; }
+
   /// d/d(theta) of the loss; only valid when HasGradient(). Default aborts.
   virtual Vector Gradient(const Vector& theta, const Example& z) const;
 };
@@ -115,6 +123,8 @@ class HuberLoss final : public LossFunction {
   double Loss(const Vector& theta, const Example& z) const override;
   double UpperBound() const override { return clip_; }
   std::string Name() const override { return "huber"; }
+  /// `delta` shapes the loss but is invisible in Name()/UpperBound().
+  double ParameterFingerprint() const override { return delta_; }
   bool HasGradient() const override { return true; }
   Vector Gradient(const Vector& theta, const Example& z) const override;
 

@@ -93,6 +93,36 @@ StatusOr<std::size_t> ExponentialMechanism::Sample(const Dataset& data, Rng* rng
   return SampleFromLogWeights(rng, LogWeights(data));
 }
 
+Status ExponentialMechanism::SampleBatch(const Dataset& data, Rng* rng, std::size_t k,
+                                         std::vector<std::size_t>* out) const {
+  if (out == nullptr) return InvalidArgumentError("SampleBatch: out must be set");
+  out->clear();
+  obs::TraceSpan span("mechanism.exponential.sample_batch");
+  // The quality evaluation is the per-call cost Sample() pays k times over;
+  // here it runs once. Everything privacy-relevant stays per draw below.
+  const std::vector<double> log_w = LogWeights(data);
+  out->reserve(k);
+  std::vector<double> scratch;
+  scratch.reserve(log_w.size());
+  for (std::size_t j = 0; j < k; ++j) {
+    // Same per-draw sequence as Sample(): fail-point, metric, audit entry,
+    // then the Gumbel-max draw — so chaos configs fire at the same draw
+    // indices and the audit log records one release per output, whether the
+    // caller batched or looped.
+    DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
+    if (obs::MetricsEnabled()) {
+      static obs::Counter* const samples =
+          obs::GlobalMetrics().GetCounter("mechanism.exponential.samples");
+      samples->Increment();
+    }
+    obs::AuditMechanismInvocation("exponential", PrivacyGuaranteeEpsilon(), 0.0);
+    DPLEARN_ASSIGN_OR_RETURN(const std::size_t draw,
+                             SampleFromLogWeights(rng, log_w, &scratch));
+    out->push_back(draw);
+  }
+  return Status::Ok();
+}
+
 StatusOr<double> ExponentialMechanism::UtilityGapBound(double delta) const {
   if (!(delta > 0.0) || delta >= 1.0) {
     return InvalidArgumentError("UtilityGapBound: delta must be in (0,1)");

@@ -1,0 +1,193 @@
+#include "perf/risk_profile_cache.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "learning/risk.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dplearn {
+namespace perf {
+namespace {
+
+/// splitmix64 finalizer — the same mixer the Rng seeding uses; good
+/// avalanche for sequential combining.
+std::uint64_t Mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t z = h + 0x9e3779b97f4a7c15ULL + v;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t DoubleBits(double x) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+std::uint64_t HashDoubles(std::uint64_t h, const double* data, std::size_t n) {
+  h = Mix(h, n);
+  for (std::size_t i = 0; i < n; ++i) h = Mix(h, DoubleBits(data[i]));
+  return h;
+}
+
+std::uint64_t KeyHash(const LossFunction& loss, const std::vector<Vector>& thetas,
+                      const Dataset& data) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const char c : loss.Name()) h = Mix(h, static_cast<unsigned char>(c));
+  h = Mix(h, DoubleBits(loss.UpperBound()));
+  h = Mix(h, DoubleBits(loss.ParameterFingerprint()));
+  h = Mix(h, thetas.size());
+  for (const Vector& theta : thetas) h = HashDoubles(h, theta.data(), theta.size());
+  h = Mix(h, data.size());
+  for (const Example& z : data.examples()) {
+    h = HashDoubles(h, z.features.data(), z.features.size());
+    h = Mix(h, DoubleBits(z.label));
+  }
+  return h;
+}
+
+/// Bitwise double-vector equality: memcmp distinguishes NaN payloads and
+/// ±0.0, exactly matching the "same bits in, same bits out" cache contract.
+bool BitwiseEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("DPLEARN_RISK_CACHE");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+  }();
+  return enabled;
+}
+
+void CountHit(bool hit) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter* const hits =
+      obs::GlobalMetrics().GetCounter("perf.risk_cache.hits");
+  static obs::Counter* const misses =
+      obs::GlobalMetrics().GetCounter("perf.risk_cache.misses");
+  (hit ? hits : misses)->Increment();
+}
+
+}  // namespace
+
+RiskProfileCache::RiskProfileCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+RiskProfileCache& RiskProfileCache::Global() {
+  static RiskProfileCache* const cache = [] {
+    std::size_t capacity = kDefaultCapacity;
+    if (const char* env = std::getenv("DPLEARN_RISK_CACHE_CAP")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) capacity = static_cast<std::size_t>(parsed);
+    }
+    return new RiskProfileCache(capacity);
+  }();
+  return *cache;
+}
+
+bool RiskProfileCache::Matches(const Entry& entry, std::uint64_t hash,
+                               const LossFunction& loss,
+                               const std::vector<Vector>& thetas,
+                               const Dataset& data) const {
+  if (entry.hash != hash) return false;
+  if (entry.loss_name != loss.Name()) return false;
+  if (DoubleBits(entry.loss_bound) != DoubleBits(loss.UpperBound())) return false;
+  if (DoubleBits(entry.loss_fingerprint) != DoubleBits(loss.ParameterFingerprint())) {
+    return false;
+  }
+  if (entry.thetas.size() != thetas.size() || entry.examples.size() != data.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    if (!BitwiseEqual(entry.thetas[i], thetas[i])) return false;
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (!BitwiseEqual(entry.examples[i].features, data.at(i).features)) return false;
+    if (DoubleBits(entry.examples[i].label) != DoubleBits(data.at(i).label)) return false;
+  }
+  return true;
+}
+
+StatusOr<std::vector<double>> RiskProfileCache::GetOrCompute(
+    const LossFunction& loss, const std::vector<Vector>& thetas, const Dataset& data) {
+  const std::uint64_t hash = KeyHash(loss, thetas, data);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (Matches(*it, hash, loss, thetas, data)) {
+        ++stats_.hits;
+        entries_.splice(entries_.begin(), entries_, it);  // move to MRU
+        std::vector<double> risks = entries_.front().risks;
+        CountHit(true);
+        return risks;
+      }
+    }
+    ++stats_.misses;
+  }
+  CountHit(false);
+
+  // Compute outside the lock: the profile may fan out over the global thread
+  // pool and can take arbitrarily long; holding mu_ would serialize every
+  // other grid cell behind it.
+  obs::TraceSpan span("perf.risk_cache.fill");
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks,
+                           EmpiricalRiskProfile(loss, thetas, data));
+
+  Entry entry;
+  entry.hash = hash;
+  entry.loss_name = loss.Name();
+  entry.loss_bound = loss.UpperBound();
+  entry.loss_fingerprint = loss.ParameterFingerprint();
+  entry.thetas = thetas;
+  entry.examples = data.examples();
+  entry.risks = risks;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // A racing thread may have inserted the same key; a duplicate entry is
+  // harmless (bit-identical value) and ages out by LRU.
+  entries_.push_front(std::move(entry));
+  while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  return risks;
+}
+
+RiskProfileCache::Stats RiskProfileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t RiskProfileCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void RiskProfileCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+bool RiskCacheEnabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetRiskCacheEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+StatusOr<std::vector<double>> CachedRiskProfile(const LossFunction& loss,
+                                                const std::vector<Vector>& thetas,
+                                                const Dataset& data) {
+  if (!RiskCacheEnabled()) return EmpiricalRiskProfile(loss, thetas, data);
+  return RiskProfileCache::Global().GetOrCompute(loss, thetas, data);
+}
+
+}  // namespace perf
+}  // namespace dplearn

@@ -1,0 +1,116 @@
+#ifndef DPLEARN_PERF_RISK_PROFILE_CACHE_H_
+#define DPLEARN_PERF_RISK_PROFILE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "learning/dataset.h"
+#include "learning/loss.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace dplearn {
+namespace perf {
+
+/// Memoization of the empirical-risk profile R̂_Ẑ(θ_i) over a hypothesis
+/// grid — the dominant cost of every finite-Θ Gibbs / exponential-mechanism
+/// evaluation (Theorem 4.1 makes them the same object, so they share the
+/// same hot loop). A sweep over (ε, λ, prior) grid cells, a λ-selection
+/// pipeline, or a channel construction evaluated at many temperatures all
+/// recompute the SAME profile: the risk vector depends only on (loss, Θ, Ẑ),
+/// never on the temperature or the prior. This cache computes it once and
+/// serves every later cell.
+///
+/// Determinism contract (DESIGN.md §10): a hit returns the exact vector a
+/// miss would have computed — the profile is a deterministic function of its
+/// key and the cached value IS a previous output of EmpiricalRiskProfile on
+/// bitwise-equal inputs — so enabling the cache is bit-invisible to every
+/// downstream posterior, sample, and verdict. tests/perf_cache_equivalence
+/// proves this differentially against the uncached path.
+///
+/// Correctness of keying: entries are keyed by a 64-bit content hash of
+/// (loss Name/UpperBound/ParameterFingerprint, Θ, Ẑ) but a hash match alone
+/// never serves a hit — the stored key copy is compared bitwise (memcmp on
+/// the doubles, so NaN payloads and signed zeros are distinguished) before
+/// the cached profile is returned. A collision therefore costs one compare
+/// and falls through to a recompute; it cannot produce a wrong result.
+class RiskProfileCache {
+ public:
+  /// `capacity` bounds the number of cached profiles; least-recently-used
+  /// entries are evicted beyond it. Each entry owns copies of its Θ and Ẑ
+  /// key material, so capacity also bounds memory.
+  explicit RiskProfileCache(std::size_t capacity = kDefaultCapacity);
+
+  /// The process-wide instance every library call site shares. Capacity is
+  /// DPLEARN_RISK_CACHE_CAP when set, else kDefaultCapacity.
+  static RiskProfileCache& Global();
+
+  /// Returns the cached profile for (loss, thetas, data), computing and
+  /// inserting it on a miss. Thread-safe; a miss computes outside the lock,
+  /// so concurrent misses on the same key may compute twice and insert the
+  /// same (bit-identical) vector. Errors propagate from
+  /// EmpiricalRiskProfile unchanged and are never cached.
+  StatusOr<std::vector<double>> GetOrCompute(const LossFunction& loss,
+                                             const std::vector<Vector>& thetas,
+                                             const Dataset& data);
+
+  /// Counters since construction (or the last Clear()).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+  /// Cached entries currently held.
+  std::size_t size() const;
+
+  /// Drops every entry and resets the counters (test isolation).
+  void Clear();
+
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::string loss_name;
+    double loss_bound = 0.0;
+    double loss_fingerprint = 0.0;
+    std::vector<Vector> thetas;
+    std::vector<Example> examples;
+    std::vector<double> risks;
+  };
+
+  bool Matches(const Entry& entry, std::uint64_t hash, const LossFunction& loss,
+               const std::vector<Vector>& thetas, const Dataset& data) const;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  /// Front = most recently used. Linear scan is fine: lookups are O(entries)
+  /// hash compares against profiles that cost O(|Θ|·n) loss evaluations.
+  std::list<Entry> entries_;
+  Stats stats_;
+};
+
+/// Whether library call sites consult the global cache. Defaults to enabled;
+/// DPLEARN_RISK_CACHE=0 disables it at startup, and tests/benchmarks flip it
+/// at runtime to compare the fast path against the legacy path in-process.
+bool RiskCacheEnabled();
+void SetRiskCacheEnabled(bool enabled);
+
+/// The shared entry point: the global cache when RiskCacheEnabled(), the
+/// legacy direct EmpiricalRiskProfile computation otherwise. Call sites in
+/// core (Gibbs estimator, λ selection, channel builders) route through this
+/// so one env flag switches the whole library between paths.
+StatusOr<std::vector<double>> CachedRiskProfile(const LossFunction& loss,
+                                                const std::vector<Vector>& thetas,
+                                                const Dataset& data);
+
+}  // namespace perf
+}  // namespace dplearn
+
+#endif  // DPLEARN_PERF_RISK_PROFILE_CACHE_H_

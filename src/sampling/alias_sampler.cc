@@ -48,4 +48,15 @@ std::size_t AliasSampler::Sample(Rng* rng) const {
   return rng->NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
 }
 
+void AliasSampler::SampleBatch(Rng* rng, std::size_t k,
+                               std::vector<std::size_t>* out) const {
+  out->resize(k);
+  // Per-draw arithmetic identical to Sample(); the batch form keeps the
+  // table rows hot in cache across the block and resizes out exactly once.
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::size_t bucket = static_cast<std::size_t>(rng->NextBounded(prob_.size()));
+    (*out)[j] = rng->NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+  }
+}
+
 }  // namespace dplearn

@@ -133,9 +133,58 @@ StatusOr<std::size_t> SampleFromLogWeights(Rng* rng, const std::vector<double>& 
   return best;
 }
 
-StatusOr<std::vector<double>> SampleUnitSphere(Rng* rng, std::size_t d) {
+StatusOr<std::size_t> SampleFromLogWeights(Rng* rng, const std::vector<double>& log_weights,
+                                           std::vector<double>* scratch) {
+  if (log_weights.empty()) {
+    return InvalidArgumentError("SampleFromLogWeights: empty input");
+  }
+  if (scratch == nullptr) {
+    return InvalidArgumentError("SampleFromLogWeights: scratch must be set");
+  }
+  // One blocked uniform fill instead of per-element NextDoubleOpen() calls.
+  // The stream order is unchanged (element i still consumes the i-th draw),
+  // so the selected index is bitwise the same as the allocation-free
+  // overload's; only the call pattern differs.
+  scratch->resize(log_weights.size());
+  rng->NextDoubleOpenBatch(scratch->data(), scratch->size());
+  std::size_t best = 0;
+  double best_val = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < log_weights.size(); ++i) {
+    const double gumbel = -std::log(-std::log((*scratch)[i]));
+    const double val = log_weights[i] + gumbel;
+    if (val > best_val) {
+      best_val = val;
+      best = i;
+    }
+  }
+  if (best_val == -std::numeric_limits<double>::infinity()) {
+    return InvalidArgumentError("SampleFromLogWeights: all weights are zero");
+  }
+  return best;
+}
+
+Status SampleFromLogWeightsBatch(Rng* rng, const std::vector<double>& log_weights,
+                                 std::size_t k, std::vector<std::size_t>* out) {
+  if (log_weights.empty()) {
+    return InvalidArgumentError("SampleFromLogWeightsBatch: empty input");
+  }
+  if (out == nullptr) {
+    return InvalidArgumentError("SampleFromLogWeightsBatch: out must be set");
+  }
+  out->resize(k);
+  std::vector<double> scratch;
+  scratch.reserve(log_weights.size());
+  for (std::size_t j = 0; j < k; ++j) {
+    DPLEARN_ASSIGN_OR_RETURN((*out)[j], SampleFromLogWeights(rng, log_weights, &scratch));
+  }
+  return Status::Ok();
+}
+
+Status SampleUnitSphere(Rng* rng, std::size_t d, std::vector<double>* out) {
   if (d == 0) return InvalidArgumentError("SampleUnitSphere: dimension must be positive");
-  std::vector<double> v(d);
+  if (out == nullptr) return InvalidArgumentError("SampleUnitSphere: out must be set");
+  out->resize(d);
+  std::vector<double>& v = *out;
   double norm_sq = 0.0;
   do {
     norm_sq = 0.0;
@@ -146,17 +195,33 @@ StatusOr<std::vector<double>> SampleUnitSphere(Rng* rng, std::size_t d) {
   } while (norm_sq == 0.0);
   const double inv = 1.0 / std::sqrt(norm_sq);
   for (double& x : v) x *= inv;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> SampleUnitSphere(Rng* rng, std::size_t d) {
+  std::vector<double> v;
+  DPLEARN_RETURN_IF_ERROR(SampleUnitSphere(rng, d, &v));
   return v;
 }
 
-StatusOr<std::vector<double>> SampleGammaNormVector(Rng* rng, std::size_t d, double rate) {
+Status SampleGammaNormVector(Rng* rng, std::size_t d, double rate,
+                             std::vector<double>* out) {
   if (rate <= 0.0) {
     return InvalidArgumentError("SampleGammaNormVector: rate must be positive");
   }
-  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> dir, SampleUnitSphere(rng, d));
+  if (out == nullptr) {
+    return InvalidArgumentError("SampleGammaNormVector: out must be set");
+  }
+  DPLEARN_RETURN_IF_ERROR(SampleUnitSphere(rng, d, out));
   // ||b|| has density prop. to r^{d-1} exp(-rate*r), i.e. Gamma(d, 1/rate).
   DPLEARN_ASSIGN_OR_RETURN(double norm, SampleGamma(rng, static_cast<double>(d), 1.0 / rate));
-  for (double& x : dir) x *= norm;
+  for (double& x : *out) x *= norm;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<double>> SampleGammaNormVector(Rng* rng, std::size_t d, double rate) {
+  std::vector<double> dir;
+  DPLEARN_RETURN_IF_ERROR(SampleGammaNormVector(rng, d, rate, &dir));
   return dir;
 }
 

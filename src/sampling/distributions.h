@@ -65,15 +65,47 @@ StatusOr<std::size_t> SampleDiscrete(Rng* rng, const std::vector<double>& p);
 /// large epsilon. Error if empty.
 StatusOr<std::size_t> SampleFromLogWeights(Rng* rng, const std::vector<double>& log_weights);
 
+/// Scratch-buffer overload for hot loops: identical draw, but the block of
+/// uniforms feeding the Gumbel perturbations is filled through `scratch`
+/// (resized to log_weights.size() once, then reused across calls) instead
+/// of being drawn one library call at a time. Bit- and stream-identical to
+/// the overload above; MCMC/Gibbs inner loops and the batch samplers pass a
+/// long-lived buffer so repeated draws from the same posterior allocate
+/// nothing. Error if empty or scratch == nullptr.
+StatusOr<std::size_t> SampleFromLogWeights(Rng* rng, const std::vector<double>& log_weights,
+                                           std::vector<double>* scratch);
+
+/// Draws `k` i.i.d. indices from the log-weights distribution into *out —
+/// bit- and stream-identical to k sequential SampleFromLogWeights calls on
+/// the same Rng, but the log-weight vector is walked k times without
+/// re-deriving it and with one shared scratch buffer, which is what makes
+/// repeated draws from a fixed Gibbs posterior / exponential mechanism
+/// cheap. *out is resized to k (its prior contents are discarded). Error if
+/// log_weights is empty, out == nullptr, or all weights are zero.
+Status SampleFromLogWeightsBatch(Rng* rng, const std::vector<double>& log_weights,
+                                 std::size_t k, std::vector<std::size_t>* out);
+
 /// Draws a point uniformly from the surface of the unit sphere in d
 /// dimensions. Error if d == 0.
 StatusOr<std::vector<double>> SampleUnitSphere(Rng* rng, std::size_t d);
+
+/// Scratch-buffer overload: writes the point into *out (resized to d),
+/// drawing the same values as the allocating overload. For per-trial noise
+/// loops (private ERM sweeps) that would otherwise allocate a vector per
+/// draw. Error if d == 0 or out == nullptr.
+Status SampleUnitSphere(Rng* rng, std::size_t d, std::vector<double>* out);
 
 /// Draws a noise vector with density proportional to exp(-rate * ||b||_2)
 /// in d dimensions (the "Gamma-norm + uniform direction" construction used
 /// by Chaudhuri–Monteleoni–Sarwate for private ERM). Error if rate <= 0 or
 /// d == 0.
 StatusOr<std::vector<double>> SampleGammaNormVector(Rng* rng, std::size_t d, double rate);
+
+/// Scratch-buffer overload of SampleGammaNormVector: writes into *out
+/// (resized to d), bit-identical to the allocating overload. Error if
+/// rate <= 0, d == 0, or out == nullptr.
+Status SampleGammaNormVector(Rng* rng, std::size_t d, double rate,
+                             std::vector<double>* out);
 
 }  // namespace dplearn
 

@@ -56,6 +56,22 @@ double Rng::NextDoubleOpen() {
   return (static_cast<double>(NextUint64() >> 11) + 0.5) * 0x1.0p-53;
 }
 
+void Rng::NextDoubleBatch(double* out, std::size_t n) {
+  // Same arithmetic as NextDouble per element; the win is one call boundary
+  // for the block (NextUint64 inlines within this translation unit). The
+  // per-draw fail-point check inside NextUint64 is preserved, so chaos
+  // configurations fire on the same draw indices as the unbatched path.
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+}
+
+void Rng::NextDoubleOpenBatch(double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = (static_cast<double>(NextUint64() >> 11) + 0.5) * 0x1.0p-53;
+  }
+}
+
 std::uint64_t Rng::NextBounded(std::uint64_t bound) {
   DPLEARN_CHECK_GT(bound, 0u);
   // Rejection sampling on the top of the range to avoid modulo bias.

@@ -1,6 +1,7 @@
 #ifndef DPLEARN_SAMPLING_RNG_H_
 #define DPLEARN_SAMPLING_RNG_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace dplearn {
@@ -29,6 +30,17 @@ class Rng {
   /// Returns a uniform double in the open interval (0, 1); never 0, so it is
   /// safe as an argument to log() in inverse-CDF samplers.
   double NextDoubleOpen();
+
+  /// Fills out[0..n) with the next n uniform doubles in [0, 1) — bit- and
+  /// stream-identical to n NextDouble() calls, but one library call for the
+  /// whole block so the generator state stays in registers across the loop.
+  /// Batched consumers (alias tables, Gumbel-max draws) use this to amortize
+  /// per-call overhead on their hot path.
+  void NextDoubleBatch(double* out, std::size_t n);
+
+  /// Blocked NextDoubleOpen(): fills out[0..n) with doubles in (0, 1),
+  /// bit- and stream-identical to n NextDoubleOpen() calls.
+  void NextDoubleOpenBatch(double* out, std::size_t n);
 
   /// Returns a uniform integer in [0, bound) without modulo bias.
   /// `bound` must be positive.
