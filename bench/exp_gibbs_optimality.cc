@@ -38,7 +38,7 @@ void Run() {
   auto hclass = bench::Unwrap(FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 41), "grid");
   const std::vector<double> prior = hclass.UniformPrior();
 
-  Rng rng(303);
+  Rng rng(bench::BaseSeed(303));
   Dataset data = bench::Unwrap(task.Sample(n, &rng), "sample");
   auto risks = bench::Unwrap(EmpiricalRiskProfile(loss, hclass.thetas(), data), "risks");
 

@@ -30,7 +30,7 @@ void Run() {
   // the utility simulation.
   const std::size_t utility_trials = bench::TrialCount(20000, 500);
   auto task = bench::Unwrap(BernoulliMeanTask::Create(0.4), "task");
-  Rng rng(101);
+  Rng rng(bench::BaseSeed(101));
   Dataset data = bench::Unwrap(task.Sample(n, &rng), "sample");
 
   std::printf("workload: bounded mean over {0,1}, n=%zu, sensitivity=1/n=%.5f\n", n,

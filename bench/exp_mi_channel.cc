@@ -37,7 +37,7 @@ void Run() {
   auto hclass = bench::Unwrap(FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 13), "grid");
 
   const std::size_t mi_samples = bench::TrialCount(200000, 5000);
-  Rng rng(606);
+  Rng rng(bench::BaseSeed(606));
 
   std::printf("channel: Z=(k ones of %zu) ~ Binomial(%zu, %.1f) -> theta (|Theta|=%zu)\n",
               n, n, p, hclass.size());

@@ -100,6 +100,8 @@ struct ExperimentState {
   std::string claim;
   std::string slug;
   std::string results_dir;
+  bool seed_recorded = false;
+  std::uint64_t seed = 0;
   std::int64_t started_unix_ms = 0;
   std::chrono::steady_clock::time_point start;
   bool section_open = false;
@@ -143,6 +145,18 @@ inline std::string ResultsDir() {
 /// --trials=N override parsed by ParseFlags; 0 means "not set".
 inline std::size_t& TrialsOverride() {
   static std::size_t value = 0;
+  return value;
+}
+
+/// --seed=N override parsed by ParseFlags (DPLEARN_SEED is the env
+/// equivalent; the flag wins). Resolved by BaseSeed().
+inline bool& SeedOverrideSet() {
+  static bool value = false;
+  return value;
+}
+
+inline std::uint64_t& SeedOverride() {
+  static std::uint64_t value = 0;
   return value;
 }
 
@@ -190,6 +204,10 @@ inline void WriteRecord() {
   // different "threads" values.
   w.Key("threads").Value(static_cast<std::uint64_t>(parallel::DefaultThreadCount()));
   w.Key("smoke").Value(SmokeMode());
+  // Replay provenance: the master RNG seed the run resolved via BaseSeed()
+  // (absent when the binary has not adopted seed plumbing yet). Re-running
+  // with --seed=<this value> reproduces every scalar bit for bit.
+  if (state.seed_recorded) w.Key("seed").Value(state.seed);
   // Chaos provenance: the armed fail-point configuration (empty string when
   // none) and every cell abandoned to an injected fault. A record with
   // failures and all_pass=true means the sweep degraded gracefully — the
@@ -283,9 +301,35 @@ inline std::size_t TrialCount(std::size_t full, std::size_t smoke) {
   return SmokeMode() ? smoke : full;
 }
 
-/// Parses the flags every experiment binary shares (--smoke, --trials=N).
-/// Call at the top of main(); anything unrecognized aborts with usage, so a
-/// typo cannot silently run the full-size experiment.
+/// The master RNG seed an experiment should construct its Rng from: the
+/// --seed=N flag when given, else the DPLEARN_SEED env var, else the
+/// experiment's own hard-coded default. The resolved value is written into
+/// the JSON record's "seed" field, so every record names the seed that
+/// reproduces it. Experiments with several RNG sites should call this once
+/// and derive the rest via Rng::Split() so one flag re-seeds the whole run.
+inline std::uint64_t BaseSeed(std::uint64_t default_seed) {
+  std::uint64_t resolved = default_seed;
+  if (internal::SeedOverrideSet()) {
+    resolved = internal::SeedOverride();
+  } else {
+    const char* env = std::getenv("DPLEARN_SEED");
+    if (env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0') resolved = static_cast<std::uint64_t>(parsed);
+    }
+  }
+  internal::ExperimentState& state = internal::State();
+  if (!state.seed_recorded) {  // first resolution wins, like PrintHeader
+    state.seed_recorded = true;
+    state.seed = resolved;
+  }
+  return resolved;
+}
+
+/// Parses the flags every experiment binary shares (--smoke, --trials=N,
+/// --seed=N). Call at the top of main(); anything unrecognized aborts with
+/// usage, so a typo cannot silently run the full-size experiment.
 inline void ParseFlags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -297,10 +341,20 @@ inline void ParseFlags(int argc, char** argv) {
         std::exit(2);
       }
       internal::TrialsOverride() = static_cast<std::size_t>(parsed);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(arg + 7, &end, 10);
+      if (end == arg + 7 || *end != '\0') {
+        std::fprintf(stderr, "%s: --seed expects an unsigned integer, got '%s'\n",
+                     argv[0], arg + 7);
+        std::exit(2);
+      }
+      internal::SeedOverrideSet() = true;
+      internal::SeedOverride() = static_cast<std::uint64_t>(parsed);
     } else if (std::strcmp(arg, "--smoke") == 0) {
       internal::SmokeFlag() = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--trials=N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--trials=N] [--seed=N]\n", argv[0]);
       std::exit(2);
     }
   }

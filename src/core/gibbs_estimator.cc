@@ -124,7 +124,7 @@ StatusOr<double> GibbsEstimator::KlToPrior(const Dataset& data) const {
     if (std::isinf(term)) return std::numeric_limits<double>::infinity();
     kl += term;
   }
-  return std::max(0.0, kl);
+  return ClampRoundingNegative(kl);
 }
 
 StatusOr<double> GibbsEstimator::PrivacyGuaranteeEpsilon(double sensitivity) const {

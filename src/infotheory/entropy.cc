@@ -43,8 +43,9 @@ StatusOr<double> KlDivergence(const std::vector<double>& p, const std::vector<do
     if (std::isinf(term)) return std::numeric_limits<double>::infinity();
     d += term;
   }
-  // Tiny negative values can arise from rounding when p ~= q.
-  return std::max(0.0, d);
+  // Library-wide clamp policy (math_util.h): rounding-scale negatives (p ~= q)
+  // become exactly 0, larger negatives would be a real bug and pass through.
+  return ClampRoundingNegative(d);
 }
 
 StatusOr<double> JensenShannonDivergence(const std::vector<double>& p,
@@ -73,7 +74,7 @@ StatusOr<double> BernoulliKl(double p, double q) {
   if (std::isinf(term1) || std::isinf(term2)) {
     return std::numeric_limits<double>::infinity();
   }
-  return std::max(0.0, term1 + term2);
+  return ClampRoundingNegative(term1 + term2);
 }
 
 }  // namespace dplearn

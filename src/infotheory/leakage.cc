@@ -28,7 +28,7 @@ StatusOr<double> MinEntropyLeakage(const DiscreteChannel& channel,
   if (prior_vulnerability <= 0.0 || posterior_vulnerability <= 0.0) {
     return InvalidArgumentError("MinEntropyLeakage: degenerate prior");
   }
-  return std::max(0.0, std::log(posterior_vulnerability / prior_vulnerability));
+  return ClampRoundingNegative(std::log(posterior_vulnerability / prior_vulnerability));
 }
 
 StatusOr<double> MinCapacity(const DiscreteChannel& channel) {
@@ -40,7 +40,7 @@ StatusOr<double> MinCapacity(const DiscreteChannel& channel) {
     }
     sum += best;
   }
-  return std::max(0.0, std::log(sum));
+  return ClampRoundingNegative(std::log(sum));
 }
 
 StatusOr<std::size_t> NeighborGraphDiameter(const NeighborGraph& graph,

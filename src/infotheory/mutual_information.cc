@@ -101,7 +101,7 @@ double JointDistribution::MutualInformation() const {
       if (pxy > 0.0) mi += pxy * (std::log(pxy) - std::log(px[x]) - std::log(py[y]));
     }
   }
-  return std::max(0.0, mi);
+  return ClampRoundingNegative(mi);
 }
 
 double JointDistribution::ConditionalEntropyYGivenX() const {
@@ -147,7 +147,7 @@ StatusOr<double> PluginMiFromSamples(const std::vector<std::size_t>& xs,
     }
     mi += p * (std::log(p) - std::log(mx->second) - std::log(my->second));
   }
-  return std::max(0.0, mi);
+  return ClampRoundingNegative(mi);
 }
 
 double MillerMadowCorrection(std::size_t support_x, std::size_t support_y,
@@ -212,7 +212,7 @@ StatusOr<double> KsgMi(const std::vector<double>& xs, const std::vector<double>&
   }
   const double mi = Digamma(static_cast<double>(k)) + Digamma(static_cast<double>(n)) -
                     psi_sum / static_cast<double>(n);
-  return std::max(0.0, mi);
+  return ClampRoundingNegative(mi);
 }
 
 }  // namespace dplearn

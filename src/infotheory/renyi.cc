@@ -18,21 +18,31 @@ StatusOr<double> RenyiDivergence(const std::vector<double>& p, const std::vector
   if (!(alpha > 0.0) || alpha == 1.0) {
     return InvalidArgumentError("RenyiDivergence: alpha must be positive and != 1");
   }
-  // D_alpha = (1/(alpha-1)) ln sum_i p_i^alpha q_i^{1-alpha}.
-  double sum = 0.0;
+  // D_alpha = (1/(alpha-1)) ln sum_i p_i^alpha q_i^{1-alpha}, accumulated in
+  // log space: at extreme orders the two pow() factors under/overflow
+  // individually (pow(p,64) -> 0 times pow(q,-63) -> inf is NaN) even when
+  // the term p^alpha q^{1-alpha} itself is perfectly representable.
+  std::vector<double> log_terms;
+  log_terms.reserve(p.size());
   for (std::size_t i = 0; i < p.size(); ++i) {
     if (p[i] == 0.0) continue;
     if (q[i] == 0.0) {
       if (alpha > 1.0) return std::numeric_limits<double>::infinity();
       continue;  // alpha < 1: q-zero cells contribute 0
     }
-    sum += std::pow(p[i], alpha) * std::pow(q[i], 1.0 - alpha);
+    log_terms.push_back(alpha * std::log(p[i]) + (1.0 - alpha) * std::log(q[i]));
   }
-  if (sum <= 0.0) {
+  if (log_terms.empty()) {
     // alpha < 1 with disjoint supports.
     return std::numeric_limits<double>::infinity();
   }
-  return std::max(0.0, std::log(sum) / (alpha - 1.0));
+  const double log_sum = LogSumExp(log_terms);
+  if (std::isinf(log_sum) && log_sum < 0.0) {
+    // Every term underflowed: only possible for alpha < 1 with nearly
+    // disjoint supports, where the true divergence diverges too.
+    return std::numeric_limits<double>::infinity();
+  }
+  return ClampRoundingNegative(log_sum / (alpha - 1.0));
 }
 
 StatusOr<double> RenyiEntropy(const std::vector<double>& p, double alpha) {
@@ -44,7 +54,10 @@ StatusOr<double> RenyiEntropy(const std::vector<double>& p, double alpha) {
   for (double v : p) {
     if (v > 0.0) sum += std::pow(v, alpha);
   }
-  return std::log(sum) / (1.0 - alpha);
+  // Same clamp policy as RenyiDivergence (ClampRoundingNegative): a
+  // point-mass distribution has entropy exactly 0, but pow/log rounding can
+  // land a few ulps negative on either side of alpha = 1.
+  return ClampRoundingNegative(std::log(sum) / (1.0 - alpha));
 }
 
 StatusOr<RdpBudget> GaussianMechanismRdp(double sigma, double sensitivity, double alpha) {
@@ -71,7 +84,7 @@ StatusOr<RdpBudget> LaplaceMechanismRdp(double scale, double sensitivity, double
                 std::log((alpha - 1.0) / (2.0 * alpha - 1.0)) - alpha * t);
   RdpBudget budget;
   budget.alpha = alpha;
-  budget.epsilon = std::max(0.0, log_term / (alpha - 1.0));
+  budget.epsilon = ClampRoundingNegative(log_term / (alpha - 1.0));
   return budget;
 }
 

@@ -1,6 +1,7 @@
 #include "learning/csv_io.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -9,6 +10,20 @@
 
 namespace dplearn {
 namespace {
+
+/// Restricts cells to plain decimal notation: digits, sign, decimal point,
+/// and decimal exponent. strtod alone also accepts "inf"/"nan" (non-finite
+/// values that would flow silently into risk computations) and C99 hex
+/// floats like "0x1p3" (almost certainly column corruption, not data); this
+/// whitelist rejects all of those up front with the cell-naming error.
+bool IsPlainDecimalCell(const std::string& cell) {
+  for (const char c : cell) {
+    const bool ok = (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' ||
+                    c == 'e' || c == 'E';
+    if (!ok) return false;
+  }
+  return !cell.empty();
+}
 
 /// Parses one CSV line into doubles. Returns an error naming the bad cell.
 StatusOr<std::vector<double>> ParseLine(const std::string& line, std::size_t line_number) {
@@ -29,7 +44,11 @@ StatusOr<std::vector<double>> ParseLine(const std::string& line, std::size_t lin
     errno = 0;
     char* parse_end = nullptr;
     const double value = std::strtod(cell.c_str(), &parse_end);
-    if (errno != 0 || parse_end == cell.c_str() || *parse_end != '\0') {
+    // isfinite backstops the whitelist: a syntactically plain cell like
+    // "1e999" still overflows to +inf (errno also fires, but not on every
+    // libc for underflow-to-zero vs overflow cases — check the value too).
+    if (errno != 0 || parse_end == cell.c_str() || *parse_end != '\0' ||
+        !IsPlainDecimalCell(cell) || !std::isfinite(value)) {
       return InvalidArgumentError("CSV line " + std::to_string(line_number) +
                                   ": cannot parse '" + cell + "' as a number");
     }

@@ -1,10 +1,32 @@
 #include "mechanisms/geometric.h"
 
 #include <cmath>
+#include <limits>
 
 #include "robustness/failpoint.h"
 
 namespace dplearn {
+namespace {
+
+/// Validates that the query's integer-valued double fits in int64 before it
+/// is cast — the cast is undefined behavior outside [-2^63, 2^63). The upper
+/// bound is exclusive: 2^63 is exactly representable as a double but one
+/// past INT64_MAX, while every integral double strictly below it is
+/// representable.
+StatusOr<std::int64_t> CheckedInt64FromQuery(double true_value) {
+  if (std::floor(true_value) != true_value) {
+    return FailedPreconditionError("GeometricMechanism: query returned a non-integer");
+  }
+  constexpr double kInt64Min = -9223372036854775808.0;  // -2^63, exact
+  constexpr double kInt64UpperBound = 9223372036854775808.0;  // 2^63, exact
+  if (!(true_value >= kInt64Min) || !(true_value < kInt64UpperBound)) {
+    return FailedPreconditionError(
+        "GeometricMechanism: query value is not representable as int64");
+  }
+  return static_cast<std::int64_t>(true_value);
+}
+
+}  // namespace
 
 StatusOr<std::int64_t> SampleTwoSidedGeometric(Rng* rng, double alpha) {
   if (!(alpha > 0.0) || alpha >= 1.0) {
@@ -43,22 +65,29 @@ StatusOr<GeometricMechanism> GeometricMechanism::Create(SensitiveQuery query,
 
 StatusOr<std::int64_t> GeometricMechanism::Release(const Dataset& data, Rng* rng) const {
   DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
-  const double true_value = query_.query(data);
-  if (std::floor(true_value) != true_value) {
-    return FailedPreconditionError("GeometricMechanism: query returned a non-integer");
-  }
+  DPLEARN_ASSIGN_OR_RETURN(std::int64_t true_int,
+                           CheckedInt64FromQuery(query_.query(data)));
   DPLEARN_ASSIGN_OR_RETURN(std::int64_t noise, SampleTwoSidedGeometric(rng, alpha_));
-  return static_cast<std::int64_t>(true_value) + noise;
+  // Saturate instead of wrapping when the noise would push a near-boundary
+  // value past the int64 range (signed overflow is UB).
+  std::int64_t released = 0;
+  if (__builtin_add_overflow(true_int, noise, &released)) {
+    return noise > 0 ? std::numeric_limits<std::int64_t>::max()
+                     : std::numeric_limits<std::int64_t>::min();
+  }
+  return released;
 }
 
 StatusOr<double> GeometricMechanism::OutputProbability(const Dataset& data,
                                                        std::int64_t output) const {
-  const double true_value = query_.query(data);
-  if (std::floor(true_value) != true_value) {
-    return FailedPreconditionError("GeometricMechanism: query returned a non-integer");
-  }
-  const std::int64_t diff = output - static_cast<std::int64_t>(true_value);
-  const double magnitude = static_cast<double>(diff < 0 ? -diff : diff);
+  DPLEARN_ASSIGN_OR_RETURN(std::int64_t true_int,
+                           CheckedInt64FromQuery(query_.query(data)));
+  // |output - true_int| in double: the int64 difference can overflow (e.g.
+  // output near INT64_MAX against a negative query value), while the double
+  // form is safe for any pair and exact wherever the pmf is not already
+  // flushed to zero by pow().
+  const double magnitude =
+      std::fabs(static_cast<double>(output) - static_cast<double>(true_int));
   return (1.0 - alpha_) / (1.0 + alpha_) * std::pow(alpha_, magnitude);
 }
 

@@ -25,10 +25,15 @@ class GeometricMechanism {
   /// invalid epsilon or sensitivity.
   static StatusOr<GeometricMechanism> Create(SensitiveQuery query, double epsilon);
 
-  /// Releases one ε-DP noisy count.
+  /// Releases one ε-DP noisy count. FailedPreconditionError if the query
+  /// returns a non-integer or a value outside the int64 range; a noise draw
+  /// that would carry an in-range value past INT64_MIN/MAX saturates at the
+  /// boundary (clamping is post-processing, so the guarantee is unchanged).
   StatusOr<std::int64_t> Release(const Dataset& data, Rng* rng) const;
 
   /// Exact probability the mechanism outputs `output` on `data`.
+  /// FailedPreconditionError on non-integer or int64-unrepresentable query
+  /// values, matching Release.
   StatusOr<double> OutputProbability(const Dataset& data, std::int64_t output) const;
 
   /// P(|noise| >= t) = 2 α^t / (1+α) for t >= 1 — the tail the accuracy

@@ -5,8 +5,18 @@
 #include <vector>
 
 #include "sampling/distributions.h"
+#include "util/math_util.h"
 
 namespace dplearn {
+namespace {
+
+/// exp(epsilon) overflows a double past ~709 (and exp(2*epsilon) past ~354),
+/// turning the naive amplification formulas into inf/inf = NaN; above this
+/// threshold the log-space forms below take over. Well under the overflow
+/// point so both forms are exact where they hand off.
+constexpr double kLogSpaceEpsilonThreshold = 300.0;
+
+}  // namespace
 
 StatusOr<Dataset> PoissonSubsample(const Dataset& data, double q, Rng* rng) {
   if (!(q > 0.0) || q > 1.0) {
@@ -45,6 +55,10 @@ StatusOr<double> AmplifiedEpsilonPoisson(double epsilon, double q) {
   if (!(q > 0.0) || q > 1.0) {
     return InvalidArgumentError("AmplifiedEpsilonPoisson: q must be in (0,1]");
   }
+  if (epsilon > kLogSpaceEpsilonThreshold) {
+    // ln(1 - q + q·e^ε) in log space: expm1(ε) would overflow to +inf.
+    return LogAddExp(std::log1p(-q), std::log(q) + epsilon);
+  }
   return std::log1p(q * std::expm1(epsilon));
 }
 
@@ -63,9 +77,15 @@ StatusOr<double> AmplifiedEpsilonPoissonReplace(double epsilon, double q) {
   if (!(q > 0.0) || q > 1.0) {
     return InvalidArgumentError("AmplifiedEpsilonPoissonReplace: q must be in (0,1]");
   }
-  const double numerator = (1.0 - q) + q * std::exp(2.0 * epsilon);
-  const double denominator = (1.0 - q) + q * std::exp(epsilon);
-  return std::log(numerator / denominator);
+  // Computed as ln(1-q + q·e^{2ε}) − ln(1-q + q·e^ε). The direct ratio
+  // overflows to inf/inf = NaN once exp(2ε) exceeds DBL_MAX (ε ≳ 354); the
+  // log-space form is finite for every valid (ε, q). log1p(-q) is the exact
+  // log(1-q) (-inf at q = 1, which LogAddExp absorbs).
+  const double log_q = std::log(q);
+  const double log_one_minus_q = std::log1p(-q);
+  const double log_numerator = LogAddExp(log_one_minus_q, log_q + 2.0 * epsilon);
+  const double log_denominator = LogAddExp(log_one_minus_q, log_q + epsilon);
+  return log_numerator - log_denominator;
 }
 
 StatusOr<double> BaseEpsilonForAmplifiedTarget(double target_epsilon, double q) {
@@ -74,6 +94,13 @@ StatusOr<double> BaseEpsilonForAmplifiedTarget(double target_epsilon, double q) 
   }
   if (!(q > 0.0) || q > 1.0) {
     return InvalidArgumentError("BaseEpsilonForAmplifiedTarget: q must be in (0,1]");
+  }
+  if (target_epsilon > kLogSpaceEpsilonThreshold) {
+    // ln(1 + (e^t − 1)/q) = ln(e^t − (1−q)) − ln q
+    //                     = t + log1p(−(1−q)·e^{−t}) − ln q,
+    // finite where expm1(t) overflows.
+    return target_epsilon + std::log1p(-(1.0 - q) * std::exp(-target_epsilon)) -
+           std::log(q);
   }
   return std::log1p(std::expm1(target_epsilon) / q);
 }

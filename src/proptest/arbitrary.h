@@ -1,0 +1,212 @@
+#ifndef DPLEARN_PROPTEST_ARBITRARY_H_
+#define DPLEARN_PROPTEST_ARBITRARY_H_
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace proptest {
+
+/// A random-value generator with optional shrinking and printing — the unit
+/// the property engine (property.h) iterates over. All randomness flows
+/// through the library's own Rng, so generated instances obey the same
+/// reproducibility contract as every experiment: one seed, one sequence.
+///
+/// `shrink` returns candidate values strictly "simpler" than its argument
+/// (fewer elements, values closer to a distinguished point), ordered most
+/// aggressive first. The engine shrinks greedily: it re-runs the property on
+/// each candidate and restarts from the first one that still fails, so
+/// shrink functions need not enumerate exhaustively — a couple of large
+/// jumps plus a bisection step converge in O(log) accepted steps.
+template <typename T>
+struct Arbitrary {
+  std::function<T(Rng*)> generate;
+  std::function<std::vector<T>(const T&)> shrink;   // optional
+  std::function<std::string(const T&)> describe;    // optional
+
+  std::vector<T> ShrinkCandidates(const T& value) const {
+    if (!shrink) return {};
+    return shrink(value);
+  }
+
+  std::string Describe(const T& value) const {
+    if (describe) return describe(value);
+    return "<value>";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shrink building blocks.
+
+/// Candidates between `value` and `target`: the target itself, then the
+/// midpoint — greedy re-application bisects down to the boundary of the
+/// failing region.
+inline std::vector<double> ShrinkDoubleToward(double value, double target) {
+  std::vector<double> out;
+  if (value == target || !std::isfinite(value)) return out;
+  out.push_back(target);
+  const double mid = target + (value - target) / 2.0;
+  if (mid != value && mid != target) out.push_back(mid);
+  return out;
+}
+
+inline std::vector<std::size_t> ShrinkSizeToward(std::size_t value, std::size_t target) {
+  std::vector<std::size_t> out;
+  if (value == target) return out;
+  out.push_back(target);
+  const std::size_t mid = target + (value - target) / 2;
+  if (mid != value && mid != target) out.push_back(mid);
+  if (value > target && value - 1 != mid) out.push_back(value - 1);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arbitraries.
+
+/// Uniform double on [lo, hi); shrinks toward lo.
+inline Arbitrary<double> UniformDouble(double lo, double hi) {
+  Arbitrary<double> arb;
+  arb.generate = [lo, hi](Rng* rng) { return lo + (hi - lo) * rng->NextDouble(); };
+  arb.shrink = [lo](const double& v) { return ShrinkDoubleToward(v, lo); };
+  arb.describe = [](const double& v) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+  };
+  return arb;
+}
+
+/// Log-uniform double on [lo, hi] (lo > 0): equal mass per decade, the right
+/// sweep for parameters like ε, λ, and noise scales that matter across
+/// orders of magnitude. Shrinks toward lo.
+inline Arbitrary<double> LogUniformDouble(double lo, double hi) {
+  Arbitrary<double> arb;
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  arb.generate = [log_lo, log_hi](Rng* rng) {
+    return std::exp(log_lo + (log_hi - log_lo) * rng->NextDouble());
+  };
+  arb.shrink = [lo](const double& v) { return ShrinkDoubleToward(v, lo); };
+  arb.describe = [](const double& v) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+  };
+  return arb;
+}
+
+/// Uniform size_t on [lo, hi]; shrinks toward lo.
+inline Arbitrary<std::size_t> SizeBetween(std::size_t lo, std::size_t hi) {
+  Arbitrary<std::size_t> arb;
+  arb.generate = [lo, hi](Rng* rng) {
+    return lo + static_cast<std::size_t>(rng->NextBounded(hi - lo + 1));
+  };
+  arb.shrink = [lo](const std::size_t& v) { return ShrinkSizeToward(v, lo); };
+  arb.describe = [](const std::size_t& v) { return std::to_string(v); };
+  return arb;
+}
+
+// ---------------------------------------------------------------------------
+// Combinators.
+
+/// Pairs two arbitraries; shrinks the first coordinate before the second.
+template <typename A, typename B>
+Arbitrary<std::pair<A, B>> PairOf(Arbitrary<A> first, Arbitrary<B> second) {
+  Arbitrary<std::pair<A, B>> arb;
+  arb.generate = [first, second](Rng* rng) {
+    A a = first.generate(rng);  // fixed evaluation order (not a braced init:
+    B b = second.generate(rng); // function-argument order is unspecified)
+    return std::make_pair(std::move(a), std::move(b));
+  };
+  arb.shrink = [first, second](const std::pair<A, B>& v) {
+    std::vector<std::pair<A, B>> out;
+    for (const A& a : first.ShrinkCandidates(v.first)) out.emplace_back(a, v.second);
+    for (const B& b : second.ShrinkCandidates(v.second)) out.emplace_back(v.first, b);
+    return out;
+  };
+  arb.describe = [first, second](const std::pair<A, B>& v) {
+    return "(" + first.Describe(v.first) + ", " + second.Describe(v.second) + ")";
+  };
+  return arb;
+}
+
+/// Vector of `elem` values with size uniform on [min_size, max_size].
+/// Shrinks by halving the vector, dropping single elements, and shrinking
+/// individual elements, never below min_size.
+template <typename T>
+Arbitrary<std::vector<T>> VectorOf(Arbitrary<T> elem, std::size_t min_size,
+                                   std::size_t max_size) {
+  Arbitrary<std::vector<T>> arb;
+  arb.generate = [elem, min_size, max_size](Rng* rng) {
+    const std::size_t n =
+        min_size + static_cast<std::size_t>(rng->NextBounded(max_size - min_size + 1));
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(elem.generate(rng));
+    return out;
+  };
+  arb.shrink = [elem, min_size](const std::vector<T>& v) {
+    std::vector<std::vector<T>> out;
+    if (v.size() > min_size) {
+      // Keep the first max(min_size, n/2) elements.
+      const std::size_t half = v.size() / 2 > min_size ? v.size() / 2 : min_size;
+      out.emplace_back(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(half));
+      // Drop one element at a time (front, back).
+      std::vector<T> drop_front(v.begin() + 1, v.end());
+      out.push_back(std::move(drop_front));
+      std::vector<T> drop_back(v.begin(), v.end() - 1);
+      out.push_back(std::move(drop_back));
+    }
+    // Shrink each element in place (one candidate per position, using the
+    // element shrinker's most aggressive suggestion).
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const std::vector<T> elem_candidates = elem.ShrinkCandidates(v[i]);
+      if (elem_candidates.empty()) continue;
+      std::vector<T> copy = v;
+      copy[i] = elem_candidates.front();
+      out.push_back(std::move(copy));
+    }
+    return out;
+  };
+  arb.describe = [elem](const std::vector<T>& v) {
+    std::ostringstream os;
+    os << "[" << v.size() << "]{";
+    const std::size_t shown = v.size() < 16 ? v.size() : 16;
+    for (std::size_t i = 0; i < shown; ++i) {
+      if (i > 0) os << ", ";
+      os << elem.Describe(v[i]);
+    }
+    if (shown < v.size()) os << ", ...";
+    os << "}";
+    return os.str();
+  };
+  return arb;
+}
+
+/// Maps a generator through `fn`. Shrinking happens on the *source*
+/// representation, so minimality is preserved through the mapping.
+template <typename A, typename B>
+Arbitrary<B> Map(Arbitrary<A> source, std::function<B(const A&)> fn) {
+  // B values cannot be un-mapped, so shrink/describe operate by re-deriving
+  // from a stored source value: instead of that bookkeeping, Map generates
+  // pairs internally in the engine-facing suites. Here we expose the simple
+  // forward mapping with no shrinking; use the source Arbitrary directly
+  // when shrinking matters.
+  Arbitrary<B> arb;
+  arb.generate = [source, fn](Rng* rng) { return fn(source.generate(rng)); };
+  return arb;
+}
+
+}  // namespace proptest
+}  // namespace dplearn
+
+#endif  // DPLEARN_PROPTEST_ARBITRARY_H_

@@ -1,0 +1,56 @@
+#include "proptest/config.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dplearn {
+namespace proptest {
+
+Config Config::FromEnv() {
+  Config config;
+  if (const char* env = std::getenv("DPLEARN_PROPTEST_ITERS"); env != nullptr) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      config.iterations = static_cast<std::size_t>(parsed);
+    }
+  }
+  if (const char* env = std::getenv("DPLEARN_PROPTEST_SEED"); env != nullptr) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      config.seed = static_cast<std::uint64_t>(parsed);
+    }
+  }
+  return config;
+}
+
+std::uint64_t IterationSeed(std::uint64_t master_seed, std::size_t iteration) {
+  // splitmix64 finalizer over the (seed, iteration) pair — the same mixing
+  // the Rng itself uses for seeding, so iteration streams do not correlate
+  // with each other or with the master stream.
+  std::uint64_t z = master_seed + 0x9e3779b97f4a7c15ULL * (iteration + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace internal {
+
+void ReportFailure(const std::string& report, const std::string& repro_line) {
+  std::fprintf(stderr, "%s\n", report.c_str());
+  const char* path = std::getenv("DPLEARN_PROPTEST_FAILURE_FILE");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* file = std::fopen(path, "a");
+  if (file == nullptr) {
+    std::fprintf(stderr, "proptest: cannot append repro line to '%s'\n", path);
+    return;
+  }
+  std::fprintf(file, "%s\n", repro_line.c_str());
+  std::fclose(file);
+}
+
+}  // namespace internal
+
+}  // namespace proptest
+}  // namespace dplearn

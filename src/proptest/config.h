@@ -1,0 +1,55 @@
+#ifndef DPLEARN_PROPTEST_CONFIG_H_
+#define DPLEARN_PROPTEST_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dplearn {
+namespace proptest {
+
+/// Runtime contract of the property-based testing engine (DESIGN.md §11).
+///
+/// Every property check is fully determined by (seed, iterations): iteration
+/// i draws its values from an Rng seeded with a splitmix64 mix of the master
+/// seed and i, so a CI failure at iteration i reproduces locally with
+///
+///   DPLEARN_PROPTEST_SEED=<seed> DPLEARN_PROPTEST_ITERS=<i+1> ctest -R <suite>
+///
+/// which is exactly the one-line repro the engine prints (and appends to
+/// DPLEARN_PROPTEST_FAILURE_FILE when that is set — CI uploads the file as
+/// an artifact).
+struct Config {
+  /// Number of random instances per property. DPLEARN_PROPTEST_ITERS
+  /// overrides; the nightly CI knob raises it without a code change.
+  std::size_t iterations = 200;
+
+  /// Master seed; every per-iteration stream derives from it.
+  /// DPLEARN_PROPTEST_SEED overrides.
+  std::uint64_t seed = 20120326;  // EDBT 2012 — the paper's venue date.
+
+  /// Cap on property re-evaluations spent shrinking one counterexample.
+  std::size_t max_shrink_steps = 500;
+
+  /// Reads DPLEARN_PROPTEST_ITERS / DPLEARN_PROPTEST_SEED (both optional;
+  /// unparsable values fall back to the defaults above).
+  static Config FromEnv();
+};
+
+/// The per-iteration seed: splitmix64 over (master seed, iteration), so
+/// iteration streams are independent and any single iteration can be
+/// replayed without running its predecessors.
+std::uint64_t IterationSeed(std::uint64_t master_seed, std::size_t iteration);
+
+namespace internal {
+
+/// Prints the failure report to stderr and appends the repro line to
+/// DPLEARN_PROPTEST_FAILURE_FILE (read at call time) when set and non-empty.
+void ReportFailure(const std::string& report, const std::string& repro_line);
+
+}  // namespace internal
+
+}  // namespace proptest
+}  // namespace dplearn
+
+#endif  // DPLEARN_PROPTEST_CONFIG_H_

@@ -1,0 +1,138 @@
+#ifndef DPLEARN_PROPTEST_PROPERTY_H_
+#define DPLEARN_PROPTEST_PROPERTY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "proptest/arbitrary.h"
+#include "proptest/config.h"
+#include "sampling/rng.h"
+#include "util/status.h"
+
+namespace dplearn {
+namespace proptest {
+
+/// The minimal failing instance of a property, after greedy shrinking.
+template <typename T>
+struct CounterExample {
+  T value{};
+  std::string description;    // Arbitrary<T>::Describe of the shrunk value
+  std::string message;        // the violation (Status message)
+  std::size_t iteration = 0;  // iteration of the original failure
+  std::uint64_t seed = 0;     // master seed the run used
+  std::size_t shrink_steps = 0;
+};
+
+/// Outcome of Check(): either every iteration passed, or a (shrunk)
+/// counterexample with a one-line reproduction recipe.
+template <typename T>
+struct Result {
+  std::string property;
+  std::size_t iterations_run = 0;
+  std::optional<CounterExample<T>> counterexample;
+
+  bool ok() const { return !counterexample.has_value(); }
+
+  /// The one-line repro contract: rerunning with this environment replays
+  /// the failing iteration (and everything before it) bit-for-bit.
+  std::string ReproLine() const {
+    if (ok()) return "";
+    std::ostringstream os;
+    os << "DPLEARN_PROPTEST_SEED=" << counterexample->seed
+       << " DPLEARN_PROPTEST_ITERS=" << (counterexample->iteration + 1)
+       << "  # property '" << property << "' fails at iteration "
+       << counterexample->iteration;
+    return os.str();
+  }
+
+  /// Full human-readable report for test output.
+  std::string Describe() const {
+    if (ok()) {
+      return "property '" + property + "' held for " + std::to_string(iterations_run) +
+             " iterations";
+    }
+    std::ostringstream os;
+    os << "property '" << property << "' FAILED\n"
+       << "  violation: " << counterexample->message << "\n"
+       << "  counterexample (after " << counterexample->shrink_steps
+       << " shrink steps): " << counterexample->description << "\n"
+       << "  repro: " << ReproLine();
+    return os.str();
+  }
+};
+
+/// Runs `property` against `config.iterations` random instances of `arb`.
+/// `property` returns Status::Ok() when the invariant holds; the message of
+/// a non-OK Status becomes the counterexample's violation text. On failure
+/// the instance is shrunk greedily (first still-failing candidate wins,
+/// repeat until no candidate fails or the step budget is spent), the report
+/// is printed to stderr, and the repro line is appended to
+/// DPLEARN_PROPTEST_FAILURE_FILE when that is set.
+template <typename T, typename Prop>
+Result<T> Check(const std::string& name, const Arbitrary<T>& arb, Prop&& property,
+                const Config& config = Config::FromEnv()) {
+  Result<T> result;
+  result.property = name;
+  for (std::size_t i = 0; i < config.iterations; ++i) {
+    Rng rng(IterationSeed(config.seed, i));
+    T value = arb.generate(&rng);
+    Status verdict = property(static_cast<const T&>(value));
+    ++result.iterations_run;
+    if (verdict.ok()) continue;
+
+    // Greedy shrink: restart from the first candidate that still fails.
+    T best = std::move(value);
+    Status best_verdict = std::move(verdict);
+    std::size_t steps = 0;
+    bool improved = true;
+    while (improved && steps < config.max_shrink_steps) {
+      improved = false;
+      for (T& candidate : arb.ShrinkCandidates(best)) {
+        ++steps;
+        Status s = property(static_cast<const T&>(candidate));
+        if (!s.ok()) {
+          best = std::move(candidate);
+          best_verdict = std::move(s);
+          improved = true;
+          break;
+        }
+        if (steps >= config.max_shrink_steps) break;
+      }
+    }
+
+    CounterExample<T> ce;
+    ce.description = arb.Describe(best);
+    ce.value = std::move(best);
+    ce.message = best_verdict.message();
+    ce.iteration = i;
+    ce.seed = config.seed;
+    ce.shrink_steps = steps;
+    result.counterexample = std::move(ce);
+    internal::ReportFailure(result.Describe(), result.ReproLine());
+    return result;
+  }
+  return result;
+}
+
+/// Builds the failure Status for a violated invariant; use in property
+/// bodies as `return Violation() << "sum = " << sum;`-style via Format.
+inline Status Violation(const std::string& message) {
+  return FailedPreconditionError(message);
+}
+
+}  // namespace proptest
+}  // namespace dplearn
+
+/// gtest glue: asserts a Result is ok and prints its full report otherwise.
+#define DPLEARN_EXPECT_PROPERTY(result_expr)                    \
+  do {                                                          \
+    const auto& dplearn_proptest_result = (result_expr);        \
+    EXPECT_TRUE(dplearn_proptest_result.ok())                   \
+        << dplearn_proptest_result.Describe();                  \
+  } while (0)
+
+#endif  // DPLEARN_PROPTEST_PROPERTY_H_

@@ -45,6 +45,21 @@ double XLogXOverY(double x, double y);
 /// Clamps `x` to [lo, hi].
 double Clamp(double x, double lo, double hi);
 
+/// The library-wide non-negativity clamp policy for information measures
+/// (entropy, KL / Rényi divergence, mutual information, RDP curves). These
+/// quantities are >= 0 mathematically, but floating-point evaluation can
+/// land a few ulps below zero when the true value is 0 — D(p ‖ p), the
+/// entropy of a near-point-mass, MI of an almost-independent joint. The
+/// policy: a negative within kNonNegativeClampTol of zero is a rounding
+/// artifact and clamps to exactly 0; anything more negative is a genuine
+/// sign bug in the caller and passes through UNCHANGED, so tests and the
+/// proptest invariant suites can see it. Do not use a bare max(0, x) in new
+/// information-measure code — it would mask real bugs.
+inline constexpr double kNonNegativeClampTol = 1e-9;
+inline double ClampRoundingNegative(double x) {
+  return (x < 0.0 && x >= -kNonNegativeClampTol) ? 0.0 : x;
+}
+
 /// Returns true iff |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
 bool ApproxEqual(double a, double b, double abs_tol = 1e-9, double rel_tol = 1e-9);
 

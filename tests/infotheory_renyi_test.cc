@@ -172,5 +172,83 @@ TEST(RdpConversionTest, RdpCompositionBeatsBasicForGaussian) {
   EXPECT_LT(rdp_eps, 0.5 * basic_eps);
 }
 
+// Regression (clamp-policy harmonization): non-negativity clamping across
+// the information measures used an ad-hoc mix of max(0, x) and nothing at
+// all. The library-wide policy (math_util.h ClampRoundingNegative) flattens
+// only rounding-scale negatives to exactly 0 and lets genuine sign bugs
+// through. These pin the corners where the old code differed.
+TEST(ClampPolicyRegressionTest, NearPointMassRenyiEntropyIsExactlyZeroOrPositive) {
+  // A near-point-mass distribution drives pow/log a few ulps negative for
+  // some alphas; the policy must return >= 0 and exactly 0 where the true
+  // entropy is 0.
+  std::vector<double> spike = {1.0 - 3e-16, 1e-16, 1e-16, 1e-16};
+  const double total = spike[0] + spike[1] + spike[2] + spike[3];
+  for (double& v : spike) v /= total;
+  for (double alpha : {0.5, 2.0, 3.0, 0.011, 3.99}) {
+    const auto h = RenyiEntropy(spike, alpha);
+    ASSERT_TRUE(h.ok()) << alpha;
+    EXPECT_GE(h.value(), 0.0) << "alpha=" << alpha;
+  }
+  // A literal point mass has H_alpha exactly 0 (not a tiny denormal).
+  for (double alpha : {0.5, 2.0, 3.0}) {
+    EXPECT_EQ(RenyiEntropy({1.0, 0.0, 0.0}, alpha).value(), 0.0) << alpha;
+  }
+}
+
+TEST(ClampPolicyRegressionTest, DiagonalDivergenceClampsToZero) {
+  // Weights whose alpha-powers round unfavourably: D(p||p) must come back
+  // >= 0 (and 0 up to rounding) for every alpha regime.
+  std::vector<double> p = {0.012806719627415414, 0.15195352313381683,
+                           0.016150321686470744, 0.81908943555229706};
+  double total = 0.0;
+  for (double v : p) total += v;
+  for (double& v : p) v /= total;
+  for (double alpha : {0.25, 0.75, 1.5, 2.2245248513485709, 3.5}) {
+    const auto d = RenyiDivergence(p, p, alpha);
+    ASSERT_TRUE(d.ok()) << alpha;
+    EXPECT_GE(d.value(), 0.0) << "alpha=" << alpha;
+    EXPECT_LE(d.value(), 1e-12) << "alpha=" << alpha;
+  }
+}
+
+TEST(ClampPolicyRegressionTest, ExtremeOrderDivergenceOfHeavyTailsIsFinite) {
+  // Geometric-mechanism tails at order alpha = 64: pow(p, 64) underflows to
+  // 0 while pow(q, -63) overflows to inf, so the term-wise product was NaN —
+  // which the old max(0, NaN) clamp silently flattened to 0. The log-space
+  // accumulation keeps every term representable; the bounded likelihood
+  // ratio (|log p/q| <= eps here) caps the true divergence at eps.
+  const double eps = 0.5;
+  const double ratio = std::exp(eps);
+  std::vector<double> p;
+  std::vector<double> q;
+  for (int z = -80; z <= 80; ++z) {
+    p.push_back(std::exp(-eps * std::abs(z)));
+    q.push_back(std::exp(-eps * std::abs(z - 1)));
+  }
+  double sp = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) sp += p[i], sq += q[i];
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] /= sp, q[i] /= sq;
+  for (double alpha : {8.0, 64.0, 256.0}) {
+    const auto d = RenyiDivergence(p, q, alpha);
+    ASSERT_TRUE(d.ok()) << alpha;
+    EXPECT_TRUE(std::isfinite(d.value())) << "alpha=" << alpha;
+    EXPECT_GE(d.value(), 0.0) << "alpha=" << alpha;
+    EXPECT_LE(d.value(), std::log(ratio) + 1e-6) << "alpha=" << alpha;
+    EXPECT_GT(d.value(), 0.01) << "alpha=" << alpha;  // not flattened to 0
+  }
+}
+
+TEST(ClampPolicyRegressionTest, LaplaceRdpEpsilonNeverNegative) {
+  // Tiny sensitivity/scale ratios land the LogAddExp form a few ulps below
+  // zero before the clamp.
+  for (double t : {1e-12, 1e-9, 1e-6}) {
+    for (double alpha : {1.0000001, 1.5, 2.0, 64.0}) {
+      const auto budget = LaplaceMechanismRdp(1.0, t, alpha);
+      ASSERT_TRUE(budget.ok());
+      EXPECT_GE(budget.value().epsilon, 0.0) << "t=" << t << " alpha=" << alpha;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dplearn

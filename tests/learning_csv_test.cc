@@ -82,5 +82,58 @@ TEST(CsvFileTest, LoadMissingFileFails) {
             StatusCode::kNotFound);
 }
 
+// Regression (non-finite-cell bugfix): strtod accepts "inf"/"nan" spellings
+// and C99 hex floats, so those cells used to parse "successfully" and flow
+// non-finite values (or silent column corruption) into risk computations.
+// They must all be rejected with the existing cell-naming error.
+TEST(CsvParseTest, RejectsInfinityCells) {
+  for (const char* cell : {"inf", "-inf", "INF", "Infinity", "-Infinity"}) {
+    const std::string csv = std::string(cell) + ",1\n2,3\n";
+    const auto parsed = ParseCsv(csv);
+    EXPECT_FALSE(parsed.ok()) << "accepted cell '" << cell << "'";
+    EXPECT_NE(parsed.status().message().find(cell), std::string::npos)
+        << "error does not name the cell: " << parsed.status().message();
+  }
+}
+
+TEST(CsvParseTest, RejectsNanCells) {
+  for (const char* cell : {"nan", "-nan", "NaN", "NAN", "nan(0x1)"}) {
+    const std::string csv = "1," + std::string(cell) + "\n2,3\n";
+    EXPECT_FALSE(ParseCsv(csv).ok()) << "accepted cell '" << cell << "'";
+  }
+}
+
+TEST(CsvParseTest, RejectsHexFloatCells) {
+  for (const char* cell : {"0x1p3", "0X2P4", "0x10", "0x.8p1"}) {
+    const std::string csv = std::string(cell) + ",0\n";
+    EXPECT_FALSE(ParseCsv(csv).ok()) << "accepted cell '" << cell << "'";
+  }
+}
+
+TEST(CsvParseTest, RejectsOverflowingDecimalCells) {
+  // Syntactically plain decimal, but overflows to +inf in strtod.
+  for (const char* cell : {"1e999", "-1e999", "1e400"}) {
+    const std::string csv = std::string(cell) + ",0\n";
+    EXPECT_FALSE(ParseCsv(csv).ok()) << "accepted cell '" << cell << "'";
+  }
+}
+
+TEST(CsvParseTest, RejectsTrailingComma) {
+  // A trailing comma produces an empty final cell, which is an error (it is
+  // indistinguishable from a dropped value).
+  EXPECT_FALSE(ParseCsv("1,2,\n").ok());
+  EXPECT_NE(ParseCsv("1,2,\n").status().message().find("empty cell"), std::string::npos);
+}
+
+TEST(CsvParseTest, StillAcceptsPlainScientificNotation) {
+  // The whitelist must not over-reject: ordinary scientific notation, signs,
+  // and bare decimal points all stay valid.
+  const auto parsed = ParseCsv("+1.5e-3,-2.25E+2,.5\n1,2,3\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().at(0).features[0], 1.5e-3);
+  EXPECT_EQ(parsed.value().at(0).features[1], -225.0);
+  EXPECT_EQ(parsed.value().at(0).label, 0.5);
+}
+
 }  // namespace
 }  // namespace dplearn

@@ -130,5 +130,75 @@ TEST(GeometricMechanismTest, RejectsNonIntegerQuery) {
   EXPECT_FALSE(m.OutputProbability(BitData({1.0}), 0).ok());
 }
 
+// Regression (int64-boundary bugfix): a query value outside the int64 range
+// used to be cast directly — undefined behavior — and a noise draw near the
+// boundary could overflow the addition. Out-of-range values now error, and
+// in-range releases saturate instead of wrapping.
+namespace {
+SensitiveQuery ConstantQuery(double value) {
+  SensitiveQuery q;
+  q.query = [value](const Dataset&) { return value; };
+  q.sensitivity = 1.0;
+  return q;
+}
+}  // namespace
+
+TEST(GeometricMechanismTest, RejectsQueryAtTwoToTheSixtyThree) {
+  // 2^63 is exactly representable as a double but is INT64_MAX + 1.
+  auto m = GeometricMechanism::Create(ConstantQuery(9223372036854775808.0), 1.0).value();
+  Rng rng(6);
+  const auto released = m.Release(BitData({1.0}), &rng);
+  EXPECT_FALSE(released.ok());
+  EXPECT_EQ(released.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(m.OutputProbability(BitData({1.0}), 0).ok());
+}
+
+TEST(GeometricMechanismTest, AcceptsQueryAtInt64Min) {
+  // -2^63 == INT64_MIN is exactly representable and valid.
+  auto m = GeometricMechanism::Create(ConstantQuery(-9223372036854775808.0), 1.0).value();
+  Rng rng(7);
+  const auto released = m.Release(BitData({1.0}), &rng);
+  ASSERT_TRUE(released.ok()) << released.status().message();
+  // Negative noise saturates at INT64_MIN instead of wrapping around.
+  EXPECT_LE(released.value(), std::numeric_limits<std::int64_t>::min() + 64);
+  EXPECT_TRUE(m.OutputProbability(BitData({1.0}),
+                                  std::numeric_limits<std::int64_t>::min())
+                  .ok());
+}
+
+TEST(GeometricMechanismTest, AcceptsLargestDoubleBelowTwoToTheSixtyThree) {
+  // The largest double < 2^63 (2^63 - 1024): in range, and positive noise
+  // must saturate at INT64_MAX rather than overflow.
+  const double just_below = 9223372036854774784.0;
+  auto m = GeometricMechanism::Create(ConstantQuery(just_below), 1.0).value();
+  Rng rng(8);
+  for (int i = 0; i < 64; ++i) {
+    const auto released = m.Release(BitData({1.0}), &rng);
+    ASSERT_TRUE(released.ok());
+    EXPECT_GE(released.value(), static_cast<std::int64_t>(just_below) - 4096);
+  }
+}
+
+TEST(GeometricMechanismTest, RejectsAstronomicalQueryValues) {
+  for (double value : {1e300, -1e300, 1e19, -1e19}) {
+    auto m = GeometricMechanism::Create(ConstantQuery(value), 1.0).value();
+    Rng rng(9);
+    const auto released = m.Release(BitData({1.0}), &rng);
+    EXPECT_FALSE(released.ok()) << "value=" << value;
+    EXPECT_EQ(released.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(GeometricMechanismTest, OutputProbabilityFiniteFarFromTrueValue) {
+  // The pmf magnitude |output - true| used to be an int64 subtraction that
+  // can itself overflow; it is now computed in double.
+  auto m = GeometricMechanism::Create(ConstantQuery(-9223372036854775808.0), 1.0).value();
+  const auto p = m.OutputProbability(BitData({1.0}),
+                                     std::numeric_limits<std::int64_t>::max());
+  ASSERT_TRUE(p.ok());
+  EXPECT_GE(p.value(), 0.0);
+  EXPECT_LE(p.value(), 1.0);
+}
+
 }  // namespace
 }  // namespace dplearn

@@ -1,0 +1,334 @@
+// Generative invariants over the core layer: the Gibbs posterior is a
+// distribution with the exact exponential-family shape, it coincides with
+// the exponential-mechanism view, the risk-profile cache changes nothing
+// bitwise, batched posterior sampling matches the loop, and non-private
+// λ selection really picks the argmin of the validation risks.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/gibbs_estimator.h"
+#include "core/lambda_selection.h"
+#include "gtest/gtest.h"
+#include "learning/loss.h"
+#include "learning/risk.h"
+#include "perf/risk_profile_cache.h"
+#include "proptest/generators.h"
+#include "proptest/property.h"
+#include "util/math_util.h"
+
+namespace dplearn {
+namespace proptest {
+namespace {
+
+Config SuiteConfig(std::uint64_t default_seed) {
+  Config config = Config::FromEnv();
+  if (std::getenv("DPLEARN_PROPTEST_SEED") == nullptr) config.seed = default_seed;
+  return config;
+}
+
+// A full Gibbs scenario: dataset, hypothesis grid, loss, temperature.
+struct GibbsInstance {
+  Dataset data;
+  GridSpec grid;
+  LossConfig loss;
+  double lambda = 1.0;
+};
+
+Arbitrary<GibbsInstance> ArbitraryGibbsInstance() {
+  Arbitrary<GibbsInstance> arb;
+  arb.generate = [](Rng* rng) {
+    GibbsInstance inst;
+    inst.data = ArbitraryBernoulliDataset(2, 16).generate(rng);
+    inst.grid = ArbitraryGridSpec(1.0, 9).generate(rng);
+    inst.loss = ArbitraryLossConfig().generate(rng);
+    inst.lambda = std::exp(std::log(1e-2) + std::log(1e4) * rng->NextDouble());
+    return inst;
+  };
+  arb.describe = [](const GibbsInstance& inst) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "{n=" << inst.data.size() << ", |grid|=" << inst.grid.count
+       << ", loss=" << DescribeLossConfig(inst.loss) << ", lambda=" << inst.lambda << "}";
+    return os.str();
+  };
+  return arb;
+}
+
+StatusOr<GibbsEstimator> MakeEstimator(const GibbsInstance& inst,
+                                       const LossFunction* loss) {
+  DPLEARN_ASSIGN_OR_RETURN(FiniteHypothesisClass grid, MakeGrid(inst.grid));
+  return GibbsEstimator::CreateUniform(loss, std::move(grid), inst.lambda);
+}
+
+// --------------------------------------------------------------------------
+// Posterior shape.
+
+TEST(ProptestCore, GibbsPosteriorIsADistribution) {
+  auto property = [](const GibbsInstance& inst) -> Status {
+    auto loss = MakeLoss(inst.loss);
+    auto gibbs = MakeEstimator(inst, loss.get());
+    if (!gibbs.ok()) return Violation(gibbs.status().message());
+    auto posterior = gibbs.value().Posterior(inst.data);
+    if (!posterior.ok()) return Violation(posterior.status().message());
+    return ValidateDistribution(posterior.value(), 1e-9);
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("gibbs_posterior_sums_to_one", ArbitraryGibbsInstance(),
+                                property, SuiteConfig(301)));
+}
+
+TEST(ProptestCore, GibbsPosteriorHasExponentialFamilyShape) {
+  // log π̂(θ_i) - log π(θ_i) + λ·R̂(θ_i) must be the same constant for all i
+  // (it is -log of the partition function) — the pure Lemma 3.2 identity.
+  auto property = [](const GibbsInstance& inst) -> Status {
+    auto loss = MakeLoss(inst.loss);
+    auto gibbs = MakeEstimator(inst, loss.get());
+    if (!gibbs.ok()) return Violation(gibbs.status().message());
+    auto posterior = gibbs.value().Posterior(inst.data);
+    auto risks = gibbs.value().RiskProfile(inst.data);
+    if (!posterior.ok() || !risks.ok()) return Violation("posterior/risks failed");
+    const std::vector<double>& prior = gibbs.value().prior();
+    double reference = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t i = 0; i < posterior.value().size(); ++i) {
+      if (posterior.value()[i] <= 0.0) return Violation("posterior cell not positive");
+      const double log_partition = std::log(posterior.value()[i]) -
+                                   std::log(prior[i]) +
+                                   inst.lambda * risks.value()[i];
+      if (std::isnan(reference)) {
+        reference = log_partition;
+      } else if (!ApproxEqual(log_partition, reference, 1e-7, 1e-7)) {
+        return Violation("partition constant drifts across hypotheses: " +
+                         std::to_string(reference) + " vs " +
+                         std::to_string(log_partition) + " at i=" + std::to_string(i));
+      }
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("gibbs_exponential_shape", ArbitraryGibbsInstance(),
+                                property, SuiteConfig(302)));
+}
+
+TEST(ProptestCore, GibbsPosteriorEqualsExponentialMechanismView) {
+  auto property = [](const GibbsInstance& inst) -> Status {
+    auto loss = MakeLoss(inst.loss);
+    auto gibbs = MakeEstimator(inst, loss.get());
+    if (!gibbs.ok()) return Violation(gibbs.status().message());
+    const double sensitivity =
+        loss->UpperBound() / static_cast<double>(inst.data.size());
+    auto mechanism = gibbs.value().AsExponentialMechanism(sensitivity);
+    if (!mechanism.ok()) return Violation(mechanism.status().message());
+    auto posterior = gibbs.value().Posterior(inst.data);
+    auto output = mechanism.value().OutputDistribution(inst.data);
+    if (!posterior.ok() || !output.ok()) return Violation("distribution eval failed");
+    for (std::size_t i = 0; i < posterior.value().size(); ++i) {
+      if (!ApproxEqual(posterior.value()[i], output.value()[i], 1e-12, 1e-12)) {
+        return Violation("Theorem 4.1 identification broken at index " +
+                         std::to_string(i));
+      }
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("gibbs_is_exponential_mechanism", ArbitraryGibbsInstance(),
+                                property, SuiteConfig(303)));
+}
+
+// --------------------------------------------------------------------------
+// Pure-math form: GibbsPosteriorFromRisks.
+
+struct RisksInstance {
+  std::vector<double> risks;
+  std::vector<double> prior;
+  double lambda = 1.0;
+};
+
+Arbitrary<RisksInstance> ArbitraryRisksInstance() {
+  Arbitrary<RisksInstance> arb;
+  arb.generate = [](Rng* rng) {
+    RisksInstance inst;
+    const std::size_t m = 1 + static_cast<std::size_t>(rng->NextBounded(12));
+    inst.risks.resize(m);
+    for (double& r : inst.risks) r = rng->NextDouble();
+    inst.prior = ArbitraryDistribution(m, m).generate(rng);
+    // Keep the prior strictly positive (zero-prior cells are a separate,
+    // deterministic corner already covered in core_gibbs_test).
+    for (double& p : inst.prior) p = 0.9 * p + 0.1 / static_cast<double>(m);
+    inst.lambda = std::exp(std::log(1e-3) + std::log(1e6) * rng->NextDouble());
+    return inst;
+  };
+  arb.describe = [](const RisksInstance& inst) {
+    std::ostringstream os;
+    os << "m=" << inst.risks.size() << " lambda=" << inst.lambda;
+    return os.str();
+  };
+  return arb;
+}
+
+TEST(ProptestCore, GibbsPosteriorFromRisksNormalizesAndPrefersLowRisk) {
+  auto property = [](const RisksInstance& inst) -> Status {
+    auto posterior = GibbsPosteriorFromRisks(inst.risks, inst.prior, inst.lambda);
+    if (!posterior.ok()) return Violation(posterior.status().message());
+    DPLEARN_RETURN_IF_ERROR(ValidateDistribution(posterior.value(), 1e-9));
+    // λ = 0 recovers the prior exactly.
+    auto at_zero = GibbsPosteriorFromRisks(inst.risks, inst.prior, 0.0);
+    if (!at_zero.ok()) return Violation(at_zero.status().message());
+    for (std::size_t i = 0; i < inst.prior.size(); ++i) {
+      if (!ApproxEqual(at_zero.value()[i], inst.prior[i], 1e-12, 1e-12)) {
+        return Violation("lambda=0 posterior differs from prior");
+      }
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("gibbs_from_risks", ArbitraryRisksInstance(), property,
+                                SuiteConfig(304)));
+}
+
+// --------------------------------------------------------------------------
+// Cache equivalence: posterior and samples are bitwise identical with the
+// risk-profile cache on and off.
+
+TEST(ProptestCore, RiskCacheOnOffBitwiseIdentical) {
+  auto property = [](const GibbsInstance& inst) -> Status {
+    auto loss = MakeLoss(inst.loss);
+    auto gibbs = MakeEstimator(inst, loss.get());
+    if (!gibbs.ok()) return Violation(gibbs.status().message());
+    const bool was_enabled = perf::RiskCacheEnabled();
+    perf::SetRiskCacheEnabled(true);
+    auto cached = gibbs.value().Posterior(inst.data);
+    // Second cached call: exercises the hit path too.
+    auto cached_again = gibbs.value().Posterior(inst.data);
+    perf::SetRiskCacheEnabled(false);
+    auto uncached = gibbs.value().Posterior(inst.data);
+    perf::SetRiskCacheEnabled(was_enabled);
+    if (!cached.ok() || !cached_again.ok() || !uncached.ok()) {
+      return Violation("posterior evaluation failed");
+    }
+    if (cached.value() != uncached.value()) {
+      return Violation("cache-on posterior differs bitwise from cache-off");
+    }
+    if (cached.value() != cached_again.value()) {
+      return Violation("cache hit differs from cache miss");
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("risk_cache_equivalence", ArbitraryGibbsInstance(),
+                                property, SuiteConfig(305)));
+}
+
+TEST(ProptestCore, GibbsSampleBatchMatchesLoop) {
+  auto property = [](const GibbsInstance& inst) -> Status {
+    auto loss = MakeLoss(inst.loss);
+    auto gibbs = MakeEstimator(inst, loss.get());
+    if (!gibbs.ok()) return Violation(gibbs.status().message());
+    const std::uint64_t stream_seed =
+        0xabcdu ^ (static_cast<std::uint64_t>(inst.data.size()) << 8);
+    Rng batch_rng(stream_seed);
+    Rng loop_rng(stream_seed);
+    std::vector<std::size_t> batch;
+    Status status = gibbs.value().SampleBatch(inst.data, &batch_rng, 12, &batch);
+    if (!status.ok()) return Violation(status.message());
+    for (std::size_t i = 0; i < 12; ++i) {
+      auto draw = gibbs.value().Sample(inst.data, &loop_rng);
+      if (!draw.ok()) return Violation(draw.status().message());
+      if (draw.value() != batch[i]) {
+        return Violation("batched Gibbs draw " + std::to_string(i) + " diverged");
+      }
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("gibbs_batch_vs_loop", ArbitraryGibbsInstance(),
+                                property, SuiteConfig(306)));
+}
+
+// --------------------------------------------------------------------------
+// λ selection: the non-private baseline picks exactly the argmin of the
+// per-candidate validation risks. Verified by replaying its internal
+// computation with a copy of the Rng (Rng is a value type).
+
+struct SelectionInstance {
+  Dataset data;
+  GridSpec grid;
+  std::vector<double> lambda_grid;
+  std::uint64_t stream_seed = 0;
+};
+
+Arbitrary<SelectionInstance> ArbitrarySelectionInstance() {
+  Arbitrary<SelectionInstance> arb;
+  arb.generate = [](Rng* rng) {
+    SelectionInstance inst;
+    inst.data = ArbitraryBernoulliDataset(6, 24).generate(rng);
+    inst.grid.lo = 0.0;
+    inst.grid.hi = 1.0;
+    inst.grid.count = 2 + static_cast<std::size_t>(rng->NextBounded(6));
+    const std::size_t k = 2 + static_cast<std::size_t>(rng->NextBounded(4));
+    for (std::size_t i = 0; i < k; ++i) {
+      inst.lambda_grid.push_back(std::exp(std::log(0.1) + std::log(1e4) * rng->NextDouble()));
+    }
+    inst.stream_seed = rng->NextUint64();
+    return inst;
+  };
+  arb.describe = [](const SelectionInstance& inst) {
+    std::ostringstream os;
+    os << "n=" << inst.data.size() << " |grid|=" << inst.grid.count
+       << " |lambda_grid|=" << inst.lambda_grid.size();
+    return os.str();
+  };
+  return arb;
+}
+
+TEST(ProptestCore, NonPrivateLambdaSelectionPicksArgmin) {
+  auto property = [](const SelectionInstance& inst) -> Status {
+    ClippedSquaredLoss loss(1.0);
+    auto grid = MakeGrid(inst.grid);
+    if (!grid.ok()) return Violation(grid.status().message());
+    LambdaSelectionOptions options;
+    options.lambda_grid = inst.lambda_grid;
+    Rng rng(inst.stream_seed);
+    Rng replay = rng;  // value copy: replays the identical stream
+    auto result = SelectLambdaNonPrivate(loss, grid.value(), inst.data, options, &rng);
+    if (!result.ok()) return Violation(result.status().message());
+
+    // Replay: same split, same per-λ draw sequence, same validation risks.
+    auto split = inst.data.Split(options.train_fraction, &replay);
+    if (!split.ok()) return Violation(split.status().message());
+    std::vector<double> validation_risks;
+    std::vector<double> train_risks;
+    for (double lambda : inst.lambda_grid) {
+      auto gibbs = GibbsEstimator::CreateUniform(&loss, grid.value(), lambda);
+      if (!gibbs.ok()) return Violation(gibbs.status().message());
+      if (train_risks.empty()) {
+        auto profile = gibbs.value().RiskProfile(split.value().first);
+        if (!profile.ok()) return Violation(profile.status().message());
+        train_risks = std::move(profile).value();
+      }
+      auto index = gibbs.value().SampleGivenRisks(train_risks, &replay);
+      if (!index.ok()) return Violation(index.status().message());
+      auto risk = EmpiricalRisk(loss, grid.value().at(index.value()),
+                                split.value().second);
+      if (!risk.ok()) return Violation(risk.status().message());
+      validation_risks.push_back(risk.value());
+    }
+    std::size_t argmin = 0;
+    for (std::size_t i = 1; i < validation_risks.size(); ++i) {
+      if (validation_risks[i] < validation_risks[argmin]) argmin = i;
+    }
+    if (result.value().selected_index != argmin) {
+      return Violation("selected index " + std::to_string(result.value().selected_index) +
+                       " is not the argmin " + std::to_string(argmin));
+    }
+    if (result.value().lambda != inst.lambda_grid[argmin]) {
+      return Violation("selected lambda does not match the argmin candidate");
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("lambda_selection_argmin", ArbitrarySelectionInstance(),
+                                property, SuiteConfig(307)));
+}
+
+}  // namespace
+}  // namespace proptest
+}  // namespace dplearn

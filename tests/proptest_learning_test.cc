@@ -1,0 +1,207 @@
+// Generative invariants over the learning layer: CSV serialization
+// round-trips datasets exactly, corrupted cells (non-finite, hex-float,
+// overflow — satellite 3 made generative) are always rejected with the
+// cell-naming error, and k-fold construction is a true partition.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "learning/csv_io.h"
+#include "learning/kfold.h"
+#include "proptest/generators.h"
+#include "proptest/property.h"
+
+namespace dplearn {
+namespace proptest {
+namespace {
+
+Config SuiteConfig(std::uint64_t default_seed) {
+  Config config = Config::FromEnv();
+  if (std::getenv("DPLEARN_PROPTEST_SEED") == nullptr) config.seed = default_seed;
+  return config;
+}
+
+// --------------------------------------------------------------------------
+// CSV round trip: ToCsv writes precision-17 decimal, which recovers every
+// finite double exactly.
+
+TEST(ProptestLearning, CsvRoundTripIsExact) {
+  auto property = [](const Dataset& data) -> Status {
+    auto csv = ToCsv(data);
+    if (!csv.ok()) return Violation(csv.status().message());
+    auto parsed = ParseCsv(csv.value());
+    if (!parsed.ok()) return Violation(parsed.status().message());
+    if (!(parsed.value() == data)) {
+      return Violation("round-tripped dataset differs from the original");
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("csv_round_trip",
+                                ArbitraryRegressionDataset(1, 24, 4, 1e6), property,
+                                SuiteConfig(401)));
+}
+
+// --------------------------------------------------------------------------
+// CSV rejection: splice one corrupt cell into an otherwise valid file at a
+// random position; parsing must fail and the error must name the cell.
+
+struct CorruptedCsv {
+  std::string text;
+  std::string bad_cell;
+};
+
+Arbitrary<CorruptedCsv> ArbitraryCorruptedCsv() {
+  static const char* kBadCells[] = {"inf",  "-inf",   "nan",  "-nan", "INF",
+                                    "NaN",  "0x1p3",  "0X2P4", "1e999", "-1e999",
+                                    "1.0.0", "1e", "abc"};
+  Arbitrary<CorruptedCsv> arb;
+  arb.generate = [](Rng* rng) {
+    const Dataset data = ArbitraryRegressionDataset(1, 8, 3, 10.0).generate(rng);
+    auto csv = ToCsv(data);
+    const std::size_t row = static_cast<std::size_t>(rng->NextBounded(data.size()));
+    const std::size_t col =
+        static_cast<std::size_t>(rng->NextBounded(data.FeatureDim() + 1));
+    CorruptedCsv corrupted;
+    corrupted.bad_cell =
+        kBadCells[rng->NextBounded(sizeof(kBadCells) / sizeof(kBadCells[0]))];
+    std::istringstream in(csv.value());
+    std::ostringstream out;
+    std::string line;
+    std::size_t line_index = 0;
+    while (std::getline(in, line)) {
+      if (line_index == row) {
+        // Replace cell `col` on this line.
+        std::vector<std::string> cells;
+        std::size_t start = 0;
+        while (start <= line.size()) {
+          std::size_t end = line.find(',', start);
+          if (end == std::string::npos) end = line.size();
+          cells.push_back(line.substr(start, end - start));
+          if (end == line.size()) break;
+          start = end + 1;
+        }
+        cells[col % cells.size()] = corrupted.bad_cell;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          if (i > 0) out << ',';
+          out << cells[i];
+        }
+        out << '\n';
+      } else {
+        out << line << '\n';
+      }
+      ++line_index;
+    }
+    corrupted.text = out.str();
+    return corrupted;
+  };
+  arb.describe = [](const CorruptedCsv& c) {
+    return "bad cell '" + c.bad_cell + "' in:\n" + c.text;
+  };
+  return arb;
+}
+
+TEST(ProptestLearning, CorruptCellsAlwaysRejectedByName) {
+  auto property = [](const CorruptedCsv& corrupted) -> Status {
+    auto parsed = ParseCsv(corrupted.text);
+    if (parsed.ok()) {
+      return Violation("corrupt cell '" + corrupted.bad_cell + "' was accepted");
+    }
+    if (parsed.status().message().find(corrupted.bad_cell) == std::string::npos) {
+      return Violation("error does not name the bad cell: " +
+                       parsed.status().message());
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("csv_rejects_corrupt_cells", ArbitraryCorruptedCsv(),
+                                property, SuiteConfig(402)));
+}
+
+// --------------------------------------------------------------------------
+// k-fold: validation blocks are disjoint, their union is the (shuffled)
+// dataset, and each train set is the exact complement of its validation set.
+
+struct KfoldInstance {
+  Dataset data;
+  std::size_t k = 2;
+  std::uint64_t stream_seed = 0;
+};
+
+Arbitrary<KfoldInstance> ArbitraryKfoldInstance() {
+  Arbitrary<KfoldInstance> arb;
+  arb.generate = [](Rng* rng) {
+    KfoldInstance inst;
+    inst.data = ArbitraryRegressionDataset(4, 32, 2, 5.0).generate(rng);
+    inst.k = 2 + static_cast<std::size_t>(rng->NextBounded(
+                    std::min<std::size_t>(inst.data.size(), 8) - 1));
+    inst.stream_seed = rng->NextUint64();
+    return inst;
+  };
+  arb.describe = [](const KfoldInstance& inst) {
+    return "n=" + std::to_string(inst.data.size()) + " k=" + std::to_string(inst.k);
+  };
+  return arb;
+}
+
+// Multiset comparison via sorted flattening (doubles here are generated
+// finite, so lexicographic sort is a total order).
+std::vector<std::vector<double>> SortedRows(const std::vector<Example>& examples) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(examples.size());
+  for (const Example& z : examples) {
+    std::vector<double> row = z.features;
+    row.push_back(z.label);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(ProptestLearning, KfoldIsAPartition) {
+  auto property = [](const KfoldInstance& inst) -> Status {
+    Rng rng(inst.stream_seed);
+    auto folds = MakeFolds(inst.data, inst.k, &rng);
+    if (!folds.ok()) return Violation(folds.status().message());
+    if (folds.value().size() != inst.k) return Violation("wrong number of folds");
+    std::vector<Example> all_validation;
+    for (const Fold& fold : folds.value()) {
+      if (fold.train.empty() || fold.validation.empty()) {
+        return Violation("degenerate fold");
+      }
+      if (fold.train.size() + fold.validation.size() != inst.data.size()) {
+        return Violation("fold does not cover the dataset");
+      }
+      // Train must be the exact complement: train ∪ validation == data as
+      // multisets.
+      std::vector<Example> combined = fold.train.examples();
+      combined.insert(combined.end(), fold.validation.examples().begin(),
+                      fold.validation.examples().end());
+      if (SortedRows(combined) != SortedRows(inst.data.examples())) {
+        return Violation("train is not the complement of validation");
+      }
+      all_validation.insert(all_validation.end(), fold.validation.examples().begin(),
+                            fold.validation.examples().end());
+    }
+    // Validation blocks tile the dataset exactly once.
+    if (all_validation.size() != inst.data.size()) {
+      return Violation("validation blocks do not tile the dataset: " +
+                       std::to_string(all_validation.size()) + " of " +
+                       std::to_string(inst.data.size()));
+    }
+    if (SortedRows(all_validation) != SortedRows(inst.data.examples())) {
+      return Violation("validation multiset union differs from the dataset");
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("kfold_partition", ArbitraryKfoldInstance(), property,
+                                SuiteConfig(403)));
+}
+
+}  // namespace
+}  // namespace proptest
+}  // namespace dplearn
