@@ -20,6 +20,7 @@
 #include "obs/event_sink.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/telemetry_reporter.h"
 #include "parallel/thread_pool.h"
 #include "parallel/trial_runner.h"
 #include "perf/risk_profile_cache.h"
@@ -185,6 +186,10 @@ inline void WriteRecord() {
     obs::RemoveGlobalSink(state.event_sink.get());
     state.event_sink->Flush();
   }
+  // Deterministic telemetry shutdown: stop the periodic flush thread and
+  // write DPLEARN_METRICS_FILE / DPLEARN_TRACE_FILE one final time, so the
+  // on-disk exposition and Chrome trace cover the whole run.
+  obs::ShutdownGlobalTelemetry();
   if (state.results_dir.empty()) return;
 
   const double wall_seconds =
@@ -393,6 +398,10 @@ inline void PrintHeader(const std::string& experiment_id, const std::string& cla
   // read them.
   obs::GlobalMetrics();
   obs::GlobalAuditLog().Clear();
+  // Start the env-configured telemetry reporter (DPLEARN_METRICS_FILE /
+  // DPLEARN_TRACE_FILE): a no-op when neither variable is set. The record
+  // writer below shuts it down.
+  obs::GlobalTelemetryReporter();
 
   state.initialized = true;
   state.id = experiment_id;

@@ -29,6 +29,7 @@ HOT_BENCHMARKS = [
     "BM_GibbsSampleBatch/256",
     "BM_GibbsGridSweepCached",
     "BM_RiskProfileCacheHit",
+    "BM_GibbsSampleTelemetryOn_median",
 ]
 
 

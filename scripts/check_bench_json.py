@@ -2,6 +2,7 @@
 """Validate the JSON schema of a google-benchmark output or merged snapshot.
 
 Usage: check_bench_json.py FILE [FILE ...] [--expect-prefix BM_Foo ...]
+           [--overhead-pair BM_Base:BM_Instrumented --overhead-max FRAC]
 
 Used by the tier-1 bench smoke test: each bench binary runs with
 --benchmark_min_time=0.01s and its output must parse as JSON, contain a
@@ -9,6 +10,14 @@ non-empty "benchmarks" array, and give every entry a name, real_time,
 cpu_time, and time_unit. Merged dplearn-bench-v1 snapshots additionally
 need "revision" and per-entry "binary" tags. This pins the contract
 bench_compare.py / check_bench_speedup.py rely on without timing anything.
+
+--overhead-pair BASE:INSTRUMENTED additionally asserts the telemetry
+overhead budget inside one snapshot: real_time(INSTRUMENTED) must be within
+--overhead-max (default 0.03, the ISSUE's <3% target) of real_time(BASE).
+Both benchmarks run back-to-back in the same binary on the same machine, so
+the ratio is machine-independent the same way check_bench_speedup.py's
+cached/uncached gate is. Applied only when requested — the 0.01s smoke runs
+are too short to time anything meaningfully.
 """
 
 import argparse
@@ -18,7 +27,7 @@ import sys
 REQUIRED_ENTRY_KEYS = ("name", "real_time", "cpu_time", "time_unit")
 
 
-def check_file(path, expect_prefixes):
+def check_file(path, expect_prefixes, overhead_pairs=(), overhead_max=0.03):
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
 
@@ -45,6 +54,26 @@ def check_file(path, expect_prefixes):
     for prefix in expect_prefixes:
         if not any(n == prefix or n.startswith(prefix + "/") for n in names):
             return f"{path}: expected a benchmark named '{prefix}[/...]', found none"
+
+    for pair in overhead_pairs:
+        base_name, instrumented_name = pair.split(":", 1)
+        times = {}
+        for entry in benchmarks:
+            if entry["name"] in (base_name, instrumented_name):
+                times[entry["name"]] = entry["real_time"]
+        for name in (base_name, instrumented_name):
+            if name not in times:
+                return f"{path}: overhead pair benchmark '{name}' not found"
+        if times[base_name] <= 0:
+            return f"{path}: overhead base '{base_name}' has non-positive time"
+        overhead = times[instrumented_name] / times[base_name] - 1.0
+        print(f"check_bench_json: {path}: {instrumented_name} vs {base_name}: "
+              f"{overhead:+.2%} (budget {overhead_max:.0%})")
+        if overhead > overhead_max:
+            return (f"{path}: overhead of '{instrumented_name}' over "
+                    f"'{base_name}' is {overhead:.2%}, exceeding the "
+                    f"{overhead_max:.0%} budget")
+
     print(f"check_bench_json: {path}: {len(benchmarks)} benchmarks OK")
     return None
 
@@ -54,10 +83,21 @@ def main() -> int:
     parser.add_argument("files", nargs="+")
     parser.add_argument("--expect-prefix", action="append", default=[],
                         help="require a benchmark with this name (or name/arg)")
+    parser.add_argument("--overhead-pair", action="append", default=[],
+                        help="BASE:INSTRUMENTED benchmark pair to gate")
+    parser.add_argument("--overhead-max", type=float, default=0.03,
+                        help="max fractional overhead for --overhead-pair")
     args = parser.parse_args()
 
+    for pair in args.overhead_pair:
+        if ":" not in pair:
+            print(f"check_bench_json: bad --overhead-pair {pair!r} "
+                  "(expected BASE:INSTRUMENTED)", file=sys.stderr)
+            return 2
+
     for path in args.files:
-        error = check_file(path, args.expect_prefix)
+        error = check_file(path, args.expect_prefix, args.overhead_pair,
+                           args.overhead_max)
         if error:
             print(f"check_bench_json: {error}", file=sys.stderr)
             return 1

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition written by WriteExpositionFile.
+
+Usage: check_exposition.py FILE [FILE ...]
+           [--require FAMILY ...] [--require-summary FAMILY ...]
+
+Checks the exact format-0.0.4 shape obs/exposition.cc emits:
+
+  * every non-comment line is `name[{labels}] value` with a finite value
+  * every metric name starts with dplearn_ and was declared by a preceding
+    `# TYPE <family> <counter|gauge|summary>` line
+  * counter samples end in _total and carry non-negative integer values
+  * every summary family exposes exactly the pinned quantiles
+    0.5 / 0.9 / 0.99 / 0.999 plus `_sum` and `_count`
+  * label values (e.g. tenant="...") are well-formed quoted strings
+
+--require FAMILY demands at least one sample of that declared family;
+--require-summary FAMILY additionally demands the family is a summary
+(i.e. the p99/p99.9 latency quantiles are really there).
+"""
+
+import argparse
+import re
+import sys
+
+TYPE_RE = re.compile(r"^# TYPE (?P<family>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<kind>counter|gauge|summary)$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*)\})?"
+    r" (?P<value>[^ ]+)$")
+PINNED_QUANTILES = {"0.5", "0.9", "0.99", "0.999"}
+
+
+def family_of(sample_name, declared):
+    """Maps a sample name to its declared family (summaries add suffixes)."""
+    if sample_name in declared:
+        return sample_name
+    for suffix in ("_sum", "_count"):
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in declared:
+            return sample_name[: -len(suffix)]
+    return None
+
+
+def check_file(path, require, require_summary):
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        return f"{path}: empty exposition"
+
+    declared = {}          # family -> kind
+    sampled = set()        # families with at least one sample
+    quantiles = {}         # summary family -> set of quantile labels seen
+    summary_parts = {}     # summary family -> set of {"sum","count"}
+
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if not m:
+                return f"{where}: malformed comment line {line!r}"
+            declared[m.group("family")] = m.group("kind")
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            return f"{where}: malformed sample line {line!r}"
+        name = m.group("name")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            return f"{where}: non-numeric value in {line!r}"
+        if value != value or value in (float("inf"), float("-inf")):
+            return f"{where}: non-finite value in {line!r}"
+        if not name.startswith("dplearn_"):
+            return f"{where}: metric {name!r} lacks the dplearn_ prefix"
+        family = family_of(name, declared)
+        if family is None:
+            return f"{where}: sample {name!r} has no preceding # TYPE declaration"
+        sampled.add(family)
+        kind = declared[family]
+
+        labels = dict(
+            part.split("=", 1) for part in (m.group("labels") or "").split(",") if part)
+        if kind == "counter":
+            if not name.endswith("_total"):
+                return f"{where}: counter sample {name!r} missing _total suffix"
+            if value < 0 or value != int(value):
+                return f"{where}: counter {name!r} has non-integer value {value}"
+        elif kind == "summary":
+            if name == family:
+                q = labels.get("quantile", "").strip('"')
+                if q not in PINNED_QUANTILES:
+                    return f"{where}: summary {family!r} has unexpected quantile {q!r}"
+                quantiles.setdefault(family, set()).add(q)
+            else:
+                summary_parts.setdefault(family, set()).add(
+                    "sum" if name.endswith("_sum") else "count")
+
+    for family, kind in declared.items():
+        if family not in sampled:
+            return f"{path}: declared family {family!r} has no samples"
+        if kind == "summary":
+            if quantiles.get(family, set()) != PINNED_QUANTILES:
+                return (f"{path}: summary {family!r} missing quantiles "
+                        f"{sorted(PINNED_QUANTILES - quantiles.get(family, set()))}")
+            if summary_parts.get(family, set()) != {"sum", "count"}:
+                return f"{path}: summary {family!r} missing _sum/_count"
+
+    for family in require:
+        if family not in sampled:
+            return f"{path}: required family {family!r} not found"
+    for family in require_summary:
+        if declared.get(family) != "summary":
+            return f"{path}: required summary family {family!r} not found"
+
+    summaries = sum(1 for kind in declared.values() if kind == "summary")
+    print(f"check_exposition: {path}: {len(declared)} families "
+          f"({summaries} summaries) OK")
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+")
+    parser.add_argument("--require", action="append", default=[],
+                        help="require at least one sample of this family")
+    parser.add_argument("--require-summary", action="append", default=[],
+                        help="require this family to be a summary with quantiles")
+    args = parser.parse_args()
+
+    for path in args.files:
+        error = check_file(path, args.require, args.require_summary)
+        if error:
+            print(f"check_exposition: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

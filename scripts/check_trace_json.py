@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validate a Chrome Trace Event JSON file written by WriteChromeTrace.
+
+Usage: check_trace_json.py FILE [FILE ...] [--min-threads N] [--require-name NAME]
+
+Checks the exact contract obs/trace_buffer.cc promises (and chrome://tracing
+/ Perfetto require to load the file):
+
+  * top level: {"displayTimeUnit": "ms", "traceEvents": [...]}
+  * every event has ph/pid/tid; "M" metadata events name their thread;
+    "B"/"E" duration events carry ts (number, >= 0) and name, and B events
+    carry args.span_id / args.parent_id
+  * per (pid, tid): B and E strictly alternate as a well-formed stack —
+    every B is closed by a matching E (same name, LIFO order), nothing
+    dangles at EOF
+  * per (pid, tid): timestamps are non-decreasing in emission order, and
+    every span nests inside its stack parent (child interval clamped)
+  * span ids are unique across the file; a non-zero parent_id on a span
+    whose parent is also retained must reference a known span id
+
+--min-threads N additionally requires events on at least N distinct tids —
+the cross-thread acceptance check (the ThreadPool propagation path puts
+worker spans on their own tid rows).
+"""
+
+import argparse
+import json
+import sys
+
+
+def check_file(path, min_threads, require_names):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+
+    if data.get("displayTimeUnit") != "ms":
+        return f"{path}: missing displayTimeUnit 'ms'"
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return f"{path}: missing or empty 'traceEvents' array"
+
+    stacks = {}  # (pid, tid) -> list of (name, ts, end_hint)
+    last_ts = {}  # (pid, tid) -> last timestamp seen
+    span_ids = set()
+    parent_ids = []
+    names_seen = set()
+    tids = set()
+    b_count = 0
+    e_count = 0
+
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(ev, dict):
+            return f"{where}: not an object"
+        ph = ev.get("ph")
+        if ph not in ("M", "B", "E"):
+            return f"{where}: unexpected phase {ph!r}"
+        if "pid" not in ev or "tid" not in ev:
+            return f"{where}: missing pid/tid"
+        key = (ev["pid"], ev["tid"])
+
+        if ph == "M":
+            if ev.get("name") != "thread_name":
+                return f"{where}: metadata event is not a thread_name"
+            if not ev.get("args", {}).get("name"):
+                return f"{where}: thread_name metadata without args.name"
+            continue
+
+        tids.add(key)
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return f"{where}: invalid ts {ts!r}"
+        if ts < last_ts.get(key, 0):
+            return (f"{where}: ts {ts} decreases on tid {key} "
+                    f"(prev {last_ts[key]})")
+        last_ts[key] = ts
+        name = ev.get("name")
+        if not name:
+            return f"{where}: duration event without a name"
+        stack = stacks.setdefault(key, [])
+
+        if ph == "B":
+            b_count += 1
+            names_seen.add(name)
+            args = ev.get("args", {})
+            if "span_id" not in args or "parent_id" not in args:
+                return f"{where}: B event missing args.span_id/parent_id"
+            span_id = args["span_id"]
+            if span_id in span_ids:
+                return f"{where}: duplicate span_id {span_id}"
+            span_ids.add(span_id)
+            if args["parent_id"]:
+                parent_ids.append((i, args["parent_id"]))
+            stack.append(name)
+        else:  # "E"
+            e_count += 1
+            if not stack:
+                return f"{where}: E event with empty stack on tid {key}"
+            opened = stack.pop()
+            if opened != name:
+                return (f"{where}: E name {name!r} does not match open span "
+                        f"{opened!r} (non-LIFO nesting)")
+
+    for key, stack in stacks.items():
+        if stack:
+            return f"{path}: tid {key} ends with unclosed spans {stack}"
+    if b_count != e_count:
+        return f"{path}: {b_count} B events vs {e_count} E events"
+    if b_count == 0:
+        return f"{path}: no spans at all"
+    # The ring buffer is lossy by design, so a parent span may have been
+    # overwritten; but ids that ARE present must never collide (checked
+    # above) and at least one retained parent link should resolve when any
+    # parented span exists.
+    if parent_ids and not any(pid in span_ids for _, pid in parent_ids):
+        return f"{path}: no parent_id resolves to a retained span"
+    if len(tids) < min_threads:
+        return (f"{path}: spans on {len(tids)} thread(s), expected >= "
+                f"{min_threads} (cross-thread propagation missing?)")
+    for required in require_names:
+        if required not in names_seen:
+            return f"{path}: required span name {required!r} not found"
+
+    print(f"check_trace_json: {path}: {b_count} spans on {len(tids)} threads OK")
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+")
+    parser.add_argument("--min-threads", type=int, default=1,
+                        help="require spans on at least N distinct tids")
+    parser.add_argument("--require-name", action="append", default=[],
+                        help="require a span with this exact name")
+    args = parser.parse_args()
+
+    for path in args.files:
+        error = check_file(path, args.min_threads, args.require_name)
+        if error:
+            print(f"check_trace_json: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,8 @@ cd "$(dirname "$0")/.."
 build_dir="${1:-build-bench}"
 jobs="$(nproc)"
 
-binaries=(bench_sampling bench_mechanisms bench_gibbs bench_infotheory)
+binaries=(bench_sampling bench_mechanisms bench_gibbs bench_infotheory
+          bench_telemetry)
 
 echo "== bench: Release build (${build_dir}) =="
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -53,8 +54,16 @@ trap 'rm -rf "$tmpdir"' EXIT
 parts=()
 for bin in "${binaries[@]}"; do
   echo "== bench: running ${bin} =="
+  extra_flags=()
+  if [[ "$bin" == bench_telemetry ]]; then
+    # The telemetry overhead gate compares two benchmarks whose difference
+    # is a few percent — single runs flip on machine noise, so this binary
+    # reports median-of-5 aggregates and the gate reads the _median entries.
+    extra_flags=(--benchmark_repetitions=5 --benchmark_report_aggregates_only=true)
+  fi
   "$build_dir/bench/$bin" --benchmark_format=json \
-    "${min_time_flag[@]+"${min_time_flag[@]}"}" >"$tmpdir/$bin.json"
+    "${min_time_flag[@]+"${min_time_flag[@]}"}" \
+    "${extra_flags[@]+"${extra_flags[@]}"}" >"$tmpdir/$bin.json"
   parts+=("$tmpdir/$bin.json")
 done
 
@@ -83,3 +92,16 @@ fi
 
 echo "== bench: intra-snapshot speedup gate =="
 python3 scripts/check_bench_speedup.py "$out"
+
+# Telemetry overhead budget (<3% on the Gibbs sampling hot path, ISSUE
+# target). Both benchmarks run back-to-back in bench_telemetry so the ratio
+# is machine-independent. Skipped on DPLEARN_BENCH_MIN_TIME smoke runs:
+# 0.01s runs cannot time the pair meaningfully.
+if [[ -z "${DPLEARN_BENCH_MIN_TIME:-}" ]]; then
+  echo "== bench: telemetry overhead gate =="
+  python3 scripts/check_bench_json.py "$out" \
+    --overhead-pair BM_GibbsSampleTelemetryOff_median:BM_GibbsSampleTelemetryOn_median \
+    --overhead-max "${DPLEARN_BENCH_OVERHEAD_MAX:-0.03}"
+else
+  echo "== bench: telemetry overhead gate skipped (smoke min_time run) =="
+fi

@@ -41,6 +41,7 @@ if [[ "${DPLEARN_TIER1_TSAN:-1}" != "0" ]]; then
     "${cmake_flags[@]+"${cmake_flags[@]}"}" >/dev/null
   cmake --build "${build_dir}-tsan" -j "$jobs" --target \
     obs_metrics_test obs_trace_test obs_event_sink_test obs_audit_log_test \
+    obs_telemetry_concurrency_test obs_tenant_budget_test \
     parallel_pool_test parallel_runner_test parallel_determinism_test \
     sampling_rng_test
   # DPLEARN_THREADS=8 forces the process-wide pool on so the library's

@@ -84,6 +84,9 @@ StatusOr<std::vector<double>> ExponentialMechanism::OutputDistribution(
 StatusOr<std::size_t> ExponentialMechanism::Sample(const Dataset& data, Rng* rng) const {
   DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
   obs::TraceSpan span("mechanism.exponential.sample");
+  static obs::Histogram* const release_us = obs::GlobalMetrics().GetHistogram(
+      "mechanism.exponential.release.us", obs::DefaultLatencyBucketsUs());
+  obs::LatencyTimer timer(obs::MetricsEnabled() ? release_us : nullptr);
   if (obs::MetricsEnabled()) {
     static obs::Counter* const samples =
         obs::GlobalMetrics().GetCounter("mechanism.exponential.samples");
@@ -110,6 +113,9 @@ Status ExponentialMechanism::SampleBatch(const Dataset& data, Rng* rng, std::siz
     // indices and the audit log records one release per output, whether the
     // caller batched or looped.
     DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
+    static obs::Histogram* const release_us = obs::GlobalMetrics().GetHistogram(
+        "mechanism.exponential.release.us", obs::DefaultLatencyBucketsUs());
+    obs::LatencyTimer timer(obs::MetricsEnabled() ? release_us : nullptr);
     if (obs::MetricsEnabled()) {
       static obs::Counter* const samples =
           obs::GlobalMetrics().GetCounter("mechanism.exponential.samples");
@@ -147,6 +153,9 @@ StatusOr<ReportNoisyMax> ReportNoisyMax::Create(QualityFn quality, std::size_t n
 
 StatusOr<std::size_t> ReportNoisyMax::Sample(const Dataset& data, Rng* rng) const {
   DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
+  static obs::Histogram* const release_us = obs::GlobalMetrics().GetHistogram(
+      "mechanism.report_noisy_max.release.us", obs::DefaultLatencyBucketsUs());
+  obs::LatencyTimer timer(obs::MetricsEnabled() ? release_us : nullptr);
   if (obs::MetricsEnabled()) {
     static obs::Counter* const samples =
         obs::GlobalMetrics().GetCounter("mechanism.report_noisy_max.samples");

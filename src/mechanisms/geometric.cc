@@ -3,6 +3,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/audit_log.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
 #include "robustness/failpoint.h"
 
 namespace dplearn {
@@ -65,6 +68,15 @@ StatusOr<GeometricMechanism> GeometricMechanism::Create(SensitiveQuery query,
 
 StatusOr<std::int64_t> GeometricMechanism::Release(const Dataset& data, Rng* rng) const {
   DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
+  static obs::Histogram* const release_us = obs::GlobalMetrics().GetHistogram(
+      "mechanism.geometric.release.us", obs::DefaultLatencyBucketsUs());
+  obs::LatencyTimer timer(obs::MetricsEnabled() ? release_us : nullptr);
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const releases =
+        obs::GlobalMetrics().GetCounter("mechanism.geometric.releases");
+    releases->Increment();
+  }
+  obs::AuditMechanismInvocation("geometric", epsilon_, 0.0);
   DPLEARN_ASSIGN_OR_RETURN(std::int64_t true_int,
                            CheckedInt64FromQuery(query_.query(data)));
   DPLEARN_ASSIGN_OR_RETURN(std::int64_t noise, SampleTwoSidedGeometric(rng, alpha_));

@@ -24,6 +24,9 @@ StatusOr<LaplaceMechanism> LaplaceMechanism::Create(SensitiveQuery query, double
 
 StatusOr<double> LaplaceMechanism::Release(const Dataset& data, Rng* rng) const {
   DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
+  static obs::Histogram* const release_us = obs::GlobalMetrics().GetHistogram(
+      "mechanism.laplace.release.us", obs::DefaultLatencyBucketsUs());
+  obs::LatencyTimer timer(obs::MetricsEnabled() ? release_us : nullptr);
   if (obs::MetricsEnabled()) {
     static obs::Counter* const releases =
         obs::GlobalMetrics().GetCounter("mechanism.laplace.releases");
@@ -61,6 +64,9 @@ StatusOr<GaussianMechanism> GaussianMechanism::Create(SensitiveQuery query,
 
 StatusOr<double> GaussianMechanism::Release(const Dataset& data, Rng* rng) const {
   DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
+  static obs::Histogram* const release_us = obs::GlobalMetrics().GetHistogram(
+      "mechanism.gaussian.release.us", obs::DefaultLatencyBucketsUs());
+  obs::LatencyTimer timer(obs::MetricsEnabled() ? release_us : nullptr);
   if (obs::MetricsEnabled()) {
     static obs::Counter* const releases =
         obs::GlobalMetrics().GetCounter("mechanism.gaussian.releases");
@@ -87,6 +93,9 @@ StatusOr<int> RandomizedResponse::Release(int true_bit, Rng* rng) const {
   if (true_bit != 0 && true_bit != 1) {
     return InvalidArgumentError("RandomizedResponse: bit must be 0 or 1");
   }
+  static obs::Histogram* const release_us = obs::GlobalMetrics().GetHistogram(
+      "mechanism.randomized_response.release.us", obs::DefaultLatencyBucketsUs());
+  obs::LatencyTimer timer(obs::MetricsEnabled() ? release_us : nullptr);
   if (obs::MetricsEnabled()) {
     static obs::Counter* const releases =
         obs::GlobalMetrics().GetCounter("mechanism.randomized_response.releases");

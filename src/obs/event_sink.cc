@@ -1,6 +1,7 @@
 #include "obs/event_sink.h"
 
 #include <atomic>
+#include <cstdlib>
 
 #include "obs/config.h"
 #include "obs/json_writer.h"
@@ -50,6 +51,25 @@ void InMemorySink::Clear() {
   events_.clear();
 }
 
+namespace {
+
+std::uint64_t SinkFlushEvery() {
+  static const std::uint64_t every = [] {
+    const char* env = std::getenv("DPLEARN_SINK_FLUSH_EVERY");
+    if (env != nullptr && *env != '\0') {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1) return static_cast<std::uint64_t>(parsed);
+    }
+    return std::uint64_t{32};
+  }();
+  return every;
+}
+
+}  // namespace
+
+JsonlFileSink::JsonlFileSink(std::FILE* file, std::string path)
+    : file_(file), path_(std::move(path)), flush_every_(SinkFlushEvery()) {}
+
 StatusOr<std::unique_ptr<JsonlFileSink>> JsonlFileSink::Open(const std::string& path) {
   std::FILE* file = nullptr;
   robustness::RetryPolicy retry;
@@ -67,7 +87,12 @@ StatusOr<std::unique_ptr<JsonlFileSink>> JsonlFileSink::Open(const std::string& 
 
 JsonlFileSink::~JsonlFileSink() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) {
+    // Destructor flush: without it, up to flush_every_-1 buffered events
+    // would be lost on fclose of a sink whose last batch never filled.
+    if (pending_lines_ > 0) FlushWithRetryLocked();
+    std::fclose(file_);
+  }
 }
 
 Status JsonlFileSink::WriteLineLocked(const std::string& line) {
@@ -77,8 +102,35 @@ Status JsonlFileSink::WriteLineLocked(const std::string& line) {
     std::clearerr(file_);
     return UnavailableError("JsonlFileSink: write failed for '" + path_ + "'");
   }
-  std::fflush(file_);
   return Status::Ok();
+}
+
+Status JsonlFileSink::FlushLocked() {
+  DPLEARN_RETURN_IF_ERROR(robustness::Inject("sink.flush"));
+  if (std::fflush(file_) != 0) {
+    std::clearerr(file_);
+    return UnavailableError("JsonlFileSink: flush failed for '" + path_ + "'");
+  }
+  return Status::Ok();
+}
+
+void JsonlFileSink::FlushWithRetryLocked() {
+  robustness::RetryPolicy retry;
+  const Status status = retry.Run([this] { return FlushLocked(); });
+  if (status.ok()) {
+    pending_lines_ = 0;
+    return;
+  }
+  // Count-and-carry: the lines stay in the stdio buffer and ride along to
+  // the next flush attempt — a transient flush outage delays durability, it
+  // does not lose events.
+  flush_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (MetricsEnabled()) {
+    static Counter* const failures = GlobalMetrics().GetCounter("sink.flush_failures");
+    failures->Increment();
+  }
+  DPLEARN_LOG(WARN) << "JsonlFileSink: flush failed after " << retry.last_attempts()
+                    << " attempts: " << status;
 }
 
 void JsonlFileSink::Emit(const Event& event) {
@@ -98,12 +150,14 @@ void JsonlFileSink::Emit(const Event& event) {
     }
     DPLEARN_LOG(WARN) << "JsonlFileSink: dropped event after " << retry.last_attempts()
                       << " attempts: " << status;
+    return;
   }
+  if (++pending_lines_ >= flush_every_) FlushWithRetryLocked();
 }
 
 void JsonlFileSink::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
-  std::fflush(file_);
+  FlushWithRetryLocked();
 }
 
 namespace {
@@ -122,6 +176,8 @@ std::atomic<int>& SinkCount() {
   static std::atomic<int> count{0};
   return count;
 }
+
+thread_local int t_sink_pause_depth = 0;
 
 }  // namespace
 
@@ -145,8 +201,13 @@ void RemoveGlobalSink(EventSink* sink) {
 }
 
 bool HasGlobalSinks() {
+  if (t_sink_pause_depth > 0) return false;
   return SinkCount().load(std::memory_order_relaxed) > 0;
 }
+
+ScopedSinkPause::ScopedSinkPause() { ++t_sink_pause_depth; }
+
+ScopedSinkPause::~ScopedSinkPause() { --t_sink_pause_depth; }
 
 void EmitEvent(const Event& event) {
   if (!HasGlobalSinks()) return;

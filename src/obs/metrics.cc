@@ -21,6 +21,7 @@ void Histogram::Observe(double value) {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAddDouble(&sum_, value);
+  hdr_.Record(value);
 }
 
 Histogram::Snapshot Histogram::GetSnapshot() const {
@@ -32,6 +33,7 @@ Histogram::Snapshot Histogram::GetSnapshot() const {
   }
   snap.count = count_.load(std::memory_order_relaxed);
   snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.hdr = hdr_.GetSnapshot();
   return snap;
 }
 
@@ -41,6 +43,7 @@ void Histogram::Reset() {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  hdr_.Reset();
 }
 
 const std::vector<double>& DefaultLatencyBucketsUs() {
@@ -143,9 +146,10 @@ std::string MetricsRegistry::ExportText() const {
     out += "gauge " + name + " " + buf + "\n";
   }
   for (const auto& [name, hist] : snap.histograms) {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "%llu mean=%.6g",
-                  static_cast<unsigned long long>(hist.count), hist.Mean());
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "%llu mean=%.6g p50=%.6g p99=%.6g p999=%.6g",
+                  static_cast<unsigned long long>(hist.count), hist.Mean(),
+                  hist.Quantile(0.5), hist.Quantile(0.99), hist.Quantile(0.999));
     out += "histogram " + name + " count=" + buf + "\n";
   }
   return out;
@@ -167,6 +171,14 @@ std::string MetricsRegistry::ExportJson() const {
     w.Key("count").Value(hist.count);
     w.Key("sum").Value(hist.sum);
     w.Key("mean").Value(hist.Mean());
+    // Tail shape from the HDR layer: exact extrema, log-bucketed quantiles
+    // (relative error <= 1/64; see obs/hdr_histogram.h).
+    w.Key("min").Value(hist.Min());
+    w.Key("max").Value(hist.Max());
+    w.Key("p50").Value(hist.Quantile(0.5));
+    w.Key("p90").Value(hist.Quantile(0.9));
+    w.Key("p99").Value(hist.Quantile(0.99));
+    w.Key("p999").Value(hist.Quantile(0.999));
     w.Key("upper_bounds").BeginArray();
     for (const double b : hist.upper_bounds) w.Value(b);
     w.EndArray();

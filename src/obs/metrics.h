@@ -2,12 +2,16 @@
 #define DPLEARN_OBS_METRICS_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/hdr_histogram.h"
+#include "util/status.h"
 
 namespace dplearn {
 namespace obs {
@@ -48,11 +52,21 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// A fixed-bucket histogram: bucket i counts observations with
-/// value <= upper_bounds[i] (first matching bound); one implicit overflow
-/// bucket catches the rest. Observe() is lock-free; GetSnapshot() reads the
-/// atomics without stopping writers, so a snapshot taken during concurrent
-/// observation is approximate (each individual cell is exact).
+/// A latency histogram with two lock-free bucket layers fed by one
+/// Observe():
+///
+///   * the caller-configured coarse buckets (bucket i counts observations
+///     with value <= upper_bounds[i], one implicit overflow bucket) — the
+///     exact, pinned exposition shape older consumers rely on, and
+///   * HDR-style log buckets (see obs/hdr_histogram.h) powering the
+///     quantile snapshot — p50/deciles/p99/p99.9 with relative error
+///     bounded by 1/64 and exact min/max.
+///
+/// Observe() is lock-free; GetSnapshot() reads the atomics without stopping
+/// writers, so a snapshot taken during concurrent observation is
+/// approximate across cells (each individual cell is exact), and quantiles
+/// are computed from the copied snapshot in fixed bucket order — bitwise
+/// stable given equal counts.
 class Histogram {
  public:
   struct Snapshot {
@@ -60,7 +74,12 @@ class Histogram {
     std::vector<std::uint64_t> bucket_counts;  // upper_bounds.size() + 1 cells
     std::uint64_t count = 0;
     double sum = 0.0;
+    HdrHistogram::Snapshot hdr;              // quantile layer
     double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+    /// Quantile from the HDR layer (see HdrHistogram::Snapshot::Quantile).
+    double Quantile(double q) const { return hdr.Quantile(q); }
+    double Min() const { return hdr.min; }
+    double Max() const { return hdr.max; }
   };
 
   void Observe(double value);
@@ -79,6 +98,30 @@ class Histogram {
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // upper_bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  HdrHistogram hdr_;
+};
+
+/// RAII wall-time recorder for release hot paths: observes the scope's
+/// elapsed microseconds into `histogram` on destruction, or does nothing
+/// when constructed with nullptr (the metrics-disabled case) — call sites
+/// gate on MetricsEnabled() at construction so a disabled run pays one
+/// branch and no clock reads.
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~LatencyTimer() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Observe(std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Exponential latency buckets in microseconds: 1, 2, 5, 10, ... 5e6. The
@@ -119,6 +162,15 @@ class MetricsRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{name:{...}}}
   std::string ExportJson() const;
 
+  /// Prometheus text exposition format 0.0.4 (implemented in
+  /// obs/exposition.cc). Dotted names are sanitized to `dplearn_*` metric
+  /// families; counters gain the `_total` suffix; histograms are exported
+  /// as summaries with quantile="0.5|0.9|0.99|0.999" samples plus _sum and
+  /// _count; gauges named `tenant.<id>.<field>` become
+  /// `dplearn_tenant_<field>{tenant="<id>"}` label families. See DESIGN.md
+  /// §12 for the full mapping.
+  std::string WriteExposition() const;
+
  private:
   void CheckNameFree(const std::string& name, const void* except_table) const;
 
@@ -130,6 +182,12 @@ class MetricsRegistry {
 
 /// The registry all library instrumentation writes to.
 MetricsRegistry& GlobalMetrics();
+
+/// Writes `registry`'s Prometheus exposition to `path` atomically: the text
+/// goes to `path.tmp` first and is renamed into place, so a scraper (or the
+/// node-exporter textfile collector pattern) never reads a torn dump.
+/// UNAVAILABLE on I/O failure. Implemented in obs/exposition.cc.
+Status WriteExpositionFile(const MetricsRegistry& registry, const std::string& path);
 
 }  // namespace obs
 }  // namespace dplearn

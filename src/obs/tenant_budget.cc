@@ -1,0 +1,253 @@
+#include "obs/tenant_budget.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "obs/event_sink.h"
+#include "obs/metrics.h"
+
+namespace dplearn {
+namespace obs {
+
+struct TenantBudgetTelemetry::Tenant {
+  std::string id;
+  PrivacyAccountant accountant;
+  /// Ledger behind a stable address: the accountant stores a raw pointer to
+  /// it, and audit_log() hands it out past shard rehashes.
+  std::unique_ptr<BudgetAuditLog> ledger;
+  Gauge* epsilon_remaining = nullptr;
+  Gauge* epsilon_spent = nullptr;
+  Gauge* epsilon_spend_rate = nullptr;
+  std::uint64_t spends = 0;
+  std::uint64_t denials = 0;
+  bool near_exhaustion_fired = false;
+  bool has_first_spend = false;
+  std::chrono::steady_clock::time_point first_spend;
+
+  explicit Tenant(std::string tenant_id, PrivacyAccountant acct)
+      : id(std::move(tenant_id)),
+        accountant(std::move(acct)),
+        ledger(new BudgetAuditLog()) {
+    accountant.set_audit_log(ledger.get());
+  }
+};
+
+struct TenantBudgetTelemetry::Shard {
+  mutable std::mutex mu;
+  std::unordered_map<std::string, std::unique_ptr<Tenant>> tenants;
+};
+
+TenantBudgetTelemetry::TenantBudgetTelemetry(Options options)
+    : options_(options) {
+  if (options_.shard_count == 0) options_.shard_count = 1;
+  if (!(options_.near_exhaustion_fraction > 0.0) ||
+      !(options_.near_exhaustion_fraction <= 1.0)) {
+    options_.near_exhaustion_fraction = 0.9;
+  }
+  shards_.reset(new Shard[options_.shard_count]);
+}
+
+TenantBudgetTelemetry::~TenantBudgetTelemetry() = default;
+
+bool TenantBudgetTelemetry::IsValidTenantId(std::string_view id) {
+  if (id.empty()) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+TenantBudgetTelemetry::Shard& TenantBudgetTelemetry::ShardFor(
+    const std::string& tenant_id) const {
+  const std::size_t h = std::hash<std::string>{}(tenant_id);
+  return shards_[h % options_.shard_count];
+}
+
+void TenantBudgetTelemetry::UpdateGauges(Tenant& tenant) {
+  tenant.epsilon_remaining->Set(tenant.accountant.Remaining().epsilon);
+  tenant.epsilon_spent->Set(tenant.accountant.spent().epsilon);
+  double rate = 0.0;
+  if (tenant.has_first_spend) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      tenant.first_spend)
+            .count();
+    if (seconds > 0.0) rate = tenant.accountant.spent().epsilon / seconds;
+  }
+  tenant.epsilon_spend_rate->Set(rate);
+}
+
+Status TenantBudgetTelemetry::RegisterTenant(const std::string& tenant_id,
+                                             const PrivacyBudget& total) {
+  if (!IsValidTenantId(tenant_id)) {
+    return InvalidArgumentError("RegisterTenant: tenant id '" + tenant_id +
+                                "' must match [A-Za-z0-9_-]+");
+  }
+  StatusOr<PrivacyAccountant> accountant = PrivacyAccountant::Create(total);
+  if (!accountant.ok()) return accountant.status();
+
+  Shard& shard = ShardFor(tenant_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.tenants.find(tenant_id) != shard.tenants.end()) {
+    return FailedPreconditionError("RegisterTenant: tenant '" + tenant_id +
+                                   "' already registered");
+  }
+  auto tenant =
+      std::make_unique<Tenant>(tenant_id, std::move(accountant).value());
+  tenant->epsilon_remaining =
+      GlobalMetrics().GetGauge("tenant." + tenant_id + ".epsilon_remaining");
+  tenant->epsilon_spent =
+      GlobalMetrics().GetGauge("tenant." + tenant_id + ".epsilon_spent");
+  tenant->epsilon_spend_rate =
+      GlobalMetrics().GetGauge("tenant." + tenant_id + ".epsilon_spend_rate");
+  UpdateGauges(*tenant);
+  shard.tenants.emplace(tenant_id, std::move(tenant));
+  return Status::Ok();
+}
+
+Status TenantBudgetTelemetry::Spend(const std::string& tenant_id,
+                                    const PrivacyBudget& cost,
+                                    std::string_view mechanism) {
+  Shard& shard = ShardFor(tenant_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.tenants.find(tenant_id);
+  if (it == shard.tenants.end()) {
+    return NotFoundError("Spend: tenant '" + tenant_id + "' not registered");
+  }
+  Tenant& tenant = *it->second;
+
+  if (!tenant.has_first_spend) {
+    tenant.has_first_spend = true;
+    tenant.first_spend = std::chrono::steady_clock::now();
+  }
+  const Status status = tenant.accountant.Spend(cost, mechanism);
+  if (status.ok()) {
+    ++tenant.spends;
+    static Counter* const spends = GlobalMetrics().GetCounter("tenant.spends");
+    spends->Increment();
+  } else if (status.code() == StatusCode::kFailedPrecondition) {
+    ++tenant.denials;
+    static Counter* const denials = GlobalMetrics().GetCounter("tenant.denials");
+    denials->Increment();
+  }
+  UpdateGauges(tenant);
+
+  const double total_eps = tenant.accountant.total().epsilon;
+  const bool near = total_eps > 0.0 &&
+                    tenant.accountant.spent().epsilon >=
+                        options_.near_exhaustion_fraction * total_eps;
+  if (near && !tenant.near_exhaustion_fired) {
+    tenant.near_exhaustion_fired = true;
+    static Counter* const events =
+        GlobalMetrics().GetCounter("tenant.near_exhaustion.events");
+    events->Increment();
+    if (HasGlobalSinks()) {
+      Event event;
+      event.type = "budget";
+      event.name = "near_exhaustion";
+      event.With("tenant", EventValue::Str(tenant.id))
+          .With("epsilon_spent", EventValue::Num(tenant.accountant.spent().epsilon))
+          .With("epsilon_total", EventValue::Num(total_eps))
+          .With("epsilon_remaining",
+                EventValue::Num(tenant.accountant.Remaining().epsilon))
+          .With("threshold", EventValue::Num(options_.near_exhaustion_fraction));
+      EmitEvent(event);
+    }
+  }
+  return status;
+}
+
+StatusOr<TenantBudgetTelemetry::TenantView> TenantBudgetTelemetry::GetView(
+    const std::string& tenant_id) const {
+  Shard& shard = ShardFor(tenant_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.tenants.find(tenant_id);
+  if (it == shard.tenants.end()) {
+    return NotFoundError("GetView: tenant '" + tenant_id + "' not registered");
+  }
+  const Tenant& tenant = *it->second;
+  TenantView view;
+  view.tenant_id = tenant.id;
+  view.total = tenant.accountant.total();
+  view.spent = tenant.accountant.spent();
+  view.remaining = tenant.accountant.Remaining();
+  view.spends = tenant.spends;
+  view.denials = tenant.denials;
+  view.epsilon_spend_rate = tenant.epsilon_spend_rate->Value();
+  view.near_exhaustion = tenant.near_exhaustion_fired;
+  return view;
+}
+
+std::vector<TenantBudgetTelemetry::TenantView>
+TenantBudgetTelemetry::GetAllViews() const {
+  std::vector<std::string> ids;
+  for (std::size_t s = 0; s < options_.shard_count; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (const auto& [id, tenant] : shards_[s].tenants) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  std::vector<TenantView> views;
+  views.reserve(ids.size());
+  for (const std::string& id : ids) {
+    StatusOr<TenantView> view = GetView(id);
+    if (view.ok()) views.push_back(std::move(view).value());
+  }
+  return views;
+}
+
+StatusOr<const BudgetAuditLog*> TenantBudgetTelemetry::audit_log(
+    const std::string& tenant_id) const {
+  Shard& shard = ShardFor(tenant_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.tenants.find(tenant_id);
+  if (it == shard.tenants.end()) {
+    return NotFoundError("audit_log: tenant '" + tenant_id + "' not registered");
+  }
+  return static_cast<const BudgetAuditLog*>(it->second->ledger.get());
+}
+
+std::size_t TenantBudgetTelemetry::tenant_count() const {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < options_.shard_count; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    count += shards_[s].tenants.size();
+  }
+  return count;
+}
+
+Status TenantBudgetTelemetry::ReplayVerifyAll() const {
+  for (std::size_t s = 0; s < options_.shard_count; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (const auto& [id, tenant] : shards_[s].tenants) {
+      DPLEARN_RETURN_IF_ERROR(tenant->ledger->ReplayVerify());
+      // The ledger and the accountant Kahan-add the same granted spends in
+      // the same order, so their totals must agree to the bit — any drift
+      // means the telemetry view diverged from the accountant of record.
+      const PrivacyBudget spent = tenant->accountant.spent();
+      if (tenant->ledger->cumulative_epsilon() != spent.epsilon ||
+          tenant->ledger->cumulative_delta() != spent.delta) {
+        return InternalError("ReplayVerifyAll: tenant '" + id +
+                             "' ledger totals diverge from accountant");
+      }
+      if (tenant->epsilon_remaining->Value() !=
+              tenant->accountant.Remaining().epsilon ||
+          tenant->epsilon_spent->Value() != spent.epsilon) {
+        return InternalError("ReplayVerifyAll: tenant '" + id +
+                             "' gauges diverge from accountant");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+TenantBudgetTelemetry& GlobalTenantTelemetry() {
+  static TenantBudgetTelemetry* telemetry =
+      new TenantBudgetTelemetry();  // never destroyed
+  return *telemetry;
+}
+
+}  // namespace obs
+}  // namespace dplearn

@@ -1,0 +1,137 @@
+#ifndef DPLEARN_OBS_TENANT_BUDGET_H_
+#define DPLEARN_OBS_TENANT_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mechanisms/privacy_budget.h"
+#include "obs/audit_log.h"
+#include "util/status.h"
+
+namespace dplearn {
+namespace obs {
+
+/// Per-tenant ε-budget telemetry: the sharded view a multi-tenant DP
+/// release service (ROADMAP item 1) keeps over its accountants. Each
+/// registered tenant owns a PrivacyAccountant wired to a private
+/// BudgetAuditLog; every spend routes through the accountant (so the
+/// ledger, the Kahan-compensated running totals, and the over-budget
+/// refusal logic are exactly the single-tenant ones) and then updates
+/// GlobalMetrics() gauges:
+///
+///   tenant.<id>.epsilon_remaining   remaining ε (bitwise equal to
+///                                   accountant.Remaining().epsilon, which
+///                                   ReplayVerify reconciles)
+///   tenant.<id>.epsilon_spent       cumulative granted ε
+///   tenant.<id>.epsilon_spend_rate  granted ε per wall-clock second since
+///                                   the tenant's first spend
+///
+/// plus process-wide counters tenant.spends, tenant.denials and
+/// tenant.near_exhaustion.events. The exposition writer renders the gauges
+/// as one Prometheus family per field with a tenant="<id>" label
+/// (obs/exposition.cc), which is why tenant ids must match
+/// [A-Za-z0-9_-]+ — no dots.
+///
+/// When a tenant's granted ε first reaches
+/// near_exhaustion_fraction * total ε, a "budget"/"near_exhaustion" event
+/// is emitted to the global sinks (once per tenant) and the counter bumps,
+/// so an operator sees tenants approaching their budget before spends
+/// start bouncing.
+///
+/// Thread-safety: tenants hash onto shard_count independently locked
+/// shards, so concurrent spends by different tenants rarely contend;
+/// spends by one tenant serialize on its shard, which the audit ledger
+/// requires anyway (composition is order-sensitive in floating point).
+class TenantBudgetTelemetry {
+ public:
+  struct Options {
+    /// Spent-ε fraction that triggers the near-exhaustion event.
+    double near_exhaustion_fraction = 0.9;
+    std::size_t shard_count = 16;
+  };
+
+  TenantBudgetTelemetry() : TenantBudgetTelemetry(Options{}) {}
+  explicit TenantBudgetTelemetry(Options options);
+  ~TenantBudgetTelemetry();
+
+  TenantBudgetTelemetry(const TenantBudgetTelemetry&) = delete;
+  TenantBudgetTelemetry& operator=(const TenantBudgetTelemetry&) = delete;
+
+  /// True iff `id` is a valid tenant id: non-empty, [A-Za-z0-9_-] only.
+  static bool IsValidTenantId(std::string_view id);
+
+  /// Registers `tenant_id` with total budget `total` and zeroes its gauges.
+  /// INVALID_ARGUMENT on a malformed id or invalid budget; ALREADY rejected
+  /// (FAILED_PRECONDITION) when the tenant exists.
+  Status RegisterTenant(const std::string& tenant_id, const PrivacyBudget& total);
+
+  /// Spends `cost` from `tenant_id`'s budget under `mechanism`. The spend
+  /// goes through the tenant's PrivacyAccountant — granted and
+  /// denied-over-budget spends both land in the tenant's audit ledger —
+  /// and the tenant's gauges are refreshed either way. Returns the
+  /// accountant's status (FAILED_PRECONDITION on an over-budget denial);
+  /// NOT_FOUND for an unregistered tenant.
+  Status Spend(const std::string& tenant_id, const PrivacyBudget& cost,
+               std::string_view mechanism);
+  Status Spend(const std::string& tenant_id, const PrivacyBudget& cost) {
+    return Spend(tenant_id, cost, "tenant");
+  }
+
+  /// A read-only snapshot of one tenant's budget state.
+  struct TenantView {
+    std::string tenant_id;
+    PrivacyBudget total;
+    PrivacyBudget spent;
+    PrivacyBudget remaining;
+    std::uint64_t spends = 0;    // granted
+    std::uint64_t denials = 0;   // refused over-budget
+    double epsilon_spend_rate = 0.0;  // granted ε per second
+    bool near_exhaustion = false;
+  };
+
+  StatusOr<TenantView> GetView(const std::string& tenant_id) const;
+  /// All tenants, sorted by id (deterministic output order).
+  std::vector<TenantView> GetAllViews() const;
+
+  /// The tenant's private ledger, for export or external verification.
+  /// NOT_FOUND for an unregistered tenant. The pointer stays valid for the
+  /// telemetry object's lifetime.
+  StatusOr<const BudgetAuditLog*> audit_log(const std::string& tenant_id) const;
+
+  std::size_t tenant_count() const;
+
+  /// Full cross-check of every tenant, strongest first:
+  ///   1. the tenant ledger replays clean (BudgetAuditLog::ReplayVerify);
+  ///   2. the ledger's cumulative ε/δ are BITWISE equal to the
+  ///      accountant's spent totals (both are the same Kahan sum in the
+  ///      same order, so == is the correct comparison, not a tolerance);
+  ///   3. the exported gauges are bitwise equal to the accountant's
+  ///      remaining/spent ε.
+  /// InternalError naming the first offending tenant and check otherwise.
+  Status ReplayVerifyAll() const;
+
+ private:
+  struct Tenant;
+  struct Shard;
+
+  Shard& ShardFor(const std::string& tenant_id) const;
+  void UpdateGauges(Tenant& tenant);
+
+  Options options_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Process-wide instance (leaked singleton) with default options — what the
+/// benches and a future service front-end share.
+TenantBudgetTelemetry& GlobalTenantTelemetry();
+
+}  // namespace obs
+}  // namespace dplearn
+
+#endif  // DPLEARN_OBS_TENANT_BUDGET_H_

@@ -7,6 +7,7 @@
 
 #include "obs/config.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "robustness/failpoint.h"
 
 namespace dplearn {
@@ -35,6 +36,18 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  // Cross-thread trace propagation: capture the submitter's innermost open
+  // span here and adopt it on the worker, so spans the task opens report
+  // the submitting span as their parent (by process-unique id) instead of
+  // silently becoming roots. Capture happens at submit time — the parent is
+  // whatever was open when the work was scheduled, which is the causal link
+  // a trace viewer should draw.
+  if (obs::TracingEnabled()) {
+    task = [context = obs::TraceContext::Capture(), inner = std::move(task)] {
+      obs::ScopedTraceContext adopt(context);
+      inner();
+    };
+  }
   // Chaos hook: `pool.task` makes the task throw on the worker before its
   // body runs; the exception is captured into the future like any task
   // failure, which is exactly the propagation path being exercised. The

@@ -2,14 +2,25 @@
 
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+#include "robustness/failpoint.h"
 
 namespace dplearn {
 namespace obs {
 namespace {
+
+using robustness::ScopedFailPoint;
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
 
 TEST(ObsEventTest, ToJsonLineSerializesTypedFields) {
   Event event{"verdict", "eps bound holds", {}};
@@ -73,6 +84,81 @@ TEST(ObsJsonlFileSinkTest, AppendsAcrossReopens) {
   std::remove(path.c_str());
 }
 
+TEST(ObsJsonlFileSinkTest, FlushMakesBufferedLinesVisible) {
+  const std::string path = ::testing::TempDir() + "/obs_event_sink_flush.jsonl";
+  std::remove(path.c_str());
+  auto sink = JsonlFileSink::Open(path).value();
+  sink->Emit(Event{"span", "buffered", {}});
+  // One short line sits in the stdio buffer (the default flush threshold is
+  // 32 events); a concurrent reader must not see it yet...
+  EXPECT_EQ(ReadLines(path).size(), 0u);
+  // ...until an explicit Flush pushes it to the OS.
+  sink->Flush();
+  ASSERT_EQ(ReadLines(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsJsonlFileSinkTest, BatchFlushFiresAtThreshold) {
+  const std::string path = ::testing::TempDir() + "/obs_event_sink_batch.jsonl";
+  std::remove(path.c_str());
+  auto sink = JsonlFileSink::Open(path).value();
+  // Default DPLEARN_SINK_FLUSH_EVERY is 32: 31 events stay buffered, the
+  // 32nd triggers the batch flush.
+  for (int i = 0; i < 31; ++i) sink->Emit(Event{"span", "batch", {}});
+  EXPECT_EQ(ReadLines(path).size(), 0u);
+  sink->Emit(Event{"span", "batch", {}});
+  EXPECT_EQ(ReadLines(path).size(), 32u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsJsonlFileSinkTest, DestructorFlushesPendingLines) {
+  const std::string path = ::testing::TempDir() + "/obs_event_sink_dtor.jsonl";
+  std::remove(path.c_str());
+  {
+    auto sink = JsonlFileSink::Open(path).value();
+    // Pinned regression: a partial batch (< flush threshold) must survive a
+    // clean shutdown — these three lines used to be lost when the sink was
+    // destroyed without an explicit flush.
+    for (int i = 0; i < 3; ++i) sink->Emit(Event{"span", "pending", {}});
+  }
+  EXPECT_EQ(ReadLines(path).size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsJsonlFileSinkTest, FlushFaultIsCountedAndDataCarriesOver) {
+  const std::string path = ::testing::TempDir() + "/obs_event_sink_flushfault.jsonl";
+  std::remove(path.c_str());
+  auto sink = JsonlFileSink::Open(path).value();
+  sink->Emit(Event{"span", "carried", {}});
+  {
+    ScopedFailPoint fp("sink.flush", "always");
+    sink->Flush();  // retries exhaust; must not throw and must not drop
+    EXPECT_GE(sink->flush_failures(), 1u);
+    EXPECT_EQ(sink->dropped_events(), 0u);
+  }
+  // Count-and-carry: once the fault clears, the buffered line flushes
+  // intact — a flush outage delays durability, it never loses events.
+  sink->Flush();
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("carried"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsJsonlFileSinkTest, TransientFlushFaultIsRetriedAway) {
+  const std::string path = ::testing::TempDir() + "/obs_event_sink_flushretry.jsonl";
+  std::remove(path.c_str());
+  auto sink = JsonlFileSink::Open(path).value();
+  sink->Emit(Event{"span", "retried", {}});
+  {
+    ScopedFailPoint fp("sink.flush", "first:1");
+    sink->Flush();  // first attempt fails, in-call retry succeeds
+    EXPECT_EQ(sink->flush_failures(), 0u);
+  }
+  EXPECT_EQ(ReadLines(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
 TEST(ObsJsonlFileSinkTest, OpenFailsOnUnwritablePath) {
   auto sink = JsonlFileSink::Open("/nonexistent-dir/x/y.jsonl");
   EXPECT_FALSE(sink.ok());
@@ -97,6 +183,46 @@ TEST(ObsGlobalSinkTest, FanOutDeliversToEveryRegisteredSink) {
   EXPECT_EQ(b.size(), 2u);
   EXPECT_EQ(a.Events()[0].name, "shared");
   EXPECT_EQ(b.Events()[1].name, "only b");
+}
+
+TEST(ObsGlobalSinkTest, ScopedGlobalSinkDeregistersOnUnwind) {
+  // Pinned: a fault unwinding a scope that registered a stack-local sink
+  // used to leave a dangling pointer in the global registry — the next
+  // EmitEvent (e.g. GuardedMain's failure record) crashed.
+  InMemorySink sink;
+  ASSERT_FALSE(HasGlobalSinks());
+  try {
+    ScopedGlobalSink registration(&sink);
+    EXPECT_TRUE(HasGlobalSinks());
+    throw std::runtime_error("injected fault");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_FALSE(HasGlobalSinks());
+  EmitEvent(Event{"failure", "after unwind", {}});  // must not reach `sink`
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(ObsGlobalSinkTest, ScopedSinkPauseSuppressesDeliveryOnThisThread) {
+  InMemorySink sink;
+  AddGlobalSink(&sink);
+  EmitEvent(Event{"span", "before", {}});
+  {
+    ScopedSinkPause pause;
+    EXPECT_FALSE(HasGlobalSinks());
+    EmitEvent(Event{"span", "paused", {}});
+    {
+      ScopedSinkPause nested;
+      EmitEvent(Event{"span", "nested", {}});
+    }
+    EXPECT_FALSE(HasGlobalSinks());
+  }
+  EXPECT_TRUE(HasGlobalSinks());
+  EmitEvent(Event{"span", "after", {}});
+  RemoveGlobalSink(&sink);
+
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.Events()[0].name, "before");
+  EXPECT_EQ(sink.Events()[1].name, "after");
 }
 
 }  // namespace

@@ -1,9 +1,15 @@
 #include "obs/metrics.h"
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+#include "obs/hdr_histogram.h"
 
 namespace dplearn {
 namespace obs {
@@ -139,6 +145,118 @@ TEST(ObsMetricsRegistryTest, ConcurrentIncrementsAreLossless) {
   Histogram::Snapshot snapshot = histogram->GetSnapshot();
   EXPECT_EQ(snapshot.count, expected);
   EXPECT_EQ(snapshot.bucket_counts[1], expected);  // 1.0 > bound 0.5: overflow
+}
+
+TEST(ObsHdrHistogramTest, BucketEdgesBoundRelativeError) {
+  // Underflow: sub-1, negative, and non-finite values all land in bucket 0.
+  EXPECT_EQ(HdrHistogram::BucketIndex(0.5), 0u);
+  EXPECT_EQ(HdrHistogram::BucketIndex(-3.0), 0u);
+  EXPECT_EQ(HdrHistogram::BucketIndex(std::numeric_limits<double>::quiet_NaN()), 0u);
+  // In-range values: the containing bucket's upper edge is >= the value and
+  // within the documented 1/64 relative width.
+  for (const double v : {1.0, 1.5, 7.25, 100.0, 4096.0, 1.0e6, 3.7e9}) {
+    const std::size_t index = HdrHistogram::BucketIndex(v);
+    ASSERT_LT(index, HdrHistogram::kBucketCount);
+    const double edge = HdrHistogram::BucketUpperEdge(index);
+    EXPECT_GE(edge, v);
+    EXPECT_LE(edge, v * (1.0 + 1.0 / 64.0) * (1.0 + 1e-12));
+  }
+}
+
+TEST(ObsHdrHistogramTest, QuantilesWithinDocumentedError) {
+  HdrHistogram histogram;
+  constexpr int kN = 100000;
+  for (int i = 1; i <= kN; ++i) histogram.Record(static_cast<double>(i));
+  const HdrHistogram::Snapshot snap = histogram.GetSnapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kN));
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);  // extrema are exact, not bucketed
+  EXPECT_DOUBLE_EQ(snap.max, static_cast<double>(kN));
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), static_cast<double>(kN));
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = q * kN;
+    EXPECT_NEAR(snap.Quantile(q), exact, exact / 32.0) << "q=" << q;
+  }
+  const std::vector<double> deciles = snap.Deciles();
+  ASSERT_EQ(deciles.size(), 9u);
+  for (std::size_t i = 1; i < deciles.size(); ++i) {
+    EXPECT_LE(deciles[i - 1], deciles[i]);
+  }
+}
+
+TEST(ObsHdrHistogramTest, SnapshotQuantilesAreBitwiseStable) {
+  HdrHistogram histogram;
+  for (int i = 1; i <= 5000; ++i) histogram.Record(static_cast<double>(i % 997 + 1));
+  const HdrHistogram::Snapshot a = histogram.GetSnapshot();
+  const HdrHistogram::Snapshot b = histogram.GetSnapshot();
+  // Equal counts -> bit-identical quantiles, independent of when the
+  // snapshot was taken ("bitwise-stable snapshot order").
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.Quantile(q), b.Quantile(q));
+  }
+  EXPECT_EQ(a.Deciles(), b.Deciles());
+}
+
+TEST(ObsMetricsRegistryTest, HistogramSnapshotExposesHdrQuantiles) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.quantiles.us", {10.0, 100.0});
+  for (int i = 1; i <= 1000; ++i) h->Observe(static_cast<double>(i));
+  const Histogram::Snapshot snap = h->GetSnapshot();
+  EXPECT_DOUBLE_EQ(snap.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Max(), 1000.0);
+  EXPECT_NEAR(snap.Quantile(0.5), 500.0, 500.0 / 32.0);
+  EXPECT_NEAR(snap.Quantile(0.99), 990.0, 990.0 / 32.0);
+  // Both layers see every observation.
+  EXPECT_EQ(snap.hdr.count, snap.count);
+}
+
+TEST(ObsExpositionTest, WriteExpositionRendersAllFamilies) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.releases")->Increment(3);
+  registry.GetGauge("test.acceptance_rate")->Set(0.25);
+  registry.GetGauge("tenant.acme-01.epsilon_remaining")->Set(0.75);
+  Histogram* h = registry.GetHistogram("test.release.us", {10.0});
+  for (int i = 1; i <= 100; ++i) h->Observe(static_cast<double>(i));
+
+  const std::string out = registry.WriteExposition();
+  EXPECT_NE(out.find("# TYPE dplearn_test_releases_total counter"), std::string::npos);
+  EXPECT_NE(out.find("dplearn_test_releases_total 3"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE dplearn_test_acceptance_rate gauge"), std::string::npos);
+  EXPECT_NE(out.find("dplearn_test_acceptance_rate 0.25"), std::string::npos);
+  // Tenant gauges become one label family, not one family per tenant.
+  EXPECT_NE(out.find("# TYPE dplearn_tenant_epsilon_remaining gauge"),
+            std::string::npos);
+  EXPECT_NE(out.find("dplearn_tenant_epsilon_remaining{tenant=\"acme-01\"} 0.75"),
+            std::string::npos);
+  // Histograms export as summaries with the four pinned quantiles.
+  EXPECT_NE(out.find("# TYPE dplearn_test_release_us summary"), std::string::npos);
+  for (const char* label : {"0.5", "0.9", "0.99", "0.999"}) {
+    EXPECT_NE(out.find("dplearn_test_release_us{quantile=\"" + std::string(label) +
+                       "\"} "),
+              std::string::npos);
+  }
+  EXPECT_NE(out.find("dplearn_test_release_us_sum 5050"), std::string::npos);
+  EXPECT_NE(out.find("dplearn_test_release_us_count 100"), std::string::npos);
+}
+
+TEST(ObsExpositionTest, WriteExpositionFileIsAtomicAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.file.counter")->Increment(7);
+  const std::string path = ::testing::TempDir() + "obs_metrics_exposition.prom";
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(WriteExpositionFile(registry, path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, registry.WriteExposition());
+  // The tmp staging file must not linger after the rename.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+
+  EXPECT_FALSE(WriteExpositionFile(registry, "/nonexistent-dir/x/y.prom").ok());
+  std::remove(path.c_str());
 }
 
 TEST(ObsDefaultLatencyBucketsTest, StrictlyIncreasing) {

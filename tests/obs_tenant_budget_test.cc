@@ -1,0 +1,176 @@
+#include "obs/tenant_budget.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "obs/event_sink.h"
+#include "obs/metrics.h"
+
+namespace dplearn {
+namespace obs {
+namespace {
+
+TEST(ObsTenantBudgetTest, ValidatesTenantIds) {
+  EXPECT_TRUE(TenantBudgetTelemetry::IsValidTenantId("acme-corp_01"));
+  EXPECT_FALSE(TenantBudgetTelemetry::IsValidTenantId(""));
+  EXPECT_FALSE(TenantBudgetTelemetry::IsValidTenantId("has.dot"));
+  EXPECT_FALSE(TenantBudgetTelemetry::IsValidTenantId("has space"));
+
+  TenantBudgetTelemetry telemetry;
+  EXPECT_EQ(telemetry.RegisterTenant("bad.id", PrivacyBudget{1.0, 0.0}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(telemetry.RegisterTenant("t1", PrivacyBudget{-1.0, 0.0}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ObsTenantBudgetTest, RejectsDuplicateRegistration) {
+  TenantBudgetTelemetry telemetry;
+  ASSERT_TRUE(telemetry.RegisterTenant("dup_tenant", PrivacyBudget{1.0, 0.0}).ok());
+  EXPECT_EQ(telemetry.RegisterTenant("dup_tenant", PrivacyBudget{2.0, 0.0}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ObsTenantBudgetTest, SpendRoutesThroughAccountantAndLedger) {
+  TenantBudgetTelemetry telemetry;
+  ASSERT_TRUE(telemetry.RegisterTenant("ledger_tenant", PrivacyBudget{1.0, 0.0}).ok());
+  EXPECT_EQ(telemetry.Spend("missing", PrivacyBudget{0.1, 0.0}).code(),
+            StatusCode::kNotFound);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        telemetry.Spend("ledger_tenant", PrivacyBudget{0.1, 0.0}, "laplace").ok());
+  }
+  // Over-budget: denied, audited, counted — not granted.
+  EXPECT_EQ(telemetry.Spend("ledger_tenant", PrivacyBudget{0.6, 0.0}).code(),
+            StatusCode::kFailedPrecondition);
+
+  const auto view = telemetry.GetView("ledger_tenant");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().spends, 5u);
+  EXPECT_EQ(view.value().denials, 1u);
+  EXPECT_GT(view.value().epsilon_spend_rate, 0.0);
+
+  const auto ledger = telemetry.audit_log("ledger_tenant");
+  ASSERT_TRUE(ledger.ok());
+  EXPECT_EQ(ledger.value()->size(), 6u);  // 5 granted + 1 denied
+  EXPECT_TRUE(ledger.value()->ReplayVerify().ok());
+}
+
+TEST(ObsTenantBudgetTest, GaugesMatchAccountantBitwise) {
+  TenantBudgetTelemetry telemetry;
+  ASSERT_TRUE(telemetry.RegisterTenant("gauge_tenant", PrivacyBudget{2.0, 0.0}).ok());
+  // Many small spends: Kahan compensation keeps ledger, accountant, and
+  // gauge in exact agreement — the ReplayVerifyAll contract.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(telemetry.Spend("gauge_tenant", PrivacyBudget{0.001, 0.0}).ok());
+  }
+  const auto view = telemetry.GetView("gauge_tenant");
+  ASSERT_TRUE(view.ok());
+  Gauge* remaining =
+      GlobalMetrics().GetGauge("tenant.gauge_tenant.epsilon_remaining");
+  Gauge* spent = GlobalMetrics().GetGauge("tenant.gauge_tenant.epsilon_spent");
+  EXPECT_EQ(remaining->Value(), view.value().remaining.epsilon);  // bitwise
+  EXPECT_EQ(spent->Value(), view.value().spent.epsilon);          // bitwise
+
+  const auto ledger = telemetry.audit_log("gauge_tenant");
+  ASSERT_TRUE(ledger.ok());
+  EXPECT_EQ(ledger.value()->cumulative_epsilon(), view.value().spent.epsilon);
+
+  EXPECT_TRUE(telemetry.ReplayVerifyAll().ok());
+}
+
+TEST(ObsTenantBudgetTest, NearExhaustionFiresOnceWithEvent) {
+  InMemorySink sink;
+  AddGlobalSink(&sink);
+  TenantBudgetTelemetry::Options options;
+  options.near_exhaustion_fraction = 0.5;
+  TenantBudgetTelemetry telemetry(options);
+  ASSERT_TRUE(telemetry.RegisterTenant("hot_tenant", PrivacyBudget{1.0, 0.0}).ok());
+
+  ASSERT_TRUE(telemetry.Spend("hot_tenant", PrivacyBudget{0.25, 0.0}).ok());
+  EXPECT_FALSE(telemetry.GetView("hot_tenant").value().near_exhaustion);
+  ASSERT_TRUE(telemetry.Spend("hot_tenant", PrivacyBudget{0.25, 0.0}).ok());
+  EXPECT_TRUE(telemetry.GetView("hot_tenant").value().near_exhaustion);
+  ASSERT_TRUE(telemetry.Spend("hot_tenant", PrivacyBudget{0.25, 0.0}).ok());
+  RemoveGlobalSink(&sink);
+
+  std::size_t near_exhaustion_events = 0;
+  for (const Event& event : sink.Events()) {
+    if (event.type == "budget" && event.name == "near_exhaustion") {
+      ++near_exhaustion_events;
+      bool saw_tenant = false;
+      for (const auto& [key, value] : event.fields) {
+        if (key == "tenant") {
+          saw_tenant = true;
+          EXPECT_EQ(value.string_value, "hot_tenant");
+        }
+      }
+      EXPECT_TRUE(saw_tenant);
+    }
+  }
+  EXPECT_EQ(near_exhaustion_events, 1u);  // once per tenant, not per spend
+}
+
+TEST(ObsTenantBudgetTest, GetAllViewsIsSortedById) {
+  TenantBudgetTelemetry telemetry;
+  for (const char* id : {"zeta", "alpha", "mid"}) {
+    ASSERT_TRUE(telemetry.RegisterTenant(id, PrivacyBudget{1.0, 0.0}).ok());
+  }
+  const auto views = telemetry.GetAllViews();
+  ASSERT_EQ(views.size(), 3u);
+  EXPECT_EQ(views[0].tenant_id, "alpha");
+  EXPECT_EQ(views[1].tenant_id, "mid");
+  EXPECT_EQ(views[2].tenant_id, "zeta");
+  EXPECT_EQ(telemetry.tenant_count(), 3u);
+}
+
+TEST(ObsTenantBudgetTest, ExpositionRendersTenantLabels) {
+  TenantBudgetTelemetry telemetry;
+  ASSERT_TRUE(telemetry.RegisterTenant("expo_tenant", PrivacyBudget{1.0, 0.0}).ok());
+  ASSERT_TRUE(telemetry.Spend("expo_tenant", PrivacyBudget{0.5, 0.0}).ok());
+
+  const std::string exposition = GlobalMetrics().WriteExposition();
+  EXPECT_NE(exposition.find("# TYPE dplearn_tenant_epsilon_remaining gauge"),
+            std::string::npos);
+  EXPECT_NE(
+      exposition.find("dplearn_tenant_epsilon_remaining{tenant=\"expo_tenant\"} 0.5"),
+      std::string::npos);
+  EXPECT_NE(
+      exposition.find("dplearn_tenant_epsilon_spent{tenant=\"expo_tenant\"} 0.5"),
+      std::string::npos);
+}
+
+TEST(ObsTenantBudgetTest, ConcurrentTenantsVerifyCleanly) {
+  TenantBudgetTelemetry telemetry;
+  constexpr int kTenants = 8;
+  constexpr int kSpends = 200;
+  for (int t = 0; t < kTenants; ++t) {
+    ASSERT_TRUE(
+        telemetry
+            .RegisterTenant("par_tenant_" + std::to_string(t), PrivacyBudget{10.0, 0.0})
+            .ok());
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&telemetry, t] {
+      const std::string id = "par_tenant_" + std::to_string(t);
+      for (int i = 0; i < kSpends; ++i) {
+        ASSERT_TRUE(telemetry.Spend(id, PrivacyBudget{0.01, 0.0}).ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_TRUE(telemetry.ReplayVerifyAll().ok());
+  for (int t = 0; t < kTenants; ++t) {
+    const auto view = telemetry.GetView("par_tenant_" + std::to_string(t));
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view.value().spends, static_cast<std::uint64_t>(kSpends));
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dplearn

@@ -12,6 +12,7 @@
 
 #include "obs/config.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dplearn {
 namespace parallel {
@@ -104,6 +105,51 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
     }
   }
   EXPECT_EQ(executed.load(), 100);
+}
+
+// Pinned regression: spans opened inside a pool task must report the span
+// that was open at Submit() as their parent. The original per-thread stack
+// held raw name pointers and never crossed threads, so a task's spans came
+// up as parentless roots (or, worse, picked up whatever span happened to be
+// open on the worker). Submit() now captures a TraceContext and the worker
+// adopts it.
+TEST(ThreadPoolTest, SubmitPropagatesTraceContextToWorkers) {
+  const bool was_enabled = obs::TracingEnabled();
+  obs::SetTracingEnabled(true);
+  {
+    ThreadPool pool(2);
+    obs::TraceSpan outer("pool_test.submit_outer");
+    ASSERT_NE(outer.span_id(), 0u);
+
+    std::uint64_t child_parent_id = 0;
+    int worker_depth = -1;
+    pool.Submit([&child_parent_id, &worker_depth] {
+      worker_depth = obs::TraceSpan::CurrentDepth();
+      obs::TraceSpan child("pool_test.submit_child");
+      child_parent_id = child.parent_id();
+    }).get();
+
+    EXPECT_EQ(worker_depth, 1);  // exactly the adopted frame, nothing stale
+    EXPECT_EQ(child_parent_id, outer.span_id());
+  }
+  obs::SetTracingEnabled(was_enabled);
+}
+
+// With no span open at Submit(), worker spans stay roots — adoption of an
+// empty context must not invent a parent.
+TEST(ThreadPoolTest, SubmitWithoutOpenSpanLeavesWorkerSpansRooted) {
+  const bool was_enabled = obs::TracingEnabled();
+  obs::SetTracingEnabled(true);
+  {
+    ThreadPool pool(2);
+    std::uint64_t child_parent_id = 42;
+    pool.Submit([&child_parent_id] {
+      obs::TraceSpan child("pool_test.rooted_child");
+      child_parent_id = child.parent_id();
+    }).get();
+    EXPECT_EQ(child_parent_id, 0u);
+  }
+  obs::SetTracingEnabled(was_enabled);
 }
 
 TEST(ThreadPoolTest, MetricsBalanceAfterQuiescence) {
