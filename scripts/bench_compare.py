@@ -38,8 +38,11 @@ def load(path):
         snapshot = json.load(f)
     out = {}
     for entry in snapshot.get("benchmarks", []):
-        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
-        if entry.get("run_type") == "aggregate":
+        # Skip aggregate rows (mean/stddev/cv) if repetitions were used —
+        # but keep medians: bench_telemetry reports aggregates only, and its
+        # gated hot entry is the BM_..._median row.
+        if (entry.get("run_type") == "aggregate"
+                and entry.get("aggregate_name") != "median"):
             continue
         out[entry["name"]] = entry
     return snapshot, out
