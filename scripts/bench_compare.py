@@ -30,6 +30,11 @@ HOT_BENCHMARKS = [
     "BM_GibbsGridSweepCached",
     "BM_RiskProfileCacheHit",
     "BM_GibbsSampleTelemetryOn_median",
+    # Service-layer request latency (ISSUE PR7): medians across bench_service
+    # repetitions of the closed-loop release path p50/p99, so a regression in
+    # the socket/dispatch/admission/sampling chain trips the strict gate.
+    "BM_ServiceReleaseLatencyP50_median",
+    "BM_ServiceReleaseLatencyP99_median",
 ]
 
 

@@ -36,7 +36,7 @@ binaries=(bench_sampling bench_mechanisms bench_gibbs bench_infotheory
 
 echo "== bench: Release build (${build_dir}) =="
 cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$build_dir" -j "$jobs" --target "${binaries[@]}"
+cmake --build "$build_dir" -j "$jobs" --target "${binaries[@]}" bench_service
 
 rev="$(git rev-parse --short HEAD)"
 if ! git diff --quiet HEAD -- 2>/dev/null; then
@@ -66,6 +66,22 @@ for bin in "${binaries[@]}"; do
     "${extra_flags[@]+"${extra_flags[@]}"}" >"$tmpdir/$bin.json"
   parts+=("$tmpdir/$bin.json")
 done
+
+# The service load generator is not a google-benchmark binary: it drives an
+# in-process DpReleaseServer closed-loop and emits bench-schema JSON itself
+# (median latency quantiles across repetitions), so its output merges like
+# any other part. It also self-checks the service invariants (zero protocol
+# errors, clean ReplayVerifyAll, bitwise budget conservation) and exits
+# non-zero when one fails — making the bench run a service gate too. Smoke
+# min_time runs use --smoke for a token-sized closed loop.
+echo "== bench: running bench_service =="
+service_flags=()
+if [[ -n "${DPLEARN_BENCH_MIN_TIME:-}" ]]; then
+  service_flags+=(--smoke)
+fi
+"$build_dir/bench/bench_service" --out "$tmpdir/bench_service.json" \
+  "${service_flags[@]+"${service_flags[@]}"}"
+parts+=("$tmpdir/bench_service.json")
 
 python3 scripts/bench_merge.py --rev "$rev" --out "$out" "${parts[@]}"
 echo "== bench: wrote $out =="

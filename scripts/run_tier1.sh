@@ -36,20 +36,18 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
 if [[ "${DPLEARN_TIER1_TSAN:-1}" != "0" ]]; then
   echo
-  echo "== tier-1: obs + parallel tests under ThreadSanitizer =="
+  echo "== tier-1: concurrency-sensitive tests under ThreadSanitizer =="
+  # The set of tests that rerun under TSan is owned by tests/CMakeLists.txt:
+  # tests tagged `dplearn_test(name TSAN)` build via the dplearn_tsan_tests
+  # aggregate target and carry the ctest label `tsan` — no list lives here.
   cmake -B "${build_dir}-tsan" -S . -DDPLEARN_SANITIZE=thread \
     "${cmake_flags[@]+"${cmake_flags[@]}"}" >/dev/null
-  cmake --build "${build_dir}-tsan" -j "$jobs" --target \
-    obs_metrics_test obs_trace_test obs_event_sink_test obs_audit_log_test \
-    obs_telemetry_concurrency_test obs_tenant_budget_test \
-    parallel_pool_test parallel_runner_test parallel_determinism_test \
-    sampling_rng_test
+  cmake --build "${build_dir}-tsan" -j "$jobs" --target dplearn_tsan_tests
   # DPLEARN_THREADS=8 forces the process-wide pool on so the library's
   # parallel paths (risk profiles, k-fold, trial engine) run threaded under
   # TSan even on small runners.
   DPLEARN_THREADS=8 DPLEARN_METRICS=1 ctest --test-dir "${build_dir}-tsan" \
-    --output-on-failure -j "$jobs" \
-    -R '^(Obs|ThreadPool|ParallelTrialRunner|ParallelDeterminism|Rng)'
+    --output-on-failure -j "$jobs" -L '^tsan$'
 fi
 
 echo

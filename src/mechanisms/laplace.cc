@@ -6,6 +6,7 @@
 #include "robustness/failpoint.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/distributions.h"
 
 namespace dplearn {
@@ -35,6 +36,36 @@ StatusOr<double> LaplaceMechanism::Release(const Dataset& data, Rng* rng) const 
   obs::AuditMechanismInvocation("laplace", epsilon_, 0.0);
   const double true_value = query_.query(data);
   return SampleLaplace(rng, true_value, scale_);
+}
+
+Status LaplaceMechanism::ReleaseBatch(const Dataset& data, Rng* rng, std::size_t k,
+                                      std::vector<double>* out) const {
+  if (out == nullptr) return InvalidArgumentError("ReleaseBatch: out must be set");
+  out->clear();
+  obs::TraceSpan span("mechanism.laplace.release_batch");
+  // The query evaluation is the per-call cost Release() pays k times over;
+  // here it runs once. Everything privacy-relevant stays per draw below.
+  const double true_value = query_.query(data);
+  out->reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    // Same per-draw sequence as Release(): fail-point, metric, audit entry,
+    // then the noise draw — so chaos configs fire at the same draw indices
+    // and the audit log records one release per output, whether the caller
+    // batched or looped.
+    DPLEARN_RETURN_IF_ERROR(robustness::Inject("mechanism.sample"));
+    static obs::Histogram* const release_us = obs::GlobalMetrics().GetHistogram(
+        "mechanism.laplace.release.us", obs::DefaultLatencyBucketsUs());
+    obs::LatencyTimer timer(obs::MetricsEnabled() ? release_us : nullptr);
+    if (obs::MetricsEnabled()) {
+      static obs::Counter* const releases =
+          obs::GlobalMetrics().GetCounter("mechanism.laplace.releases");
+      releases->Increment();
+    }
+    obs::AuditMechanismInvocation("laplace", epsilon_, 0.0);
+    DPLEARN_ASSIGN_OR_RETURN(const double draw, SampleLaplace(rng, true_value, scale_));
+    out->push_back(draw);
+  }
+  return Status::Ok();
 }
 
 double LaplaceMechanism::OutputDensity(const Dataset& data, double output) const {

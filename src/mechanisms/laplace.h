@@ -22,6 +22,19 @@ class LaplaceMechanism {
   /// Releases one ε-DP noisy answer on `data`.
   StatusOr<double> Release(const Dataset& data, Rng* rng) const;
 
+  /// Releases `k` independent ε-DP noisy answers into *out (resized to k),
+  /// evaluating the query f(data) ONCE for the whole block. Bit- and
+  /// stream-identical to k Release() calls on the same Rng, and each draw is
+  /// still an individually audited release (one audit entry, one
+  /// "mechanism.sample" fail-point crossing and one metrics tick per draw,
+  /// in draw order) — batching is a perf shape, not a change to the privacy
+  /// accounting, exactly as with ExponentialMechanism::SampleBatch. On error
+  /// after j successful draws, out[0..j) holds those draws and out is sized
+  /// j. The composed guarantee of the batch is k·ε by sequential
+  /// composition; the caller's accountant charges it.
+  Status ReleaseBatch(const Dataset& data, Rng* rng, std::size_t k,
+                      std::vector<double>* out) const;
+
   /// The exact density of the mechanism's output at `output` given `data` —
   /// Laplace(f(data), scale) evaluated at `output`. This is what the
   /// empirical DP verifier compares between neighboring datasets.

@@ -33,6 +33,11 @@ namespace robustness {
 ///   sink.write        a JsonlFileSink write attempt fails (retried, then
 ///                     dropped and counted)
 ///   record.write      the experiment harness's results/<id>.json open fails
+///   service.accept    DpReleaseServer rejects a freshly accepted connection
+///                     with one structured UNAVAILABLE frame, then closes it
+///   service.dispatch  DpReleaseServer fails a request at dispatch, before
+///                     admission control — a structured UNAVAILABLE response
+///                     with no budget or ledger mutation
 ///
 /// Trigger spec grammar (the value in `name=value`):
 ///   always     fire on every hit

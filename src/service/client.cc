@@ -1,0 +1,116 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace dplearn {
+namespace service {
+
+StatusOr<DpReleaseClient> DpReleaseClient::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("DpReleaseClient: bad socket path \"" + socket_path + "\"");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("DpReleaseClient: socket(): ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = UnavailableError(std::string("DpReleaseClient: connect(") +
+                                           socket_path + "): " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return DpReleaseClient(fd);
+}
+
+StatusOr<DpReleaseClient> DpReleaseClient::ConnectWithRetry(
+    const std::string& socket_path, int attempts, std::chrono::milliseconds backoff) {
+  Status last = UnavailableError("DpReleaseClient: no connect attempt made");
+  for (int i = 0; i < attempts; ++i) {
+    if (i > 0) std::this_thread::sleep_for(backoff);
+    StatusOr<DpReleaseClient> client = Connect(socket_path);
+    if (client.ok()) return client;
+    last = client.status();
+    if (last.code() != StatusCode::kUnavailable) return last;  // not worth retrying
+  }
+  return last;
+}
+
+DpReleaseClient::~DpReleaseClient() { Close(); }
+
+DpReleaseClient::DpReleaseClient(DpReleaseClient&& other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+DpReleaseClient& DpReleaseClient::operator=(DpReleaseClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void DpReleaseClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status DpReleaseClient::Send(const Request& request) {
+  if (fd_ < 0) return FailedPreconditionError("DpReleaseClient: not connected");
+  std::string frame;
+  AppendFrame(&frame, EncodeRequest(request));
+  std::size_t offset = 0;
+  while (offset < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + offset, frame.size() - offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError(std::string("DpReleaseClient: send(): ") +
+                              std::strerror(errno));
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Response> DpReleaseClient::Receive() {
+  if (fd_ < 0) return FailedPreconditionError("DpReleaseClient: not connected");
+  char buffer[4096];
+  for (;;) {
+    std::string payload;
+    DPLEARN_ASSIGN_OR_RETURN(const bool have_frame, decoder_.Next(&payload));
+    if (have_frame) return DecodeResponse(payload.data(), payload.size());
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return UnavailableError(std::string("DpReleaseClient: recv(): ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      return UnavailableError("DpReleaseClient: server closed the connection");
+    }
+    decoder_.Feed(buffer, static_cast<std::size_t>(n));
+  }
+}
+
+StatusOr<Response> DpReleaseClient::Call(const Request& request) {
+  DPLEARN_RETURN_IF_ERROR(Send(request));
+  return Receive();
+}
+
+}  // namespace service
+}  // namespace dplearn

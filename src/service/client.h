@@ -1,0 +1,70 @@
+#ifndef DPLEARN_SERVICE_CLIENT_H_
+#define DPLEARN_SERVICE_CLIENT_H_
+
+#include <chrono>
+#include <string>
+
+#include "service/protocol.h"
+#include "util/status.h"
+
+namespace dplearn {
+namespace service {
+
+/// Blocking client for the DP release service: one AF_UNIX connection,
+/// length-prefixed frames (protocol.h). Not thread-safe — one client per
+/// thread, which is also the shape of the closed-loop load generator.
+///
+/// Call() is the simple request/response path. Send()/Receive() expose
+/// pipelining: several requests may be in flight on the connection, and the
+/// server answers them strictly in order, so the k-th Receive() matches the
+/// k-th Send(). The coalescing tests drive the batching path this way.
+///
+/// Error taxonomy at the transport edge: a closed or reset connection is
+/// UNAVAILABLE (retry on a fresh connection is safe — the server processes
+/// a request entirely before answering it, and an accept-time rejection
+/// happens before any request is consumed). A response frame the client
+/// cannot decode is INVALID_ARGUMENT. Server-side failures arrive as
+/// perfectly ordinary Response objects with a non-OK code.
+class DpReleaseClient {
+ public:
+  /// Connects to the server's socket. UNAVAILABLE when nobody listens.
+  static StatusOr<DpReleaseClient> Connect(const std::string& socket_path);
+
+  /// Connect() with up to `attempts` tries spaced by `backoff` — for
+  /// racing a server that is still starting up.
+  static StatusOr<DpReleaseClient> ConnectWithRetry(const std::string& socket_path,
+                                                    int attempts,
+                                                    std::chrono::milliseconds backoff);
+
+  ~DpReleaseClient();
+  DpReleaseClient(DpReleaseClient&& other) noexcept;
+  DpReleaseClient& operator=(DpReleaseClient&& other) noexcept;
+  DpReleaseClient(const DpReleaseClient&) = delete;
+  DpReleaseClient& operator=(const DpReleaseClient&) = delete;
+
+  /// Send + Receive. The returned Response's `code` carries server-side
+  /// errors; the Status carries transport/decode failures only.
+  StatusOr<Response> Call(const Request& request);
+
+  /// Writes one request frame without waiting for the answer.
+  Status Send(const Request& request);
+
+  /// Blocks for the next response frame. An unsolicited server rejection
+  /// (request_id 0, e.g. the `service.accept` fail point) is returned
+  /// as-is — callers distinguish it by the zero request_id.
+  StatusOr<Response> Receive();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit DpReleaseClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace service
+}  // namespace dplearn
+
+#endif  // DPLEARN_SERVICE_CLIENT_H_

@@ -1,0 +1,365 @@
+#include "service/protocol.h"
+
+#include <cstring>
+
+namespace dplearn {
+namespace service {
+namespace {
+
+void AppendU8(std::string* out, std::uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void AppendU16(std::string* out, std::uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void AppendF64(std::string* out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendString(std::string* out, std::string_view s) {
+  AppendU16(out, static_cast<std::uint16_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Bounds-checked little-endian reader over a payload. Every Read* returns
+/// INVALID_ARGUMENT instead of reading past the end — the single funnel
+/// that makes malformed frames structurally incapable of UB.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size)
+      : data_(static_cast<const unsigned char*>(data)), size_(size) {}
+
+  Status ReadU8(std::uint8_t* v) {
+    if (pos_ + 1 > size_) return Truncated("u8");
+    *v = data_[pos_++];
+    return Status::Ok();
+  }
+
+  Status ReadU16(std::uint16_t* v) {
+    if (pos_ + 2 > size_) return Truncated("u16");
+    *v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return Status::Ok();
+  }
+
+  Status ReadU32(std::uint32_t* v) {
+    if (pos_ + 4 > size_) return Truncated("u32");
+    std::uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) out |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    *v = out;
+    return Status::Ok();
+  }
+
+  Status ReadU64(std::uint64_t* v) {
+    if (pos_ + 8 > size_) return Truncated("u64");
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) out |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    *v = out;
+    return Status::Ok();
+  }
+
+  Status ReadF64(double* v) {
+    std::uint64_t bits = 0;
+    DPLEARN_RETURN_IF_ERROR(ReadU64(&bits));
+    std::memcpy(v, &bits, sizeof(bits));
+    return Status::Ok();
+  }
+
+  Status ReadString(std::string* s, std::size_t max_bytes, const char* what) {
+    std::uint16_t len = 0;
+    DPLEARN_RETURN_IF_ERROR(ReadU16(&len));
+    if (len > max_bytes) {
+      return InvalidArgumentError(std::string("protocol: ") + what + " length " +
+                                  std::to_string(len) + " exceeds limit " +
+                                  std::to_string(max_bytes));
+    }
+    if (pos_ + len > size_) return Truncated(what);
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  /// Trailing bytes after a fully parsed message are a framing bug on the
+  /// peer — reject rather than silently ignore.
+  Status ExpectEnd() const {
+    if (pos_ != size_) {
+      return InvalidArgumentError("protocol: " + std::to_string(size_ - pos_) +
+                                  " trailing bytes after message");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Truncated(const char* what) const {
+    return InvalidArgumentError(std::string("protocol: truncated payload reading ") + what);
+  }
+
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Response Response::Error(const Request& request, const Status& status) {
+  Response response;
+  response.opcode = request.opcode;
+  response.request_id = request.request_id;
+  response.code = status.code();
+  response.message = status.message();
+  return response;
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string out;
+  AppendU8(&out, kProtocolVersion);
+  AppendU8(&out, static_cast<std::uint8_t>(request.opcode));
+  AppendU64(&out, request.request_id);
+  AppendString(&out, request.tenant_id);
+  switch (request.opcode) {
+    case Opcode::kPing:
+    case Opcode::kBudgetQuery:
+    case Opcode::kReplayVerify:
+      break;
+    case Opcode::kRelease:
+      AppendU8(&out, static_cast<std::uint8_t>(request.mechanism));
+      AppendU8(&out, static_cast<std::uint8_t>(request.query));
+      AppendString(&out, request.dataset);
+      AppendF64(&out, request.epsilon);
+      AppendF64(&out, request.delta);
+      AppendU32(&out, request.count);
+      break;
+    case Opcode::kGibbsSample:
+      AppendString(&out, request.dataset);
+      AppendF64(&out, request.lambda);
+      AppendU32(&out, request.count);
+      break;
+    case Opcode::kRegisterTenant:
+      AppendF64(&out, request.epsilon);
+      AppendF64(&out, request.delta);
+      break;
+  }
+  return out;
+}
+
+StatusOr<Request> DecodeRequest(const void* data, std::size_t size) {
+  ByteReader reader(data, size);
+  std::uint8_t version = 0;
+  DPLEARN_RETURN_IF_ERROR(reader.ReadU8(&version));
+  if (version != kProtocolVersion) {
+    return InvalidArgumentError("protocol: unsupported request version " +
+                                std::to_string(version));
+  }
+  std::uint8_t opcode = 0;
+  DPLEARN_RETURN_IF_ERROR(reader.ReadU8(&opcode));
+  if (opcode < static_cast<std::uint8_t>(Opcode::kPing) ||
+      opcode > static_cast<std::uint8_t>(Opcode::kReplayVerify)) {
+    return InvalidArgumentError("protocol: unknown opcode " + std::to_string(opcode));
+  }
+  Request request;
+  request.opcode = static_cast<Opcode>(opcode);
+  DPLEARN_RETURN_IF_ERROR(reader.ReadU64(&request.request_id));
+  DPLEARN_RETURN_IF_ERROR(reader.ReadString(&request.tenant_id, kMaxTenantIdBytes, "tenant_id"));
+  switch (request.opcode) {
+    case Opcode::kPing:
+    case Opcode::kBudgetQuery:
+    case Opcode::kReplayVerify:
+      break;
+    case Opcode::kRelease: {
+      std::uint8_t mechanism = 0;
+      std::uint8_t query = 0;
+      DPLEARN_RETURN_IF_ERROR(reader.ReadU8(&mechanism));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadU8(&query));
+      if (mechanism < static_cast<std::uint8_t>(MechanismKind::kLaplace) ||
+          mechanism > static_cast<std::uint8_t>(MechanismKind::kGaussian)) {
+        return InvalidArgumentError("protocol: unknown mechanism kind " +
+                                    std::to_string(mechanism));
+      }
+      if (query < static_cast<std::uint8_t>(QueryKind::kMean) ||
+          query > static_cast<std::uint8_t>(QueryKind::kCountPositive)) {
+        return InvalidArgumentError("protocol: unknown query kind " + std::to_string(query));
+      }
+      request.mechanism = static_cast<MechanismKind>(mechanism);
+      request.query = static_cast<QueryKind>(query);
+      DPLEARN_RETURN_IF_ERROR(
+          reader.ReadString(&request.dataset, kMaxDatasetRefBytes, "dataset"));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&request.epsilon));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&request.delta));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadU32(&request.count));
+      break;
+    }
+    case Opcode::kGibbsSample:
+      DPLEARN_RETURN_IF_ERROR(
+          reader.ReadString(&request.dataset, kMaxDatasetRefBytes, "dataset"));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&request.lambda));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadU32(&request.count));
+      break;
+    case Opcode::kRegisterTenant:
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&request.epsilon));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&request.delta));
+      break;
+  }
+  DPLEARN_RETURN_IF_ERROR(reader.ExpectEnd());
+  return request;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string out;
+  AppendU8(&out, kProtocolVersion);
+  AppendU8(&out, static_cast<std::uint8_t>(response.opcode));
+  AppendU64(&out, response.request_id);
+  AppendU8(&out, static_cast<std::uint8_t>(response.code));
+  AppendString(&out, response.message);
+  if (response.code != StatusCode::kOk) return out;
+  switch (response.opcode) {
+    case Opcode::kPing:
+    case Opcode::kRegisterTenant:
+    case Opcode::kReplayVerify:
+      break;
+    case Opcode::kRelease:
+      AppendF64(&out, response.charged_epsilon);
+      AppendF64(&out, response.charged_delta);
+      AppendU32(&out, static_cast<std::uint32_t>(response.values.size()));
+      for (const double v : response.values) AppendF64(&out, v);
+      break;
+    case Opcode::kGibbsSample:
+      AppendF64(&out, response.charged_epsilon);
+      AppendF64(&out, response.charged_delta);
+      AppendU32(&out, static_cast<std::uint32_t>(response.indices.size()));
+      for (const std::uint32_t idx : response.indices) AppendU32(&out, idx);
+      break;
+    case Opcode::kBudgetQuery:
+      AppendF64(&out, response.total_epsilon);
+      AppendF64(&out, response.total_delta);
+      AppendF64(&out, response.spent_epsilon);
+      AppendF64(&out, response.spent_delta);
+      AppendF64(&out, response.remaining_epsilon);
+      AppendF64(&out, response.remaining_delta);
+      AppendU64(&out, response.spends);
+      AppendU64(&out, response.denials);
+      break;
+  }
+  return out;
+}
+
+StatusOr<Response> DecodeResponse(const void* data, std::size_t size) {
+  ByteReader reader(data, size);
+  std::uint8_t version = 0;
+  DPLEARN_RETURN_IF_ERROR(reader.ReadU8(&version));
+  if (version != kProtocolVersion) {
+    return InvalidArgumentError("protocol: unsupported response version " +
+                                std::to_string(version));
+  }
+  std::uint8_t opcode = 0;
+  DPLEARN_RETURN_IF_ERROR(reader.ReadU8(&opcode));
+  if (opcode < static_cast<std::uint8_t>(Opcode::kPing) ||
+      opcode > static_cast<std::uint8_t>(Opcode::kReplayVerify)) {
+    return InvalidArgumentError("protocol: unknown response opcode " + std::to_string(opcode));
+  }
+  Response response;
+  response.opcode = static_cast<Opcode>(opcode);
+  DPLEARN_RETURN_IF_ERROR(reader.ReadU64(&response.request_id));
+  std::uint8_t code = 0;
+  DPLEARN_RETURN_IF_ERROR(reader.ReadU8(&code));
+  if (code > static_cast<std::uint8_t>(StatusCode::kResourceExhausted)) {
+    return InvalidArgumentError("protocol: unknown status code " + std::to_string(code));
+  }
+  response.code = static_cast<StatusCode>(code);
+  DPLEARN_RETURN_IF_ERROR(
+      reader.ReadString(&response.message, kDefaultMaxPayloadBytes, "message"));
+  if (response.code != StatusCode::kOk) {
+    DPLEARN_RETURN_IF_ERROR(reader.ExpectEnd());
+    return response;
+  }
+  switch (response.opcode) {
+    case Opcode::kPing:
+    case Opcode::kRegisterTenant:
+    case Opcode::kReplayVerify:
+      break;
+    case Opcode::kRelease: {
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&response.charged_epsilon));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&response.charged_delta));
+      std::uint32_t count = 0;
+      DPLEARN_RETURN_IF_ERROR(reader.ReadU32(&count));
+      if (count > kDefaultMaxPayloadBytes / sizeof(double)) {
+        return InvalidArgumentError("protocol: release value count " + std::to_string(count) +
+                                    " exceeds any representable frame");
+      }
+      response.values.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&response.values[i]));
+      }
+      break;
+    }
+    case Opcode::kGibbsSample: {
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&response.charged_epsilon));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&response.charged_delta));
+      std::uint32_t count = 0;
+      DPLEARN_RETURN_IF_ERROR(reader.ReadU32(&count));
+      if (count > kDefaultMaxPayloadBytes / sizeof(std::uint32_t)) {
+        return InvalidArgumentError("protocol: gibbs index count " + std::to_string(count) +
+                                    " exceeds any representable frame");
+      }
+      response.indices.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        DPLEARN_RETURN_IF_ERROR(reader.ReadU32(&response.indices[i]));
+      }
+      break;
+    }
+    case Opcode::kBudgetQuery:
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&response.total_epsilon));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&response.total_delta));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&response.spent_epsilon));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&response.spent_delta));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&response.remaining_epsilon));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&response.remaining_delta));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadU64(&response.spends));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadU64(&response.denials));
+      break;
+  }
+  DPLEARN_RETURN_IF_ERROR(reader.ExpectEnd());
+  return response;
+}
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  AppendU32(out, static_cast<std::uint32_t>(payload.size()));
+  out->append(payload.data(), payload.size());
+}
+
+StatusOr<bool> FrameDecoder::Next(std::string* payload) {
+  if (poisoned_) {
+    return InvalidArgumentError("protocol: stream already failed framing; resync impossible");
+  }
+  if (buffer_.size() < kFrameHeaderBytes) return false;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i])) << (8 * i);
+  }
+  if (length < kMinPayloadBytes || length > max_payload_) {
+    poisoned_ = true;
+    return InvalidArgumentError("protocol: declared payload length " + std::to_string(length) +
+                                " outside [" + std::to_string(kMinPayloadBytes) + ", " +
+                                std::to_string(max_payload_) + "]");
+  }
+  if (buffer_.size() < kFrameHeaderBytes + length) return false;
+  payload->assign(buffer_, kFrameHeaderBytes, length);
+  buffer_.erase(0, kFrameHeaderBytes + length);
+  return true;
+}
+
+}  // namespace service
+}  // namespace dplearn

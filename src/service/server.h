@@ -1,0 +1,198 @@
+#ifndef DPLEARN_SERVICE_SERVER_H_
+#define DPLEARN_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "learning/dataset.h"
+#include "learning/hypothesis.h"
+#include "learning/loss.h"
+#include "mechanisms/privacy_budget.h"
+#include "mechanisms/sensitivity.h"
+#include "parallel/thread_pool.h"
+#include "sampling/rng.h"
+#include "service/protocol.h"
+#include "service/sharded_accountant.h"
+#include "util/status.h"
+
+namespace dplearn {
+namespace service {
+
+/// A dataset the service answers queries on: the data itself plus the
+/// server-side modeling choices a remote tenant cannot supply — the
+/// hypothesis grid and loss for Gibbs sampling, and the label bounds that
+/// make the mean/sum sensitivity claims sound.
+struct ServedDataset {
+  Dataset data;
+  FiniteHypothesisClass hypotheses;
+  std::shared_ptr<const LossFunction> loss;
+  double label_lo = 0.0;
+  double label_hi = 1.0;
+};
+
+/// The multi-tenant DP release server (DESIGN.md §13).
+///
+/// Accepts length-prefixed binary frames (protocol.h) over an AF_UNIX
+/// stream socket and serves Release / GibbsSample / BudgetQuery under
+/// admission control by a ShardedPrivacyAccountant. Malformed or
+/// over-budget requests get structured INVALID_ARGUMENT /
+/// RESOURCE_EXHAUSTED responses — the server never crashes on bad input,
+/// which the `service-chaos` CI leg drives with fail points armed.
+///
+/// Threading and determinism. One reader thread per connection feeds a
+/// FrameDecoder and appends decoded requests to the session's FIFO queue;
+/// request *processing* runs on the server's own ThreadPool via a serial
+/// executor per session (at most one drain task per session in flight), so
+/// a connection's requests are processed and answered strictly in arrival
+/// order no matter how many workers the pool has. Randomness is per
+/// *tenant*: each tenant owns an Rng seeded as a pure function of
+/// (options.seed, tenant id), and the tenant's mutex is held across
+/// admission + sampling. Consequently a workload in which each tenant's
+/// requests arrive on one connection produces bitwise-identical responses,
+/// ledgers and audit trails at 1 and at N worker threads
+/// (service_determinism_test pins this).
+///
+/// Batching. Within one drain pass, consecutive same-shape requests from a
+/// session (same tenant, opcode, dataset and parameters) are coalesced:
+/// admission runs per request in order, then the granted draws are funneled
+/// into ONE GibbsEstimator::SampleBatch / LaplaceMechanism::ReleaseBatch
+/// call and the outputs split back per request. The batch APIs are bit- and
+/// stream-identical to per-draw calls, so coalescing changes throughput,
+/// not results.
+///
+/// Fail points: `service.accept` rejects a fresh connection with one
+/// structured UNAVAILABLE frame (request_id 0); `service.dispatch` fails a
+/// request at dispatch, before admission — a structured UNAVAILABLE
+/// response with no ledger mutation; `budget.spend` and `sink.write` fire
+/// in the layers below as usual.
+class DpReleaseServer {
+ public:
+  struct Options {
+    /// Filesystem path to bind the AF_UNIX socket to (length limited by
+    /// sockaddr_un; keep it short). An existing socket file is replaced.
+    std::string socket_path;
+    /// Worker threads for request processing; 0 means
+    /// parallel::DefaultThreadCount() (so DPLEARN_THREADS steers it).
+    std::size_t worker_threads = 0;
+    /// Root seed for the per-tenant Rngs.
+    std::uint64_t seed = 1;
+    /// Budget auto-registered tenants receive on first spend.
+    PrivacyBudget default_tenant_budget{5.0, 1e-6};
+    std::size_t shard_count = 16;
+    std::size_t max_payload_bytes = kDefaultMaxPayloadBytes;
+    /// Per-request draw-count ceiling; larger counts are INVALID_ARGUMENT.
+    std::uint32_t max_count_per_request = 4096;
+    /// Cap on how many same-shape requests one drain pass coalesces.
+    std::size_t max_coalesced_requests = 64;
+  };
+
+  /// Binds, listens, registers the built-in "bernoulli" dataset and starts
+  /// the accept loop. Errors on socket/bind/listen failure or a path too
+  /// long for sockaddr_un.
+  static StatusOr<std::unique_ptr<DpReleaseServer>> Start(Options options);
+
+  ~DpReleaseServer();
+
+  DpReleaseServer(const DpReleaseServer&) = delete;
+  DpReleaseServer& operator=(const DpReleaseServer&) = delete;
+
+  /// Stops accepting, drains in-flight requests, joins all threads and
+  /// removes the socket file. Idempotent.
+  void Stop();
+
+  /// Adds (or replaces) a dataset clients can reference by name. Error on
+  /// an empty name, empty data, or a null loss.
+  Status RegisterDataset(const std::string& name, ServedDataset dataset);
+
+  ShardedPrivacyAccountant& accountant() { return accountant_; }
+  const Options& options() const { return options_; }
+
+  /// Frames that failed framing or decoding since start (also exported as
+  /// the `service.protocol_errors` counter).
+  std::uint64_t protocol_errors() const {
+    return protocol_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-connection state. Reader thread and drain tasks share it through a
+  /// shared_ptr so teardown order cannot dangle.
+  struct Session {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::mutex mu;  // guards queue + drain_scheduled
+    std::deque<Request> queue;
+    bool drain_scheduled = false;
+    std::mutex write_mu;  // serializes frame writes to fd
+    std::thread reader;
+  };
+
+  /// Per-tenant sampling state; mu is held across admission + draw so one
+  /// tenant's requests serialize even across sessions.
+  struct TenantRuntime {
+    std::mutex mu;
+    Rng rng;
+    explicit TenantRuntime(std::uint64_t seed) : rng(seed) {}
+  };
+
+  explicit DpReleaseServer(Options options);
+
+  Status Listen();
+  void AcceptLoop();
+  void ReaderLoop(const std::shared_ptr<Session>& session);
+  void ScheduleDrain(const std::shared_ptr<Session>& session);
+  void DrainSession(const std::shared_ptr<Session>& session);
+  /// Processes queue[begin..) starting at `begin`, coalescing a same-shape
+  /// run, and writes the responses. Returns the index one past the run.
+  std::size_t ProcessRun(const std::shared_ptr<Session>& session,
+                         const std::vector<Request>& requests, std::size_t begin);
+  Response ProcessSimple(const Request& request);
+  void WriteResponse(const std::shared_ptr<Session>& session, const Response& response);
+  void WriteProtocolError(const std::shared_ptr<Session>& session, const Status& status);
+
+  TenantRuntime& RuntimeFor(const std::string& tenant_id);
+  StatusOr<const ServedDataset*> FindDataset(const std::string& name) const;
+
+  /// Shared validation for kRelease / kGibbsSample: bounds on count, the
+  /// dataset lookup, parameter sanity. Returns the per-draw privacy cost.
+  StatusOr<PrivacyBudget> ValidateSampling(const Request& request,
+                                           const ServedDataset** dataset) const;
+
+  /// The SensitiveQuery a kRelease request names, built against the served
+  /// dataset's label bounds (which make the sensitivity claims sound).
+  static StatusOr<SensitiveQuery> BuildQuery(const Request& request,
+                                             const ServedDataset& dataset);
+
+  Options options_;
+  ShardedPrivacyAccountant accountant_;
+
+  mutable std::mutex datasets_mu_;
+  std::unordered_map<std::string, ServedDataset> datasets_;
+
+  std::mutex tenants_mu_;
+  std::unordered_map<std::string, std::unique_ptr<TenantRuntime>> tenants_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  // Last member: destroyed first, so queued drain tasks finish while every
+  // structure they touch is still alive.
+  std::unique_ptr<parallel::ThreadPool> pool_;
+};
+
+}  // namespace service
+}  // namespace dplearn
+
+#endif  // DPLEARN_SERVICE_SERVER_H_

@@ -1,0 +1,87 @@
+#include "service/sharded_accountant.h"
+
+#include <utility>
+
+#include "robustness/failpoint.h"
+#include "util/math_util.h"
+
+namespace dplearn {
+namespace service {
+
+ShardedPrivacyAccountant::ShardedPrivacyAccountant(Options options)
+    : options_(options),
+      telemetry_(obs::TenantBudgetTelemetry::Options{
+          options.near_exhaustion_fraction, options.shard_count}) {}
+
+Status ShardedPrivacyAccountant::RegisterTenant(const std::string& tenant_id,
+                                                const PrivacyBudget& total) {
+  return telemetry_.RegisterTenant(tenant_id, total);
+}
+
+Status ShardedPrivacyAccountant::SpendOrReject(const std::string& tenant_id,
+                                               const PrivacyBudget& cost,
+                                               std::string_view mechanism) {
+  if (!obs::TenantBudgetTelemetry::IsValidTenantId(tenant_id)) {
+    return InvalidArgumentError("service: malformed tenant id \"" + tenant_id + "\"");
+  }
+  Status spend = telemetry_.Spend(tenant_id, cost, mechanism);
+  if (spend.code() == StatusCode::kNotFound) {
+    // First contact: register at the default quota, then retry the spend
+    // once. A racing registration by another thread loses with
+    // FAILED_PRECONDITION, which is fine — someone registered the tenant.
+    Status registered = telemetry_.RegisterTenant(tenant_id, options_.default_tenant_budget);
+    if (!registered.ok() && registered.code() != StatusCode::kFailedPrecondition) {
+      return registered;
+    }
+    spend = telemetry_.Spend(tenant_id, cost, mechanism);
+  }
+  if (spend.ok()) return spend;
+  if (robustness::IsInjectedFault(spend)) return spend;  // UNAVAILABLE passthrough
+  if (spend.code() == StatusCode::kFailedPrecondition) {
+    // The accountant's over-budget denial, translated for clients: the
+    // denial is already in the tenant's ledger; retrying cannot succeed.
+    return ResourceExhaustedError(spend.message());
+  }
+  return spend;
+}
+
+StatusOr<obs::TenantBudgetTelemetry::TenantView> ShardedPrivacyAccountant::View(
+    const std::string& tenant_id) const {
+  return telemetry_.GetView(tenant_id);
+}
+
+std::vector<obs::TenantBudgetTelemetry::TenantView> ShardedPrivacyAccountant::AllViews()
+    const {
+  return telemetry_.GetAllViews();
+}
+
+ShardedPrivacyAccountant::MergedView ShardedPrivacyAccountant::Merged() const {
+  MergedView merged;
+  // GetAllViews returns tenants sorted by id, so the Kahan merge order — and
+  // therefore the merged totals, bit for bit — is a pure function of the
+  // per-tenant ledgers, independent of shard layout or thread count.
+  KahanSum epsilon;
+  KahanSum delta;
+  for (const auto& view : telemetry_.GetAllViews()) {
+    ++merged.tenant_count;
+    epsilon.Add(view.spent.epsilon);
+    delta.Add(view.spent.delta);
+    merged.spends += view.spends;
+    merged.denials += view.denials;
+  }
+  merged.spent_epsilon = epsilon.Value();
+  merged.spent_delta = delta.Value();
+  return merged;
+}
+
+Status ShardedPrivacyAccountant::ReplayVerifyAll() const {
+  return telemetry_.ReplayVerifyAll();
+}
+
+StatusOr<const obs::BudgetAuditLog*> ShardedPrivacyAccountant::audit_log(
+    const std::string& tenant_id) const {
+  return telemetry_.audit_log(tenant_id);
+}
+
+}  // namespace service
+}  // namespace dplearn

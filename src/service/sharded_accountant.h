@@ -1,0 +1,93 @@
+#ifndef DPLEARN_SERVICE_SHARDED_ACCOUNTANT_H_
+#define DPLEARN_SERVICE_SHARDED_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mechanisms/privacy_budget.h"
+#include "obs/tenant_budget.h"
+#include "util/status.h"
+
+namespace dplearn {
+namespace service {
+
+/// Admission control for the DP release service (DESIGN.md §13): a thin
+/// policy layer over obs::TenantBudgetTelemetry, which already shards
+/// tenants onto independently locked per-shard maps, routes every spend
+/// through the tenant's PrivacyAccountant (Kahan-compensated ledgers), and
+/// cross-checks ledger/accountant/gauges via ReplayVerifyAll.
+///
+/// What this layer adds, service-side:
+///   * auto-registration — an unknown tenant's first spend registers it at
+///     `default_tenant_budget`, so clients need no registration handshake;
+///   * the client-facing status taxonomy — the accountant's
+///     FAILED_PRECONDITION over-budget denial becomes RESOURCE_EXHAUSTED
+///     (retrying the same request cannot succeed until the quota is raised),
+///     while injected `budget.spend` faults pass through as UNAVAILABLE;
+///   * a merged-for-audit view — per-shard per-tenant totals Kahan-summed
+///     in deterministic (sorted tenant id) order into one service-wide
+///     ledger summary, the figure the chaos gates compare against the sum
+///     of per-response charges.
+class ShardedPrivacyAccountant {
+ public:
+  struct Options {
+    /// Budget granted to tenants that are auto-registered on first spend.
+    PrivacyBudget default_tenant_budget{5.0, 1e-6};
+    std::size_t shard_count = 16;
+    double near_exhaustion_fraction = 0.9;
+  };
+
+  explicit ShardedPrivacyAccountant(Options options);
+
+  ShardedPrivacyAccountant(const ShardedPrivacyAccountant&) = delete;
+  ShardedPrivacyAccountant& operator=(const ShardedPrivacyAccountant&) = delete;
+
+  /// Registers `tenant_id` with an explicit quota. INVALID_ARGUMENT on a
+  /// malformed id or budget, FAILED_PRECONDITION when already registered.
+  Status RegisterTenant(const std::string& tenant_id, const PrivacyBudget& total);
+
+  /// Admits or rejects one spend of `cost` by `tenant_id` under `mechanism`.
+  /// Auto-registers unknown tenants at the default budget. Returns:
+  ///   OK                  the spend was granted and is in the ledger;
+  ///   RESOURCE_EXHAUSTED  over budget — the denial is in the ledger, the
+  ///                       running totals are untouched;
+  ///   UNAVAILABLE         an injected `budget.spend` fault fired before any
+  ///                       state mutation;
+  ///   INVALID_ARGUMENT    malformed tenant id or cost.
+  Status SpendOrReject(const std::string& tenant_id, const PrivacyBudget& cost,
+                       std::string_view mechanism);
+
+  StatusOr<obs::TenantBudgetTelemetry::TenantView> View(const std::string& tenant_id) const;
+  std::vector<obs::TenantBudgetTelemetry::TenantView> AllViews() const;
+
+  /// Service-wide totals, merged across shards in sorted-tenant order.
+  struct MergedView {
+    std::size_t tenant_count = 0;
+    double spent_epsilon = 0.0;  // Kahan-summed over tenants
+    double spent_delta = 0.0;
+    std::uint64_t spends = 0;
+    std::uint64_t denials = 0;
+  };
+  MergedView Merged() const;
+
+  /// The PR6 replay-verify path: every tenant's ledger replayed and
+  /// reconciled bitwise against its accountant and exported gauges.
+  Status ReplayVerifyAll() const;
+
+  /// The tenant's private audit ledger (NOT_FOUND when unregistered).
+  StatusOr<const obs::BudgetAuditLog*> audit_log(const std::string& tenant_id) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  obs::TenantBudgetTelemetry telemetry_;
+};
+
+}  // namespace service
+}  // namespace dplearn
+
+#endif  // DPLEARN_SERVICE_SHARDED_ACCOUNTANT_H_

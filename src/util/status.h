@@ -23,6 +23,12 @@ enum class StatusCode {
   /// A transient failure (sink write, file I/O, injected fault) that a
   /// RetryPolicy may retry; see src/robustness and DESIGN.md §9.
   kUnavailable = 7,
+  /// A quota was exhausted — most prominently a tenant's privacy budget at
+  /// the release-service admission boundary (DESIGN.md §13). Unlike
+  /// kFailedPrecondition (which the accountant itself returns for an
+  /// over-budget spend), this code tells a *client* that retrying the same
+  /// request cannot succeed until its quota is raised.
+  kResourceExhausted = 8,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -76,6 +82,7 @@ Status NotFoundError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status UnavailableError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 /// A value-or-error result. Accessing the value of a non-OK StatusOr aborts
 /// the process (programming error), mirroring absl::StatusOr semantics.

@@ -1,0 +1,219 @@
+// Pins the determinism contract of the DP release service (DESIGN.md §13):
+// a workload in which each tenant's requests ride one connection produces
+// bitwise-identical responses, ledgers and audit trails no matter how many
+// worker threads the server has — and pipelined (coalesced-batch) traffic
+// is bitwise-identical to sequential request/response traffic. Runs under
+// ThreadSanitizer in CI (label `tsan`), so it also shakes out races in the
+// session/tenant locking.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/status.h"
+
+namespace dplearn {
+namespace service {
+namespace {
+
+constexpr std::uint64_t kSeed = 424242;
+constexpr int kTenants = 3;
+constexpr int kRoundsPerTenant = 6;
+
+std::string TenantName(int index) { return "det-t" + std::to_string(index); }
+
+// The deterministic per-tenant request script: register, then alternating
+// Gibbs draws (varying counts — same shape, so pipelined delivery gets
+// coalesced) and Laplace releases, then a budget query.
+std::vector<Request> TenantScript(int tenant_index) {
+  const std::string tenant = TenantName(tenant_index);
+  std::vector<Request> script;
+  std::uint64_t next_id = 1;
+
+  Request reg;
+  reg.opcode = Opcode::kRegisterTenant;
+  reg.request_id = next_id++;
+  reg.tenant_id = tenant;
+  reg.epsilon = 50.0;
+  reg.delta = 1e-5;
+  script.push_back(reg);
+
+  // A run of same-shape Gibbs requests (shape excludes count), so the
+  // pipelined variant coalesces them into one SampleBatch per drain pass.
+  for (int round = 0; round < kRoundsPerTenant; ++round) {
+    Request gibbs;
+    gibbs.opcode = Opcode::kGibbsSample;
+    gibbs.request_id = next_id++;
+    gibbs.tenant_id = tenant;
+    gibbs.dataset = "bernoulli";
+    gibbs.lambda = 0.5 + 0.25 * (tenant_index + 1);
+    gibbs.count = 1 + ((round + tenant_index) % 4);
+    script.push_back(gibbs);
+  }
+
+  // A same-shape run of Laplace mean releases (one ReleaseBatch when
+  // coalesced), then a shape break (kSum) that must end the run cleanly.
+  for (int round = 0; round < kRoundsPerTenant; ++round) {
+    Request release;
+    release.opcode = Opcode::kRelease;
+    release.request_id = next_id++;
+    release.tenant_id = tenant;
+    release.mechanism = MechanismKind::kLaplace;
+    release.query = (round < kRoundsPerTenant - 1) ? QueryKind::kMean
+                                                   : QueryKind::kSum;
+    release.dataset = "bernoulli";
+    release.epsilon = 0.01 * (tenant_index + 1);
+    release.count = 1 + (round % 3);
+    script.push_back(release);
+  }
+
+  Request query;
+  query.opcode = Opcode::kBudgetQuery;
+  query.request_id = next_id++;
+  query.tenant_id = tenant;
+  script.push_back(query);
+  return script;
+}
+
+// Everything observable about one tenant after a run, in canonical bytes:
+// re-encoded responses (doubles as bit patterns), the private audit ledger
+// as JSON, and the ledger view re-encoded through a kBudgetQuery response.
+struct TenantTrace {
+  std::vector<std::string> responses;
+  std::string audit_json;
+};
+
+std::unique_ptr<DpReleaseServer> StartServer(std::size_t workers,
+                                             std::string* socket_path) {
+  static int counter = 0;
+  DpReleaseServer::Options options;
+  *socket_path = "/tmp/dpl_dt_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(++counter) + ".sock";
+  options.socket_path = *socket_path;
+  options.worker_threads = workers;
+  options.seed = kSeed;
+  auto started = DpReleaseServer::Start(options);
+  EXPECT_TRUE(started.ok()) << started.status().ToString();
+  return started.ok() ? std::move(*started) : nullptr;
+}
+
+// Runs the full multi-tenant workload, one connection + driver thread per
+// tenant. `pipelined` sends the whole script before reading any response
+// (exercising the same-shape coalescing path); otherwise each request
+// waits for its answer.
+std::map<std::string, TenantTrace> RunWorkload(std::size_t workers,
+                                               bool pipelined) {
+  std::string socket_path;
+  std::unique_ptr<DpReleaseServer> server = StartServer(workers, &socket_path);
+  if (server == nullptr) return {};
+
+  std::vector<std::vector<std::string>> responses(kTenants);
+  std::vector<std::thread> drivers;
+  drivers.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    drivers.emplace_back([&, t] {
+      auto client = DpReleaseClient::Connect(socket_path);
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      const std::vector<Request> script = TenantScript(t);
+      if (pipelined) {
+        for (const Request& request : script) {
+          ASSERT_TRUE(client->Send(request).ok());
+        }
+        for (std::size_t i = 0; i < script.size(); ++i) {
+          auto response = client->Receive();
+          ASSERT_TRUE(response.ok()) << response.status().ToString();
+          ASSERT_EQ(response->code, StatusCode::kOk)
+              << response->message << " (request "
+              << response->request_id << ")";
+          responses[t].push_back(EncodeResponse(*response));
+        }
+      } else {
+        for (const Request& request : script) {
+          auto response = client->Call(request);
+          ASSERT_TRUE(response.ok()) << response.status().ToString();
+          ASSERT_EQ(response->code, StatusCode::kOk)
+              << response->message << " (request "
+              << response->request_id << ")";
+          responses[t].push_back(EncodeResponse(*response));
+        }
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+
+  // Ledger invariants hold at any worker count.
+  EXPECT_TRUE(server->accountant().ReplayVerifyAll().ok());
+
+  std::map<std::string, TenantTrace> traces;
+  for (int t = 0; t < kTenants; ++t) {
+    TenantTrace trace;
+    trace.responses = responses[t];
+    auto log = server->accountant().audit_log(TenantName(t));
+    EXPECT_TRUE(log.ok()) << log.status().ToString();
+    if (log.ok()) trace.audit_json = (*log)->ToJson();
+    traces[TenantName(t)] = std::move(trace);
+  }
+  server->Stop();
+  return traces;
+}
+
+void ExpectTracesBitwiseEqual(const std::map<std::string, TenantTrace>& a,
+                              const std::map<std::string, TenantTrace>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [tenant, trace_a] : a) {
+    const auto it = b.find(tenant);
+    ASSERT_NE(it, b.end()) << tenant;
+    const TenantTrace& trace_b = it->second;
+    ASSERT_EQ(trace_a.responses.size(), trace_b.responses.size()) << tenant;
+    for (std::size_t i = 0; i < trace_a.responses.size(); ++i) {
+      // Encoded responses carry every double as its IEEE-754 bit pattern,
+      // so string equality IS bitwise equality of the payload.
+      EXPECT_EQ(trace_a.responses[i], trace_b.responses[i])
+          << tenant << " response " << i << " differs";
+    }
+    EXPECT_EQ(trace_a.audit_json, trace_b.audit_json)
+        << tenant << " audit trail differs";
+  }
+}
+
+TEST(ServiceDeterminismTest, OneWorkerAndEightWorkersAreBitwiseIdentical) {
+  const auto serial = RunWorkload(/*workers=*/1, /*pipelined=*/false);
+  const auto parallel = RunWorkload(/*workers=*/8, /*pipelined=*/false);
+  ASSERT_FALSE(serial.empty());
+  ASSERT_FALSE(parallel.empty());
+  ExpectTracesBitwiseEqual(serial, parallel);
+}
+
+TEST(ServiceDeterminismTest, PipelinedCoalescingMatchesSequentialBitwise) {
+  // Pipelined delivery lets one drain pass coalesce same-shape runs into a
+  // single SampleBatch/ReleaseBatch; the batch APIs are stream-identical to
+  // per-draw calls, so the responses must not change by a bit.
+  const auto sequential = RunWorkload(/*workers=*/4, /*pipelined=*/false);
+  const auto coalesced = RunWorkload(/*workers=*/4, /*pipelined=*/true);
+  ASSERT_FALSE(sequential.empty());
+  ASSERT_FALSE(coalesced.empty());
+  ExpectTracesBitwiseEqual(sequential, coalesced);
+}
+
+TEST(ServiceDeterminismTest, RerunIsReproducible) {
+  // Same seed, same script, fresh server: byte-for-byte the same run.
+  const auto first = RunWorkload(/*workers=*/8, /*pipelined=*/true);
+  const auto second = RunWorkload(/*workers=*/8, /*pipelined=*/true);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+  ExpectTracesBitwiseEqual(first, second);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dplearn

@@ -1,0 +1,525 @@
+// Pins the wire protocol of the DP release service (DESIGN.md §13): codec
+// round-trips are bitwise, every malformed input yields a typed Status
+// (never UB, never a crash), and the server answers protocol and
+// validation failures with structured error responses while staying up
+// for the next connection.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "robustness/failpoint.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "util/status.h"
+
+namespace dplearn {
+namespace service {
+namespace {
+
+Request MakeGibbs(std::uint64_t id, const std::string& tenant,
+                  double lambda = 1.0, std::uint32_t count = 1) {
+  Request request;
+  request.opcode = Opcode::kGibbsSample;
+  request.request_id = id;
+  request.tenant_id = tenant;
+  request.dataset = "bernoulli";
+  request.lambda = lambda;
+  request.count = count;
+  return request;
+}
+
+Request MakeRelease(std::uint64_t id, const std::string& tenant,
+                    MechanismKind mechanism = MechanismKind::kLaplace,
+                    double epsilon = 0.1, double delta = 0.0,
+                    std::uint32_t count = 1) {
+  Request request;
+  request.opcode = Opcode::kRelease;
+  request.request_id = id;
+  request.tenant_id = tenant;
+  request.mechanism = mechanism;
+  request.query = QueryKind::kMean;
+  request.dataset = "bernoulli";
+  request.epsilon = epsilon;
+  request.delta = delta;
+  request.count = count;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Codec round-trips (no server).
+
+TEST(ProtocolCodec, RequestRoundTripsBitwise) {
+  Request request = MakeRelease(0x0123456789abcdefULL, "tenant-a_1",
+                                MechanismKind::kGaussian, 0.25, 1e-7, 17);
+  request.query = QueryKind::kCountPositive;
+  const std::string payload = EncodeRequest(request);
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->opcode, request.opcode);
+  EXPECT_EQ(decoded->request_id, request.request_id);
+  EXPECT_EQ(decoded->tenant_id, request.tenant_id);
+  EXPECT_EQ(decoded->mechanism, request.mechanism);
+  EXPECT_EQ(decoded->query, request.query);
+  EXPECT_EQ(decoded->dataset, request.dataset);
+  // Doubles travel as IEEE-754 bit patterns: compare representations, not
+  // values, because the determinism gates rely on bitwise round-trips.
+  std::uint64_t sent_bits = 0, got_bits = 0;
+  std::memcpy(&sent_bits, &request.epsilon, sizeof(sent_bits));
+  std::memcpy(&got_bits, &decoded->epsilon, sizeof(got_bits));
+  EXPECT_EQ(sent_bits, got_bits);
+  EXPECT_EQ(decoded->count, request.count);
+}
+
+TEST(ProtocolCodec, EveryOpcodeRoundTrips) {
+  for (const Opcode opcode :
+       {Opcode::kPing, Opcode::kRelease, Opcode::kGibbsSample,
+        Opcode::kBudgetQuery, Opcode::kRegisterTenant, Opcode::kReplayVerify}) {
+    Request request;
+    request.opcode = opcode;
+    request.request_id = 7;
+    request.tenant_id = (opcode == Opcode::kPing || opcode == Opcode::kReplayVerify)
+                            ? ""
+                            : "t0";
+    request.dataset = "bernoulli";
+    request.epsilon = 0.5;
+    request.lambda = 2.0;
+    request.count = 3;
+    const std::string payload = EncodeRequest(request);
+    auto decoded = DecodeRequest(payload.data(), payload.size());
+    ASSERT_TRUE(decoded.ok())
+        << "opcode " << static_cast<int>(opcode) << ": "
+        << decoded.status().ToString();
+    EXPECT_EQ(decoded->opcode, opcode);
+  }
+}
+
+TEST(ProtocolCodec, ResponseRoundTripsValuesAndIndices) {
+  Response response;
+  response.opcode = Opcode::kGibbsSample;
+  response.request_id = 42;
+  response.code = StatusCode::kOk;
+  response.charged_epsilon = 0.375;
+  response.indices = {0, 5, 100};
+  const std::string payload = EncodeResponse(response);
+  auto decoded = DecodeResponse(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->indices, response.indices);
+  EXPECT_EQ(decoded->charged_epsilon, response.charged_epsilon);
+}
+
+TEST(ProtocolCodec, ErrorResponseCarriesCodeAndMessage) {
+  Response response;
+  response.opcode = Opcode::kRelease;
+  response.request_id = 9;
+  response.code = StatusCode::kResourceExhausted;
+  response.message = "tenant over budget";
+  const std::string payload = EncodeResponse(response);
+  auto decoded = DecodeResponse(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded->message, "tenant over budget");
+  EXPECT_TRUE(decoded->values.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Malformed payloads: typed errors, never UB.
+
+TEST(ProtocolCodec, RejectsWrongVersion) {
+  std::string payload = EncodeRequest(MakeGibbs(1, "t"));
+  payload[0] = static_cast<char>(kProtocolVersion + 1);
+  EXPECT_EQ(DecodeRequest(payload.data(), payload.size()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolCodec, RejectsUnknownOpcode) {
+  std::string payload = EncodeRequest(MakeGibbs(1, "t"));
+  payload[1] = static_cast<char>(250);
+  EXPECT_EQ(DecodeRequest(payload.data(), payload.size()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolCodec, RejectsEveryTruncationPoint) {
+  const std::string payload = EncodeRequest(
+      MakeRelease(1, "tenant", MechanismKind::kLaplace, 0.1, 0.0, 2));
+  // Every proper prefix must decode to a typed error (ASan/UBSan would
+  // flag an out-of-bounds read here if any ByteReader bound were missing).
+  for (std::size_t n = 0; n < payload.size(); ++n) {
+    auto decoded = DecodeRequest(payload.data(), n);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << n << " bytes decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ProtocolCodec, RejectsTrailingBytes) {
+  std::string payload = EncodeRequest(MakeGibbs(1, "t"));
+  payload.push_back('\0');
+  EXPECT_EQ(DecodeRequest(payload.data(), payload.size()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolCodec, ResponseRejectsUnknownStatusCode) {
+  Response response;
+  response.opcode = Opcode::kPing;
+  response.code = StatusCode::kOk;
+  std::string payload = EncodeResponse(response);
+  payload[1 + 1 + 8] = static_cast<char>(99);  // status_code byte
+  EXPECT_EQ(DecodeResponse(payload.data(), payload.size()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// FrameDecoder: reassembly and sticky framing errors.
+
+TEST(FrameDecoderTest, ReassemblesByteAtATime) {
+  const std::string payload = EncodeRequest(MakeGibbs(3, "t"));
+  std::string wire;
+  AppendFrame(&wire, payload);
+  AppendFrame(&wire, payload);
+
+  FrameDecoder decoder;
+  int frames = 0;
+  for (char byte : wire) {
+    decoder.Feed(&byte, 1);
+    for (;;) {
+      std::string out;
+      auto next = decoder.Next(&out);
+      ASSERT_TRUE(next.ok());
+      if (!*next) break;
+      EXPECT_EQ(out, payload);
+      ++frames;
+    }
+  }
+  EXPECT_EQ(frames, 2);
+  EXPECT_EQ(decoder.PendingBytes(), 0u);
+}
+
+TEST(FrameDecoderTest, UndersizedLengthIsStickyError) {
+  FrameDecoder decoder;
+  const std::uint32_t tiny = 2;  // below kMinPayloadBytes
+  char header[kFrameHeaderBytes];
+  std::memcpy(header, &tiny, sizeof(tiny));
+  decoder.Feed(header, sizeof(header));
+  std::string out;
+  EXPECT_EQ(decoder.Next(&out).status().code(), StatusCode::kInvalidArgument);
+  // Sticky: once framing is lost the stream cannot be resynchronized.
+  const std::string payload = EncodeRequest(MakeGibbs(1, "t"));
+  std::string wire;
+  AppendFrame(&wire, payload);
+  decoder.Feed(wire.data(), wire.size());
+  EXPECT_EQ(decoder.Next(&out).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameDecoderTest, OversizedLengthIsError) {
+  FrameDecoder decoder(/*max_payload=*/64);
+  const std::uint32_t huge = 65;
+  char header[kFrameHeaderBytes];
+  std::memcpy(header, &huge, sizeof(huge));
+  decoder.Feed(header, sizeof(header));
+  std::string out;
+  EXPECT_EQ(decoder.Next(&out).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameDecoderTest, PendingBytesExposesTruncation) {
+  const std::string payload = EncodeRequest(MakeGibbs(1, "t"));
+  std::string wire;
+  AppendFrame(&wire, payload);
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size() - 3);  // truncated mid-payload
+  std::string out;
+  auto next = decoder.Next(&out);
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(*next);
+  EXPECT_GT(decoder.PendingBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Server-level behavior: structured errors, survival across bad clients.
+
+class ServiceProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DpReleaseServer::Options options;
+    socket_path_ = "/tmp/dpl_pt_" + std::to_string(::getpid()) + "_" +
+                   std::to_string(++socket_counter_) + ".sock";
+    options.socket_path = socket_path_;
+    options.worker_threads = 2;
+    options.seed = 11;
+    options.max_count_per_request = 64;
+    auto started = DpReleaseServer::Start(options);
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    server_ = std::move(*started);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  DpReleaseClient MustConnect() {
+    auto client = DpReleaseClient::Connect(socket_path_);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  // Raw socket for sending deliberately malformed bytes.
+  int RawConnect() {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  socket_path_.c_str());
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+  }
+
+  // Reads one full response frame off a raw socket.
+  StatusOr<Response> RawReceive(int fd) {
+    FrameDecoder decoder;
+    char buffer[1024];
+    for (;;) {
+      std::string payload;
+      auto next = decoder.Next(&payload);
+      if (!next.ok()) return next.status();
+      if (*next) return DecodeResponse(payload.data(), payload.size());
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) return UnavailableError("server closed the connection");
+      decoder.Feed(buffer, static_cast<std::size_t>(n));
+    }
+  }
+
+  static int socket_counter_;
+  std::string socket_path_;
+  std::unique_ptr<DpReleaseServer> server_;
+};
+
+int ServiceProtocolTest::socket_counter_ = 0;
+
+TEST_F(ServiceProtocolTest, PingAndReplayVerifyWork) {
+  DpReleaseClient client = MustConnect();
+  Request ping;
+  ping.opcode = Opcode::kPing;
+  ping.request_id = 1;
+  auto response = client.Call(ping);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kOk);
+  EXPECT_EQ(response->request_id, 1u);
+
+  Request verify;
+  verify.opcode = Opcode::kReplayVerify;
+  verify.request_id = 2;
+  response = client.Call(verify);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kOk);
+}
+
+TEST_F(ServiceProtocolTest, GarbagePayloadGetsStructuredErrorAndServerSurvives) {
+  const int fd = RawConnect();
+  std::string garbage(kMinPayloadBytes + 4, '\xff');
+  std::string wire;
+  AppendFrame(&wire, garbage);
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  auto response = RawReceive(fd);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  // Unsolicited-frame convention: kPing, request_id 0, decode diagnostic.
+  EXPECT_EQ(response->opcode, Opcode::kPing);
+  EXPECT_EQ(response->request_id, 0u);
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+  ::close(fd);
+  EXPECT_GE(server_->protocol_errors(), 1u);
+
+  // The server is still healthy for the next client.
+  DpReleaseClient client = MustConnect();
+  Request ping;
+  ping.opcode = Opcode::kPing;
+  ping.request_id = 5;
+  auto ok = client.Call(ping);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->code, StatusCode::kOk);
+}
+
+TEST_F(ServiceProtocolTest, UndersizedFrameLengthGetsStructuredError) {
+  const int fd = RawConnect();
+  const std::uint32_t tiny = 1;
+  char header[kFrameHeaderBytes];
+  std::memcpy(header, &tiny, sizeof(tiny));
+  ASSERT_EQ(::send(fd, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  auto response = RawReceive(fd);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->request_id, 0u);
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+  ::close(fd);
+}
+
+TEST_F(ServiceProtocolTest, TruncatedFrameAtEofIsCounted) {
+  const int fd = RawConnect();
+  const std::string payload = EncodeRequest(MakeGibbs(1, "t"));
+  std::string wire;
+  AppendFrame(&wire, payload);
+  // Send all but the last byte, then hang up mid-frame.
+  ASSERT_EQ(::send(fd, wire.data(), wire.size() - 1, 0),
+            static_cast<ssize_t>(wire.size() - 1));
+  ::close(fd);
+  // The reader thread notices the truncation at EOF asynchronously.
+  for (int i = 0; i < 200 && server_->protocol_errors() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server_->protocol_errors(), 1u);
+}
+
+TEST_F(ServiceProtocolTest, ValidationErrorsAreStructuredNotFatal) {
+  DpReleaseClient client = MustConnect();
+
+  // Unknown dataset.
+  Request request = MakeGibbs(1, "tenant-v");
+  request.dataset = "no-such-dataset";
+  auto response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kNotFound);
+
+  // count = 0.
+  request = MakeGibbs(2, "tenant-v", 1.0, 0);
+  response = client.Call(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+
+  // count above the server's per-request ceiling (64 in this fixture).
+  request = MakeGibbs(3, "tenant-v", 1.0, 65);
+  response = client.Call(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+
+  // Laplace is pure ε-DP: a nonzero delta is a caller bug.
+  request = MakeRelease(4, "tenant-v", MechanismKind::kLaplace, 0.1, 1e-6);
+  response = client.Call(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+
+  // Gaussian requires ε in (0,1] and δ in (0,1) — checked BEFORE admission
+  // so an unsatisfiable request cannot burn budget.
+  request = MakeRelease(5, "tenant-v", MechanismKind::kGaussian, 1.5, 1e-6);
+  response = client.Call(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+
+  // Malformed tenant id.
+  request = MakeGibbs(6, "bad tenant!");
+  response = client.Call(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+
+  // None of the rejects burned budget: the tenant was never registered.
+  Request query;
+  query.opcode = Opcode::kBudgetQuery;
+  query.request_id = 7;
+  query.tenant_id = "tenant-v";
+  response = client.Call(query);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kNotFound);
+
+  EXPECT_EQ(server_->protocol_errors(), 0u);
+}
+
+TEST_F(ServiceProtocolTest, OverBudgetIsResourceExhaustedAndLedgered) {
+  DpReleaseClient client = MustConnect();
+
+  Request reg;
+  reg.opcode = Opcode::kRegisterTenant;
+  reg.request_id = 1;
+  reg.tenant_id = "tight";
+  reg.epsilon = 0.05;
+  reg.delta = 0.0;
+  auto response = client.Call(reg);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->code, StatusCode::kOk);
+
+  // One ε=0.03 release fits; the second must be denied, with the denial
+  // recorded in the tenant's ledger and totals untouched.
+  auto first = client.Call(MakeRelease(2, "tight", MechanismKind::kLaplace, 0.03));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->code, StatusCode::kOk);
+  EXPECT_EQ(first->charged_epsilon, 0.03);
+  ASSERT_EQ(first->values.size(), 1u);
+
+  auto second = client.Call(MakeRelease(3, "tight", MechanismKind::kLaplace, 0.03));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->code, StatusCode::kResourceExhausted);
+
+  Request query;
+  query.opcode = Opcode::kBudgetQuery;
+  query.request_id = 4;
+  query.tenant_id = "tight";
+  auto view = client.Call(query);
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->code, StatusCode::kOk);
+  EXPECT_EQ(view->spent_epsilon, 0.03);
+  EXPECT_EQ(view->spends, 1u);
+  EXPECT_EQ(view->denials, 1u);
+
+  // And the ledger replays cleanly after the denial.
+  EXPECT_TRUE(server_->accountant().ReplayVerifyAll().ok());
+}
+
+TEST_F(ServiceProtocolTest, AcceptFailPointRejectsWithStructuredFrame) {
+  robustness::ScopedFailPoint accept_chaos("service.accept", "always");
+  auto client = DpReleaseClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  // The server accepted the connection, then injected the rejection: one
+  // unsolicited UNAVAILABLE frame (request_id 0) and a close.
+  auto response = client->Receive();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->request_id, 0u);
+  EXPECT_EQ(response->code, StatusCode::kUnavailable);
+}
+
+TEST_F(ServiceProtocolTest, DispatchFailPointFailsBeforeAdmission) {
+  DpReleaseClient client = MustConnect();
+  Request reg;
+  reg.opcode = Opcode::kRegisterTenant;
+  reg.request_id = 1;
+  reg.tenant_id = "chaos-t";
+  reg.epsilon = 1.0;
+  reg.delta = 0.0;
+  auto response = client.Call(reg);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->code, StatusCode::kOk);
+
+  {
+    robustness::ScopedFailPoint dispatch_chaos("service.dispatch", "always");
+    auto rejected = client.Call(MakeGibbs(2, "chaos-t"));
+    ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+    EXPECT_EQ(rejected->code, StatusCode::kUnavailable);
+  }
+
+  // The injected failure fired before admission: no spend, no denial.
+  Request query;
+  query.opcode = Opcode::kBudgetQuery;
+  query.request_id = 3;
+  query.tenant_id = "chaos-t";
+  auto view = client.Call(query);
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->code, StatusCode::kOk);
+  EXPECT_EQ(view->spent_epsilon, 0.0);
+  EXPECT_EQ(view->spends, 0u);
+  EXPECT_EQ(view->denials, 0u);
+  EXPECT_TRUE(server_->accountant().ReplayVerifyAll().ok());
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dplearn
