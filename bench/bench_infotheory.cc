@@ -16,6 +16,7 @@
 #include "perf/risk_profile_cache.h"
 #include "sampling/distributions.h"
 #include "sampling/rng.h"
+#include "simd/dispatch.h"
 
 namespace dplearn {
 namespace {
@@ -35,6 +36,27 @@ void BM_ChannelConstruction(benchmark::State& state) {
   perf::SetRiskCacheEnabled(prev);
 }
 BENCHMARK(BM_ChannelConstruction)->Arg(10)->Arg(50)->Arg(200);
+
+/// Cold channel build with DPLEARN_SIMD pinned off — the scalar baseline
+/// for the in-snapshot SIMD ratio gate on BM_ChannelConstruction/200.
+void BM_ChannelConstructionScalar(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto task = BernoulliMeanTask::Create(0.4).value();
+  ClippedSquaredLoss loss(1.0);
+  const FiniteHypothesisClass hclass = bench::MakeScalarGrid(21);
+  const bool prev_cache = perf::RiskCacheEnabled();
+  perf::SetRiskCacheEnabled(false);
+  const bool prev_simd = simd::SimdEnabled();
+  simd::SetSimdEnabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildBernoulliGibbsChannel(task, n, loss, hclass, hclass.UniformPrior(), 5.0)
+            .value());
+  }
+  simd::SetSimdEnabled(prev_simd);
+  perf::SetRiskCacheEnabled(prev_cache);
+}
+BENCHMARK(BM_ChannelConstructionScalar)->Arg(200);
 
 /// Rebuilding the channel at a new λ with the cache warm: only the Gibbs
 /// tilt and the channel assembly are paid; the n+1 risk rows are hits.

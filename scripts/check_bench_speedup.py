@@ -1,58 +1,74 @@
 #!/usr/bin/env python3
-"""Assert the intra-snapshot cache-speedup invariant of a BENCH_*.json.
+"""Assert the intra-snapshot speedup invariants of a BENCH_*.json.
 
-Usage: check_bench_speedup.py SNAPSHOT [--min-ratio 2.0]
+Usage: check_bench_speedup.py SNAPSHOT
 
-The Gibbs grid-sweep pair (BM_GibbsGridSweepUncached / ...Cached) runs the
-same 8-cell λ sweep with the risk-profile cache off and on, in the same
-process on the same machine — so their real_time ratio is a machine-
-independent architecture claim, not a timing comparison across runs. The
-PR-4 acceptance criterion is cached >= 2x faster; anything less means the
-cache stopped being hit on the sweep path.
+Each gate compares two benchmarks that ran the same work with a feature
+off and on, in the same process on the same machine — so their real_time
+ratio is a machine-independent architecture claim, not a timing comparison
+across runs:
+
+  * The Gibbs grid-sweep pair (cache off/on) must show >= 2x: anything
+    less means the risk-profile cache stopped being hit on the sweep path
+    (the PR-4 acceptance criterion).
+  * The SIMD pairs (DPLEARN_SIMD off/on on the risk profile and the cold
+    channel build) must show >= 1.5x: anything less means the vectorized
+    kernels stopped being dispatched on the hot paths (the SIMD PR's
+    acceptance criterion).
 """
 
 import argparse
 import json
 import sys
 
-UNCACHED = "BM_GibbsGridSweepUncached"
-CACHED = "BM_GibbsGridSweepCached"
+# (slow benchmark, fast benchmark, minimum slow/fast ratio, failure hint)
+GATES = [
+    ("BM_GibbsGridSweepUncached", "BM_GibbsGridSweepCached", 2.0,
+     "the risk-profile cache is not being hit on the sweep path"),
+    ("BM_EmpiricalRiskProfileScalar/201", "BM_EmpiricalRiskProfile/201", 1.5,
+     "the SIMD mean-loss kernel is not being dispatched on the profile path"),
+    ("BM_ChannelConstructionScalar/200", "BM_ChannelConstruction/200", 1.5,
+     "the SIMD kernels are not being dispatched on the channel build path"),
+]
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("snapshot")
-    parser.add_argument("--min-ratio", type=float, default=2.0)
     args = parser.parse_args()
 
     with open(args.snapshot, "r", encoding="utf-8") as f:
         snapshot = json.load(f)
+    wanted = {name for gate in GATES for name in gate[:2]}
     times = {}
     for entry in snapshot.get("benchmarks", []):
         if entry.get("run_type") == "aggregate":
             continue
-        if entry["name"] in (UNCACHED, CACHED):
+        if entry["name"] in wanted:
             times[entry["name"]] = float(entry["real_time"])
 
-    missing = [n for n in (UNCACHED, CACHED) if n not in times]
+    missing = sorted(wanted - set(times))
     if missing:
         print(f"check_bench_speedup: missing benchmarks {missing} in "
               f"{args.snapshot}", file=sys.stderr)
         return 1
-    if times[CACHED] <= 0.0:
-        print("check_bench_speedup: non-positive cached time", file=sys.stderr)
-        return 1
 
-    ratio = times[UNCACHED] / times[CACHED]
-    print(f"check_bench_speedup: uncached {times[UNCACHED]:.1f} / "
-          f"cached {times[CACHED]:.1f} = {ratio:.2f}x (require >= "
-          f"{args.min_ratio:.2f}x)")
-    if ratio < args.min_ratio:
-        print("check_bench_speedup: cached grid sweep is not fast enough — the "
-              "risk-profile cache is not being hit on the sweep path",
-              file=sys.stderr)
-        return 1
-    return 0
+    failed = False
+    for slow, fast, min_ratio, hint in GATES:
+        if times[fast] <= 0.0:
+            print(f"check_bench_speedup: non-positive time for {fast}",
+                  file=sys.stderr)
+            failed = True
+            continue
+        ratio = times[slow] / times[fast]
+        print(f"check_bench_speedup: {slow} {times[slow]:.1f} / "
+              f"{fast} {times[fast]:.1f} = {ratio:.2f}x (require >= "
+              f"{min_ratio:.2f}x)")
+        if ratio < min_ratio:
+            print(f"check_bench_speedup: {slow} vs {fast} below "
+                  f"{min_ratio:.2f}x — {hint}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -11,7 +11,8 @@
 # on >25% regressions in the named hot benchmarks) and asserts the
 # machine-independent intra-snapshot invariant with
 # scripts/check_bench_speedup.py (cached Gibbs grid sweep >= 2x the
-# uncached one).
+# uncached one; SIMD kernels >= 1.5x their scalar-pinned twins on the
+# risk-profile and channel-build hot paths).
 #
 # Usage: scripts/run_bench.sh [build_dir]
 #   build_dir  CMake build directory (default: build-bench)

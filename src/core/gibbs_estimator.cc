@@ -1,5 +1,6 @@
 #include "core/gibbs_estimator.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -11,9 +12,20 @@
 #include "obs/trace.h"
 #include "perf/risk_profile_cache.h"
 #include "sampling/distributions.h"
+#include "simd/kernels.h"
 #include "util/math_util.h"
 
 namespace dplearn {
+
+GibbsEstimator::GibbsEstimator(const LossFunction* loss, FiniteHypothesisClass hclass,
+                               std::vector<double> prior, double lambda)
+    : loss_(loss), hclass_(std::move(hclass)), prior_(std::move(prior)), lambda_(lambda) {
+  log_prior_.resize(prior_.size());
+  for (std::size_t i = 0; i < prior_.size(); ++i) {
+    log_prior_[i] = prior_[i] > 0.0 ? std::log(prior_[i])
+                                    : -std::numeric_limits<double>::infinity();
+  }
+}
 
 StatusOr<GibbsEstimator> GibbsEstimator::Create(const LossFunction* loss,
                                                 FiniteHypothesisClass hclass,
@@ -47,6 +59,20 @@ StatusOr<std::vector<double>> GibbsEstimator::Posterior(const Dataset& data) con
   return GibbsPosteriorFromRisks(risks, prior_, lambda_);
 }
 
+StatusOr<simd::SparseVector> GibbsEstimator::SparsePosterior(const Dataset& data,
+                                                             double rel_eps) const {
+  if (!(rel_eps > 0.0 && rel_eps < 1.0)) {
+    return InvalidArgumentError("SparsePosterior: rel_eps must be in (0, 1)");
+  }
+  DPLEARN_ASSIGN_OR_RETURN(std::vector<double> posterior, Posterior(data));
+  double max_p = 0.0;
+  for (const double p : posterior) max_p = std::max(max_p, p);
+  // Kept entries are bit-copies of the dense posterior; each dropped one is
+  // <= rel_eps * max_p <= rel_eps, so total dropped mass < |Θ| * rel_eps.
+  return simd::SparseVector::FromDense(posterior.data(), posterior.size(),
+                                       rel_eps * max_p);
+}
+
 StatusOr<std::vector<double>> GibbsEstimator::RiskProfile(const Dataset& data) const {
   // The per-hypothesis risk profile is the hot loop of Posterior(), Sample()
   // and every PAC-Bayes term below, and it is λ/prior-invariant — so it goes
@@ -73,9 +99,14 @@ StatusOr<std::size_t> GibbsEstimator::SampleGivenRisks(const std::vector<double>
   if (risks.size() != hclass_.size()) {
     return InvalidArgumentError("SampleGivenRisks: risk profile size mismatch");
   }
-  std::vector<double> log_w;
+  // λ-selection sweeps call this thousands of times per profile; the
+  // thread-local scratch pair keeps the steady state allocation-free
+  // (pinned by tests/perf_alloc_test) while staying stream-identical to
+  // the allocating SampleFromLogWeights overload.
+  thread_local std::vector<double> log_w;
+  thread_local std::vector<double> uniforms;
   LogWeightsFromRisks(risks, &log_w);
-  return SampleFromLogWeights(rng, log_w);
+  return SampleFromLogWeights(rng, log_w, &uniforms);
 }
 
 Status GibbsEstimator::SampleBatch(const Dataset& data, Rng* rng, std::size_t k,
@@ -87,7 +118,7 @@ Status GibbsEstimator::SampleBatch(const Dataset& data, Rng* rng, std::size_t k,
     samples->Increment(k);
   }
   DPLEARN_ASSIGN_OR_RETURN(std::vector<double> risks, RiskProfile(data));
-  std::vector<double> log_w;
+  thread_local std::vector<double> log_w;
   LogWeightsFromRisks(risks, &log_w);
   return SampleFromLogWeightsBatch(rng, log_w, k, out);
 }
@@ -95,11 +126,10 @@ Status GibbsEstimator::SampleBatch(const Dataset& data, Rng* rng, std::size_t k,
 void GibbsEstimator::LogWeightsFromRisks(const std::vector<double>& risks,
                                          std::vector<double>* log_w) const {
   log_w->resize(risks.size());
-  for (std::size_t i = 0; i < risks.size(); ++i) {
-    const double log_prior = prior_[i] > 0.0 ? std::log(prior_[i])
-                                             : -std::numeric_limits<double>::infinity();
-    (*log_w)[i] = -lambda_ * risks[i] + log_prior;
-  }
+  // -λ·R̂ + log π via the shared tilt kernel: ε·q + log π with q = -R̂ is
+  // bitwise the same operation (Theorem 4.1 made numerically literal).
+  simd::TiltLogWeights(risks.data(), log_prior_.data(), risks.size(), -lambda_,
+                       log_w->data());
 }
 
 StatusOr<Vector> GibbsEstimator::SampleTheta(const Dataset& data, Rng* rng) const {
@@ -162,13 +192,28 @@ StatusOr<std::vector<double>> GibbsPosteriorFromRisks(const std::vector<double>&
   if (!(lambda >= 0.0)) {
     return InvalidArgumentError("GibbsPosteriorFromRisks: lambda must be non-negative");
   }
-  std::vector<double> log_w(risks.size());
-  for (std::size_t i = 0; i < risks.size(); ++i) {
-    const double log_prior = prior[i] > 0.0 ? std::log(prior[i])
-                                            : -std::numeric_limits<double>::infinity();
-    log_w[i] = -lambda * risks[i] + log_prior;
+  std::vector<double> log_prior(prior.size());
+  for (std::size_t i = 0; i < prior.size(); ++i) {
+    log_prior[i] = prior[i] > 0.0 ? std::log(prior[i])
+                                  : -std::numeric_limits<double>::infinity();
   }
-  return SoftmaxFromLog(log_w);
+  std::vector<double> posterior(risks.size());
+  DPLEARN_RETURN_IF_ERROR(GibbsPosteriorFromRisksInto(risks.data(), log_prior.data(),
+                                                      risks.size(), lambda,
+                                                      posterior.data()));
+  return posterior;
+}
+
+Status GibbsPosteriorFromRisksInto(const double* risks, const double* log_prior,
+                                   std::size_t n, double lambda, double* out) {
+  if (n == 0) return InvalidArgumentError("GibbsPosteriorFromRisks: empty input");
+  if (!(lambda >= 0.0)) {
+    return InvalidArgumentError("GibbsPosteriorFromRisks: lambda must be non-negative");
+  }
+  // Tilt into the output row, then softmax it in place — the kernels allow
+  // aliasing, so a channel row is built with zero scratch.
+  simd::TiltLogWeights(risks, log_prior, n, -lambda, out);
+  return SoftmaxFromLogInto(out, n, out);
 }
 
 StatusOr<MetropolisResult> SampleGibbsContinuous(const LossFunction& loss,

@@ -11,6 +11,7 @@
 #include "mechanisms/exponential.h"
 #include "sampling/metropolis.h"
 #include "sampling/rng.h"
+#include "simd/sparse_vector.h"
 #include "util/status.h"
 
 namespace dplearn {
@@ -44,6 +45,15 @@ class GibbsEstimator {
   /// The exact posterior π̂_λ(· | data) over hypothesis indices.
   /// Error if data is empty.
   StatusOr<std::vector<double>> Posterior(const Dataset& data) const;
+
+  /// Posterior() pruned to the hypotheses carrying non-negligible mass:
+  /// keeps indices with π̂(θ_i) > rel_eps · max_j π̂(θ_j); kept
+  /// probabilities are bit-copies of the dense Posterior() entries, so the
+  /// dropped mass is < |Θ| · rel_eps. Large λ concentrates the Gibbs
+  /// posterior near the ERM (Section 5), so downstream consumers of a
+  /// near-point-mass row keep O(1) entries instead of |Θ|. Error if data is
+  /// empty or rel_eps outside (0, 1).
+  StatusOr<simd::SparseVector> SparsePosterior(const Dataset& data, double rel_eps) const;
 
   /// The empirical-risk profile R̂_data(θ_i) over the hypothesis class —
   /// the λ-invariant part of every posterior/sample below, served through
@@ -97,18 +107,23 @@ class GibbsEstimator {
  private:
   /// Unnormalized log posterior weights -λ·R̂(θ_i) + log π(θ_i) written into
   /// *log_w (resized) — the shared per-hypothesis pass behind Sample() and
-  /// SampleBatch(). The risk profile feeding it comes from RiskProfile()
-  /// (cached; runs on the global thread pool for large problems).
+  /// SampleBatch(), evaluated by the simd::TiltLogWeights kernel against the
+  /// log-prior precomputed at construction. The risk profile feeding it
+  /// comes from RiskProfile() (cached; runs on the global thread pool for
+  /// large problems).
   void LogWeightsFromRisks(const std::vector<double>& risks,
                            std::vector<double>* log_w) const;
 
   GibbsEstimator(const LossFunction* loss, FiniteHypothesisClass hclass,
-                 std::vector<double> prior, double lambda)
-      : loss_(loss), hclass_(std::move(hclass)), prior_(std::move(prior)), lambda_(lambda) {}
+                 std::vector<double> prior, double lambda);
 
   const LossFunction* loss_;  // not owned
   FiniteHypothesisClass hclass_;
   std::vector<double> prior_;
+  /// log π(θ_i), with zero-mass atoms at -inf — hoisted out of the sampling
+  /// hot path (it is λ/data-invariant, and log() per hypothesis per draw was
+  /// a measurable share of SampleGivenRisks).
+  std::vector<double> log_prior_;
   double lambda_;
 };
 
@@ -119,6 +134,16 @@ class GibbsEstimator {
 StatusOr<std::vector<double>> GibbsPosteriorFromRisks(const std::vector<double>& risks,
                                                       const std::vector<double>& prior,
                                                       double lambda);
+
+/// Allocation-free core of GibbsPosteriorFromRisks for callers that hold a
+/// PRE-VALIDATED prior in log space (log π(θ_i), -inf for zero mass) and an
+/// output row to fill: writes the posterior probabilities into out[0..n).
+/// out == risks or out == log_prior aliasing is not allowed. The channel
+/// builder calls this once per row of an |X|×|Θ| channel with the log-prior
+/// hoisted out of the loop. Error if n == 0, lambda < 0, or the weights sum
+/// to zero.
+Status GibbsPosteriorFromRisksInto(const double* risks, const double* log_prior,
+                                   std::size_t n, double lambda, double* out);
 
 /// Continuous-Θ Gibbs sampling: draws `num_samples` parameter vectors from
 /// dπ̂ ∝ exp(-λ R̂_Ẑ(θ)) exp(log_prior(θ)) dθ by random-walk Metropolis.

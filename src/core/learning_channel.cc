@@ -1,5 +1,7 @@
 #include "core/learning_channel.h"
 
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "core/gibbs_estimator.h"
@@ -10,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perf/risk_profile_cache.h"
+#include "util/math_util.h"
 
 namespace dplearn {
 
@@ -38,24 +41,41 @@ StatusOr<GibbsLearningChannel> BuildBernoulliGibbsChannel(const BernoulliMeanTas
                                  /*granted=*/true);
   }
 
+  // The prior is row-invariant: validate it once and hoist its log out of
+  // the n+1 row builds (GibbsPosteriorFromRisks would redo both per row).
+  DPLEARN_RETURN_IF_ERROR(ValidateDistribution(prior, 1e-6));
+  std::vector<double> log_prior(prior.size());
+  for (std::size_t i = 0; i < prior.size(); ++i) {
+    log_prior[i] = prior[i] > 0.0 ? std::log(prior[i])
+                                  : -std::numeric_limits<double>::infinity();
+  }
+
   std::vector<std::vector<double>> risk_matrix(n + 1);
   std::vector<std::vector<double>> transition(n + 1);
   std::vector<double> input_marginal(n + 1);
 
+  // One representative dataset with exactly k ones per row; the empirical
+  // risk of every hypothesis depends on Ẑ only through k, and consecutive
+  // rows differ in one label — walk them by a single SetLabel per step
+  // instead of reconstructing n examples each time.
+  Dataset representative;
+  for (std::size_t i = 0; i < n; ++i) {
+    representative.Add(Example{Vector{1.0}, 0.0});
+  }
   for (std::size_t k = 0; k <= n; ++k) {
-    // A representative dataset with exactly k ones; the empirical risk of
-    // every hypothesis depends on Ẑ only through k.
-    Dataset representative;
-    for (std::size_t i = 0; i < n; ++i) {
-      representative.Add(Example{Vector{1.0}, i < k ? 1.0 : 0.0});
-    }
+    if (k > 0) DPLEARN_RETURN_IF_ERROR(representative.SetLabel(k - 1, 1.0));
     // Routed through the risk-profile cache: λ sweeps rebuild the channel
     // over the same n+1 representative datasets, and only the Gibbs tilt
     // below depends on λ.
     DPLEARN_ASSIGN_OR_RETURN(risk_matrix[k],
                              perf::CachedRiskProfile(loss, hclass.thetas(), representative));
-    DPLEARN_ASSIGN_OR_RETURN(transition[k],
-                             GibbsPosteriorFromRisks(risk_matrix[k], prior, lambda));
+    // Tilt + softmax straight into the row — same bits as the allocating
+    // GibbsPosteriorFromRisks (the kernels are element-wise).
+    transition[k].resize(risk_matrix[k].size());
+    DPLEARN_RETURN_IF_ERROR(GibbsPosteriorFromRisksInto(risk_matrix[k].data(),
+                                                        log_prior.data(),
+                                                        risk_matrix[k].size(), lambda,
+                                                        transition[k].data()));
     DPLEARN_ASSIGN_OR_RETURN(input_marginal[k], task.DatasetProbability(n, k));
   }
 

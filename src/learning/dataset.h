@@ -44,6 +44,18 @@ class Dataset {
   /// `replacement`. Error if index is out of range.
   StatusOr<Dataset> ReplaceExample(std::size_t index, Example replacement) const;
 
+  /// In-place label overwrite — the allocation-free step between
+  /// neighboring datasets that differ only in one label (the channel
+  /// builder walks all n+1 representative datasets this way instead of
+  /// reconstructing n examples per step). Error if index is out of range.
+  Status SetLabel(std::size_t index, double label) {
+    if (index >= examples_.size()) {
+      return InvalidArgumentError("Dataset::SetLabel: index out of range");
+    }
+    examples_[index].label = label;
+    return Status::Ok();
+  }
+
   /// Returns true iff `other` is a neighbor of this dataset (same size,
   /// exactly one differing example).
   bool IsNeighborOf(const Dataset& other) const;

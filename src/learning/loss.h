@@ -9,6 +9,19 @@
 
 namespace dplearn {
 
+/// The closed set of built-in loss formulas. The simd kernels (src/simd)
+/// devirtualize the risk loop over this set; kCustom means "no known
+/// formula" and keeps callers on the virtual-dispatch path.
+enum class LossKind {
+  kZeroOne,
+  kClippedSquared,
+  kClippedAbsolute,
+  kLogistic,
+  kHinge,
+  kHuber,
+  kCustom,
+};
+
 /// A loss l_theta(Z) of the statistical-prediction framework (Section 2.2).
 ///
 /// Every loss declares an upper bound B such that l lies in [0, B] for all
@@ -22,6 +35,13 @@ namespace dplearn {
 class LossFunction {
  public:
   virtual ~LossFunction() = default;
+
+  /// Which built-in formula Loss() computes, or kCustom for user-defined
+  /// subclasses. An override promises that Loss() is EXACTLY the formula
+  /// documented for that kind (same operations, same clamp order) — the
+  /// devirtualized kernels reproduce it element-wise from (theta·x, label,
+  /// UpperBound, ParameterFingerprint) alone.
+  virtual LossKind Kind() const { return LossKind::kCustom; }
 
   /// The loss of predictor `theta` on example `z`. Implementations must be
   /// deterministic and must honor the declared bound for valid inputs.
@@ -56,6 +76,7 @@ class ZeroOneLoss final : public LossFunction {
   double Loss(const Vector& theta, const Example& z) const override;
   double UpperBound() const override { return 1.0; }
   std::string Name() const override { return "zero_one"; }
+  LossKind Kind() const override { return LossKind::kZeroOne; }
 };
 
 /// Squared loss (theta . x - label)^2 clipped to [0, clip]. The clip keeps
@@ -67,6 +88,7 @@ class ClippedSquaredLoss final : public LossFunction {
   double Loss(const Vector& theta, const Example& z) const override;
   double UpperBound() const override { return clip_; }
   std::string Name() const override { return "clipped_squared"; }
+  LossKind Kind() const override { return LossKind::kClippedSquared; }
 
  private:
   double clip_;
@@ -79,6 +101,7 @@ class ClippedAbsoluteLoss final : public LossFunction {
   double Loss(const Vector& theta, const Example& z) const override;
   double UpperBound() const override { return clip_; }
   std::string Name() const override { return "clipped_absolute"; }
+  LossKind Kind() const override { return LossKind::kClippedAbsolute; }
 
  private:
   double clip_;
@@ -95,6 +118,7 @@ class LogisticLoss final : public LossFunction {
   double Loss(const Vector& theta, const Example& z) const override;
   double UpperBound() const override { return clip_; }
   std::string Name() const override { return "logistic"; }
+  LossKind Kind() const override { return LossKind::kLogistic; }
   bool HasGradient() const override { return true; }
   Vector Gradient(const Vector& theta, const Example& z) const override;
 
@@ -110,6 +134,7 @@ class HingeLoss final : public LossFunction {
   double Loss(const Vector& theta, const Example& z) const override;
   double UpperBound() const override { return clip_; }
   std::string Name() const override { return "hinge"; }
+  LossKind Kind() const override { return LossKind::kHinge; }
 
  private:
   double clip_;
@@ -123,6 +148,7 @@ class HuberLoss final : public LossFunction {
   double Loss(const Vector& theta, const Example& z) const override;
   double UpperBound() const override { return clip_; }
   std::string Name() const override { return "huber"; }
+  LossKind Kind() const override { return LossKind::kHuber; }
   /// `delta` shapes the loss but is invisible in Name()/UpperBound().
   double ParameterFingerprint() const override { return delta_; }
   bool HasGradient() const override { return true; }

@@ -1,8 +1,12 @@
 #include "learning/risk.h"
 
 #include <cmath>
+#include <optional>
+#include <string>
 
 #include "parallel/trial_runner.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 
 namespace dplearn {
 namespace {
@@ -13,14 +17,139 @@ namespace {
 /// profile is bit-identical to the sequential result at any thread count.
 constexpr std::size_t kParallelProfileMinWork = 1 << 14;
 
+/// Maps a built-in loss onto its devirtualized kernel spec; nullopt for
+/// kCustom (the caller keeps the virtual loop). The spec mirrors exactly the
+/// parameters the formulas read: clip = UpperBound(), delta = Huber's knee
+/// (which HuberLoss exposes as its ParameterFingerprint).
+std::optional<simd::LossSpec> MakeSimdSpec(const LossFunction& loss) {
+  simd::LossSpec spec;
+  switch (loss.Kind()) {
+    case LossKind::kZeroOne:
+      spec.kind = simd::LossKind::kZeroOne;
+      break;
+    case LossKind::kClippedSquared:
+      spec.kind = simd::LossKind::kClippedSquared;
+      break;
+    case LossKind::kClippedAbsolute:
+      spec.kind = simd::LossKind::kClippedAbsolute;
+      break;
+    case LossKind::kLogistic:
+      spec.kind = simd::LossKind::kLogistic;
+      break;
+    case LossKind::kHinge:
+      spec.kind = simd::LossKind::kHinge;
+      break;
+    case LossKind::kHuber:
+      spec.kind = simd::LossKind::kHuber;
+      spec.delta = loss.ParameterFingerprint();
+      break;
+    case LossKind::kCustom:
+      return std::nullopt;
+  }
+  spec.clip = loss.UpperBound();
+  return spec;
+}
+
+/// The NaN-poisoning guard (DESIGN.md §14): clipped losses cannot signal a
+/// poisoned input — Clamp(NaN, 0, B) == min(B, max(0, NaN)) == 0 in IEEE
+/// semantics, because max(0, NaN) returns 0 — so a NaN feature silently
+/// becomes a zero loss and a post-sum isfinite() check never fires. The only
+/// sound policy is to reject non-finite INPUTS up front, with OutOfRange so
+/// callers can distinguish poisoned data from structural errors.
+Status ValidateTheta(const char* fn, const Vector& theta) {
+  for (std::size_t j = 0; j < theta.size(); ++j) {
+    if (!std::isfinite(theta[j])) {
+      return OutOfRangeError(std::string(fn) + ": non-finite hypothesis coordinate " +
+                             std::to_string(j));
+    }
+  }
+  return Status::Ok();
+}
+
+/// One-time input scan for the scalar (virtual-dispatch) path; the simd path
+/// gets the same checks fused into BuildDatasetSoA.
+Status ValidateDatasetFinite(const char* fn, const Dataset& data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Example& z = data.at(i);
+    if (!std::isfinite(z.label)) {
+      return OutOfRangeError(std::string(fn) + ": non-finite label in example " +
+                             std::to_string(i));
+    }
+    for (const double v : z.features) {
+      if (!std::isfinite(v)) {
+        return OutOfRangeError(std::string(fn) + ": non-finite feature in example " +
+                               std::to_string(i));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+/// The legacy virtual-dispatch mean loss. Inputs are already validated; the
+/// post-sum check remains for CUSTOM losses only, whose formulas we cannot
+/// inspect — a custom Loss() returning NaN/inf on finite inputs is still a
+/// contract violation worth a typed error rather than a poisoned profile.
+StatusOr<double> ScalarMeanLoss(const LossFunction& loss, const Vector& theta,
+                                const Dataset& data) {
+  double sum = 0.0;
+  for (const Example& z : data.examples()) sum += loss.Loss(theta, z);
+  const double risk = sum / static_cast<double>(data.size());
+  if (!std::isfinite(risk)) {
+    return OutOfRangeError("EmpiricalRisk: loss '" + loss.Name() +
+                           "' produced a non-finite risk on finite inputs");
+  }
+  return risk;
+}
+
 }  // namespace
+
+Status BuildDatasetSoA(const Dataset& data, simd::DatasetSoA* out) {
+  const std::size_t n = data.size();
+  const std::size_t dim = data.FeatureDim();
+  out->Reset(n, dim);
+  double* labels = out->mutable_labels();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Example& z = data.at(i);
+    if (z.features.size() != dim) {
+      return InvalidArgumentError("BuildDatasetSoA: ragged dataset — example " +
+                                  std::to_string(i) + " has " +
+                                  std::to_string(z.features.size()) + " features, expected " +
+                                  std::to_string(dim));
+    }
+    if (!std::isfinite(z.label)) {
+      return OutOfRangeError("BuildDatasetSoA: non-finite label in example " +
+                             std::to_string(i));
+    }
+    labels[i] = z.label;
+  }
+  for (std::size_t j = 0; j < dim; ++j) {
+    double* col = out->mutable_column(j);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = data.at(i).features[j];
+      if (!std::isfinite(v)) {
+        return OutOfRangeError("BuildDatasetSoA: non-finite feature " + std::to_string(j) +
+                               " in example " + std::to_string(i));
+      }
+      col[i] = v;
+    }
+  }
+  return Status::Ok();
+}
 
 StatusOr<double> EmpiricalRisk(const LossFunction& loss, const Vector& theta,
                                const Dataset& data) {
   if (data.empty()) return InvalidArgumentError("EmpiricalRisk: empty dataset");
-  double sum = 0.0;
-  for (const Example& z : data.examples()) sum += loss.Loss(theta, z);
-  return sum / static_cast<double>(data.size());
+  DPLEARN_RETURN_IF_ERROR(ValidateTheta("EmpiricalRisk", theta));
+  const std::optional<simd::LossSpec> spec = MakeSimdSpec(loss);
+  if (spec.has_value() && simd::SimdEnabled() && theta.size() == data.FeatureDim()) {
+    thread_local simd::DatasetSoA soa;
+    DPLEARN_RETURN_IF_ERROR(BuildDatasetSoA(data, &soa));
+    return simd::MeanLossKernel(*spec, theta.data(), theta.size(), soa);
+  }
+  // A theta/dataset dimension mismatch falls through so the scalar Dot's
+  // CHECK fires with the same diagnostic it always has.
+  DPLEARN_RETURN_IF_ERROR(ValidateDatasetFinite("EmpiricalRisk", data));
+  return ScalarMeanLoss(loss, theta, data);
 }
 
 StatusOr<std::vector<double>> EmpiricalRiskProfile(const LossFunction& loss,
@@ -28,15 +157,46 @@ StatusOr<std::vector<double>> EmpiricalRiskProfile(const LossFunction& loss,
                                                    const Dataset& data) {
   if (thetas.empty()) return InvalidArgumentError("EmpiricalRiskProfile: empty hypothesis list");
   if (data.empty()) return InvalidArgumentError("EmpiricalRiskProfile: empty dataset");
+  for (const Vector& theta : thetas) {
+    DPLEARN_RETURN_IF_ERROR(ValidateTheta("EmpiricalRiskProfile", theta));
+  }
   std::vector<double> risks(thetas.size());
-  if (thetas.size() * data.size() >= kParallelProfileMinWork) {
-    // EmpiricalRisk can only fail on an empty dataset, which was rejected
-    // above, so the parallel path needs a status slot per hypothesis only
-    // for defense in depth.
+  const bool parallel_eligible = thetas.size() * data.size() >= kParallelProfileMinWork;
+
+  const std::optional<simd::LossSpec> spec = MakeSimdSpec(loss);
+  bool simd_ok = spec.has_value() && simd::SimdEnabled();
+  if (simd_ok) {
+    for (const Vector& theta : thetas) simd_ok = simd_ok && theta.size() == data.FeatureDim();
+  }
+  if (simd_ok) {
+    // One SoA build amortized over |Θ| kernel calls. The kernel is a pure
+    // function — the parallel fan-out needs no per-hypothesis status slots,
+    // and each risks[i] is identical to the serial call at any thread count.
+    thread_local simd::DatasetSoA soa;
+    DPLEARN_RETURN_IF_ERROR(BuildDatasetSoA(data, &soa));
+    const simd::DatasetSoA* view = &soa;
+    const simd::LossSpec kernel_spec = *spec;
+    if (parallel_eligible) {
+      parallel::ParallelTrialRunner runner;
+      runner.ForIndex(thetas.size(), [&](std::size_t i) {
+        risks[i] = simd::MeanLossKernel(kernel_spec, thetas[i].data(), thetas[i].size(), *view);
+      });
+    } else {
+      for (std::size_t i = 0; i < thetas.size(); ++i) {
+        risks[i] = simd::MeanLossKernel(kernel_spec, thetas[i].data(), thetas[i].size(), *view);
+      }
+    }
+    return risks;
+  }
+
+  DPLEARN_RETURN_IF_ERROR(ValidateDatasetFinite("EmpiricalRiskProfile", data));
+  if (parallel_eligible) {
+    // ScalarMeanLoss can only fail on a custom loss emitting a non-finite
+    // value; the per-hypothesis status slots surface the first such failure.
     std::vector<Status> statuses(thetas.size());
     parallel::ParallelTrialRunner runner;
     runner.ForIndex(thetas.size(), [&](std::size_t i) {
-      StatusOr<double> risk = EmpiricalRisk(loss, thetas[i], data);
+      StatusOr<double> risk = ScalarMeanLoss(loss, thetas[i], data);
       if (risk.ok()) {
         risks[i] = risk.value();
       } else {
@@ -49,7 +209,7 @@ StatusOr<std::vector<double>> EmpiricalRiskProfile(const LossFunction& loss,
     return risks;
   }
   for (std::size_t i = 0; i < thetas.size(); ++i) {
-    DPLEARN_ASSIGN_OR_RETURN(risks[i], EmpiricalRisk(loss, thetas[i], data));
+    DPLEARN_ASSIGN_OR_RETURN(risks[i], ScalarMeanLoss(loss, thetas[i], data));
   }
   return risks;
 }

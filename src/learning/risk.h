@@ -5,12 +5,29 @@
 
 #include "learning/dataset.h"
 #include "learning/loss.h"
+#include "simd/dataset_soa.h"
 #include "util/status.h"
 
 namespace dplearn {
 
+/// Mirrors `data` into the structure-of-arrays layout the simd risk kernels
+/// stream over, validating on the way: every example must have FeatureDim()
+/// features (no ragged rows) and every feature and label must be finite.
+/// Non-finite inputs return OutOfRangeError — the NaN-poisoning policy of
+/// DESIGN.md §14 rejects bad INPUTS rather than scanning outputs, because
+/// clipped losses silently launder NaN (Clamp(NaN, 0, B) == 0).
+/// `out` is Reset() first; capacity is reused across calls.
+Status BuildDatasetSoA(const Dataset& data, simd::DatasetSoA* out);
+
 /// Empirical risk R̂_Ẑ(theta) = (1/n) sum_i l_theta(Z_i) (Section 2.2).
-/// Error if the dataset is empty.
+/// Error if the dataset is empty; OutOfRangeError if theta, a feature, or a
+/// label is non-finite (and, for custom losses, if the summed risk is).
+///
+/// When the loss reports a built-in Kind() and simd::SimdEnabled(), the sum
+/// runs through simd::MeanLossKernel — ULP-equivalent to the scalar loop
+/// (bitwise below simd::kBlockedSumMinN examples) and bitwise-deterministic
+/// within a build. EmpiricalRiskProfile routes through the same kernel, so
+/// profile entries equal single-theta calls exactly in either mode.
 StatusOr<double> EmpiricalRisk(const LossFunction& loss, const Vector& theta,
                                const Dataset& data);
 

@@ -9,9 +9,23 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sampling/distributions.h"
+#include "simd/kernels.h"
 #include "util/math_util.h"
 
 namespace dplearn {
+
+ExponentialMechanism::ExponentialMechanism(QualityFn quality, std::vector<double> prior,
+                                           double epsilon, double quality_sensitivity)
+    : quality_(std::move(quality)),
+      prior_(std::move(prior)),
+      epsilon_(epsilon),
+      quality_sensitivity_(quality_sensitivity) {
+  log_prior_.resize(prior_.size());
+  for (std::size_t u = 0; u < prior_.size(); ++u) {
+    log_prior_[u] = prior_[u] > 0.0 ? std::log(prior_[u])
+                                    : -std::numeric_limits<double>::infinity();
+  }
+}
 
 StatusOr<ExponentialMechanism> ExponentialMechanism::Create(QualityFn quality,
                                                             std::size_t num_candidates,
@@ -62,11 +76,11 @@ StatusOr<ExponentialMechanism> ExponentialMechanism::CreateWithTargetPrivacy(
 
 std::vector<double> ExponentialMechanism::LogWeights(const Dataset& data) const {
   std::vector<double> log_w(prior_.size());
-  for (std::size_t u = 0; u < prior_.size(); ++u) {
-    const double log_prior = prior_[u] > 0.0 ? std::log(prior_[u])
-                                             : -std::numeric_limits<double>::infinity();
-    log_w[u] = epsilon_ * quality_(data, u) + log_prior;
-  }
+  for (std::size_t u = 0; u < prior_.size(); ++u) log_w[u] = quality_(data, u);
+  // ε·q + log π in place — element-wise identical to the per-candidate
+  // expression this loop used to compute.
+  simd::TiltLogWeights(log_w.data(), log_prior_.data(), log_w.size(), epsilon_,
+                       log_w.data());
   return log_w;
 }
 

@@ -84,17 +84,18 @@ class ExponentialMechanism {
 
  private:
   ExponentialMechanism(QualityFn quality, std::vector<double> prior, double epsilon,
-                       double quality_sensitivity)
-      : quality_(std::move(quality)),
-        prior_(std::move(prior)),
-        epsilon_(epsilon),
-        quality_sensitivity_(quality_sensitivity) {}
+                       double quality_sensitivity);
 
-  /// Unnormalized log-weights ε·q(x,u) + log prior[u].
+  /// Unnormalized log-weights ε·q(x,u) + log prior[u], via the shared
+  /// simd::TiltLogWeights kernel against the log-prior precomputed at
+  /// construction — the same instruction sequence the Gibbs estimator tilts
+  /// with (Theorem 4.1's identification held bitwise).
   std::vector<double> LogWeights(const Dataset& data) const;
 
   QualityFn quality_;
   std::vector<double> prior_;
+  /// log prior[u] (-inf for zero mass), hoisted out of every release.
+  std::vector<double> log_prior_;
   double epsilon_;
   double quality_sensitivity_;
 };

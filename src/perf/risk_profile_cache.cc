@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "learning/risk.h"
+#include "simd/dispatch.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -35,9 +36,13 @@ std::uint64_t HashDoubles(std::uint64_t h, const double* data, std::size_t n) {
   return h;
 }
 
-std::uint64_t KeyHash(const LossFunction& loss, const std::vector<Vector>& thetas,
-                      const Dataset& data) {
+std::uint64_t KeyHash(std::uint64_t simd_flavor, const LossFunction& loss,
+                      const std::vector<Vector>& thetas, const Dataset& data) {
   std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  // Scalar- and simd-computed profiles are distinct cache keys: they are
+  // ULP-equivalent, not bitwise-equal, so a mid-process DPLEARN_SIMD toggle
+  // must miss rather than serve the other mode's bits.
+  h = Mix(h, simd_flavor);
   for (const char c : loss.Name()) h = Mix(h, static_cast<unsigned char>(c));
   h = Mix(h, DoubleBits(loss.UpperBound()));
   h = Mix(h, DoubleBits(loss.ParameterFingerprint()));
@@ -93,10 +98,11 @@ RiskProfileCache& RiskProfileCache::Global() {
 }
 
 bool RiskProfileCache::Matches(const Entry& entry, std::uint64_t hash,
-                               const LossFunction& loss,
+                               std::uint64_t simd_flavor, const LossFunction& loss,
                                const std::vector<Vector>& thetas,
                                const Dataset& data) const {
   if (entry.hash != hash) return false;
+  if (entry.simd_flavor != simd_flavor) return false;
   if (entry.loss_name != loss.Name()) return false;
   if (DoubleBits(entry.loss_bound) != DoubleBits(loss.UpperBound())) return false;
   if (DoubleBits(entry.loss_fingerprint) != DoubleBits(loss.ParameterFingerprint())) {
@@ -117,11 +123,14 @@ bool RiskProfileCache::Matches(const Entry& entry, std::uint64_t hash,
 
 StatusOr<std::vector<double>> RiskProfileCache::GetOrCompute(
     const LossFunction& loss, const std::vector<Vector>& thetas, const Dataset& data) {
-  const std::uint64_t hash = KeyHash(loss, thetas, data);
+  // One flavor read per call: the hash, the match predicate, and the stored
+  // entry must agree even if DPLEARN_SIMD toggles while we compute.
+  const std::uint64_t flavor = simd::ActiveSimdFlavorId();
+  const std::uint64_t hash = KeyHash(flavor, loss, thetas, data);
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (Matches(*it, hash, loss, thetas, data)) {
+      if (Matches(*it, hash, flavor, loss, thetas, data)) {
         ++stats_.hits;
         entries_.splice(entries_.begin(), entries_, it);  // move to MRU
         std::vector<double> risks = entries_.front().risks;
@@ -142,6 +151,7 @@ StatusOr<std::vector<double>> RiskProfileCache::GetOrCompute(
 
   Entry entry;
   entry.hash = hash;
+  entry.simd_flavor = flavor;
   entry.loss_name = loss.Name();
   entry.loss_bound = loss.UpperBound();
   entry.loss_fingerprint = loss.ParameterFingerprint();

@@ -33,11 +33,19 @@ namespace perf {
 /// proves this differentially against the uncached path.
 ///
 /// Correctness of keying: entries are keyed by a 64-bit content hash of
-/// (loss Name/UpperBound/ParameterFingerprint, Θ, Ẑ) but a hash match alone
-/// never serves a hit — the stored key copy is compared bitwise (memcmp on
-/// the doubles, so NaN payloads and signed zeros are distinguished) before
-/// the cached profile is returned. A collision therefore costs one compare
-/// and falls through to a recompute; it cannot produce a wrong result.
+/// (loss Name/UpperBound/ParameterFingerprint, Θ, Ẑ, simd flavor) but a
+/// hash match alone never serves a hit — the stored key copy is compared
+/// bitwise (memcmp on the doubles, so NaN payloads and signed zeros are
+/// distinguished) before the cached profile is returned. A collision
+/// therefore costs one compare and falls through to a recompute; it cannot
+/// produce a wrong result.
+///
+/// The simd::ActiveSimdFlavorId() key component exists because the scalar
+/// and vectorized risk paths are only ULP-equivalent, not bitwise-equal,
+/// above simd::kBlockedSumMinN examples (DESIGN.md §14). Without it, a
+/// mid-process DPLEARN_SIMD toggle could serve a profile computed in the
+/// OTHER mode — bitwise-different from what a fresh compute would return,
+/// silently breaking the determinism contract above.
 class RiskProfileCache {
  public:
   /// `capacity` bounds the number of cached profiles; least-recently-used
@@ -77,6 +85,7 @@ class RiskProfileCache {
  private:
   struct Entry {
     std::uint64_t hash = 0;
+    std::uint64_t simd_flavor = 0;
     std::string loss_name;
     double loss_bound = 0.0;
     double loss_fingerprint = 0.0;
@@ -85,8 +94,9 @@ class RiskProfileCache {
     std::vector<double> risks;
   };
 
-  bool Matches(const Entry& entry, std::uint64_t hash, const LossFunction& loss,
-               const std::vector<Vector>& thetas, const Dataset& data) const;
+  bool Matches(const Entry& entry, std::uint64_t hash, std::uint64_t simd_flavor,
+               const LossFunction& loss, const std::vector<Vector>& thetas,
+               const Dataset& data) const;
 
   mutable std::mutex mu_;
   std::size_t capacity_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
 #include "util/math_util.h"
 #include "util/status.h"
 
@@ -10,6 +12,56 @@ namespace dplearn {
 
 namespace {
 constexpr double kSqrt2Pi = 2.5066282746310002;
+
+/// Gumbel-max poisoning guard: a NaN log-weight silently LOSES every
+/// comparison (NaN + G is NaN; NaN > best is false), so a poisoned score
+/// never wins and never errors — the sampler would quietly draw from the
+/// wrong distribution. A +inf log-weight is the dual failure: it wins every
+/// draw regardless of the Gumbel noise. Both are input bugs, rejected up
+/// front with OutOfRange (matching the risk layer's non-finite-input
+/// policy). -inf stays legal — it is an honest zero-mass entry.
+Status ValidateLogWeights(const char* fn, const std::vector<double>& log_weights) {
+  for (std::size_t i = 0; i < log_weights.size(); ++i) {
+    const double w = log_weights[i];
+    if (std::isnan(w) || w == std::numeric_limits<double>::infinity()) {
+      return OutOfRangeError(std::string(fn) + ": non-finite log-weight (NaN or +inf) at index " +
+                             std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+/// The validated Gumbel-max core shared by the scratch and batch overloads:
+/// fills `scratch` with one blocked uniform draw, then takes the argmax.
+/// The simd kernel returns bitwise the same index as the scalar loop for
+/// identical inputs, so DPLEARN_SIMD never changes which index is drawn.
+StatusOr<std::size_t> GumbelMaxDraw(Rng* rng, const std::vector<double>& log_weights,
+                                    std::vector<double>* scratch) {
+  scratch->resize(log_weights.size());
+  rng->NextDoubleOpenBatch(scratch->data(), scratch->size());
+  if (simd::SimdEnabled()) {
+    const std::ptrdiff_t idx =
+        simd::GumbelMaxIndex(log_weights.data(), scratch->data(), log_weights.size());
+    if (idx < 0) {
+      return InvalidArgumentError("SampleFromLogWeights: all weights are zero");
+    }
+    return static_cast<std::size_t>(idx);
+  }
+  std::size_t best = 0;
+  double best_val = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < log_weights.size(); ++i) {
+    const double gumbel = -std::log(-std::log((*scratch)[i]));
+    const double val = log_weights[i] + gumbel;
+    if (val > best_val) {
+      best_val = val;
+      best = i;
+    }
+  }
+  if (best_val == -std::numeric_limits<double>::infinity()) {
+    return InvalidArgumentError("SampleFromLogWeights: all weights are zero");
+  }
+  return best;
+}
 }  // namespace
 
 StatusOr<double> SampleUniform(Rng* rng, double lo, double hi) {
@@ -116,6 +168,7 @@ StatusOr<std::size_t> SampleFromLogWeights(Rng* rng, const std::vector<double>& 
   if (log_weights.empty()) {
     return InvalidArgumentError("SampleFromLogWeights: empty input");
   }
+  DPLEARN_RETURN_IF_ERROR(ValidateLogWeights("SampleFromLogWeights", log_weights));
   // Gumbel-max: argmax_i (log w_i + G_i), G_i ~ Gumbel(0,1).
   std::size_t best = 0;
   double best_val = -std::numeric_limits<double>::infinity();
@@ -141,26 +194,12 @@ StatusOr<std::size_t> SampleFromLogWeights(Rng* rng, const std::vector<double>& 
   if (scratch == nullptr) {
     return InvalidArgumentError("SampleFromLogWeights: scratch must be set");
   }
+  DPLEARN_RETURN_IF_ERROR(ValidateLogWeights("SampleFromLogWeights", log_weights));
   // One blocked uniform fill instead of per-element NextDoubleOpen() calls.
   // The stream order is unchanged (element i still consumes the i-th draw),
   // so the selected index is bitwise the same as the allocation-free
   // overload's; only the call pattern differs.
-  scratch->resize(log_weights.size());
-  rng->NextDoubleOpenBatch(scratch->data(), scratch->size());
-  std::size_t best = 0;
-  double best_val = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < log_weights.size(); ++i) {
-    const double gumbel = -std::log(-std::log((*scratch)[i]));
-    const double val = log_weights[i] + gumbel;
-    if (val > best_val) {
-      best_val = val;
-      best = i;
-    }
-  }
-  if (best_val == -std::numeric_limits<double>::infinity()) {
-    return InvalidArgumentError("SampleFromLogWeights: all weights are zero");
-  }
-  return best;
+  return GumbelMaxDraw(rng, log_weights, scratch);
 }
 
 Status SampleFromLogWeightsBatch(Rng* rng, const std::vector<double>& log_weights,
@@ -171,11 +210,13 @@ Status SampleFromLogWeightsBatch(Rng* rng, const std::vector<double>& log_weight
   if (out == nullptr) {
     return InvalidArgumentError("SampleFromLogWeightsBatch: out must be set");
   }
+  // Validate once for all k draws; GumbelMaxDraw assumes clean input.
+  DPLEARN_RETURN_IF_ERROR(ValidateLogWeights("SampleFromLogWeightsBatch", log_weights));
   out->resize(k);
   std::vector<double> scratch;
   scratch.reserve(log_weights.size());
   for (std::size_t j = 0; j < k; ++j) {
-    DPLEARN_ASSIGN_OR_RETURN((*out)[j], SampleFromLogWeights(rng, log_weights, &scratch));
+    DPLEARN_ASSIGN_OR_RETURN((*out)[j], GumbelMaxDraw(rng, log_weights, &scratch));
   }
   return Status::Ok();
 }

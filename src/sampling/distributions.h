@@ -62,7 +62,10 @@ StatusOr<std::size_t> SampleDiscrete(Rng* rng, const std::vector<double>& p);
 /// Draws an index proportionally to exp(log_weights[i]) without forming the
 /// normalized distribution (Gumbel-max trick): stable when weights span many
 /// orders of magnitude, which they do for exponential-mechanism scores at
-/// large epsilon. Error if empty.
+/// large epsilon. Error if empty; OutOfRangeError if any log-weight is NaN
+/// or +inf (a NaN silently loses every Gumbel comparison and a +inf wins
+/// every draw — both poison the sample, so they are rejected up front).
+/// -inf entries are legal zero-mass atoms.
 StatusOr<std::size_t> SampleFromLogWeights(Rng* rng, const std::vector<double>& log_weights);
 
 /// Scratch-buffer overload for hot loops: identical draw, but the block of

@@ -1,0 +1,42 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace dplearn {
+namespace simd {
+namespace {
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("DPLEARN_SIMD");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+const char* SimdFlavorName(SimdFlavor flavor) {
+  switch (flavor) {
+    case SimdFlavor::kScalar:
+      return "scalar";
+    case SimdFlavor::kPortable:
+      return "portable";
+    case SimdFlavor::kAvx2:
+      return "avx2";
+    case SimdFlavor::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool SimdEnabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetSimdEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace simd
+}  // namespace dplearn

@@ -1,0 +1,104 @@
+#ifndef DPLEARN_SIMD_KERNELS_H_
+#define DPLEARN_SIMD_KERNELS_H_
+
+#include <cstddef>
+
+#include "simd/dataset_soa.h"
+
+namespace dplearn {
+namespace simd {
+
+/// Vectorized hot-loop kernels (DESIGN.md §14). Every kernel is a pure
+/// function of its raw-span inputs and is deterministic within one build:
+/// no thread-count, call-order, or cache-state dependence. The numerical
+/// contract relative to the legacy scalar code is two-tiered:
+///
+///   * ELEMENT-WISE kernels (TiltLogWeights, SoftmaxFromLogInto,
+///     GumbelMaxIndex) perform the same per-element arithmetic as the
+///     scalar formulas and no reduction, so they are reorder-free.
+///     GumbelMaxIndex in particular returns bitwise the same index as the
+///     scalar Gumbel-max loop for identical inputs — enabling the kernels
+///     never changes which hypothesis a sampler draws.
+///   * REDUCTION kernels (MeanLossKernel, LogSumExp) accumulate in
+///     kReductionLanes independent lanes below a fixed pairwise combine —
+///     a reordered but deterministic sum. For n < kBlockedSumMinN the sum
+///     is sequential and bitwise-identical to scalar; above it the result
+///     is ULP-close (the difference of two summation orders of the same
+///     values), bounded by tests/simd_equivalence_test.
+///
+/// Cross-build bitwise identity is NOT promised: different -march levels
+/// legalize different contractions. Anything that promises "same bits in,
+/// same bits out" must therefore key on ActiveSimdFlavorId() (the
+/// risk-profile cache does).
+
+/// Lanes of the blocked reduction. Element i lands in lane i % 8; lanes
+/// combine as ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)).
+inline constexpr std::size_t kReductionLanes = 8;
+
+/// Below this length reductions stay sequential (bitwise-identical to the
+/// scalar code); blocking a handful of elements buys nothing and would cost
+/// hand-written tests their exact expectations.
+inline constexpr std::size_t kBlockedSumMinN = 32;
+
+/// The loss kinds with devirtualized kernels — the closed set of
+/// learning/LossFunction subclasses whose Loss() is a pure formula of
+/// (theta·x, label, clip, delta). A custom loss maps to no kind and the
+/// caller keeps the virtual-dispatch loop.
+enum class LossKind {
+  kZeroOne,
+  kClippedSquared,
+  kClippedAbsolute,
+  kLogistic,
+  kHinge,
+  kHuber,
+};
+
+/// Parameters a kernel needs to evaluate one loss kind: the clip is the
+/// declared upper bound B of every clipped loss (unused by kZeroOne), delta
+/// is Huber's quadratic/linear knee (unused elsewhere).
+struct LossSpec {
+  LossKind kind = LossKind::kZeroOne;
+  double clip = 1.0;
+  double delta = 0.0;
+};
+
+/// Mean loss (the empirical risk) of `theta` over `data`:
+/// (1/n) Σ_i l_theta(x_i, y_i), evaluated devirtualized over the SoA
+/// layout with the blocked reduction. Preconditions (the caller —
+/// learning/risk — validates them): data non-empty, dim == data.dim(),
+/// all inputs finite. Finite inputs yield a finite result in [0, B] for
+/// every kind.
+double MeanLossKernel(const LossSpec& spec, const double* theta, std::size_t dim,
+                      const DatasetSoA& data);
+
+/// log Σ exp(x_i) with the blocked reduction. Edge cases match
+/// util::LogSumExp exactly: n==0 → -inf, any NaN → that NaN (first one),
+/// all -inf → -inf, any +inf → +inf, and n < kBlockedSumMinN is bitwise
+/// the scalar result.
+double LogSumExp(const double* x, std::size_t n);
+
+/// out[i] = scale * values[i] + log_addend[i] — the Gibbs/exponential
+/// tilt. Gibbs passes (risks, log-prior, -λ); the exponential mechanism
+/// passes (quality, log-prior, ε). One shared instruction sequence keeps
+/// the two views of Theorem 4.1 numerically interchangeable. In-place
+/// (out == values) is allowed.
+void TiltLogWeights(const double* values, const double* log_addend, std::size_t n,
+                    double scale, double* out);
+
+/// out[i] = exp(log_w[i] - lse) — softmax row construction given the
+/// normalizer. Element-wise, reorder-free. In-place allowed.
+void SoftmaxFromLogInto(const double* log_w, std::size_t n, double lse, double* out);
+
+/// Gumbel-max argmax: first index maximizing log_w[i] - log(-log(u_i))
+/// over the pre-drawn uniforms u in (0,1). Per-element arithmetic and the
+/// first-wins scan are identical to the scalar sampler, so the returned
+/// index is bitwise-equal to it. Returns -1 when the running max never
+/// leaves -inf (all weights zero). Precondition: log_w free of NaN/+inf
+/// (the sampling layer rejects those with a typed Status first).
+std::ptrdiff_t GumbelMaxIndex(const double* log_w, const double* uniforms,
+                              std::size_t n);
+
+}  // namespace simd
+}  // namespace dplearn
+
+#endif  // DPLEARN_SIMD_KERNELS_H_

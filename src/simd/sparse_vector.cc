@@ -1,0 +1,148 @@
+#include "simd/sparse_vector.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "simd/kernels.h"
+
+namespace dplearn {
+namespace simd {
+
+SparseVector SparseVector::FromDense(const double* x, std::size_t n, double eps) {
+  SparseVector out;
+  out.dimension_ = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(x[i]) > eps) {
+      out.indices_.push_back(static_cast<std::uint32_t>(i));
+      out.values_.push_back(x[i]);
+    }
+  }
+  return out;
+}
+
+Status SparseVector::ToDense(double* out, std::size_t n) const {
+  if (n != dimension_) {
+    return InvalidArgumentError("SparseVector::ToDense: buffer dimension mismatch");
+  }
+  std::memset(out, 0, n * sizeof(double));
+  for (std::size_t k = 0; k < indices_.size(); ++k) {
+    out[indices_[k]] = values_[k];
+  }
+  return Status::Ok();
+}
+
+StatusOr<double> SparseVector::Dot(const SparseVector& other) const {
+  if (dimension_ != other.dimension_) {
+    return InvalidArgumentError("SparseVector::Dot: dimension mismatch");
+  }
+  double sum = 0.0;
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < indices_.size() && b < other.indices_.size()) {
+    const std::uint32_t ia = indices_[a];
+    const std::uint32_t ib = other.indices_[b];
+    if (ia == ib) {
+      sum += values_[a] * other.values_[b];
+      ++a;
+      ++b;
+    } else if (ia < ib) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return sum;
+}
+
+StatusOr<double> SparseVector::DotDense(const double* x, std::size_t n) const {
+  if (n != dimension_) {
+    return InvalidArgumentError("SparseVector::DotDense: dimension mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t k = 0; k < indices_.size(); ++k) {
+    sum += values_[k] * x[indices_[k]];
+  }
+  return sum;
+}
+
+StatusOr<SparseVector> SparseVector::Add(const SparseVector& other) const {
+  if (dimension_ != other.dimension_) {
+    return InvalidArgumentError("SparseVector::Add: dimension mismatch");
+  }
+  SparseVector out;
+  out.dimension_ = dimension_;
+  out.indices_.reserve(indices_.size() + other.indices_.size());
+  out.values_.reserve(indices_.size() + other.indices_.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < indices_.size() || b < other.indices_.size()) {
+    if (b >= other.indices_.size() ||
+        (a < indices_.size() && indices_[a] < other.indices_[b])) {
+      out.indices_.push_back(indices_[a]);
+      out.values_.push_back(values_[a]);
+      ++a;
+    } else if (a >= indices_.size() || other.indices_[b] < indices_[a]) {
+      out.indices_.push_back(other.indices_[b]);
+      out.values_.push_back(other.values_[b]);
+      ++b;
+    } else {
+      out.indices_.push_back(indices_[a]);
+      out.values_.push_back(values_[a] + other.values_[b]);
+      ++a;
+      ++b;
+    }
+  }
+  return out;
+}
+
+void SparseVector::Scale(double c) {
+  for (double& v : values_) v *= c;
+}
+
+double SparseVector::L1Norm() const {
+  double sum = 0.0;
+  for (double v : values_) sum += std::fabs(v);
+  return sum;
+}
+
+StatusOr<SparseVector> PruneLogWeights(const double* log_w, std::size_t n,
+                                       double rel_eps) {
+  if (!(rel_eps > 0.0 && rel_eps < 1.0)) {
+    return InvalidArgumentError("PruneLogWeights: rel_eps must be in (0, 1)");
+  }
+  double max_lw = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(log_w[i])) {
+      return InvalidArgumentError("PruneLogWeights: NaN log-weight");
+    }
+    if (log_w[i] > max_lw) max_lw = log_w[i];
+  }
+  SparseVector result;
+  result.dimension_ = n;
+  if (n == 0 || max_lw == -std::numeric_limits<double>::infinity()) {
+    // Nothing carries mass; keep the empty support (LSE reads back -inf).
+    return result;
+  }
+  // A +inf max would make the threshold +inf + log(rel_eps) = +inf and drop
+  // everything including the +inf entries; keep exactly the entries tied
+  // with the (+inf) max in that case.
+  const bool inf_max = std::isinf(max_lw);
+  const double threshold = inf_max ? max_lw : max_lw + std::log(rel_eps);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool keep = inf_max ? (log_w[i] == max_lw) : (log_w[i] > threshold);
+    if (keep) {
+      result.indices_.push_back(static_cast<std::uint32_t>(i));
+      result.values_.push_back(log_w[i]);
+    }
+  }
+  return result;
+}
+
+double SparseLogSumExp(const SparseVector& log_weights) {
+  if (log_weights.empty()) return -std::numeric_limits<double>::infinity();
+  return LogSumExp(log_weights.values().data(), log_weights.nnz());
+}
+
+}  // namespace simd
+}  // namespace dplearn

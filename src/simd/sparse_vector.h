@@ -1,0 +1,105 @@
+#ifndef DPLEARN_SIMD_SPARSE_VECTOR_H_
+#define DPLEARN_SIMD_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dplearn {
+namespace simd {
+
+/// Epsilon-pruned sparse view of a dense double vector: sorted
+/// (index, value) pairs over a fixed dense dimension, with absent indices
+/// reading back as 0.0. Two uses in this library:
+///
+///   * high-dimensional feature vectors, where most coordinates are zero
+///     and dense dot products waste bandwidth on them, and
+///   * near-point-mass Gibbs posteriors (large λ concentrates essentially
+///     all mass on the empirical-risk minimizer), where a channel row of
+///     |Θ| entries carries a handful of non-negligible probabilities.
+///
+/// Numerical contract: construction never rounds a KEPT value — kept
+/// entries are bit-copies of the dense input, so the dense→sparse→dense
+/// round trip is exact on every coordinate whose magnitude exceeds the
+/// pruning threshold, and sparse arithmetic over kept entries runs the
+/// same per-index operations as the dense reference. Pruning in LOG space
+/// (PruneLogWeights) carries the documented LogSumExp bound below.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Builds from a dense span, keeping entries with |x_i| > eps (eps = 0
+  /// keeps exactly the nonzeros). Kept values are bit-copies.
+  static SparseVector FromDense(const double* x, std::size_t n, double eps = 0.0);
+
+  /// Number of stored (non-pruned) entries.
+  std::size_t nnz() const { return indices_.size(); }
+  /// The dense dimension this vector is a view of.
+  std::size_t dimension() const { return dimension_; }
+  bool empty() const { return indices_.empty(); }
+
+  const std::vector<std::uint32_t>& indices() const { return indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Scatters into a dense buffer of `n` doubles (must equal dimension());
+  /// absent indices become 0.0.
+  Status ToDense(double* out, std::size_t n) const;
+
+  /// Sparse·sparse dot product by merge join over the sorted indices —
+  /// O(nnz_a + nnz_b), touching only coordinates present in both. Terms
+  /// accumulate in increasing index order, the dense reference's order
+  /// with the zero terms skipped. Error on dimension mismatch.
+  StatusOr<double> Dot(const SparseVector& other) const;
+
+  /// Sparse·dense dot product: Σ values_[k] * x[indices_[k]].
+  /// Error if n != dimension().
+  StatusOr<double> DotDense(const double* x, std::size_t n) const;
+
+  /// Coordinate-wise sum by merge join; the result keeps every index
+  /// present in either operand (no re-pruning — a sum of kept values is
+  /// never silently dropped). Error on dimension mismatch.
+  StatusOr<SparseVector> Add(const SparseVector& other) const;
+
+  /// Multiplies every stored value by c in place. c == 0 zeroes values but
+  /// keeps the support (call FromDense to re-prune if wanted).
+  void Scale(double c);
+
+  /// Σ |values_|, over the stored support.
+  double L1Norm() const;
+
+ private:
+  friend StatusOr<SparseVector> PruneLogWeights(const double* log_w,
+                                                std::size_t n, double rel_eps);
+
+  std::size_t dimension_ = 0;
+  std::vector<std::uint32_t> indices_;  // sorted ascending, unique
+  std::vector<double> values_;
+};
+
+/// Prunes a log-weight vector (e.g. unnormalized log-posterior) to the
+/// entries within log(1/rel_eps) of the maximum: keeps log_w[i] such that
+/// log_w[i] > max_j log_w[j] + log(rel_eps). Requires 0 < rel_eps < 1 and
+/// NaN-free input (+inf entries are always kept).
+///
+/// LogSumExp bound: each dropped entry satisfies exp(log_w[i] - m) <=
+/// rel_eps, so with n total entries the dropped mass is at most
+/// n·rel_eps·e^m <= n·rel_eps·Σexp(log_w), giving
+///
+///   0 <= LogSumExp(dense) - LogSumExp(kept) <= -log1p(-n·rel_eps)
+///
+/// whenever n·rel_eps < 1. tests/proptest_simd_test checks this bound
+/// (plus ULP slack for the two reductions) property-wise.
+StatusOr<SparseVector> PruneLogWeights(const double* log_w, std::size_t n,
+                                       double rel_eps);
+
+/// LogSumExp over the stored entries of a log-space sparse vector (absent
+/// indices carry zero probability mass, i.e. log-weight -inf). Empty or
+/// fully-pruned input → -inf, matching util::LogSumExp's zero-sum limit.
+double SparseLogSumExp(const SparseVector& log_weights);
+
+}  // namespace simd
+}  // namespace dplearn
+
+#endif  // DPLEARN_SIMD_SPARSE_VECTOR_H_

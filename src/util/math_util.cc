@@ -8,22 +8,24 @@
 
 namespace dplearn {
 
-double LogSumExp(const std::vector<double>& x) {
-  if (x.empty()) return -std::numeric_limits<double>::infinity();
+double LogSumExp(const double* x, std::size_t n) {
+  if (n == 0) return -std::numeric_limits<double>::infinity();
   // Max by explicit scan: max_element's comparator gives an arbitrary
   // answer when NaN is present, and NaN must propagate, not vanish.
   double m = -std::numeric_limits<double>::infinity();
-  for (const double v : x) {
-    if (std::isnan(v)) return v;
-    if (v > m) m = v;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(x[i])) return x[i];
+    if (x[i] > m) m = x[i];
   }
   // all -inf -> log of a zero sum; any +inf dominates. A single finite
   // element returns exactly that element (exp(0) == 1, log(1) == 0).
   if (!std::isfinite(m)) return m;
   double sum = 0.0;
-  for (const double v : x) sum += std::exp(v - m);
+  for (std::size_t i = 0; i < n; ++i) sum += std::exp(x[i] - m);
   return m + std::log(sum);
 }
+
+double LogSumExp(const std::vector<double>& x) { return LogSumExp(x.data(), x.size()); }
 
 double LogAddExp(double a, double b) {
   if (a == -std::numeric_limits<double>::infinity()) return b;
@@ -33,16 +35,21 @@ double LogAddExp(double a, double b) {
 }
 
 StatusOr<std::vector<double>> SoftmaxFromLog(const std::vector<double>& log_weights) {
-  if (log_weights.empty()) {
+  std::vector<double> p(log_weights.size());
+  DPLEARN_RETURN_IF_ERROR(SoftmaxFromLogInto(log_weights.data(), log_weights.size(), p.data()));
+  return p;
+}
+
+Status SoftmaxFromLogInto(const double* log_weights, std::size_t n, double* out) {
+  if (n == 0) {
     return InvalidArgumentError("SoftmaxFromLog: empty input");
   }
-  const double lse = LogSumExp(log_weights);
+  const double lse = LogSumExp(log_weights, n);
   if (!std::isfinite(lse)) {
     return InvalidArgumentError("SoftmaxFromLog: weights sum to zero or are non-finite");
   }
-  std::vector<double> p(log_weights.size());
-  for (std::size_t i = 0; i < p.size(); ++i) p[i] = std::exp(log_weights[i] - lse);
-  return p;
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(log_weights[i] - lse);
+  return Status::Ok();
 }
 
 double XLogX(double x) {

@@ -26,6 +26,11 @@ inline constexpr double kLn2 = 0.6931471805599453;
 ///   single element x0  -> exactly x0 (exp/log round-trip is exact at 0)
 ///   any entry +inf     -> +inf
 ///   any entry NaN      -> NaN    (propagated, never silently dropped)
+///
+/// The span overload is the primary implementation; the vector overload
+/// forwards to it. Hot paths that already hold contiguous log-weights call
+/// the span form directly instead of materializing a temporary vector.
+double LogSumExp(const double* x, std::size_t n);
 double LogSumExp(const std::vector<double>& x);
 
 /// Returns log(exp(a) + exp(b)) computed stably.
@@ -34,6 +39,12 @@ double LogAddExp(double a, double b);
 /// Exponentiates and normalizes `log_weights` into a probability vector.
 /// Stable for widely-spread magnitudes. Error if empty or all -inf.
 StatusOr<std::vector<double>> SoftmaxFromLog(const std::vector<double>& log_weights);
+
+/// In-place SoftmaxFromLog: writes the probabilities into `out` (length n;
+/// out == log_weights allowed). Same edge-case Status as SoftmaxFromLog,
+/// without allocating the result vector — channel-row construction calls
+/// this once per row of an |X|×|Θ| channel.
+Status SoftmaxFromLogInto(const double* log_weights, std::size_t n, double* out);
 
 /// Returns x*log(x) with the continuity convention 0*log(0) = 0.
 /// Error semantics: callers must pass x >= 0.

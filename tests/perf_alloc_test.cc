@@ -5,6 +5,7 @@
 /// deterministically.
 
 #include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -13,9 +14,14 @@
 #include <vector>
 
 #include <gtest/gtest.h>
+#include "core/gibbs_estimator.h"
+#include "learning/hypothesis.h"
+#include "learning/loss.h"
 #include "sampling/alias_sampler.h"
 #include "sampling/distributions.h"
 #include "sampling/rng.h"
+#include "simd/kernels.h"
+#include "util/math_util.h"
 
 namespace {
 std::atomic<std::uint64_t> g_alloc_count{0};
@@ -96,6 +102,49 @@ TEST(PerfAllocTest, LogWeightsBatchAllocatesPerBlockNotPerDraw) {
   // draw). The bound is deliberately a small constant, not zero: the batch
   // owns its scratch so callers don't have to.
   EXPECT_LE(allocs, 2u);
+}
+
+TEST(PerfAllocTest, PointerLogSumExpAllocatesNothing) {
+  // The LogSumExp(const double*, n) overload exists so hot paths stop
+  // materializing a temporary std::vector per call; pin that the whole
+  // family (util pointer overload, simd kernel, softmax-into) is heap-free.
+  std::vector<double> log_w(512);
+  for (std::size_t i = 0; i < log_w.size(); ++i) {
+    log_w[i] = -0.005 * static_cast<double>(i);
+  }
+  std::vector<double> probs(log_w.size());
+  double sink = 0.0;
+  const std::uint64_t allocs = CountAllocations([&] {
+    for (int j = 0; j < 100; ++j) {
+      sink += LogSumExp(log_w.data(), log_w.size());
+      sink += simd::LogSumExp(log_w.data(), log_w.size());
+      ASSERT_TRUE(SoftmaxFromLogInto(log_w.data(), log_w.size(), probs.data()).ok());
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_TRUE(std::isfinite(sink));
+}
+
+TEST(PerfAllocTest, GibbsSampleGivenRisksIsAllocationFreeInSteadyState) {
+  // The λ-sweep inner loop: one risk profile, many draws. The estimator
+  // keeps its log-weight and uniform scratch in thread_local buffers, so
+  // after the first draw sized them the loop never touches the heap.
+  const ClippedSquaredLoss loss(1.0);
+  auto grid = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 257).value();
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, std::move(grid), 4.0).value();
+  std::vector<double> risks(257);
+  for (std::size_t i = 0; i < risks.size(); ++i) {
+    risks[i] = 0.5 + 0.4 * std::sin(static_cast<double>(i));
+  }
+  Rng rng(5);
+  ASSERT_TRUE(gibbs.SampleGivenRisks(risks, &rng).ok());  // warm-up sizes scratch
+  const std::uint64_t allocs = CountAllocations([&] {
+    for (int j = 0; j < 200; ++j) {
+      auto draw = gibbs.SampleGivenRisks(risks, &rng);
+      ASSERT_TRUE(draw.ok());
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
 }
 
 TEST(PerfAllocTest, AliasBatchIsAllocationFreeWithPreparedOutput) {

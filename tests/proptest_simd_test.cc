@@ -1,0 +1,344 @@
+// Generative invariants over simd::SparseVector (satellite 4 of the SIMD
+// PR): dense round-trips are bit-exact above the pruning threshold, the
+// merge-join arithmetic agrees with dense references, and PruneLogWeights
+// honors its documented log-sum-exp mass bound
+//   0 <= LSE(dense) - LSE(kept) <= -log1p(-n * rel_eps).
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "proptest/generators.h"
+#include "proptest/property.h"
+#include "simd/kernels.h"
+#include "simd/sparse_vector.h"
+#include "util/math_util.h"
+
+namespace dplearn {
+namespace proptest {
+namespace {
+
+Config SuiteConfig(std::uint64_t default_seed) {
+  Config config = Config::FromEnv();
+  if (std::getenv("DPLEARN_PROPTEST_SEED") == nullptr) config.seed = default_seed;
+  return config;
+}
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// A dense vector with a mix of magnitudes straddling a pruning epsilon:
+// exact zeros, sub-epsilon dust, and entries that must survive.
+struct DenseInstance {
+  std::vector<double> x;
+  double eps = 0.0;
+};
+
+Arbitrary<DenseInstance> ArbitraryDenseInstance() {
+  Arbitrary<DenseInstance> arb;
+  arb.generate = [](Rng* rng) {
+    DenseInstance inst;
+    const std::size_t n = 1 + static_cast<std::size_t>(rng->NextDouble() * 64.0);
+    inst.eps = 1e-8;
+    inst.x.resize(n);
+    for (double& v : inst.x) {
+      const double u = rng->NextDouble();
+      if (u < 0.25) {
+        v = 0.0;
+      } else if (u < 0.5) {
+        v = (rng->NextDouble() - 0.5) * inst.eps;  // dust, pruned
+      } else {
+        v = (rng->NextDouble() - 0.5) * 4.0;  // survivors (w.h.p.)
+      }
+    }
+    return inst;
+  };
+  arb.describe = [](const DenseInstance& inst) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "{n=" << inst.x.size() << ", eps=" << inst.eps << ", x=[";
+    for (std::size_t i = 0; i < inst.x.size(); ++i) {
+      if (i) os << ", ";
+      os << inst.x[i];
+    }
+    os << "]}";
+    return os.str();
+  };
+  arb.shrink = [](const DenseInstance& inst) {
+    std::vector<DenseInstance> out;
+    if (inst.x.size() > 1) {
+      DenseInstance half = inst;
+      half.x.resize(inst.x.size() / 2);
+      out.push_back(std::move(half));
+      DenseInstance drop_front = inst;
+      drop_front.x.erase(drop_front.x.begin());
+      out.push_back(std::move(drop_front));
+    }
+    return out;
+  };
+  return arb;
+}
+
+struct DensePair {
+  DenseInstance a;
+  DenseInstance b;  // same length as a
+};
+
+Arbitrary<DensePair> ArbitraryDensePair() {
+  Arbitrary<DensePair> arb;
+  const Arbitrary<DenseInstance> single = ArbitraryDenseInstance();
+  arb.generate = [single](Rng* rng) {
+    DensePair pair;
+    pair.a = single.generate(rng);
+    pair.b = single.generate(rng);
+    pair.b.x.resize(pair.a.x.size(), 0.0);
+    return pair;
+  };
+  arb.describe = [single](const DensePair& pair) {
+    return single.describe(pair.a) + " + " + single.describe(pair.b);
+  };
+  return arb;
+}
+
+// Log-weights with a wide dynamic range plus occasional -inf atoms, the
+// shape PruneLogWeights sees from Gibbs posterior tails.
+struct LogWeightInstance {
+  std::vector<double> log_w;
+  double rel_eps = 1e-6;
+};
+
+Arbitrary<LogWeightInstance> ArbitraryLogWeights() {
+  Arbitrary<LogWeightInstance> arb;
+  arb.generate = [](Rng* rng) {
+    LogWeightInstance inst;
+    const std::size_t n = 1 + static_cast<std::size_t>(rng->NextDouble() * 128.0);
+    // Keep n * rel_eps < 1 so the documented bound's log1p argument stays
+    // in range: rel_eps <= 1/(2n).
+    inst.rel_eps = std::min(1e-4, 0.5 / static_cast<double>(n));
+    inst.log_w.resize(n);
+    for (double& w : inst.log_w) {
+      if (rng->NextDouble() < 0.1) {
+        w = -std::numeric_limits<double>::infinity();
+      } else {
+        w = -40.0 * rng->NextDouble();  // spans far past log(rel_eps)
+      }
+    }
+    return inst;
+  };
+  arb.describe = [](const LogWeightInstance& inst) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "{n=" << inst.log_w.size() << ", rel_eps=" << inst.rel_eps << ", log_w=[";
+    for (std::size_t i = 0; i < inst.log_w.size(); ++i) {
+      if (i) os << ", ";
+      os << inst.log_w[i];
+    }
+    os << "]}";
+    return os.str();
+  };
+  arb.shrink = [](const LogWeightInstance& inst) {
+    std::vector<LogWeightInstance> out;
+    if (inst.log_w.size() > 1) {
+      LogWeightInstance half = inst;
+      half.log_w.resize(inst.log_w.size() / 2);
+      out.push_back(std::move(half));
+    }
+    return out;
+  };
+  return arb;
+}
+
+// --------------------------------------------------------------------------
+// Round-trip exactness.
+
+TEST(ProptestSimd, FromDenseToDenseIsBitExactAboveEpsilon) {
+  auto property = [](const DenseInstance& inst) -> Status {
+    const std::size_t n = inst.x.size();
+    const simd::SparseVector sparse =
+        simd::SparseVector::FromDense(inst.x.data(), n, inst.eps);
+    std::vector<double> round_trip(n);
+    DPLEARN_RETURN_IF_ERROR(sparse.ToDense(round_trip.data(), n));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::fabs(inst.x[i]) > inst.eps) {
+        // Kept entries must be bit-copies, not recomputations.
+        if (!BitEqual(round_trip[i], inst.x[i])) {
+          return Violation("kept entry not a bit-copy at i=" + std::to_string(i));
+        }
+      } else if (round_trip[i] != 0.0) {
+        return Violation("pruned entry not zeroed at i=" + std::to_string(i));
+      }
+    }
+    if (sparse.dimension() != n) return Violation("dimension not preserved");
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("sparse_round_trip_bit_exact", ArbitraryDenseInstance(),
+                                property, SuiteConfig(701)));
+}
+
+TEST(ProptestSimd, IndicesSortedAndAboveThreshold) {
+  auto property = [](const DenseInstance& inst) -> Status {
+    const simd::SparseVector sparse =
+        simd::SparseVector::FromDense(inst.x.data(), inst.x.size(), inst.eps);
+    for (std::size_t k = 0; k < sparse.nnz(); ++k) {
+      if (k > 0 && sparse.indices()[k] <= sparse.indices()[k - 1]) {
+        return Violation("indices not strictly increasing at k=" + std::to_string(k));
+      }
+      if (!(std::fabs(sparse.values()[k]) > inst.eps)) {
+        return Violation("stored value within pruning epsilon at k=" + std::to_string(k));
+      }
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("sparse_indices_sorted", ArbitraryDenseInstance(),
+                                property, SuiteConfig(702)));
+}
+
+// --------------------------------------------------------------------------
+// Merge-join arithmetic vs dense references.
+
+TEST(ProptestSimd, SparseDotMatchesDenseReference) {
+  auto property = [](const DensePair& pair) -> Status {
+    const std::size_t n = pair.a.x.size();
+    const simd::SparseVector sa =
+        simd::SparseVector::FromDense(pair.a.x.data(), n, pair.a.eps);
+    const simd::SparseVector sb =
+        simd::SparseVector::FromDense(pair.b.x.data(), n, pair.b.eps);
+    // Dense reference over the SAME kept entries, accumulated in the same
+    // increasing-index order the merge join uses.
+    std::vector<double> da(n), db(n);
+    DPLEARN_RETURN_IF_ERROR(sa.ToDense(da.data(), n));
+    DPLEARN_RETURN_IF_ERROR(sb.ToDense(db.data(), n));
+    double reference = 0.0;
+    for (std::size_t i = 0; i < n; ++i) reference += da[i] * db[i];
+    DPLEARN_ASSIGN_OR_RETURN(const double joined, sa.Dot(sb));
+    if (!ApproxEqual(joined, reference, 1e-12, 1e-12)) {
+      return Violation("merge-join dot drifts from dense reference: " +
+                       std::to_string(joined) + " vs " + std::to_string(reference));
+    }
+    DPLEARN_ASSIGN_OR_RETURN(const double vs_dense, sa.DotDense(db.data(), n));
+    if (!ApproxEqual(vs_dense, reference, 1e-12, 1e-12)) {
+      return Violation("DotDense drifts from dense reference");
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("sparse_dot_matches_dense", ArbitraryDensePair(),
+                                property, SuiteConfig(703)));
+}
+
+TEST(ProptestSimd, SparseAddMatchesDenseSum) {
+  auto property = [](const DensePair& pair) -> Status {
+    const std::size_t n = pair.a.x.size();
+    const simd::SparseVector sa =
+        simd::SparseVector::FromDense(pair.a.x.data(), n, pair.a.eps);
+    const simd::SparseVector sb =
+        simd::SparseVector::FromDense(pair.b.x.data(), n, pair.b.eps);
+    std::vector<double> da(n), db(n);
+    DPLEARN_RETURN_IF_ERROR(sa.ToDense(da.data(), n));
+    DPLEARN_RETURN_IF_ERROR(sb.ToDense(db.data(), n));
+    DPLEARN_ASSIGN_OR_RETURN(const simd::SparseVector sum, sa.Add(sb));
+    std::vector<double> dsum(n);
+    DPLEARN_RETURN_IF_ERROR(sum.ToDense(dsum.data(), n));
+    for (std::size_t i = 0; i < n; ++i) {
+      // Each output element is the single addition da[i] + db[i] (or a
+      // bit-copy when only one side holds the index) — exact, not approx.
+      if (!BitEqual(dsum[i], da[i] + db[i])) {
+        return Violation("Add differs from dense sum at i=" + std::to_string(i));
+      }
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("sparse_add_matches_dense", ArbitraryDensePair(),
+                                property, SuiteConfig(704)));
+}
+
+TEST(ProptestSimd, ScaleAndL1NormAgreeWithDense) {
+  auto property = [](const DenseInstance& inst) -> Status {
+    const std::size_t n = inst.x.size();
+    simd::SparseVector sparse =
+        simd::SparseVector::FromDense(inst.x.data(), n, inst.eps);
+    std::vector<double> dense(n);
+    DPLEARN_RETURN_IF_ERROR(sparse.ToDense(dense.data(), n));
+    double l1 = 0.0;
+    for (double v : dense) l1 += std::fabs(v);
+    if (!BitEqual(sparse.L1Norm(), l1)) {
+      return Violation("L1Norm differs from dense accumulation");
+    }
+    const double c = -2.5;
+    sparse.Scale(c);
+    std::vector<double> scaled(n);
+    DPLEARN_RETURN_IF_ERROR(sparse.ToDense(scaled.data(), n));
+    for (std::size_t i = 0; i < n; ++i) {
+      // Numeric (not bitwise) equality: a pruned slot scatters back +0.0
+      // while the dense reference 0.0 * c may be -0.0.
+      if (scaled[i] != dense[i] * c) {
+        return Violation("Scale differs from dense multiply at i=" + std::to_string(i));
+      }
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("sparse_scale_l1", ArbitraryDenseInstance(),
+                                property, SuiteConfig(705)));
+}
+
+// --------------------------------------------------------------------------
+// PruneLogWeights: kept entries are bit-copies and the dropped tail mass
+// obeys the documented log-sum-exp bound.
+
+TEST(ProptestSimd, PruneLogWeightsHonorsLseBound) {
+  auto property = [](const LogWeightInstance& inst) -> Status {
+    const std::size_t n = inst.log_w.size();
+    auto pruned = simd::PruneLogWeights(inst.log_w.data(), n, inst.rel_eps);
+    if (!pruned.ok()) return Violation(pruned.status().message());
+    const double dense_lse = LogSumExp(inst.log_w);
+    const double kept_lse = simd::SparseLogSumExp(pruned.value());
+    if (std::isinf(dense_lse) && dense_lse < 0.0) {
+      // All-zero mass: the pruned support must be empty and agree.
+      if (pruned.value().nnz() != 0 || !std::isinf(kept_lse)) {
+        return Violation("empty-mass input kept entries");
+      }
+      return Status::Ok();
+    }
+    const double gap = dense_lse - kept_lse;
+    const double bound =
+        -std::log1p(-static_cast<double>(n) * inst.rel_eps) + 1e-12;
+    if (!(gap >= -1e-12)) {
+      return Violation("kept LSE exceeds dense LSE: gap=" + std::to_string(gap));
+    }
+    if (!(gap <= bound)) {
+      return Violation("dropped mass violates bound: gap=" + std::to_string(gap) +
+                       " bound=" + std::to_string(bound));
+    }
+    // Kept entries are bit-copies of the originals.
+    for (std::size_t k = 0; k < pruned.value().nnz(); ++k) {
+      const std::uint32_t i = pruned.value().indices()[k];
+      if (!BitEqual(pruned.value().values()[k], inst.log_w[i])) {
+        return Violation("kept log-weight not a bit-copy at i=" + std::to_string(i));
+      }
+    }
+    return Status::Ok();
+  };
+  DPLEARN_EXPECT_PROPERTY(Check("prune_log_weights_lse_bound", ArbitraryLogWeights(),
+                                property, SuiteConfig(706)));
+}
+
+TEST(ProptestSimd, PruneRejectsNanAndBadRelEps) {
+  const std::vector<double> with_nan{-1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            simd::PruneLogWeights(with_nan.data(), with_nan.size(), 1e-6).status().code());
+  const std::vector<double> ok{-1.0, -2.0};
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            simd::PruneLogWeights(ok.data(), ok.size(), 0.0).status().code());
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            simd::PruneLogWeights(ok.data(), ok.size(), 1.0).status().code());
+}
+
+}  // namespace
+}  // namespace proptest
+}  // namespace dplearn
