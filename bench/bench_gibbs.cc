@@ -15,6 +15,7 @@
 #include "core/gibbs_estimator.h"
 #include "learning/loss.h"
 #include "learning/risk.h"
+#include "learning/streaming_risk.h"
 #include "perf/risk_profile_cache.h"
 #include "sampling/rng.h"
 #include "simd/dispatch.h"
@@ -139,6 +140,65 @@ BENCHMARK(BM_GibbsGridSweepUncached);
 
 void BM_GibbsGridSweepCached(benchmark::State& state) { RunGridSweep(state, true); }
 BENCHMARK(BM_GibbsGridSweepCached);
+
+/// One streamed turnover step at n=1000: remove the oldest example, add a
+/// new one, snapshot the live profile. Two O(|Θ|) delta rows + an O(|Θ|)
+/// divide — against BM_StreamingVsFullRecompute below this is the ratio the
+/// streaming layer exists for, and scripts/check_bench_speedup.py gates it
+/// at >=10x inside one snapshot.
+void BM_StreamingUpdate(benchmark::State& state) {
+  ClippedSquaredLoss loss(1.0);
+  const FiniteHypothesisClass hclass = bench::MakeScalarGrid(101);
+  Dataset data = bench::MakeBernoulliData(1000, 6);
+  StreamingRiskProfile::Options options;
+  options.resync_every = 0;  // measure the pure fast path
+  options.reserve_examples = data.size() + 1;
+  auto profile =
+      StreamingRiskProfile::Create(&loss, hclass.thetas(), options).value();
+  for (const Example& z : data.examples()) {
+    if (!profile.AddExample(z).ok()) state.SkipWithError("seed add failed");
+  }
+  std::vector<double> snapshot(hclass.size());
+  std::size_t oldest = 0;
+  for (auto _ : state) {
+    const Example& victim = data.at(oldest);
+    oldest = (oldest + 1) % data.size();
+    Example fresh = victim;
+    fresh.label = 1.0 - fresh.label;
+    if (!profile.RemoveExample(victim).ok() || !profile.AddExample(fresh).ok() ||
+        !profile.SnapshotInto(&snapshot).ok()) {
+      state.SkipWithError("streamed update failed");
+    }
+    benchmark::DoNotOptimize(snapshot.data());
+    // Restore the original example so the next pass over `data` still finds
+    // its victims live (the profile matches bitwise).
+    if (!profile.RemoveExample(fresh).ok() || !profile.AddExample(victim).ok()) {
+      state.SkipWithError("streamed restore failed");
+    }
+  }
+}
+BENCHMARK(BM_StreamingUpdate);
+
+/// What the same turnover costs without the streaming layer: a full
+/// |Θ|·n EmpiricalRiskProfile recompute per step.
+void BM_StreamingVsFullRecompute(benchmark::State& state) {
+  ClippedSquaredLoss loss(1.0);
+  const FiniteHypothesisClass hclass = bench::MakeScalarGrid(101);
+  Dataset data = bench::MakeBernoulliData(1000, 6);
+  std::size_t oldest = 0;
+  for (auto _ : state) {
+    const double original = data.at(oldest).label;
+    if (!data.SetLabel(oldest, 1.0 - original).ok()) {
+      state.SkipWithError("label flip failed");
+    }
+    benchmark::DoNotOptimize(EmpiricalRiskProfile(loss, hclass.thetas(), data).value());
+    if (!data.SetLabel(oldest, original).ok()) {
+      state.SkipWithError("label restore failed");
+    }
+    oldest = (oldest + 1) % data.size();
+  }
+}
+BENCHMARK(BM_StreamingVsFullRecompute);
 
 }  // namespace
 }  // namespace dplearn

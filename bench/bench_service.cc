@@ -3,7 +3,8 @@
 //
 // Drives a DpReleaseServer — in-process by default, or an external one via
 // --socket — with one thread + one connection per tenant, a deterministic
-// request mix (~60% Laplace mean releases, ~25% Gibbs draws, ~15% budget
+// request mix (~55% Laplace mean releases, ~20% Gibbs draws, ~10% stream
+// appends feeding each tenant's live StreamingRiskProfile, ~15% budget
 // queries), and a per-repetition "probe" tenant registered with a tiny
 // budget and deliberately overdrawn, so every run exercises the
 // RESOURCE_EXHAUSTED admission path.
@@ -87,6 +88,7 @@ struct TenantStats {
   std::uint64_t transport_retries = 0;
   std::uint64_t protocol_errors = 0;  // client-side decode failures
   std::uint64_t gave_up = 0;          // retry budget exhausted
+  std::uint64_t stream_appends = 0;   // OK kStreamAppend responses
   KahanSum charged_epsilon;
   KahanSum charged_delta;
   std::uint64_t denials_seen = 0;  // RESOURCE_EXHAUSTED responses
@@ -196,7 +198,8 @@ void RunTenant(const std::string& socket_path, const std::string& tenant_id,
     request.tenant_id = tenant_id;
     bool is_release = false;
     bool is_gibbs = false;
-    if (pick < 0.60) {
+    bool is_append = false;
+    if (pick < 0.55) {
       is_release = true;
       request.opcode = Opcode::kRelease;
       request.mechanism = MechanismKind::kLaplace;
@@ -205,12 +208,22 @@ void RunTenant(const std::string& socket_path, const std::string& tenant_id,
       request.epsilon = 0.01;
       request.delta = 0.0;
       request.count = 1 + static_cast<std::uint32_t>(rng.NextBounded(4));
-    } else if (pick < 0.85) {
+    } else if (pick < 0.75) {
       is_gibbs = true;
       request.opcode = Opcode::kGibbsSample;
       request.dataset = "bernoulli";
       request.lambda = 1.0;
       request.count = 1 + static_cast<std::uint32_t>(rng.NextBounded(8));
+    } else if (pick < 0.85) {
+      // Free append to the tenant's live stream: later Gibbs draws in this
+      // loop re-tilt from it and are charged at the live size, so the
+      // budget-conservation invariant also covers the continual-release
+      // accounting path.
+      is_append = true;
+      request.opcode = Opcode::kStreamAppend;
+      request.dataset = "bernoulli";
+      request.features = {1.0};
+      request.label = rng.NextBounded(2) == 0 ? 0.0 : 1.0;
     } else {
       request.opcode = Opcode::kBudgetQuery;
     }
@@ -222,6 +235,7 @@ void RunTenant(const std::string& socket_path, const std::string& tenant_id,
     if (response->code == StatusCode::kOk) {
       if (is_release) release_lat->Record(elapsed_us);
       if (is_gibbs) gibbs_lat->Record(elapsed_us);
+      if (is_append) ++stats->stream_appends;
     }
   }
 }
@@ -320,6 +334,7 @@ void Merge(const TenantStats& from, TenantStats* into) {
   into->transport_retries += from.transport_retries;
   into->protocol_errors += from.protocol_errors;
   into->gave_up += from.gave_up;
+  into->stream_appends += from.stream_appends;
   into->denials_seen += from.denials_seen;
 }
 
@@ -439,6 +454,7 @@ int Run(const Flags& flags) {
   json += "    \"invalid_argument\": " + std::to_string(totals.invalid_argument) + ",\n";
   json += "    \"other_errors\": " + std::to_string(totals.other_errors) + ",\n";
   json += "    \"transport_retries\": " + std::to_string(totals.transport_retries) + ",\n";
+  json += "    \"stream_appends\": " + std::to_string(totals.stream_appends) + ",\n";
   json += "    \"protocol_errors\": " + std::to_string(totals.protocol_errors) + ",\n";
   json += std::string("    \"replay_verify_ok\": ") + (replay_ok ? "true" : "false") + ",\n";
   json += std::string("    \"budget_conserved\": ") +

@@ -1,0 +1,153 @@
+/// E-CR (continual release) — streamed Gibbs draws get cheaper as the
+/// stream grows.
+///
+/// One Gibbs draw at inverse temperature λ is 2λΔ(R̂)-DP with Δ ≤ B/n
+/// (Theorem 4.1), so on a LIVE stream the per-draw charge is 2λB/n_live:
+/// appends are free and every append strictly shrinks the cost of the next
+/// draw. For the natural continual-release schedule — one posterior draw
+/// after every append — the cumulative ε is the harmonic tail
+/// 2λB·Σ_{n=n0+1..N} 1/n ≈ 2λB·ln(N/n0), versus the LINEAR n·2λB/n0 a
+/// fixed-size accounting would charge. This experiment drives the schedule
+/// through PrivacyAccountant, records the ε-vs-stream-length curve, and
+/// checks the streamed risk profile never drifts from a full recompute
+/// beyond the documented bound (DESIGN.md §15).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/experiment_util.h"
+#include "core/gibbs_estimator.h"
+#include "learning/dataset.h"
+#include "learning/generators.h"
+#include "learning/hypothesis.h"
+#include "learning/loss.h"
+#include "learning/risk.h"
+#include "learning/streaming_risk.h"
+#include "mechanisms/privacy_budget.h"
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace {
+
+void Run() {
+  bench::PrintHeader("E-CR (continual release)",
+                     "streamed Gibbs accounting: per-draw eps decays as 1/n, "
+                     "cumulative eps grows harmonically, profile drift stays bounded");
+
+  const std::uint64_t seed = bench::BaseSeed(20260809);
+  Rng rng(seed);
+
+  const double lambda = 2.0;
+  const std::size_t n0 = 100;  // seed batch
+  const std::size_t total_appends = bench::TrialCount(4000, 400);
+
+  ClippedSquaredLoss loss(1.0);
+  const double bound = loss.UpperBound();
+  auto grid = bench::Unwrap(FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 101), "grid");
+  auto gibbs = bench::Unwrap(GibbsEstimator::CreateUniform(&loss, grid, lambda), "gibbs");
+  const auto task = bench::Unwrap(BernoulliMeanTask::Create(0.3), "task");
+  Dataset seed_batch = bench::Unwrap(task.Sample(n0, &rng), "seed sample");
+
+  auto profile = bench::Unwrap(
+      StreamingRiskProfile::Create(&loss, grid.thetas(), StreamingRiskProfile::Options{}),
+      "streaming profile");
+  for (const Example& z : seed_batch.examples()) {
+    bench::Check(profile.AddExample(z), "seed append");
+  }
+
+  bench::PrintSection("one draw per append: live-size vs fixed-size charging");
+  auto accountant =
+      bench::Unwrap(PrivacyAccountant::Create({1000.0, 0.0}), "accountant");
+  double fixed_total = 0.0;  // what charging every draw at n0 would cost
+  double first_per_draw = 0.0;
+  std::printf("%10s %16s %16s %16s\n", "n_live", "per-draw eps", "streamed total",
+              "fixed-n0 total");
+  std::size_t next_report = n0;
+  for (std::size_t i = 0; i < total_appends; ++i) {
+    Example z = bench::Unwrap(task.Sample(1, &rng), "stream sample").at(0);
+    bench::Check(profile.AddExample(z), "stream append");  // free: no spend
+    const double per_draw = 2.0 * lambda * bound / static_cast<double>(profile.size());
+    bench::Check(accountant.Spend({per_draw, 0.0}, "gibbs.streamed"), "spend");
+    fixed_total += 2.0 * lambda * bound / static_cast<double>(n0);
+    if (i == 0) first_per_draw = per_draw;
+    const std::size_t draw =
+        bench::Unwrap(gibbs.SampleStreaming(profile, &rng), "streamed draw");
+    if (draw >= grid.size()) {
+      bench::Verdict(false, "streamed draw returned a valid hypothesis index");
+    }
+    if (profile.size() >= next_report * 2) {
+      next_report = profile.size();
+      std::printf("%10zu %16.6f %16.4f %16.4f\n", profile.size(), per_draw,
+                  accountant.spent().epsilon, fixed_total);
+    }
+  }
+  const double streamed_total = accountant.spent().epsilon;
+  std::printf("%10zu %16.6f %16.4f %16.4f\n", profile.size(),
+              2.0 * lambda * bound / static_cast<double>(profile.size()),
+              streamed_total, fixed_total);
+
+  const std::size_t n_final = profile.size();
+  const double last_per_draw = 2.0 * lambda * bound / static_cast<double>(n_final);
+  bench::RecordScalar("per_draw_eps_first", first_per_draw);
+  bench::RecordScalar("per_draw_eps_last", last_per_draw);
+  bench::RecordScalar("streamed_total_eps", streamed_total);
+  bench::RecordScalar("fixed_n0_total_eps", fixed_total);
+  bench::RecordScalar("stream_length", static_cast<double>(n_final));
+
+  bench::Verdict(last_per_draw < first_per_draw &&
+                     std::abs(last_per_draw * static_cast<double>(n_final) -
+                              2.0 * lambda * bound) < 1e-12,
+                 "per-draw eps decays exactly as 2*lambda*B / n_live");
+  // Harmonic tail: 2λB·ln((N+1)/(n0+1)) <= streamed total <= 2λB·ln(N/n0).
+  const double harmonic_lo = 2.0 * lambda * bound *
+                             std::log(static_cast<double>(n_final + 1) /
+                                      static_cast<double>(n0 + 1));
+  const double harmonic_hi =
+      2.0 * lambda * bound *
+      std::log(static_cast<double>(n_final) / static_cast<double>(n0));
+  bench::Verdict(streamed_total >= harmonic_lo && streamed_total <= harmonic_hi,
+                 "cumulative streamed eps sits in the harmonic-tail envelope");
+  bench::Verdict(streamed_total < 0.5 * fixed_total,
+                 "continual-release accounting beats fixed-size charging >=2x");
+
+  bench::PrintSection("streamed profile vs full recompute at the final stream");
+  std::vector<double> streamed(grid.size());
+  bench::Check(profile.SnapshotInto(&streamed), "snapshot");
+  const std::vector<double> full = bench::Unwrap(
+      EmpiricalRiskProfile(loss, grid.thetas(), profile.LiveDataset()), "full recompute");
+  double max_abs_drift = 0.0;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    max_abs_drift = std::max(max_abs_drift, std::abs(streamed[i] - full[i]));
+  }
+  // The documented contract is ULPs at sum scale (DESIGN.md §15); at B=1
+  // and n_live examples that is well under 1e-9 absolute for any schedule
+  // this experiment runs.
+  std::printf("max |streamed - full| = %.3e over %zu hypotheses (n=%zu, "
+              "%llu mutations, %llu resyncs)\n",
+              max_abs_drift, full.size(), n_final,
+              static_cast<unsigned long long>(profile.mutations()),
+              static_cast<unsigned long long>(profile.resyncs()));
+  bench::RecordScalar("max_abs_drift", max_abs_drift);
+  bench::RecordScalar("resyncs", static_cast<double>(profile.resyncs()));
+  bench::Verdict(max_abs_drift < 1e-9,
+                 "streamed profile tracks the full recompute within the drift bound");
+
+  // After an explicit Resync the snapshot is bitwise the batch profile.
+  bench::Check(profile.Resync(), "resync");
+  bench::Check(profile.SnapshotInto(&streamed), "post-resync snapshot");
+  bool bitwise = true;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    bitwise = bitwise && streamed[i] == full[i] &&
+              std::signbit(streamed[i]) == std::signbit(full[i]);
+  }
+  bench::Verdict(bitwise, "post-resync snapshot is bitwise the batch profile");
+}
+
+}  // namespace
+}  // namespace dplearn
+
+int main(int argc, char** argv) {
+  return dplearn::bench::GuardedMain(argc, argv, dplearn::Run);
+}

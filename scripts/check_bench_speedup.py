@@ -15,6 +15,9 @@ across runs:
     channel build) must show >= 1.5x: anything less means the vectorized
     kernels stopped being dispatched on the hot paths (the SIMD PR's
     acceptance criterion).
+  * The streaming pair (full recompute vs delta update at n=1000) must
+    show >= 10x: anything less means a streamed one-example turnover is
+    no longer O(|Theta|) — the streaming PR's acceptance criterion.
 """
 
 import argparse
@@ -29,6 +32,9 @@ GATES = [
      "the SIMD mean-loss kernel is not being dispatched on the profile path"),
     ("BM_ChannelConstructionScalar/200", "BM_ChannelConstruction/200", 1.5,
      "the SIMD kernels are not being dispatched on the channel build path"),
+    ("BM_StreamingVsFullRecompute", "BM_StreamingUpdate", 10.0,
+     "a streamed one-example update is no longer O(|Theta|) cheaper than a "
+     "full |Theta|*n recompute"),
 ]
 
 

@@ -123,6 +123,39 @@ Status GibbsEstimator::SampleBatch(const Dataset& data, Rng* rng, std::size_t k,
   return SampleFromLogWeightsBatch(rng, log_w, k, out);
 }
 
+StatusOr<std::size_t> GibbsEstimator::SampleStreaming(const StreamingRiskProfile& profile,
+                                                      Rng* rng) const {
+  obs::TraceSpan span("gibbs.sample_streaming");
+  if (profile.num_hypotheses() != hclass_.size()) {
+    return InvalidArgumentError("SampleStreaming: profile hypothesis count mismatch");
+  }
+  // Snapshot into thread-local scratch (pre-sized after the first call), then
+  // reuse the exact SampleGivenRisks path — same bits, zero steady-state
+  // allocations (pinned by tests/perf_alloc_test).
+  thread_local std::vector<double> risks;
+  DPLEARN_RETURN_IF_ERROR(profile.SnapshotInto(&risks));
+  return SampleGivenRisks(risks, rng);
+}
+
+Status GibbsEstimator::SampleStreamingBatch(const StreamingRiskProfile& profile, Rng* rng,
+                                            std::size_t k,
+                                            std::vector<std::size_t>* out) const {
+  if (out == nullptr) return InvalidArgumentError("SampleStreamingBatch: out must be set");
+  obs::TraceSpan span("gibbs.sample_streaming_batch");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const samples = obs::GlobalMetrics().GetCounter("gibbs.samples");
+    samples->Increment(k);
+  }
+  if (profile.num_hypotheses() != hclass_.size()) {
+    return InvalidArgumentError("SampleStreamingBatch: profile hypothesis count mismatch");
+  }
+  thread_local std::vector<double> risks;
+  DPLEARN_RETURN_IF_ERROR(profile.SnapshotInto(&risks));
+  thread_local std::vector<double> log_w;
+  LogWeightsFromRisks(risks, &log_w);
+  return SampleFromLogWeightsBatch(rng, log_w, k, out);
+}
+
 void GibbsEstimator::LogWeightsFromRisks(const std::vector<double>& risks,
                                          std::vector<double>* log_w) const {
   log_w->resize(risks.size());

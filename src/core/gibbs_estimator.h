@@ -8,6 +8,7 @@
 #include "learning/dataset.h"
 #include "learning/hypothesis.h"
 #include "learning/loss.h"
+#include "learning/streaming_risk.h"
 #include "mechanisms/exponential.h"
 #include "sampling/metropolis.h"
 #include "sampling/rng.h"
@@ -77,6 +78,26 @@ class GibbsEstimator {
   /// Sample(); on error *out is left resized but unspecified.
   Status SampleBatch(const Dataset& data, Rng* rng, std::size_t k,
                      std::vector<std::size_t>* out) const;
+
+  /// Draws one hypothesis index re-tilted from a LIVE streaming profile:
+  /// snapshots the profile's current risks (allocation-free in steady
+  /// state) and feeds them through the same tilt + Gumbel-max path as
+  /// SampleGivenRisks — bit- and stream-identical to
+  /// SampleGivenRisks(*profile.Snapshot(), rng). The profile must be built
+  /// over this estimator's hypothesis class (sizes are checked; the risks
+  /// themselves are the caller's responsibility, as with SampleGivenRisks).
+  /// The draw is 2λΔ(R̂)-DP against the profile's LIVE dataset, so Δ = B/n
+  /// uses the profile's current size(), not a batch dataset's.
+  /// FailedPrecondition on an empty stream; InvalidArgument on a |Θ|
+  /// mismatch.
+  StatusOr<std::size_t> SampleStreaming(const StreamingRiskProfile& profile,
+                                        Rng* rng) const;
+
+  /// Draws `k` indices from the live streaming posterior into *out (resized
+  /// to k) — bit- and stream-identical to k SampleStreaming() calls on the
+  /// same Rng against an unchanged profile. Error as SampleStreaming().
+  Status SampleStreamingBatch(const StreamingRiskProfile& profile, Rng* rng,
+                              std::size_t k, std::vector<std::size_t>* out) const;
 
   /// Draws one parameter vector from the posterior.
   StatusOr<Vector> SampleTheta(const Dataset& data, Rng* rng) const;

@@ -2,6 +2,7 @@
 #define DPLEARN_LEARNING_DATASET_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sampling/rng.h"
@@ -38,7 +39,10 @@ class Dataset {
   const std::vector<Example>& examples() const { return examples_; }
 
   /// Appends an example.
-  void Add(Example example) { examples_.push_back(std::move(example)); }
+  void Add(Example example) {
+    examples_.push_back(std::move(example));
+    ++generation_;
+  }
 
   /// Returns a neighbor: this dataset with example `index` replaced by
   /// `replacement`. Error if index is out of range.
@@ -53,8 +57,18 @@ class Dataset {
       return InvalidArgumentError("Dataset::SetLabel: index out of range");
     }
     examples_[index].label = label;
+    ++generation_;
     return Status::Ok();
   }
+
+  /// Mutation counter: bumped by every in-place content change (Add,
+  /// SetLabel). Content-keyed consumers — the risk-profile cache above all —
+  /// snapshot it around a hash-then-compute window to detect a dataset
+  /// mutated mid-flight (e.g. a concurrent SetLabel walk like the channel
+  /// builder's) and refuse to memoize the torn result. Two generations being
+  /// equal on one object means its content is unchanged; the counter says
+  /// nothing across distinct Dataset objects.
+  std::uint64_t generation() const { return generation_; }
 
   /// Returns true iff `other` is a neighbor of this dataset (same size,
   /// exactly one differing example).
@@ -75,6 +89,7 @@ class Dataset {
 
  private:
   std::vector<Example> examples_;
+  std::uint64_t generation_ = 0;
 };
 
 /// Enumerates all neighbors of `dataset` obtainable by replacing one example

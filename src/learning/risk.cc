@@ -17,39 +17,6 @@ namespace {
 /// profile is bit-identical to the sequential result at any thread count.
 constexpr std::size_t kParallelProfileMinWork = 1 << 14;
 
-/// Maps a built-in loss onto its devirtualized kernel spec; nullopt for
-/// kCustom (the caller keeps the virtual loop). The spec mirrors exactly the
-/// parameters the formulas read: clip = UpperBound(), delta = Huber's knee
-/// (which HuberLoss exposes as its ParameterFingerprint).
-std::optional<simd::LossSpec> MakeSimdSpec(const LossFunction& loss) {
-  simd::LossSpec spec;
-  switch (loss.Kind()) {
-    case LossKind::kZeroOne:
-      spec.kind = simd::LossKind::kZeroOne;
-      break;
-    case LossKind::kClippedSquared:
-      spec.kind = simd::LossKind::kClippedSquared;
-      break;
-    case LossKind::kClippedAbsolute:
-      spec.kind = simd::LossKind::kClippedAbsolute;
-      break;
-    case LossKind::kLogistic:
-      spec.kind = simd::LossKind::kLogistic;
-      break;
-    case LossKind::kHinge:
-      spec.kind = simd::LossKind::kHinge;
-      break;
-    case LossKind::kHuber:
-      spec.kind = simd::LossKind::kHuber;
-      spec.delta = loss.ParameterFingerprint();
-      break;
-    case LossKind::kCustom:
-      return std::nullopt;
-  }
-  spec.clip = loss.UpperBound();
-  return spec;
-}
-
 /// The NaN-poisoning guard (DESIGN.md §14): clipped losses cannot signal a
 /// poisoned input — Clamp(NaN, 0, B) == min(B, max(0, NaN)) == 0 in IEEE
 /// semantics, because max(0, NaN) returns 0 — so a NaN feature silently
@@ -103,6 +70,35 @@ StatusOr<double> ScalarMeanLoss(const LossFunction& loss, const Vector& theta,
 
 }  // namespace
 
+std::optional<simd::LossSpec> SimdLossSpec(const LossFunction& loss) {
+  simd::LossSpec spec;
+  switch (loss.Kind()) {
+    case LossKind::kZeroOne:
+      spec.kind = simd::LossKind::kZeroOne;
+      break;
+    case LossKind::kClippedSquared:
+      spec.kind = simd::LossKind::kClippedSquared;
+      break;
+    case LossKind::kClippedAbsolute:
+      spec.kind = simd::LossKind::kClippedAbsolute;
+      break;
+    case LossKind::kLogistic:
+      spec.kind = simd::LossKind::kLogistic;
+      break;
+    case LossKind::kHinge:
+      spec.kind = simd::LossKind::kHinge;
+      break;
+    case LossKind::kHuber:
+      spec.kind = simd::LossKind::kHuber;
+      spec.delta = loss.ParameterFingerprint();
+      break;
+    case LossKind::kCustom:
+      return std::nullopt;
+  }
+  spec.clip = loss.UpperBound();
+  return spec;
+}
+
 Status BuildDatasetSoA(const Dataset& data, simd::DatasetSoA* out) {
   const std::size_t n = data.size();
   const std::size_t dim = data.FeatureDim();
@@ -140,7 +136,7 @@ StatusOr<double> EmpiricalRisk(const LossFunction& loss, const Vector& theta,
                                const Dataset& data) {
   if (data.empty()) return InvalidArgumentError("EmpiricalRisk: empty dataset");
   DPLEARN_RETURN_IF_ERROR(ValidateTheta("EmpiricalRisk", theta));
-  const std::optional<simd::LossSpec> spec = MakeSimdSpec(loss);
+  const std::optional<simd::LossSpec> spec = SimdLossSpec(loss);
   if (spec.has_value() && simd::SimdEnabled() && theta.size() == data.FeatureDim()) {
     thread_local simd::DatasetSoA soa;
     DPLEARN_RETURN_IF_ERROR(BuildDatasetSoA(data, &soa));
@@ -163,7 +159,7 @@ StatusOr<std::vector<double>> EmpiricalRiskProfile(const LossFunction& loss,
   std::vector<double> risks(thetas.size());
   const bool parallel_eligible = thetas.size() * data.size() >= kParallelProfileMinWork;
 
-  const std::optional<simd::LossSpec> spec = MakeSimdSpec(loss);
+  const std::optional<simd::LossSpec> spec = SimdLossSpec(loss);
   bool simd_ok = spec.has_value() && simd::SimdEnabled();
   if (simd_ok) {
     for (const Vector& theta : thetas) simd_ok = simd_ok && theta.size() == data.FeatureDim();

@@ -1,14 +1,24 @@
 #ifndef DPLEARN_LEARNING_RISK_H_
 #define DPLEARN_LEARNING_RISK_H_
 
+#include <optional>
 #include <vector>
 
 #include "learning/dataset.h"
 #include "learning/loss.h"
 #include "simd/dataset_soa.h"
+#include "simd/kernels.h"
 #include "util/status.h"
 
 namespace dplearn {
+
+/// Maps a built-in loss onto its devirtualized kernel spec; nullopt for
+/// kCustom (callers keep the virtual-dispatch loop). The spec mirrors
+/// exactly the parameters the kernel formulas read: clip = UpperBound(),
+/// delta = Huber's knee (exposed as its ParameterFingerprint). Shared by
+/// the batch risk path below and the streaming layer (streaming_risk.h),
+/// which must agree bit-for-bit on the per-example loss values they sum.
+std::optional<simd::LossSpec> SimdLossSpec(const LossFunction& loss);
 
 /// Mirrors `data` into the structure-of-arrays layout the simd risk kernels
 /// stream over, validating on the way: every example must have FeatureDim()

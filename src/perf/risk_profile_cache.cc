@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "learning/risk.h"
+#include "learning/streaming_risk.h"
 #include "simd/dispatch.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
@@ -83,7 +84,10 @@ void CountHit(bool hit) {
 }  // namespace
 
 RiskProfileCache::RiskProfileCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+    : RiskProfileCache(capacity, StreamingRiskProfile::DefaultResyncEvery()) {}
+
+RiskProfileCache::RiskProfileCache(std::size_t capacity, std::size_t revision_limit)
+    : capacity_(capacity == 0 ? 1 : capacity), revision_limit_(revision_limit) {}
 
 RiskProfileCache& RiskProfileCache::Global() {
   static RiskProfileCache* const cache = [] {
@@ -121,16 +125,31 @@ bool RiskProfileCache::Matches(const Entry& entry, std::uint64_t hash,
   return true;
 }
 
+void RiskProfileCache::InsertLocked(Entry entry) {
+  // A racing thread may have inserted the same key; a duplicate entry is
+  // harmless (bit-identical value) and ages out by LRU.
+  entries_.push_front(std::move(entry));
+  while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
 StatusOr<std::vector<double>> RiskProfileCache::GetOrCompute(
     const LossFunction& loss, const std::vector<Vector>& thetas, const Dataset& data) {
   // One flavor read per call: the hash, the match predicate, and the stored
-  // entry must agree even if DPLEARN_SIMD toggles while we compute.
+  // entry must agree even if DPLEARN_SIMD toggles while we compute. The
+  // generation snapshot brackets the hash→compute→insert window against
+  // in-place SetLabel/Add mutation of `data` (the learning_channel walk).
   const std::uint64_t flavor = simd::ActiveSimdFlavorId();
+  const std::uint64_t generation = data.generation();
   const std::uint64_t hash = KeyHash(flavor, loss, thetas, data);
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (Matches(*it, hash, flavor, loss, thetas, data)) {
+      // Revised entries (depth > 0) are ULP-close, not bitwise, to the
+      // EmpiricalRiskProfile output this path promises — skip them.
+      if (it->revision_depth == 0 && Matches(*it, hash, flavor, loss, thetas, data)) {
         ++stats_.hits;
         entries_.splice(entries_.begin(), entries_, it);  // move to MRU
         std::vector<double> risks = entries_.front().risks;
@@ -160,14 +179,85 @@ StatusOr<std::vector<double>> RiskProfileCache::GetOrCompute(
   entry.risks = risks;
 
   std::lock_guard<std::mutex> lock(mu_);
-  // A racing thread may have inserted the same key; a duplicate entry is
-  // harmless (bit-identical value) and ages out by LRU.
-  entries_.push_front(std::move(entry));
-  while (entries_.size() > capacity_) {
-    entries_.pop_back();
-    ++stats_.evictions;
+  if (data.generation() != generation) {
+    // The dataset moved under us: `hash` describes the pre-mutation content
+    // but `examples`/`risks` saw some post-mutation state — a torn entry
+    // that could only ever alias by hash collision, but is wrong to keep.
+    // Serve the fresh risks, memoize nothing.
+    ++stats_.mutation_skips;
+    return risks;
   }
+  InsertLocked(std::move(entry));
   return risks;
+}
+
+StatusOr<std::vector<double>> RiskProfileCache::GetOrRevise(
+    const LossFunction& loss, const std::vector<Vector>& thetas, const Dataset& base,
+    const Example& appended) {
+  const std::uint64_t flavor = simd::ActiveSimdFlavorId();
+  std::vector<Example> combined_examples = base.examples();
+  combined_examples.push_back(appended);
+  Dataset combined(std::move(combined_examples));
+  const std::uint64_t combined_hash = KeyHash(flavor, loss, thetas, combined);
+  const std::uint64_t base_hash = KeyHash(flavor, loss, thetas, base);
+
+  std::vector<double> base_risks;
+  std::uint64_t base_depth = 0;
+  bool have_base = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // 1. The appended dataset itself is cached (exact or revised): a hit.
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (Matches(*it, combined_hash, flavor, loss, thetas, combined)) {
+        ++stats_.hits;
+        entries_.splice(entries_.begin(), entries_, it);
+        std::vector<double> risks = entries_.front().risks;
+        CountHit(true);
+        return risks;
+      }
+    }
+    // 2. The base is cached: candidate for an O(|Θ|) revision.
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (Matches(*it, base_hash, flavor, loss, thetas, base)) {
+        base_risks = it->risks;
+        base_depth = it->revision_depth;
+        have_base = true;
+        break;
+      }
+    }
+  }
+
+  if (have_base && (revision_limit_ == 0 || base_depth < revision_limit_)) {
+    // The revision: one LossRow delta (the same bits a StreamingRiskProfile
+    // folds in) against the cached base mean. O(|Θ|) instead of O(|Θ|·n).
+    thread_local std::vector<double> delta_row;
+    DPLEARN_RETURN_IF_ERROR(LossRow(loss, thetas, appended, &delta_row));
+    const double n = static_cast<double>(base.size());
+    std::vector<double> revised(base_risks.size());
+    for (std::size_t i = 0; i < base_risks.size(); ++i) {
+      revised[i] = (base_risks[i] * n + delta_row[i]) / (n + 1.0);
+    }
+
+    Entry entry;
+    entry.hash = combined_hash;
+    entry.simd_flavor = flavor;
+    entry.loss_name = loss.Name();
+    entry.loss_bound = loss.UpperBound();
+    entry.loss_fingerprint = loss.ParameterFingerprint();
+    entry.thetas = thetas;
+    entry.examples = combined.examples();
+    entry.risks = revised;
+    entry.revision_depth = base_depth + 1;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.revisions;
+    InsertLocked(std::move(entry));
+    return revised;
+  }
+
+  // 3. No base (or the chain hit the drift cap): a full recompute anchors a
+  // fresh depth-0 entry — the cache-side resync.
+  return GetOrCompute(loss, thetas, combined);
 }
 
 RiskProfileCache::Stats RiskProfileCache::stats() const {
@@ -197,6 +287,18 @@ StatusOr<std::vector<double>> CachedRiskProfile(const LossFunction& loss,
                                                 const Dataset& data) {
   if (!RiskCacheEnabled()) return EmpiricalRiskProfile(loss, thetas, data);
   return RiskProfileCache::Global().GetOrCompute(loss, thetas, data);
+}
+
+StatusOr<std::vector<double>> CachedRiskProfileAppend(const LossFunction& loss,
+                                                      const std::vector<Vector>& thetas,
+                                                      const Dataset& base,
+                                                      const Example& appended) {
+  if (!RiskCacheEnabled()) {
+    std::vector<Example> combined = base.examples();
+    combined.push_back(appended);
+    return EmpiricalRiskProfile(loss, thetas, Dataset(std::move(combined)));
+  }
+  return RiskProfileCache::Global().GetOrRevise(loss, thetas, base, appended);
 }
 
 }  // namespace perf

@@ -53,6 +53,10 @@ class RiskProfileCache {
   /// key material, so capacity also bounds memory.
   explicit RiskProfileCache(std::size_t capacity = kDefaultCapacity);
 
+  /// Test/deployment override of the revision-chain cap (the default is
+  /// StreamingRiskProfile::DefaultResyncEvery(); 0 = uncapped).
+  RiskProfileCache(std::size_t capacity, std::size_t revision_limit);
+
   /// The process-wide instance every library call site shares. Capacity is
   /// DPLEARN_RISK_CACHE_CAP when set, else kDefaultCapacity.
   static RiskProfileCache& Global();
@@ -62,15 +66,48 @@ class RiskProfileCache {
   /// so concurrent misses on the same key may compute twice and insert the
   /// same (bit-identical) vector. Errors propagate from
   /// EmpiricalRiskProfile unchanged and are never cached.
+  ///
+  /// Only EXACT entries (full EmpiricalRiskProfile outputs) can serve this
+  /// path; entries produced by GetOrRevise are skipped so the strict
+  /// bitwise contract above survives the revision layer.
+  ///
+  /// Mutation guard: `data.generation()` is snapshotted before hashing and
+  /// re-read before insertion — if the dataset was mutated in place (e.g. a
+  /// SetLabel walk) while the profile computed, the fresh risks are still
+  /// returned but the torn (hash ≠ content) entry is NOT memoized
+  /// (stats().mutation_skips counts these). Sequential mutate-then-lookup
+  /// through one Dataset object is always safe: the content hash changes
+  /// with the content, so a stale entry can never match.
   StatusOr<std::vector<double>> GetOrCompute(const LossFunction& loss,
                                              const std::vector<Vector>& thetas,
                                              const Dataset& data);
+
+  /// The streaming delta layer: the profile for `base` + `appended` served
+  /// as a cache *revision* rather than a miss. Resolution order:
+  ///   1. an entry whose content IS base+appended (exact or revised) — a hit;
+  ///   2. an entry for `base` within the revision-depth cap — an O(|Θ|)
+  ///      revision new[i] = (base[i]·n + l_{θ_i}(appended))/(n+1) from the
+  ///      shared LossRow delta (stats().revisions), inserted with depth+1 so
+  ///      a stream of appends chains revision-to-revision;
+  ///   3. otherwise a full GetOrCompute miss on base+appended (which also
+  ///      caps drift: every DefaultResyncEvery() chained revisions the depth
+  ///      cap forces this full recompute, re-anchoring the chain at depth 0).
+  /// Revised bits are ULP-close to (not bitwise) the batch profile — the
+  /// same drift contract as StreamingRiskProfile (DESIGN.md §15) — and are
+  /// served only through this path, never through GetOrCompute.
+  StatusOr<std::vector<double>> GetOrRevise(const LossFunction& loss,
+                                            const std::vector<Vector>& thetas,
+                                            const Dataset& base, const Example& appended);
 
   /// Counters since construction (or the last Clear()).
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// O(|Θ|) delta updates served by GetOrRevise instead of full misses.
+    std::uint64_t revisions = 0;
+    /// Fills discarded because the dataset's generation() moved mid-compute.
+    std::uint64_t mutation_skips = 0;
   };
   Stats stats() const;
 
@@ -92,14 +129,22 @@ class RiskProfileCache {
     std::vector<Vector> thetas;
     std::vector<Example> examples;
     std::vector<double> risks;
+    /// 0 = exact EmpiricalRiskProfile output (GetOrCompute-servable);
+    /// k > 0 = k chained O(|Θ|) revisions since the last exact anchor.
+    std::uint64_t revision_depth = 0;
   };
 
   bool Matches(const Entry& entry, std::uint64_t hash, std::uint64_t simd_flavor,
                const LossFunction& loss, const std::vector<Vector>& thetas,
                const Dataset& data) const;
 
+  void InsertLocked(Entry entry);
+
   mutable std::mutex mu_;
   std::size_t capacity_;
+  /// Revision chains longer than this fall back to a full recompute —
+  /// the cache-side DPLEARN_STREAM_RESYNC_EVERY drift cap (0 = uncapped).
+  std::size_t revision_limit_;
   /// Front = most recently used. Linear scan is fine: lookups are O(entries)
   /// hash compares against profiles that cost O(|Θ|·n) loss evaluations.
   std::list<Entry> entries_;
@@ -119,6 +164,14 @@ void SetRiskCacheEnabled(bool enabled);
 StatusOr<std::vector<double>> CachedRiskProfile(const LossFunction& loss,
                                                 const std::vector<Vector>& thetas,
                                                 const Dataset& data);
+
+/// Streaming entry point: the profile of `base` + `appended` via the global
+/// cache's revision layer when RiskCacheEnabled(), else a direct
+/// EmpiricalRiskProfile over the appended dataset.
+StatusOr<std::vector<double>> CachedRiskProfileAppend(const LossFunction& loss,
+                                                      const std::vector<Vector>& thetas,
+                                                      const Dataset& base,
+                                                      const Example& appended);
 
 }  // namespace perf
 }  // namespace dplearn

@@ -152,6 +152,12 @@ std::string EncodeRequest(const Request& request) {
       AppendF64(&out, request.epsilon);
       AppendF64(&out, request.delta);
       break;
+    case Opcode::kStreamAppend:
+      AppendString(&out, request.dataset);
+      AppendF64(&out, request.label);
+      AppendU16(&out, static_cast<std::uint16_t>(request.features.size()));
+      for (const double v : request.features) AppendF64(&out, v);
+      break;
   }
   return out;
 }
@@ -167,7 +173,7 @@ StatusOr<Request> DecodeRequest(const void* data, std::size_t size) {
   std::uint8_t opcode = 0;
   DPLEARN_RETURN_IF_ERROR(reader.ReadU8(&opcode));
   if (opcode < static_cast<std::uint8_t>(Opcode::kPing) ||
-      opcode > static_cast<std::uint8_t>(Opcode::kReplayVerify)) {
+      opcode > static_cast<std::uint8_t>(Opcode::kStreamAppend)) {
     return InvalidArgumentError("protocol: unknown opcode " + std::to_string(opcode));
   }
   Request request;
@@ -212,6 +218,23 @@ StatusOr<Request> DecodeRequest(const void* data, std::size_t size) {
       DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&request.epsilon));
       DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&request.delta));
       break;
+    case Opcode::kStreamAppend: {
+      DPLEARN_RETURN_IF_ERROR(
+          reader.ReadString(&request.dataset, kMaxDatasetRefBytes, "dataset"));
+      DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&request.label));
+      std::uint16_t dim = 0;
+      DPLEARN_RETURN_IF_ERROR(reader.ReadU16(&dim));
+      if (dim > kMaxStreamFeatureDim) {
+        return InvalidArgumentError("protocol: stream feature dim " + std::to_string(dim) +
+                                    " exceeds limit " +
+                                    std::to_string(kMaxStreamFeatureDim));
+      }
+      request.features.resize(dim);
+      for (std::uint16_t i = 0; i < dim; ++i) {
+        DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&request.features[i]));
+      }
+      break;
+    }
   }
   DPLEARN_RETURN_IF_ERROR(reader.ExpectEnd());
   return request;
@@ -252,6 +275,9 @@ std::string EncodeResponse(const Response& response) {
       AppendU64(&out, response.spends);
       AppendU64(&out, response.denials);
       break;
+    case Opcode::kStreamAppend:
+      AppendU64(&out, response.stream_size);
+      break;
   }
   return out;
 }
@@ -267,7 +293,7 @@ StatusOr<Response> DecodeResponse(const void* data, std::size_t size) {
   std::uint8_t opcode = 0;
   DPLEARN_RETURN_IF_ERROR(reader.ReadU8(&opcode));
   if (opcode < static_cast<std::uint8_t>(Opcode::kPing) ||
-      opcode > static_cast<std::uint8_t>(Opcode::kReplayVerify)) {
+      opcode > static_cast<std::uint8_t>(Opcode::kStreamAppend)) {
     return InvalidArgumentError("protocol: unknown response opcode " + std::to_string(opcode));
   }
   Response response;
@@ -329,6 +355,9 @@ StatusOr<Response> DecodeResponse(const void* data, std::size_t size) {
       DPLEARN_RETURN_IF_ERROR(reader.ReadF64(&response.remaining_delta));
       DPLEARN_RETURN_IF_ERROR(reader.ReadU64(&response.spends));
       DPLEARN_RETURN_IF_ERROR(reader.ReadU64(&response.denials));
+      break;
+    case Opcode::kStreamAppend:
+      DPLEARN_RETURN_IF_ERROR(reader.ReadU64(&response.stream_size));
       break;
   }
   DPLEARN_RETURN_IF_ERROR(reader.ExpectEnd());

@@ -68,6 +68,14 @@ enum class Opcode : std::uint8_t {
   /// Runs ShardedPrivacyAccountant::ReplayVerifyAll server-side and reports
   /// the verdict in the response status — a client-observable audit gate.
   kReplayVerify = 6,
+  /// StreamAppend(dataset_ref, example, tenant_id): appends one example to
+  /// the tenant's PRIVATE live stream over dataset `dataset` (lazily seeded
+  /// from the served dataset's examples on first append). Subsequent
+  /// kGibbsSample requests against that dataset re-tilt from the live
+  /// stream via GibbsEstimator::SampleStreaming, with per-draw cost
+  /// 2λ·B/n_live — appends are free (no spend; growing n only shrinks ε).
+  /// Returns the live stream size.
+  kStreamAppend = 7,
 };
 
 enum class MechanismKind : std::uint8_t {
@@ -94,6 +102,9 @@ inline constexpr std::size_t kMinPayloadBytes = 1 + 1 + 8 + 2;
 inline constexpr std::size_t kDefaultMaxPayloadBytes = 1 << 20;
 inline constexpr std::size_t kMaxTenantIdBytes = 128;
 inline constexpr std::size_t kMaxDatasetRefBytes = 256;
+/// Cap on kStreamAppend feature vectors — far below what a frame can hold,
+/// so a hostile length field cannot force a large allocation.
+inline constexpr std::size_t kMaxStreamFeatureDim = 1024;
 
 /// One decoded request. Fields beyond (opcode, request_id, tenant_id) are
 /// meaningful per opcode as documented on Opcode.
@@ -104,11 +115,17 @@ struct Request {
 
   MechanismKind mechanism = MechanismKind::kLaplace;  // kRelease
   QueryKind query = QueryKind::kMean;                 // kRelease
-  std::string dataset;          // kRelease / kGibbsSample
+  std::string dataset;          // kRelease / kGibbsSample / kStreamAppend
   double epsilon = 0.0;         // kRelease per-draw ε; kRegisterTenant total
   double delta = 0.0;           // kRelease (Gaussian); kRegisterTenant total
   double lambda = 0.0;          // kGibbsSample inverse temperature
   std::uint32_t count = 1;      // kRelease answers / kGibbsSample draws
+
+  // kStreamAppend: the example joining the tenant's live stream. Doubles
+  // travel as IEEE bit patterns, so the appended example reaches the
+  // server-side StreamingRiskProfile bitwise intact.
+  double label = 0.0;
+  std::vector<double> features;
 };
 
 /// One decoded response. `code`/`message` mirror the util::Status taxonomy;
@@ -136,6 +153,10 @@ struct Response {
   double remaining_delta = 0.0;
   std::uint64_t spends = 0;
   std::uint64_t denials = 0;
+
+  /// kStreamAppend body: live examples in the tenant's stream after the
+  /// append.
+  std::uint64_t stream_size = 0;
 
   /// Convenience constructor for an error response echoing `request`.
   static Response Error(const Request& request, const Status& status);

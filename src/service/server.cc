@@ -345,6 +345,12 @@ std::size_t DpReleaseServer::ProcessRun(const std::shared_ptr<Session>& session,
                                         const std::vector<Request>& requests,
                                         std::size_t begin) {
   const Request& head = requests[begin];
+  if (head.opcode == Opcode::kStreamAppend) {
+    // Mutates tenant state, so it takes the tenant lock — never the
+    // lock-free ProcessSimple path. SameShape never coalesces it.
+    WriteResponse(session, ProcessStreamAppend(head));
+    return begin + 1;
+  }
   if (head.opcode != Opcode::kRelease && head.opcode != Opcode::kGibbsSample) {
     WriteResponse(session, ProcessSimple(head));
     return begin + 1;
@@ -387,6 +393,22 @@ std::size_t DpReleaseServer::ProcessRun(const std::shared_ptr<Session>& session,
   // lock, so a tenant's requests serialize (and its Rng stream stays a pure
   // function of its request order) even when arriving over many sessions.
   std::lock_guard<std::mutex> tenant_lock(runtime.mu);
+
+  // A tenant with a live stream over this dataset re-tilts from it: the
+  // per-draw cost uses the LIVE size (Δ(R̂) <= B/n_live, Theorem 4.1 against
+  // the stream), and the draws below go through SampleStreamingBatch.
+  // Resolved under the tenant lock so the size admission charges for is
+  // exactly the size the draw sees.
+  TenantStream* stream = nullptr;
+  if (head.opcode == Opcode::kGibbsSample && per_draw.ok()) {
+    const auto stream_it = runtime.streams.find(head.dataset);
+    if (stream_it != runtime.streams.end()) {
+      stream = stream_it->second.get();
+      const double sensitivity =
+          dataset->loss->UpperBound() / static_cast<double>(stream->profile.size());
+      per_draw = PrivacyBudget{2.0 * head.lambda * sensitivity, 0.0};
+    }
+  }
 
   for (std::size_t k = 0; k < run_size; ++k) {
     const Request& request = requests[begin + k];
@@ -446,8 +468,11 @@ std::size_t DpReleaseServer::ProcessRun(const std::shared_ptr<Session>& session,
       if (!estimator.ok()) {
         sampled = estimator.status();
       } else {
-        sampled = estimator->SampleBatch(dataset->data, &runtime.rng, total_draws,
-                                         &gibbs_draws);
+        sampled = stream != nullptr
+                      ? estimator->SampleStreamingBatch(stream->profile, &runtime.rng,
+                                                        total_draws, &gibbs_draws)
+                      : estimator->SampleBatch(dataset->data, &runtime.rng, total_draws,
+                                               &gibbs_draws);
         produced = sampled.ok() ? gibbs_draws.size() : 0;
       }
     } else if (head.mechanism == MechanismKind::kLaplace) {
@@ -620,6 +645,62 @@ Response DpReleaseServer::ProcessSimple(const Request& request) {
       return Response::Error(request,
                              InvalidArgumentError("service: opcode not servable here"));
   }
+  return response;
+}
+
+Response DpReleaseServer::ProcessStreamAppend(const Request& request) {
+  obs::TraceSpan span("service.stream_append");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const total = ServiceCounter("service.requests");
+    total->Increment();
+  }
+  const Status dispatched = robustness::Inject("service.dispatch");
+  if (!dispatched.ok()) return Response::Error(request, dispatched);
+
+  if (request.tenant_id.empty()) {
+    return Response::Error(
+        request, InvalidArgumentError("service: StreamAppend requires a tenant id"));
+  }
+  StatusOr<const ServedDataset*> found = FindDataset(request.dataset);
+  if (!found.ok()) return Response::Error(request, found.status());
+  const ServedDataset* dataset = *found;
+
+  TenantRuntime& runtime = RuntimeFor(request.tenant_id);
+  std::lock_guard<std::mutex> tenant_lock(runtime.mu);
+
+  auto it = runtime.streams.find(request.dataset);
+  if (it == runtime.streams.end()) {
+    // First append: seed the stream from the served dataset so the streamed
+    // posterior continues the batch one (the first kGibbsSample after one
+    // append sees n_live = n_base + 1).
+    StatusOr<StreamingRiskProfile> profile = StreamingRiskProfile::Create(
+        dataset->loss.get(), dataset->hypotheses.thetas(),
+        StreamingRiskProfile::Options{});
+    if (!profile.ok()) return Response::Error(request, profile.status());
+    for (const Example& z : dataset->data.examples()) {
+      const Status seeded = profile->AddExample(z);
+      if (!seeded.ok()) return Response::Error(request, seeded);
+    }
+    it = runtime.streams
+             .emplace(request.dataset,
+                      std::make_unique<TenantStream>(std::move(*profile), dataset->loss))
+             .first;
+  }
+
+  Example example;
+  example.features = Vector(request.features.begin(), request.features.end());
+  example.label = request.label;
+  const Status appended = it->second->profile.AddExample(example);
+  if (!appended.ok()) return Response::Error(request, appended);
+
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const appends = ServiceCounter("service.stream_appends");
+    appends->Increment();
+  }
+  Response response;
+  response.opcode = request.opcode;
+  response.request_id = request.request_id;
+  response.stream_size = static_cast<std::uint64_t>(it->second->profile.size());
   return response;
 }
 

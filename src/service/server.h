@@ -14,6 +14,7 @@
 #include "learning/dataset.h"
 #include "learning/hypothesis.h"
 #include "learning/loss.h"
+#include "learning/streaming_risk.h"
 #include "mechanisms/privacy_budget.h"
 #include "mechanisms/sensitivity.h"
 #include "parallel/thread_pool.h"
@@ -133,11 +134,26 @@ class DpReleaseServer {
     std::thread reader;
   };
 
+  /// A tenant's live stream over one served dataset: the streaming risk
+  /// profile plus the loss keep-alive (the profile holds a raw pointer).
+  /// Seeded lazily from the served dataset's examples on the tenant's first
+  /// kStreamAppend, so the first streamed posterior continues the batch one.
+  struct TenantStream {
+    StreamingRiskProfile profile;
+    std::shared_ptr<const LossFunction> loss;
+    TenantStream(StreamingRiskProfile p, std::shared_ptr<const LossFunction> l)
+        : profile(std::move(p)), loss(std::move(l)) {}
+  };
+
   /// Per-tenant sampling state; mu is held across admission + draw so one
-  /// tenant's requests serialize even across sessions.
+  /// tenant's requests serialize even across sessions. `streams` (also under
+  /// mu — appends and streamed draws serialize with everything else the
+  /// tenant does, which is what makes 1-vs-N-worker runs bitwise identical)
+  /// maps served-dataset name -> the tenant's private live stream.
   struct TenantRuntime {
     std::mutex mu;
     Rng rng;
+    std::unordered_map<std::string, std::unique_ptr<TenantStream>> streams;
     explicit TenantRuntime(std::uint64_t seed) : rng(seed) {}
   };
 
@@ -153,6 +169,10 @@ class DpReleaseServer {
   std::size_t ProcessRun(const std::shared_ptr<Session>& session,
                          const std::vector<Request>& requests, std::size_t begin);
   Response ProcessSimple(const Request& request);
+  /// kStreamAppend: under the tenant lock, lazily seeds the tenant's stream
+  /// from the served dataset and appends the decoded example. Appends are
+  /// free (no admission spend); the response carries the live stream size.
+  Response ProcessStreamAppend(const Request& request);
   void WriteResponse(const std::shared_ptr<Session>& session, const Response& response);
   void WriteProtocolError(const std::shared_ptr<Session>& session, const Status& status);
 

@@ -17,6 +17,7 @@
 #include "core/gibbs_estimator.h"
 #include "learning/hypothesis.h"
 #include "learning/loss.h"
+#include "learning/streaming_risk.h"
 #include "sampling/alias_sampler.h"
 #include "sampling/distributions.h"
 #include "sampling/rng.h"
@@ -142,6 +143,73 @@ TEST(PerfAllocTest, GibbsSampleGivenRisksIsAllocationFreeInSteadyState) {
     for (int j = 0; j < 200; ++j) {
       auto draw = gibbs.SampleGivenRisks(risks, &rng);
       ASSERT_TRUE(draw.ok());
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(PerfAllocTest, StreamingAddRemoveAndSampleAreAllocationFreeInSteadyState) {
+  // The streaming contract (DESIGN.md §15): at constant occupancy, the
+  // add → remove → draw loop of a long-running stream touches the heap zero
+  // times. Example slots are recycled by copy-assignment, the delta row and
+  // one-example SoA are sized at construction, and SampleStreaming reuses
+  // the estimator's thread_local scratch.
+  const ClippedSquaredLoss loss(1.0);
+  auto grid = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 101).value();
+  StreamingRiskProfile::Options options;
+  options.resync_every = 0;  // resync is the amortized slow path; pin the fast one
+  options.reserve_examples = 256;
+  auto profile = StreamingRiskProfile::Create(&loss, grid.thetas(), options).value();
+  auto gibbs = GibbsEstimator::CreateUniform(&loss, grid, 4.0).value();
+  Rng rng(6);
+  std::vector<Example> pool(200);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool[i].features = {1.0};
+    pool[i].label = (i % 3 == 0) ? 1.0 : 0.0;
+  }
+  // Warm-up: populate to steady occupancy, size every scratch buffer, and
+  // take the first draw (thread_local sizing, lazy fail-point registry).
+  for (const Example& z : pool) ASSERT_TRUE(profile.AddExample(z).ok());
+  ASSERT_TRUE(profile.RemoveExample(pool[0]).ok());
+  ASSERT_TRUE(profile.AddExample(pool[0]).ok());
+  ASSERT_TRUE(gibbs.SampleStreaming(profile, &rng).ok());
+  std::vector<double> snapshot(grid.size());
+  ASSERT_TRUE(profile.SnapshotInto(&snapshot).ok());
+
+  const std::uint64_t allocs = CountAllocations([&] {
+    for (std::size_t j = 0; j < 200; ++j) {
+      const Example& z = pool[j % pool.size()];
+      ASSERT_TRUE(profile.RemoveExample(z).ok());
+      ASSERT_TRUE(profile.AddExample(z).ok());
+      ASSERT_TRUE(profile.SnapshotInto(&snapshot).ok());
+      ASSERT_TRUE(gibbs.SampleStreaming(profile, &rng).ok());
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(PerfAllocTest, SlidingWindowPushIsAllocationFreeOnceWarm) {
+  const ClippedSquaredLoss loss(1.0);
+  auto grid = FiniteHypothesisClass::ScalarGrid(0.0, 1.0, 33).value();
+  StreamingRiskProfile::Options options;
+  options.resync_every = 0;
+  auto sliding =
+      SlidingWindowProfile::Create(&loss, grid.thetas(), 64, options).value();
+  Example z;
+  z.features = {1.0};
+  // Warm-up: fill the window past capacity so every ring slot's feature
+  // vector has been sized, then pin that further pushes never allocate.
+  for (std::size_t i = 0; i < 80; ++i) {
+    z.label = (i % 2 == 0) ? 1.0 : 0.0;
+    ASSERT_TRUE(sliding.Push(z).ok());
+  }
+  std::vector<double> snapshot(grid.size());
+  ASSERT_TRUE(sliding.SnapshotInto(&snapshot).ok());
+  const std::uint64_t allocs = CountAllocations([&] {
+    for (std::size_t j = 0; j < 200; ++j) {
+      z.label = (j % 2 == 0) ? 1.0 : 0.0;
+      ASSERT_TRUE(sliding.Push(z).ok());
+      ASSERT_TRUE(sliding.SnapshotInto(&snapshot).ok());
     }
   });
   EXPECT_EQ(allocs, 0u);

@@ -85,6 +85,53 @@ std::vector<Request> TenantScript(int tenant_index) {
   return script;
 }
 
+// The streaming workload: appends interleaved with Gibbs draws, so every
+// draw re-tilts from the tenant's LIVE StreamingRiskProfile and is charged
+// at the live size (2λB/n_live). Each tenant's stream diverges (labels and
+// append counts depend on the tenant index), which makes any cross-tenant
+// stream mixup a bitwise-visible failure.
+std::vector<Request> StreamedTenantScript(int tenant_index) {
+  const std::string tenant = TenantName(tenant_index);
+  std::vector<Request> script;
+  std::uint64_t next_id = 1;
+
+  Request reg;
+  reg.opcode = Opcode::kRegisterTenant;
+  reg.request_id = next_id++;
+  reg.tenant_id = tenant;
+  reg.epsilon = 50.0;
+  reg.delta = 1e-5;
+  script.push_back(reg);
+
+  for (int round = 0; round < kRoundsPerTenant; ++round) {
+    for (int append = 0; append <= (round + tenant_index) % 3; ++append) {
+      Request stream;
+      stream.opcode = Opcode::kStreamAppend;
+      stream.request_id = next_id++;
+      stream.tenant_id = tenant;
+      stream.dataset = "bernoulli";
+      stream.features = {1.0};
+      stream.label = ((round + append + tenant_index) % 2 == 0) ? 1.0 : 0.0;
+      script.push_back(stream);
+    }
+    Request gibbs;
+    gibbs.opcode = Opcode::kGibbsSample;
+    gibbs.request_id = next_id++;
+    gibbs.tenant_id = tenant;
+    gibbs.dataset = "bernoulli";
+    gibbs.lambda = 0.5 + 0.25 * (tenant_index + 1);
+    gibbs.count = 1 + ((round + tenant_index) % 4);
+    script.push_back(gibbs);
+  }
+
+  Request query;
+  query.opcode = Opcode::kBudgetQuery;
+  query.request_id = next_id++;
+  query.tenant_id = tenant;
+  script.push_back(query);
+  return script;
+}
+
 // Everything observable about one tenant after a run, in canonical bytes:
 // re-encoded responses (doubles as bit patterns), the private audit ledger
 // as JSON, and the ledger view re-encoded through a kBudgetQuery response.
@@ -111,8 +158,9 @@ std::unique_ptr<DpReleaseServer> StartServer(std::size_t workers,
 // tenant. `pipelined` sends the whole script before reading any response
 // (exercising the same-shape coalescing path); otherwise each request
 // waits for its answer.
-std::map<std::string, TenantTrace> RunWorkload(std::size_t workers,
-                                               bool pipelined) {
+std::map<std::string, TenantTrace> RunWorkload(
+    std::size_t workers, bool pipelined,
+    std::vector<Request> (*script_fn)(int) = TenantScript) {
   std::string socket_path;
   std::unique_ptr<DpReleaseServer> server = StartServer(workers, &socket_path);
   if (server == nullptr) return {};
@@ -124,7 +172,7 @@ std::map<std::string, TenantTrace> RunWorkload(std::size_t workers,
     drivers.emplace_back([&, t] {
       auto client = DpReleaseClient::Connect(socket_path);
       ASSERT_TRUE(client.ok()) << client.status().ToString();
-      const std::vector<Request> script = TenantScript(t);
+      const std::vector<Request> script = script_fn(t);
       if (pipelined) {
         for (const Request& request : script) {
           ASSERT_TRUE(client->Send(request).ok());
@@ -203,6 +251,35 @@ TEST(ServiceDeterminismTest, PipelinedCoalescingMatchesSequentialBitwise) {
   ASSERT_FALSE(sequential.empty());
   ASSERT_FALSE(coalesced.empty());
   ExpectTracesBitwiseEqual(sequential, coalesced);
+}
+
+TEST(ServiceDeterminismTest, StreamedPosteriorsBitwiseIdenticalAcrossWorkerCounts) {
+  // The continual-release path: every tenant's draws re-tilt from its live
+  // stream. One worker and eight workers must produce the same response
+  // bytes and ledgers — the per-tenant stream lives under the same tenant
+  // mutex as the tenant's RNG, so worker scheduling cannot reorder a
+  // tenant's appends relative to its draws.
+  const auto serial =
+      RunWorkload(/*workers=*/1, /*pipelined=*/false, StreamedTenantScript);
+  const auto parallel =
+      RunWorkload(/*workers=*/8, /*pipelined=*/false, StreamedTenantScript);
+  ASSERT_FALSE(serial.empty());
+  ASSERT_FALSE(parallel.empty());
+  ExpectTracesBitwiseEqual(serial, parallel);
+}
+
+TEST(ServiceDeterminismTest, StreamedPipelinedTrafficMatchesSequentialBitwise) {
+  // StreamAppend frames are handled singly and in arrival order inside a
+  // drain pass (they are never coalesced — an append between two same-shape
+  // Gibbs runs is a posterior change that must land between them), so
+  // pipelining the whole streamed script cannot change any response byte.
+  const auto sequential =
+      RunWorkload(/*workers=*/4, /*pipelined=*/false, StreamedTenantScript);
+  const auto pipelined =
+      RunWorkload(/*workers=*/4, /*pipelined=*/true, StreamedTenantScript);
+  ASSERT_FALSE(sequential.empty());
+  ASSERT_FALSE(pipelined.empty());
+  ExpectTracesBitwiseEqual(sequential, pipelined);
 }
 
 TEST(ServiceDeterminismTest, RerunIsReproducible) {

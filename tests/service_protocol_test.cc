@@ -9,8 +9,10 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -84,7 +86,8 @@ TEST(ProtocolCodec, RequestRoundTripsBitwise) {
 TEST(ProtocolCodec, EveryOpcodeRoundTrips) {
   for (const Opcode opcode :
        {Opcode::kPing, Opcode::kRelease, Opcode::kGibbsSample,
-        Opcode::kBudgetQuery, Opcode::kRegisterTenant, Opcode::kReplayVerify}) {
+        Opcode::kBudgetQuery, Opcode::kRegisterTenant, Opcode::kReplayVerify,
+        Opcode::kStreamAppend}) {
     Request request;
     request.opcode = opcode;
     request.request_id = 7;
@@ -133,6 +136,43 @@ TEST(ProtocolCodec, ErrorResponseCarriesCodeAndMessage) {
   EXPECT_TRUE(decoded->values.empty());
 }
 
+TEST(ProtocolCodec, StreamAppendRoundTripsExampleBitsExactly) {
+  // The appended example must reach the server-side StreamingRiskProfile
+  // bitwise intact: signed zeros and denormals are the canaries.
+  Request request;
+  request.opcode = Opcode::kStreamAppend;
+  request.request_id = 77;
+  request.tenant_id = "stream-t";
+  request.dataset = "bernoulli";
+  request.label = -0.0;
+  request.features = {1.0, std::numeric_limits<double>::denorm_min(), -3.5};
+  const std::string payload = EncodeRequest(request);
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->opcode, Opcode::kStreamAppend);
+  EXPECT_EQ(decoded->dataset, request.dataset);
+  ASSERT_EQ(decoded->features.size(), request.features.size());
+  EXPECT_EQ(std::memcmp(decoded->features.data(), request.features.data(),
+                        request.features.size() * sizeof(double)),
+            0);
+  std::uint64_t sent_bits = 0, got_bits = 0;
+  std::memcpy(&sent_bits, &request.label, sizeof(sent_bits));
+  std::memcpy(&got_bits, &decoded->label, sizeof(got_bits));
+  EXPECT_EQ(sent_bits, got_bits);  // -0.0, not 0.0
+}
+
+TEST(ProtocolCodec, StreamAppendResponseCarriesStreamSize) {
+  Response response;
+  response.opcode = Opcode::kStreamAppend;
+  response.request_id = 8;
+  response.code = StatusCode::kOk;
+  response.stream_size = 4242;
+  const std::string payload = EncodeResponse(response);
+  auto decoded = DecodeResponse(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->stream_size, 4242u);
+}
+
 // ---------------------------------------------------------------------------
 // Malformed payloads: typed errors, never UB.
 
@@ -160,6 +200,24 @@ TEST(ProtocolCodec, RejectsEveryTruncationPoint) {
     EXPECT_FALSE(decoded.ok()) << "prefix of " << n << " bytes decoded";
     EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
   }
+}
+
+TEST(ProtocolCodec, StreamAppendRejectsOversizedFeatureDim) {
+  // kMaxStreamFeatureDim caps the decoder-side allocation far below what a
+  // u16 dim field (or the frame cap) could demand of a hostile client.
+  Request request;
+  request.opcode = Opcode::kStreamAppend;
+  request.request_id = 1;
+  request.tenant_id = "t";
+  request.dataset = "bernoulli";
+  request.features.assign(kMaxStreamFeatureDim + 1, 0.5);
+  const std::string payload = EncodeRequest(request);
+  auto decoded = DecodeRequest(payload.data(), payload.size());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+
+  request.features.resize(kMaxStreamFeatureDim);  // exactly at the cap: fine
+  const std::string ok_payload = EncodeRequest(request);
+  EXPECT_TRUE(DecodeRequest(ok_payload.data(), ok_payload.size()).ok());
 }
 
 TEST(ProtocolCodec, RejectsTrailingBytes) {
@@ -473,6 +531,81 @@ TEST_F(ServiceProtocolTest, OverBudgetIsResourceExhaustedAndLedgered) {
 
   // And the ledger replays cleanly after the denial.
   EXPECT_TRUE(server_->accountant().ReplayVerifyAll().ok());
+}
+
+TEST_F(ServiceProtocolTest, StreamAppendGrowsTheStreamAndNeverTouchesTheLedger) {
+  DpReleaseClient client = MustConnect();
+  Request append;
+  append.opcode = Opcode::kStreamAppend;
+  append.request_id = 1;
+  append.tenant_id = "streamer";
+  append.dataset = "bernoulli";
+  append.features = {1.0};
+  append.label = 1.0;
+
+  // First append lazily seeds the stream from the 200-example served
+  // dataset, so the reported live size starts at 201 and grows by one.
+  auto response = client.Call(append);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->code, StatusCode::kOk);
+  EXPECT_EQ(response->stream_size, 201u);
+  EXPECT_EQ(response->charged_epsilon, 0.0);
+
+  append.request_id = 2;
+  append.label = 0.0;
+  response = client.Call(append);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->code, StatusCode::kOk);
+  EXPECT_EQ(response->stream_size, 202u);
+
+  // The error taxonomy crosses the wire: missing tenant, unknown dataset,
+  // non-finite label — each a typed rejection that leaves the stream alone.
+  Request bad = append;
+  bad.request_id = 3;
+  bad.tenant_id = "";
+  response = client.Call(bad);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+
+  bad = append;
+  bad.request_id = 4;
+  bad.dataset = "no-such-dataset";
+  response = client.Call(bad);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kNotFound);
+
+  bad = append;
+  bad.request_id = 5;
+  bad.label = std::numeric_limits<double>::quiet_NaN();
+  response = client.Call(bad);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kOutOfRange);
+
+  append.request_id = 6;
+  append.label = 1.0;
+  response = client.Call(append);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->code, StatusCode::kOk);
+  EXPECT_EQ(response->stream_size, 203u);  // the rejects appended nothing
+
+  // Appends are free (growing n only shrinks per-draw ε), so the tenant
+  // was never registered with the accountant at all.
+  Request query;
+  query.opcode = Opcode::kBudgetQuery;
+  query.request_id = 7;
+  query.tenant_id = "streamer";
+  response = client.Call(query);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kNotFound);
+
+  // A streamed Gibbs draw now charges at the LIVE size: 2λB/203, not
+  // 2λB/200 — the continual-release accounting this layer exists for.
+  Request gibbs = MakeGibbs(8, "streamer", /*lambda=*/1.0, /*count=*/1);
+  auto draw = client.Call(gibbs);
+  ASSERT_TRUE(draw.ok());
+  ASSERT_EQ(draw->code, StatusCode::kOk);
+  EXPECT_EQ(draw->charged_epsilon, 2.0 * 1.0 * 1.0 / 203.0);
+  ASSERT_EQ(draw->indices.size(), 1u);
 }
 
 TEST_F(ServiceProtocolTest, AcceptFailPointRejectsWithStructuredFrame) {
