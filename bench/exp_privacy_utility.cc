@@ -169,8 +169,10 @@ void PartBClassification() {
     char cell[64];
     std::snprintf(cell, sizeof cell, "partb_eps%.2f", eps);
     bench::GuardCell(cell, [&] {
-    // DP-SGD configuration targeting this eps (sigma via binary search;
-    // the * marks the q^2 leading-order amplification heuristic).
+    // DP-SGD configuration targeting this eps (sigma via binary search; the
+    // * marks the q^2 leading-order amplification term, admitted at this
+    // q = 0.1 <= kDpSgdAmplificationMaxQ — beyond that gate the accountant
+    // falls back to the unamplified Gaussian bound).
     DpSgdOptions sgd;
     sgd.sampling_rate = 0.1;
     sgd.steps = 150;
@@ -247,8 +249,9 @@ void PartBClassification() {
   std::printf(
       "\nexpected shape: every private learner's risk falls toward the non-private floor\n"
       "as eps grows; output perturbation suffers most at small eps. dp-sgd* is an\n"
-      "(eps, 1e-5)-DP guarantee under the q^2 amplification heuristic (see core/dp_sgd.h),\n"
-      "so its column is approximate-DP, not pure-DP like the others.\n");
+      "(eps, 1e-5)-DP guarantee under the q^2 amplification term, which the accountant\n"
+      "only admits for q <= 0.1 (see core/dp_sgd.h; larger rates use the unamplified\n"
+      "Gaussian bound), so its column is approximate-DP, not pure-DP like the others.\n");
 }
 
 void Run() {

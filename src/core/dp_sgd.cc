@@ -1,6 +1,7 @@
 #include "core/dp_sgd.h"
 
 #include <cmath>
+#include <sstream>
 #include <vector>
 
 #include "infotheory/renyi.h"
@@ -35,43 +36,70 @@ Status ValidateOptions(const DpSgdOptions& options) {
 
 }  // namespace
 
-StatusOr<PrivacyBudget> DpSgdPrivacy(const DpSgdOptions& options) {
+StatusOr<DpSgdAccounting> DpSgdPrivacyDetail(const DpSgdOptions& options) {
   DPLEARN_RETURN_IF_ERROR(ValidateOptions(options));
   // Per-step un-amplified RDP of the Gaussian mechanism with sensitivity
-  // clip and stddev sigma*clip: eps(alpha) = alpha / (2 sigma^2).
-  // Leading-order Poisson amplification multiplies by q^2 (the standard
-  // small-q regime of the subsampled-Gaussian accountant; documented as a
-  // heuristic in the header).
+  // clip and stddev sigma*clip: eps(alpha) = alpha / (2 sigma^2). The q²
+  // Poisson-amplification leading term is only an upper bound on the true
+  // subsampled-Gaussian RDP in the small-q regime, so it is admitted only
+  // for q <= kDpSgdAmplificationMaxQ; at larger rates the per-step RDP
+  // falls back to the always-sound unamplified bound. Taking the min of the
+  // two keeps the formula shape honest in both regimes (for q < 1 the
+  // amplified term is the smaller one whenever it is admitted at all).
   const double q = options.sampling_rate;
   const double sigma = options.noise_multiplier;
-  const double amplification = q * q;
+  const bool amplify = q <= kDpSgdAmplificationMaxQ;
+  DpSgdAccounting accounting;
+  accounting.amplification_applied = amplify;
   double best = std::numeric_limits<double>::infinity();
   for (double alpha : {1.5, 2.0, 3.0, 5.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
-    const double per_step = amplification * alpha / (2.0 * sigma * sigma);
+    const double unamplified = alpha / (2.0 * sigma * sigma);
+    const double per_step =
+        amplify ? std::min(q * q * unamplified, unamplified) : unamplified;
     const double composed = per_step * static_cast<double>(options.steps);
     DPLEARN_ASSIGN_OR_RETURN(
         double eps, RdpToApproximateDpEpsilon({alpha, composed}, options.delta));
-    best = std::min(best, eps);
+    if (eps < best) {
+      best = eps;
+      accounting.best_alpha = alpha;
+    }
   }
-  return PrivacyBudget{best, options.delta};
+  accounting.budget = PrivacyBudget{best, options.delta};
+  return accounting;
+}
+
+StatusOr<PrivacyBudget> DpSgdPrivacy(const DpSgdOptions& options) {
+  DPLEARN_ASSIGN_OR_RETURN(const DpSgdAccounting accounting, DpSgdPrivacyDetail(options));
+  return accounting.budget;
 }
 
 StatusOr<double> NoiseMultiplierForTarget(double target_epsilon, double sampling_rate,
                                           std::size_t steps, double delta) {
-  if (!(target_epsilon > 0.0)) {
-    return InvalidArgumentError("NoiseMultiplierForTarget: target must be positive");
+  if (!(target_epsilon > 0.0) || !std::isfinite(target_epsilon)) {
+    return InvalidArgumentError(
+        "NoiseMultiplierForTarget: target epsilon must be positive and finite");
   }
   DpSgdOptions probe;
   probe.sampling_rate = sampling_rate;
   probe.steps = steps;
   probe.delta = delta;
   // Binary search sigma in [1e-2, 1e4]; epsilon is decreasing in sigma.
+  // The first DpSgdPrivacy call validates (q, steps, delta) and returns its
+  // typed error for out-of-domain arguments (q = 0, delta -> 0, ...).
   double lo = 1e-2;
   double hi = 1e4;
   probe.noise_multiplier = hi;
   DPLEARN_ASSIGN_OR_RETURN(PrivacyBudget at_hi, DpSgdPrivacy(probe));
   if (at_hi.epsilon > target_epsilon) {
-    return InvalidArgumentError("NoiseMultiplierForTarget: target unreachable");
+    // The delta-conversion overhead ln(1/delta)/(alpha-1) survives any
+    // sigma, so sufficiently small targets are structurally unattainable —
+    // report the floor instead of looping or returning the search bound.
+    std::ostringstream message;
+    message << "NoiseMultiplierForTarget: target epsilon " << target_epsilon
+            << " unattainable at q=" << sampling_rate << ", steps=" << steps
+            << ", delta=" << delta << ": even sigma=" << hi
+            << " only reaches epsilon=" << at_hi.epsilon;
+    return FailedPreconditionError(message.str());
   }
   for (int iter = 0; iter < 200; ++iter) {
     const double mid = 0.5 * (lo + hi);

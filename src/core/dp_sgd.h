@@ -21,11 +21,16 @@ namespace dplearn {
 ///
 /// Accounting note: each step's gradient sum has L2 sensitivity
 /// `clip_norm` under add/remove of one record; with noise N(0, σ²·clip²·I)
-/// the step is (α, α/(2σ²))-RDP, amplification by the Poisson rate q is
-/// folded in HEURISTICALLY by scaling the RDP epsilon with q² (the
-/// small-q leading term of the subsampled-Gaussian analysis); the exact
-/// subsampled-Gaussian accountant is out of scope and the reported ε is
-/// flagged accordingly.
+/// the step is (α, α/(2σ²))-RDP. Poisson amplification is folded in by
+/// scaling the per-step RDP with q² — the leading term of the
+/// subsampled-Gaussian analysis, valid only in the small-q regime — and
+/// ONLY when q <= kDpSgdAmplificationMaxQ. Beyond that rate the q² term is
+/// not an upper bound on the true subsampled-Gaussian RDP (it under-reports
+/// ε badly as q → 1, where subsampling amplifies nothing), so the
+/// accountant falls back to the always-sound unamplified α/(2σ²) bound and
+/// flags the fallback in DpSgdAccounting::amplification_applied. In both
+/// regimes the reported per-step RDP is min(q²·α/(2σ²), α/(2σ²)); the
+/// exact subsampled-Gaussian accountant remains out of scope.
 struct DpSgdOptions {
   /// Gaussian noise multiplier σ (noise stddev = σ·clip_norm per
   /// coordinate of the summed gradient).
@@ -43,6 +48,11 @@ struct DpSgdOptions {
   /// Target δ for the reported (ε, δ).
   double delta = 1e-5;
 };
+
+/// Largest Poisson rate at which the q² leading-order amplification term is
+/// accepted as the per-step RDP. Above this, DpSgdPrivacy uses the
+/// unamplified Gaussian bound α/(2σ²) instead (see the accounting note).
+inline constexpr double kDpSgdAmplificationMaxQ = 0.1;
 
 /// Result of a DP-SGD run.
 struct DpSgdResult {
@@ -62,15 +72,34 @@ struct DpSgdResult {
 StatusOr<DpSgdResult> DpSgd(const LossFunction& loss, const Dataset& data,
                             const DpSgdOptions& options, Rng* rng);
 
+/// DpSgdPrivacy's answer with its provenance: which regime produced the
+/// number, so callers (and audits) can tell an amplified figure from the
+/// unamplified fallback without re-deriving the q threshold.
+struct DpSgdAccounting {
+  PrivacyBudget budget;
+  /// True iff the q² amplification term was used (q <= kDpSgdAmplificationMaxQ).
+  bool amplification_applied = false;
+  /// The RDP order that minimized the converted ε.
+  double best_alpha = 0.0;
+};
+
 /// The accounted (ε, δ) for a given configuration WITHOUT running the
-/// optimizer — RDP of the (q²-amplified) Gaussian step, composed over T
-/// steps, optimized over orders, converted at δ. Exposed so callers can
-/// search configurations before touching data. Errors on invalid options.
+/// optimizer — per-step RDP min(q²·α/(2σ²), α/(2σ²)) with the q² term
+/// admitted only for q <= kDpSgdAmplificationMaxQ, composed over T steps,
+/// optimized over orders, converted at δ. Exposed so callers can search
+/// configurations before touching data. Errors on invalid options.
 StatusOr<PrivacyBudget> DpSgdPrivacy(const DpSgdOptions& options);
+
+/// DpSgdPrivacy plus the regime flag and the minimizing order.
+StatusOr<DpSgdAccounting> DpSgdPrivacyDetail(const DpSgdOptions& options);
 
 /// The noise multiplier needed to hit `target_epsilon` at the given rate,
 /// steps, and δ — binary search over DpSgdPrivacy. Errors on invalid
-/// arguments or an unreachable target.
+/// arguments (non-finite or non-positive target, rate/steps/δ outside
+/// DpSgdOptions' domain) and returns FailedPreconditionError naming the
+/// configuration when the target ε is unattainable anywhere in the
+/// searched σ range — the conversion overhead ln(1/δ)/(α−1) puts a hard
+/// floor under ε that no amount of noise crosses.
 StatusOr<double> NoiseMultiplierForTarget(double target_epsilon, double sampling_rate,
                                           std::size_t steps, double delta);
 

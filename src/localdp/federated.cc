@@ -1,0 +1,222 @@
+#include "localdp/federated.h"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "infotheory/renyi.h"
+#include "obs/trace.h"
+#include "sampling/distributions.h"
+
+namespace dplearn {
+namespace localdp {
+namespace {
+
+Status ValidateOptions(const FederatedOptions& options) {
+  if (options.num_clients == 0) {
+    return InvalidArgumentError("FederatedSimulator: num_clients must be positive");
+  }
+  if (options.rounds == 0) {
+    return InvalidArgumentError("FederatedSimulator: rounds must be positive");
+  }
+  if (options.local_steps == 0) {
+    return InvalidArgumentError("FederatedSimulator: local_steps must be positive");
+  }
+  if (!(options.learning_rate > 0.0)) {
+    return InvalidArgumentError("FederatedSimulator: learning_rate must be positive");
+  }
+  if (options.l2_lambda < 0.0) {
+    return InvalidArgumentError("FederatedSimulator: l2_lambda must be non-negative");
+  }
+  if (!(options.clip_norm > 0.0) || !std::isfinite(options.clip_norm)) {
+    return InvalidArgumentError("FederatedSimulator: clip_norm must be positive and finite");
+  }
+  if (options.model == FederatedPrivacyModel::kLocalDjw &&
+      (!(options.epsilon_per_round > 0.0) || !std::isfinite(options.epsilon_per_round))) {
+    return InvalidArgumentError(
+        "FederatedSimulator: epsilon_per_round must be positive and finite");
+  }
+  if (options.model == FederatedPrivacyModel::kCentralGaussian) {
+    if (!(options.noise_multiplier > 0.0)) {
+      return InvalidArgumentError(
+          "FederatedSimulator: noise_multiplier must be positive");
+    }
+    if (!(options.delta > 0.0) || !(options.delta < 1.0)) {
+      return InvalidArgumentError("FederatedSimulator: delta must be in (0, 1)");
+    }
+  }
+  return Status::Ok();
+}
+
+struct ClientUpdate {
+  Vector update;
+  double clipped_norm = 0.0;
+  Status status = Status::Ok();
+};
+
+}  // namespace
+
+StatusOr<FederatedSimulator> FederatedSimulator::Create(const LossFunction* loss,
+                                                        Dataset data,
+                                                        FederatedOptions options) {
+  if (loss == nullptr) {
+    return InvalidArgumentError("FederatedSimulator: loss must be set");
+  }
+  if (!loss->HasGradient()) {
+    return InvalidArgumentError("FederatedSimulator: loss has no gradient (" +
+                                loss->Name() + ")");
+  }
+  DPLEARN_RETURN_IF_ERROR(ValidateOptions(options));
+  if (data.size() < options.num_clients) {
+    return InvalidArgumentError(
+        "FederatedSimulator: need at least one example per client (" +
+        std::to_string(data.size()) + " examples, " +
+        std::to_string(options.num_clients) + " clients)");
+  }
+  const std::size_t dim = data.FeatureDim();
+  if (dim == 0) {
+    return InvalidArgumentError("FederatedSimulator: dataset has empty feature vectors");
+  }
+  // Round-robin sharding: example i goes to client i mod m. Deterministic
+  // in the input order, and every client gets within one example of n/m.
+  std::vector<Dataset> shards(options.num_clients);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    shards[i % options.num_clients].Add(data.at(i));
+  }
+  return FederatedSimulator(loss, std::move(shards), options, dim);
+}
+
+StatusOr<PrivacyBudget> FederatedSimulator::Accounting() const {
+  PrivacyBudget budget;
+  switch (options_.model) {
+    case FederatedPrivacyModel::kNone:
+      budget.epsilon = std::numeric_limits<double>::infinity();
+      budget.delta = 0.0;
+      return budget;
+    case FederatedPrivacyModel::kLocalDjw:
+      budget.epsilon =
+          static_cast<double>(options_.rounds) * options_.epsilon_per_round;
+      budget.delta = 0.0;
+      return budget;
+    case FederatedPrivacyModel::kCentralGaussian: {
+      // Replacing one client's update moves the mean by at most
+      // clip/num_clients in L2; the server noise stddev is sigma times that
+      // sensitivity, so each round is a Gaussian release with RDP
+      // alpha/(2*sigma^2). Compose over rounds, convert at delta, minimize
+      // over the standard alpha grid.
+      static const double kAlphaGrid[] = {1.5, 2.0, 3.0, 5.0, 8.0, 16.0,
+                                          32.0, 64.0, 128.0, 256.0, 512.0};
+      const double sensitivity =
+          options_.clip_norm / static_cast<double>(options_.num_clients);
+      const double sigma = options_.noise_multiplier * sensitivity;
+      double best = std::numeric_limits<double>::infinity();
+      for (const double alpha : kAlphaGrid) {
+        DPLEARN_ASSIGN_OR_RETURN(const RdpBudget per_round,
+                                 GaussianMechanismRdp(sigma, sensitivity, alpha));
+        DPLEARN_ASSIGN_OR_RETURN(const RdpBudget composed,
+                                 ComposeRdp(per_round, options_.rounds));
+        DPLEARN_ASSIGN_OR_RETURN(const double eps,
+                                 RdpToApproximateDpEpsilon(composed, options_.delta));
+        if (eps < best) best = eps;
+      }
+      budget.epsilon = best;
+      budget.delta = options_.delta;
+      return budget;
+    }
+  }
+  return InternalError("FederatedSimulator: unknown privacy model");
+}
+
+StatusOr<FederatedResult> FederatedSimulator::RunWith(
+    const parallel::ParallelTrialRunner& runner, Rng* rng) const {
+  if (rng == nullptr) return InvalidArgumentError("FederatedSimulator: rng must be set");
+  obs::TraceSpan span("localdp.federated.run");
+
+  StatusOr<DjwL2Channel> channel =
+      InvalidArgumentError("FederatedSimulator: channel unused");
+  if (options_.model == FederatedPrivacyModel::kLocalDjw) {
+    channel = DjwL2Channel::Create(options_.epsilon_per_round, options_.clip_norm, dim_);
+    DPLEARN_RETURN_IF_ERROR(channel.status());
+  }
+
+  const std::size_t m = options_.num_clients;
+  const double inv_m = 1.0 / static_cast<double>(m);
+  Vector theta(dim_, 0.0);
+  double clipped_norm_sum = 0.0;
+
+  for (std::size_t round = 0; round < options_.rounds; ++round) {
+    // Per-client split streams in client order + client-order reduction:
+    // the two halves of the runner's determinism contract that make this
+    // loop bit-identical at any thread count.
+    std::vector<ClientUpdate> updates = runner.MapTrials<ClientUpdate>(
+        m, rng, [&](std::size_t client, Rng& client_rng) {
+          ClientUpdate out;
+          const Dataset& shard = shards_[client];
+          const double inv_shard = 1.0 / static_cast<double>(shard.size());
+          Vector local = theta;
+          for (std::size_t step = 0; step < options_.local_steps; ++step) {
+            Vector mean_gradient(dim_, 0.0);
+            for (const Example& example : shard.examples()) {
+              const Vector gradient = loss_->Gradient(local, example);
+              AxpyInPlace(&mean_gradient, inv_shard, gradient);
+            }
+            for (std::size_t j = 0; j < dim_; ++j) {
+              local[j] -= options_.learning_rate *
+                          (mean_gradient[j] + options_.l2_lambda * local[j]);
+            }
+          }
+          Vector update = Sub(local, theta);
+          const double norm = Norm2(update);
+          if (norm > options_.clip_norm) {
+            const double scale = options_.clip_norm / norm;
+            for (double& u : update) u *= scale;
+            out.clipped_norm = options_.clip_norm;
+          } else {
+            out.clipped_norm = norm;
+          }
+          if (options_.model == FederatedPrivacyModel::kLocalDjw) {
+            StatusOr<Vector> privatized =
+                channel.value().PrivatizeVector(update, &client_rng);
+            if (!privatized.ok()) {
+              out.status = privatized.status();
+              return out;
+            }
+            out.update = std::move(privatized).value();
+          } else {
+            out.update = std::move(update);
+          }
+          return out;
+        });
+
+    Vector mean_update(dim_, 0.0);
+    for (const ClientUpdate& update : updates) {
+      DPLEARN_RETURN_IF_ERROR(update.status);
+      AxpyInPlace(&mean_update, inv_m, update.update);
+      clipped_norm_sum += update.clipped_norm;
+    }
+    if (options_.model == FederatedPrivacyModel::kCentralGaussian) {
+      // Server-side noise on the mean, drawn from the base stream AFTER the
+      // per-client splits — same position in the stream at any thread
+      // count, so the determinism contract holds for the central model too.
+      const double stddev = options_.noise_multiplier * options_.clip_norm * inv_m;
+      for (std::size_t j = 0; j < dim_; ++j) {
+        DPLEARN_ASSIGN_OR_RETURN(const double noise, SampleNormal(rng, 0.0, stddev));
+        mean_update[j] += noise;
+      }
+    }
+    AxpyInPlace(&theta, 1.0, mean_update);
+  }
+
+  FederatedResult result;
+  result.theta = std::move(theta);
+  result.rounds = options_.rounds;
+  DPLEARN_ASSIGN_OR_RETURN(result.budget, Accounting());
+  result.mean_update_norm = clipped_norm_sum / (static_cast<double>(options_.rounds) *
+                                                static_cast<double>(m));
+  return result;
+}
+
+}  // namespace localdp
+}  // namespace dplearn

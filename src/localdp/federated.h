@@ -1,0 +1,122 @@
+#ifndef DPLEARN_LOCALDP_FEDERATED_H_
+#define DPLEARN_LOCALDP_FEDERATED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "learning/dataset.h"
+#include "learning/loss.h"
+#include "localdp/local_channel.h"
+#include "mechanisms/privacy_budget.h"
+#include "parallel/trial_runner.h"
+#include "sampling/rng.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace dplearn {
+namespace localdp {
+
+/// Where the privacy barrier sits in a federated round.
+enum class FederatedPrivacyModel {
+  /// No privatization — the non-private federated-averaging baseline.
+  kNone,
+  /// Central model: clients send exact clipped updates; the SERVER adds one
+  /// Gaussian draw to the aggregated mean (trusted-aggregator assumption).
+  /// Client-level (eps, delta)-DP via subsampled-free Gaussian RDP
+  /// composition over rounds.
+  kCentralGaussian,
+  /// Local model: each CLIENT pushes its clipped update through a DJW
+  /// L2-ball channel before transmission; the server only ever sees
+  /// privatized vectors. Client-level pure eps-LDP, composed over rounds.
+  kLocalDjw,
+};
+
+struct FederatedOptions {
+  std::size_t num_clients = 8;
+  /// Communication rounds T.
+  std::size_t rounds = 30;
+  /// Local full-gradient steps each client takes per round.
+  std::size_t local_steps = 1;
+  /// Client-side learning rate for the local steps.
+  double learning_rate = 0.5;
+  double l2_lambda = 0.0;
+  /// L2 clip on each client's model delta before privatization/transmission.
+  double clip_norm = 1.0;
+  FederatedPrivacyModel model = FederatedPrivacyModel::kLocalDjw;
+  /// kLocalDjw: per-client local budget spent per round.
+  double epsilon_per_round = 0.5;
+  /// kCentralGaussian: noise multiplier sigma (per-coordinate stddev of the
+  /// server noise on the MEAN update = sigma * clip_norm / num_clients,
+  /// i.e. sigma times the replace-one-client sensitivity of the mean).
+  double noise_multiplier = 1.0;
+  /// kCentralGaussian: target delta for the reported (eps, delta).
+  double delta = 1e-5;
+};
+
+struct FederatedResult {
+  Vector theta;
+  std::size_t rounds = 0;
+  /// Per-CLIENT guarantee: pure (T * epsilon_per_round, 0) under kLocalDjw,
+  /// Gaussian-RDP-composed (eps, delta) under kCentralGaussian, (inf, 0)
+  /// under kNone.
+  PrivacyBudget budget;
+  /// Mean over rounds and clients of the clipped update norm.
+  double mean_update_norm = 0.0;
+};
+
+/// A deterministic multi-client federated-averaging simulator. Data is
+/// sharded round-robin across clients at Create() time; each round every
+/// client starts from the global model, takes `local_steps` full-gradient
+/// steps on its shard, clips its model delta to clip_norm, privatizes it
+/// per the configured model, and the server averages the (privatized)
+/// deltas into the global model.
+///
+/// Determinism contract: each round fans clients out over the
+/// ParallelTrialRunner with one Rng::Split stream per client in client
+/// order and folds updates in client order, so a run is bit-identical at
+/// any DPLEARN_THREADS — the same contract every experiment in this repo
+/// leans on, now extended to the federated loop (gated in CI at 1 vs 8
+/// threads).
+class FederatedSimulator {
+ public:
+  /// `loss` must outlive the simulator and have a gradient. Errors on
+  /// invalid options, empty data, or fewer examples than clients.
+  static StatusOr<FederatedSimulator> Create(const LossFunction* loss, Dataset data,
+                                             FederatedOptions options);
+
+  /// Runs the full simulation with the process-wide thread pool.
+  StatusOr<FederatedResult> Run(Rng* rng) const {
+    return RunWith(parallel::ParallelTrialRunner(), rng);
+  }
+
+  /// Runs with an explicit runner (tests pin 1-thread vs 8-thread pools
+  /// against each other).
+  StatusOr<FederatedResult> RunWith(const parallel::ParallelTrialRunner& runner,
+                                    Rng* rng) const;
+
+  std::size_t num_clients() const { return options_.num_clients; }
+  /// The shard assigned to `client` (round-robin by example index).
+  const Dataset& shard(std::size_t client) const { return shards_[client]; }
+  const FederatedOptions& options() const { return options_; }
+
+  /// The privacy guarantee Run() will report, available without running.
+  /// kCentralGaussian accounts T Gaussian releases of the mean update
+  /// (sensitivity clip/num_clients, stddev sigma*clip/num_clients) by RDP
+  /// composition over the standard alpha grid, converted at options.delta.
+  StatusOr<PrivacyBudget> Accounting() const;
+
+ private:
+  FederatedSimulator(const LossFunction* loss, std::vector<Dataset> shards,
+                     FederatedOptions options, std::size_t dim)
+      : loss_(loss), shards_(std::move(shards)), options_(options), dim_(dim) {}
+
+  const LossFunction* loss_;
+  std::vector<Dataset> shards_;
+  FederatedOptions options_;
+  std::size_t dim_;
+};
+
+}  // namespace localdp
+}  // namespace dplearn
+
+#endif  // DPLEARN_LOCALDP_FEDERATED_H_

@@ -74,6 +74,54 @@ TEST_F(DpSgdTest, PrivacyAccountingMatchesClosedForm) {
   EXPECT_EQ(budget.delta, 1e-5);
 }
 
+TEST_F(DpSgdTest, ModerateSamplingRateRegression) {
+  // Failing-before regression for the q² amplification bug: at q = 0.5 the
+  // q² leading-order term is NOT an upper bound on the subsampled-Gaussian
+  // RDP, and the old accountant reported min_alpha(0.25·α/(2σ²)·T +
+  // ln(1/δ)/(α−1)) — a 4x under-report of the per-step RDP. The fix refuses
+  // amplification above kDpSgdAmplificationMaxQ, so the reported ε must now
+  // be the unamplified closed form, strictly above the pre-fix figure.
+  DpSgdOptions options;
+  options.noise_multiplier = 4.0;
+  options.sampling_rate = 0.5;
+  options.steps = 100;
+  options.delta = 1e-5;
+  double unamplified = std::numeric_limits<double>::infinity();
+  double pre_fix = std::numeric_limits<double>::infinity();
+  for (double alpha : {1.5, 2.0, 3.0, 5.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
+    const double per_step = alpha / 32.0;
+    const double overhead = std::log(1e5) / (alpha - 1.0);
+    unamplified = std::min(unamplified, per_step * 100.0 + overhead);
+    pre_fix = std::min(pre_fix, 0.25 * per_step * 100.0 + overhead);
+  }
+  const double reported = DpSgdPrivacy(options).value().epsilon;
+  EXPECT_NEAR(reported, unamplified, 1e-10);
+  EXPECT_GT(reported, pre_fix + 1.0);  // the under-report was not a rounding issue
+  const auto detail = DpSgdPrivacyDetail(options).value();
+  EXPECT_FALSE(detail.amplification_applied);
+  EXPECT_NEAR(detail.budget.epsilon, reported, 1e-12);
+  EXPECT_GT(detail.best_alpha, 1.0);
+}
+
+TEST_F(DpSgdTest, AmplificationRegimeGate) {
+  // q = kDpSgdAmplificationMaxQ is the last amplified rate (inclusive, so
+  // the long-standing q = 0.1 closed-form test keeps its meaning); one tick
+  // above falls back to the unamplified bound — a discontinuity that is the
+  // visible seam of the regime gate.
+  DpSgdOptions options;
+  options.noise_multiplier = 2.0;
+  options.steps = 100;
+  options.delta = 1e-5;
+  options.sampling_rate = kDpSgdAmplificationMaxQ;
+  const auto at_gate = DpSgdPrivacyDetail(options).value();
+  EXPECT_TRUE(at_gate.amplification_applied);
+  options.sampling_rate = kDpSgdAmplificationMaxQ + 0.01;
+  const auto above_gate = DpSgdPrivacyDetail(options).value();
+  EXPECT_FALSE(above_gate.amplification_applied);
+  // The fallback is a much larger (sound) figure, not a smooth continuation.
+  EXPECT_GT(above_gate.budget.epsilon, 5.0 * at_gate.budget.epsilon);
+}
+
 TEST_F(DpSgdTest, AccountingMonotonicity) {
   DpSgdOptions base;
   base.noise_multiplier = 1.0;
@@ -106,6 +154,41 @@ TEST_F(DpSgdTest, NoiseMultiplierCalibrationHitsTarget) {
   EXPECT_LE(achieved, target + 1e-6);
   EXPECT_NEAR(achieved, target, 0.05);
   EXPECT_FALSE(NoiseMultiplierForTarget(0.0, 0.1, 200, 1e-5).ok());
+}
+
+TEST_F(DpSgdTest, NoiseMultiplierCalibrationEdgeCases) {
+  // Unattainable target: the δ-conversion overhead ln(1/δ)/(α−1) floors ε
+  // regardless of σ, so a tiny target must come back as a typed
+  // FailedPreconditionError naming the configuration — not the search bound.
+  auto tiny = NoiseMultiplierForTarget(1e-6, 0.1, 200, 1e-5);
+  ASSERT_FALSE(tiny.ok());
+  EXPECT_EQ(tiny.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(tiny.status().message().find("unattainable"), std::string::npos);
+  EXPECT_NE(tiny.status().message().find("steps=200"), std::string::npos);
+
+  // δ → 0 and other out-of-domain arguments are InvalidArgument (caught by
+  // option validation before any search runs).
+  auto zero_delta = NoiseMultiplierForTarget(2.0, 0.1, 200, 0.0);
+  ASSERT_FALSE(zero_delta.ok());
+  EXPECT_EQ(zero_delta.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(NoiseMultiplierForTarget(2.0, 0.0, 200, 1e-5).ok());
+  EXPECT_FALSE(NoiseMultiplierForTarget(2.0, 0.1, 0, 1e-5).ok());
+  EXPECT_FALSE(
+      NoiseMultiplierForTarget(std::numeric_limits<double>::infinity(), 0.1, 200, 1e-5)
+          .ok());
+  EXPECT_FALSE(NoiseMultiplierForTarget(-1.0, 0.1, 200, 1e-5).ok());
+
+  // q = 1 (full batches): calibration still works, on unamplified accounting.
+  const double sigma = NoiseMultiplierForTarget(5.0, 1.0, 50, 1e-5).value();
+  DpSgdOptions options;
+  options.noise_multiplier = sigma;
+  options.sampling_rate = 1.0;
+  options.steps = 50;
+  options.delta = 1e-5;
+  const auto detail = DpSgdPrivacyDetail(options).value();
+  EXPECT_FALSE(detail.amplification_applied);
+  EXPECT_LE(detail.budget.epsilon, 5.0 + 1e-6);
+  EXPECT_NEAR(detail.budget.epsilon, 5.0, 0.05);
 }
 
 TEST_F(DpSgdTest, DeterministicForFixedSeed) {

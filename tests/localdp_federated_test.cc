@@ -1,0 +1,189 @@
+// Federated-round simulator: determinism across thread counts (the same
+// contract parallel_determinism_test pins for the experiment pipelines,
+// here for the multi-client loop), learning at generous budgets, sharding
+// coverage, and the closed-form privacy accounting of all three models.
+// TSAN-tagged: the per-round client fan-out is the concurrency surface.
+
+#include "localdp/federated.h"
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "infotheory/renyi.h"
+#include "learning/generators.h"
+#include "learning/loss.h"
+#include "learning/preprocess.h"
+#include "parallel/thread_pool.h"
+#include "parallel/trial_runner.h"
+#include "sampling/rng.h"
+
+namespace dplearn {
+namespace localdp {
+namespace {
+
+template <typename T>
+T Unwrap(StatusOr<T> value) {
+  EXPECT_TRUE(value.ok()) << value.status().message();
+  return std::move(value).value();
+}
+
+class FederatedTest : public ::testing::Test {
+ protected:
+  FederatedTest()
+      : loss_(50.0), task_(GaussianMixtureTask::Create({0.6, 0.3}, 0.6).value()) {
+    Rng rng(21);
+    data_ = ClipFeatureNorm(task_.Sample(240, &rng).value(), 1.0).value();
+  }
+
+  LogisticLoss loss_;
+  GaussianMixtureTask task_;
+  Dataset data_;
+};
+
+TEST_F(FederatedTest, BitIdenticalAcrossThreadCounts) {
+  // The tentpole determinism claim, at the library level for every privacy
+  // model: inline (1 worker) and an 8-worker pool must produce the same
+  // bits in theta, not just close values.
+  for (const FederatedPrivacyModel model :
+       {FederatedPrivacyModel::kNone, FederatedPrivacyModel::kCentralGaussian,
+        FederatedPrivacyModel::kLocalDjw}) {
+    FederatedOptions options;
+    options.num_clients = 8;
+    options.rounds = 6;
+    options.local_steps = 2;
+    options.model = model;
+    auto simulator = Unwrap(FederatedSimulator::Create(&loss_, data_, options));
+
+    Rng base_inline(909);
+    parallel::ParallelTrialRunner inline_runner(nullptr);
+    const FederatedResult reference =
+        Unwrap(simulator.RunWith(inline_runner, &base_inline));
+
+    parallel::ThreadPool pool(8);
+    parallel::ParallelTrialRunner pooled(&pool);
+    Rng base(909);
+    const FederatedResult got = Unwrap(simulator.RunWith(pooled, &base));
+
+    EXPECT_EQ(got.theta, reference.theta)
+        << "model " << static_cast<int>(model) << " diverged across thread counts";
+    EXPECT_EQ(got.mean_update_norm, reference.mean_update_norm);
+  }
+}
+
+TEST_F(FederatedTest, LearnsAtGenerousLocalBudget) {
+  FederatedOptions options;
+  options.num_clients = 8;
+  options.rounds = 10;
+  options.local_steps = 2;
+  options.epsilon_per_round = 4.0;
+  options.model = FederatedPrivacyModel::kLocalDjw;
+  auto simulator = Unwrap(FederatedSimulator::Create(&loss_, data_, options));
+  Rng rng(3);
+  const FederatedResult result = Unwrap(simulator.Run(&rng));
+  EXPECT_EQ(result.rounds, 10u);
+  EXPECT_LT(task_.TrueZeroOneRisk(result.theta), 0.40);
+  // The clear baseline from the same start must do at least as well.
+  FederatedOptions clear = options;
+  clear.model = FederatedPrivacyModel::kNone;
+  auto clear_sim = Unwrap(FederatedSimulator::Create(&loss_, data_, clear));
+  Rng clear_rng(3);
+  EXPECT_LT(task_.TrueZeroOneRisk(Unwrap(clear_sim.Run(&clear_rng)).theta), 0.30);
+}
+
+TEST_F(FederatedTest, RoundRobinShardingCoversAllData) {
+  FederatedOptions options;
+  options.num_clients = 7;
+  auto simulator = Unwrap(FederatedSimulator::Create(&loss_, data_, options));
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < simulator.num_clients(); ++c) {
+    const Dataset& shard = simulator.shard(c);
+    total += shard.size();
+    // Round-robin: client c holds examples c, c + m, c + 2m, ... in order.
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+      EXPECT_TRUE(shard.at(i) == data_.at(c + i * options.num_clients))
+          << "client " << c << " slot " << i;
+    }
+  }
+  EXPECT_EQ(total, data_.size());
+}
+
+TEST_F(FederatedTest, LocalAccountingIsPureComposition) {
+  FederatedOptions options;
+  options.rounds = 12;
+  options.epsilon_per_round = 0.5;
+  options.model = FederatedPrivacyModel::kLocalDjw;
+  auto simulator = Unwrap(FederatedSimulator::Create(&loss_, data_, options));
+  const PrivacyBudget budget = Unwrap(simulator.Accounting());
+  EXPECT_NEAR(budget.epsilon, 6.0, 1e-12);
+  EXPECT_EQ(budget.delta, 0.0);
+}
+
+TEST_F(FederatedTest, CentralAccountingMatchesClosedForm) {
+  // Sensitivity clip/m with stddev sigma*clip/m makes the per-round RDP
+  // alpha/(2 sigma^2) independent of clip and m — compose T rounds, convert
+  // at delta, minimize over the standard grid.
+  FederatedOptions options;
+  options.rounds = 20;
+  options.noise_multiplier = 2.0;
+  options.delta = 1e-5;
+  options.model = FederatedPrivacyModel::kCentralGaussian;
+  auto simulator = Unwrap(FederatedSimulator::Create(&loss_, data_, options));
+  const PrivacyBudget budget = Unwrap(simulator.Accounting());
+  double best = std::numeric_limits<double>::infinity();
+  for (double alpha : {1.5, 2.0, 3.0, 5.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
+    const double composed = alpha / 8.0 * 20.0;
+    best = std::min(best, composed + std::log(1e5) / (alpha - 1.0));
+  }
+  EXPECT_NEAR(budget.epsilon, best, 1e-10);
+  EXPECT_EQ(budget.delta, 1e-5);
+  // And the run must report exactly what Accounting() promised.
+  Rng rng(5);
+  EXPECT_EQ(Unwrap(simulator.Run(&rng)).budget.epsilon, budget.epsilon);
+}
+
+TEST_F(FederatedTest, NoneModelReportsInfiniteEpsilon) {
+  FederatedOptions options;
+  options.model = FederatedPrivacyModel::kNone;
+  auto simulator = Unwrap(FederatedSimulator::Create(&loss_, data_, options));
+  EXPECT_TRUE(std::isinf(Unwrap(simulator.Accounting()).epsilon));
+}
+
+TEST_F(FederatedTest, Validation) {
+  FederatedOptions options;
+  EXPECT_FALSE(FederatedSimulator::Create(nullptr, data_, options).ok());
+  ZeroOneLoss no_grad;
+  EXPECT_FALSE(FederatedSimulator::Create(&no_grad, data_, options).ok());
+  EXPECT_FALSE(FederatedSimulator::Create(&loss_, Dataset(), options).ok());
+  FederatedOptions bad = options;
+  bad.num_clients = data_.size() + 1;  // more clients than examples
+  EXPECT_FALSE(FederatedSimulator::Create(&loss_, data_, bad).ok());
+  bad = options;
+  bad.num_clients = 0;
+  EXPECT_FALSE(FederatedSimulator::Create(&loss_, data_, bad).ok());
+  bad = options;
+  bad.rounds = 0;
+  EXPECT_FALSE(FederatedSimulator::Create(&loss_, data_, bad).ok());
+  bad = options;
+  bad.local_steps = 0;
+  EXPECT_FALSE(FederatedSimulator::Create(&loss_, data_, bad).ok());
+  bad = options;
+  bad.epsilon_per_round = 0.0;  // model defaults to kLocalDjw
+  EXPECT_FALSE(FederatedSimulator::Create(&loss_, data_, bad).ok());
+  bad = options;
+  bad.model = FederatedPrivacyModel::kCentralGaussian;
+  bad.noise_multiplier = 0.0;
+  EXPECT_FALSE(FederatedSimulator::Create(&loss_, data_, bad).ok());
+  bad = options;
+  bad.model = FederatedPrivacyModel::kCentralGaussian;
+  bad.delta = 1.0;
+  EXPECT_FALSE(FederatedSimulator::Create(&loss_, data_, bad).ok());
+  auto simulator = Unwrap(FederatedSimulator::Create(&loss_, data_, options));
+  EXPECT_FALSE(simulator.Run(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace localdp
+}  // namespace dplearn
