@@ -101,15 +101,17 @@ StatusOr<PrivacyBudget> FederatedSimulator::Accounting() const {
       budget.delta = 0.0;
       return budget;
     case FederatedPrivacyModel::kCentralGaussian: {
-      // Replacing one client's update moves the mean by at most
-      // clip/num_clients in L2; the server noise stddev is sigma times that
-      // sensitivity, so each round is a Gaussian release with RDP
-      // alpha/(2*sigma^2). Compose over rounds, convert at delta, minimize
-      // over the standard alpha grid.
+      // Replacing one client's clipped update (L2 norm <= clip) with
+      // another moves the SUM by at most 2*clip, hence the mean by
+      // 2*clip/num_clients in L2 — NOT clip/num_clients, which is the
+      // zero-out sensitivity and under-reports replace-one by 4x in RDP.
+      // The server noise stddev is sigma times this sensitivity, so each
+      // round is a Gaussian release with RDP alpha/(2*sigma^2). Compose
+      // over rounds, convert at delta, minimize over the standard grid.
       static const double kAlphaGrid[] = {1.5, 2.0, 3.0, 5.0, 8.0, 16.0,
                                           32.0, 64.0, 128.0, 256.0, 512.0};
       const double sensitivity =
-          options_.clip_norm / static_cast<double>(options_.num_clients);
+          2.0 * options_.clip_norm / static_cast<double>(options_.num_clients);
       const double sigma = options_.noise_multiplier * sensitivity;
       double best = std::numeric_limits<double>::infinity();
       for (const double alpha : kAlphaGrid) {
@@ -200,7 +202,10 @@ StatusOr<FederatedResult> FederatedSimulator::RunWith(
       // Server-side noise on the mean, drawn from the base stream AFTER the
       // per-client splits — same position in the stream at any thread
       // count, so the determinism contract holds for the central model too.
-      const double stddev = options_.noise_multiplier * options_.clip_norm * inv_m;
+      // Stddev = sigma times the replace-one-client sensitivity 2*clip/m,
+      // matching what Accounting() charges for.
+      const double stddev =
+          options_.noise_multiplier * 2.0 * options_.clip_norm * inv_m;
       for (std::size_t j = 0; j < dim_; ++j) {
         DPLEARN_ASSIGN_OR_RETURN(const double noise, SampleNormal(rng, 0.0, stddev));
         mean_update[j] += noise;

@@ -46,8 +46,10 @@ struct FederatedOptions {
   /// kLocalDjw: per-client local budget spent per round.
   double epsilon_per_round = 0.5;
   /// kCentralGaussian: noise multiplier sigma (per-coordinate stddev of the
-  /// server noise on the MEAN update = sigma * clip_norm / num_clients,
-  /// i.e. sigma times the replace-one-client sensitivity of the mean).
+  /// server noise on the MEAN update = sigma * 2 * clip_norm / num_clients,
+  /// i.e. sigma times the replace-one-client sensitivity of the mean —
+  /// swapping one clipped update for another moves the sum by up to
+  /// 2*clip_norm in L2).
   double noise_multiplier = 1.0;
   /// kCentralGaussian: target delta for the reported (eps, delta).
   double delta = 1e-5;
@@ -101,8 +103,9 @@ class FederatedSimulator {
 
   /// The privacy guarantee Run() will report, available without running.
   /// kCentralGaussian accounts T Gaussian releases of the mean update
-  /// (sensitivity clip/num_clients, stddev sigma*clip/num_clients) by RDP
-  /// composition over the standard alpha grid, converted at options.delta.
+  /// (replace-one-client sensitivity 2*clip/num_clients, stddev
+  /// sigma*2*clip/num_clients) by RDP composition over the standard alpha
+  /// grid, converted at options.delta.
   StatusOr<PrivacyBudget> Accounting() const;
 
  private:

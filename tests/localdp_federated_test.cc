@@ -18,6 +18,7 @@
 #include "learning/preprocess.h"
 #include "parallel/thread_pool.h"
 #include "parallel/trial_runner.h"
+#include "sampling/distributions.h"
 #include "sampling/rng.h"
 
 namespace dplearn {
@@ -122,9 +123,9 @@ TEST_F(FederatedTest, LocalAccountingIsPureComposition) {
 }
 
 TEST_F(FederatedTest, CentralAccountingMatchesClosedForm) {
-  // Sensitivity clip/m with stddev sigma*clip/m makes the per-round RDP
-  // alpha/(2 sigma^2) independent of clip and m — compose T rounds, convert
-  // at delta, minimize over the standard grid.
+  // Replace-one-client sensitivity 2*clip/m with stddev sigma*2*clip/m
+  // makes the per-round RDP alpha/(2 sigma^2) independent of clip and m —
+  // compose T rounds, convert at delta, minimize over the standard grid.
   FederatedOptions options;
   options.rounds = 20;
   options.noise_multiplier = 2.0;
@@ -142,6 +143,54 @@ TEST_F(FederatedTest, CentralAccountingMatchesClosedForm) {
   // And the run must report exactly what Accounting() promised.
   Rng rng(5);
   EXPECT_EQ(Unwrap(simulator.Run(&rng)).budget.epsilon, budget.epsilon);
+}
+
+TEST_F(FederatedTest, CentralNoiseCalibratedToReplaceOneSensitivity) {
+  // Regression (accounting under-report): swapping one client's clipped
+  // update (L2 <= clip) for another moves the mean by up to 2*clip/m, so
+  // the server noise stddev must be sigma * 2*clip/m — noise calibrated to
+  // the zero-out sensitivity clip/m would make the reported replace-one
+  // (eps, delta) 4x too optimistic in RDP. Pin it empirically: with one
+  // round, theta_central - theta_clear is exactly the injected noise
+  // vector (the deterministic client updates are bit-identical across the
+  // two runs), so its sample variance over a large dimension estimates
+  // stddev^2 to within chi-square concentration.
+  const std::size_t dim = 512;
+  Dataset data;
+  Rng feature_rng(7);
+  for (int i = 0; i < 16; ++i) {
+    Vector x(dim, 0.0);
+    for (double& v : x) v = Unwrap(SampleNormal(&feature_rng, 0.0, 1.0));
+    data.Add(Example{std::move(x), (i % 2 == 0) ? 1.0 : 0.0});
+  }
+  FederatedOptions options;
+  options.num_clients = 4;
+  options.rounds = 1;
+  options.local_steps = 1;
+  options.clip_norm = 0.5;
+  options.noise_multiplier = 2.0;
+  options.model = FederatedPrivacyModel::kCentralGaussian;
+  auto central = Unwrap(FederatedSimulator::Create(&loss_, data, options));
+  FederatedOptions clear = options;
+  clear.model = FederatedPrivacyModel::kNone;
+  auto clear_sim = Unwrap(FederatedSimulator::Create(&loss_, data, clear));
+  Rng central_rng(11);
+  Rng clear_rng(11);
+  const Vector noisy = Unwrap(central.Run(&central_rng)).theta;
+  const Vector base = Unwrap(clear_sim.Run(&clear_rng)).theta;
+  double sum_sq = 0.0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double diff = noisy[j] - base[j];
+    sum_sq += diff * diff;
+  }
+  const double sensitivity =
+      2.0 * options.clip_norm / static_cast<double>(options.num_clients);
+  const double expected_var = options.noise_multiplier * sensitivity *
+                              options.noise_multiplier * sensitivity;
+  // Chi-square with 512 dof: relative sd ~ sqrt(2/512) ~ 6%. The pre-fix
+  // stddev sigma*clip/m would land the ratio at 0.25 — far below 0.6.
+  EXPECT_GT(sum_sq / static_cast<double>(dim), 0.6 * expected_var);
+  EXPECT_LT(sum_sq / static_cast<double>(dim), 1.5 * expected_var);
 }
 
 TEST_F(FederatedTest, NoneModelReportsInfiniteEpsilon) {
